@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark suite.
+
+Default parameters are scaled down so ``pytest benchmarks/ --benchmark-only``
+finishes in minutes on a laptop; set ``REPRO_PAPER_SCALE=1`` to run every
+benchmark at the paper's full cardinalities (N = 1,000 / 100,000, d = 2…10,
+servers 4…32) — the configuration used to fill EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.bench.harness import DEFAULT_CLUSTER, DatasetCache
+from repro.mapreduce.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Benchmark-suite scale parameters."""
+
+    paper: bool
+    small_n: int
+    large_n: int
+    dims: tuple[int, ...]
+    node_counts: tuple[int, ...]
+    cluster: ClusterSpec
+    mc_samples: int
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    paper = os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+    if paper:
+        return BenchScale(
+            paper=True,
+            small_n=1_000,
+            large_n=100_000,
+            dims=(2, 4, 6, 8, 10),
+            node_counts=(4, 8, 12, 16, 20, 24, 28, 32),
+            cluster=DEFAULT_CLUSTER,
+            mc_samples=200_000,
+        )
+    return BenchScale(
+        paper=False,
+        small_n=1_000,
+        large_n=20_000,
+        dims=(2, 6, 10),
+        node_counts=(4, 16, 32),
+        cluster=DEFAULT_CLUSTER,
+        mc_samples=50_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def cache() -> DatasetCache:
+    return DatasetCache()

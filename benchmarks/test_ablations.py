@@ -1,0 +1,47 @@
+"""Design-choice ablations (DESIGN.md §4, last row).
+
+Covers: the 2×workers partition rule, angular binning/allocation variants,
+the map-side combiner, bounded BNL windows, grid-cell pruning, quantile
+variants of the baselines, and the random-partitioning baseline.
+"""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablations(benchmark, scale, cache):
+    table = benchmark.pedantic(
+        lambda: ablations(
+            n=min(scale.large_n, 10_000),
+            d=6,
+            cluster=scale.cluster,
+            cache=cache,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    variant_col = table.columns.index("variant")
+    time_col = table.columns.index("sim_total_s")
+    imb_col = table.columns.index("imbalance")
+    opt_col = table.columns.index("optimality")
+
+    # Quantile sectors balance load essentially perfectly.
+    assert rows["angle (2x workers, quantile)"][imb_col] < 1.2
+    # Equal-width sectors trade balance for optimality.
+    assert (
+        rows["angle equal-width bins"][opt_col]
+        > rows["angle (2x workers, quantile)"][opt_col]
+    )
+    assert (
+        rows["angle equal-width bins"][imb_col]
+        > rows["angle (2x workers, quantile)"][imb_col]
+    )
+    # Fewer partitions -> higher optimality (less fragmentation).
+    assert rows["angle 1x workers"][opt_col] >= rows["angle 4x workers"][opt_col]
+    # Grid-cell pruning never hurts the grid method.
+    assert (
+        rows["grid (with pruning)"][time_col]
+        <= rows["grid (no cell pruning)"][time_col] * 1.05
+    )

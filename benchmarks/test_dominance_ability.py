@@ -1,0 +1,19 @@
+"""§IV theory check: Theorems 1–2 closed forms vs Monte-Carlo areas."""
+
+from repro.bench.experiments import theory
+
+
+def test_theory(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: theory(mc_samples=scale.mc_samples),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    assert all(table.column("bound_holds"))
+    for closed, mc in zip(table.column("D_angle_eq3"), table.column("D_angle_mc")):
+        assert abs(closed - mc) < 0.02
+    # MR-Angle dominates MR-Grid throughout the premise region.
+    for a, g in zip(table.column("D_angle_eq3"), table.column("D_grid")):
+        assert a > g

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the MapReduce engine substrate.
+
+Throughput of the engine itself (map dispatch, combine, shuffle sort,
+reduce grouping) on a classic wordcount, plus the hyperspherical transform
+and the partitioner assignment kernels that run inside every map task.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hyperspherical import to_hyperspherical
+from repro.core.partitioning import (
+    AngularPartitioner,
+    DimensionalPartitioner,
+    GridPartitioner,
+)
+from repro.mapreduce import Job, JobConf, Mapper, Reducer, run_job
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _wordcount_records(n_lines=2_000, words_per_line=20):
+    rng = np.random.default_rng(0)
+    vocab = [f"word{i}" for i in range(500)]
+    return [
+        (None, " ".join(rng.choice(vocab, size=words_per_line)))
+        for _ in range(n_lines)
+    ]
+
+
+def test_engine_wordcount(benchmark):
+    records = _wordcount_records()
+    job = Job(
+        name="wc-bench",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        conf=JobConf(num_reducers=4, num_map_tasks=4),
+    )
+    result = benchmark(lambda: run_job(job, records=records))
+    assert sum(v for _, v in result.output_pairs()) == 2_000 * 20
+
+
+def test_engine_wordcount_with_combiner(benchmark):
+    records = _wordcount_records()
+    job = Job(
+        name="wc-bench-combine",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        combiner=SumReducer,
+        conf=JobConf(num_reducers=4, num_map_tasks=4),
+    )
+    result = benchmark(lambda: run_job(job, records=records))
+    assert sum(v for _, v in result.output_pairs()) == 2_000 * 20
+
+
+def test_hyperspherical_transform(benchmark):
+    pts = np.random.default_rng(1).random((100_000, 10))
+    r, angles = benchmark(to_hyperspherical, pts)
+    assert angles.shape == (100_000, 9)
+
+
+@pytest.mark.parametrize(
+    "partitioner_factory",
+    [
+        lambda: DimensionalPartitioner(8),
+        lambda: GridPartitioner(8),
+        lambda: AngularPartitioner(8),
+    ],
+    ids=["dim", "grid", "angle"],
+)
+def test_partitioner_assign(benchmark, partitioner_factory):
+    pts = np.random.default_rng(2).random((100_000, 6))
+    partitioner = partitioner_factory().fit(pts)
+    ids = benchmark(partitioner.assign, pts)
+    assert ids.shape == (100_000,)

@@ -1,0 +1,24 @@
+"""Figure 5(a): processing time vs dimension, small cardinality (N=1,000).
+
+Regenerates the paper's left-hand time plot.  Shape assertions: MR-Angle's
+simulated processing time never exceeds the other two methods at any
+dimension (the paper reports MR-Grid 6–16 % and MR-Dim 18–45 % higher).
+"""
+
+from repro.bench.experiments import figure5
+
+
+def test_fig5a(benchmark, scale, cache):
+    table = benchmark.pedantic(
+        lambda: figure5(
+            scale.small_n, dims=scale.dims, cluster=scale.cluster, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    angle = table.column("MR-Angle")
+    for other in ("MR-Dim", "MR-Grid"):
+        for a, o in zip(angle, table.column(other)):
+            assert a <= o * 1.02, f"MR-Angle slower than {other}: {a} vs {o}"

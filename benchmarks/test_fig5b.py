@@ -1,0 +1,27 @@
+"""Figure 5(b): processing time vs dimension, large cardinality (N=100,000).
+
+The paper's headline plot: the MR-Angle advantage grows sharply with
+cardinality.  Shape assertions: angle is fastest at every dimension and the
+advantage at the top dimension is at least 1.5× (paper: 1.7–2.3×).
+"""
+
+from repro.bench.experiments import figure5
+
+
+def test_fig5b(benchmark, scale, cache):
+    table = benchmark.pedantic(
+        lambda: figure5(
+            scale.large_n, dims=scale.dims, cluster=scale.cluster, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    angle = table.column("MR-Angle")
+    for other in ("MR-Dim", "MR-Grid"):
+        series = table.column(other)
+        for a, o in zip(angle, series):
+            assert a <= o, f"MR-Angle slower than {other}: {a} vs {o}"
+        # Top-dimension advantage (paper: 1.7x grid / 2.3x dim).
+        assert series[-1] / angle[-1] >= 1.5

@@ -1,0 +1,34 @@
+"""Figure 6: MR-Angle map/reduce breakdown vs server count.
+
+Shape assertions (matching the paper's description): total processing time
+decreases as servers are added, and the improvement saturates — the tail of
+the curve is much flatter than the head.
+"""
+
+from repro.bench.experiments import figure6
+
+
+def test_fig6(benchmark, scale, cache):
+    table = benchmark.pedantic(
+        lambda: figure6(
+            n=scale.large_n,
+            d=scale.dims[-1],
+            node_counts=scale.node_counts,
+            base_cluster=scale.cluster,
+            cache=cache,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    totals = table.column("total_s")
+    assert totals[0] > totals[-1], "no speedup from adding servers"
+    # Saturation: the second half of the sweep improves less than the first.
+    mid = len(totals) // 2
+    head_gain = totals[0] - totals[mid]
+    tail_gain = totals[mid] - totals[-1]
+    assert head_gain >= tail_gain, "curve should flatten (saturate)"
+    # Map and reduce components both stay positive.
+    assert all(v > 0 for v in table.column("map_time_s"))
+    assert all(v > 0 for v in table.column("reduce_time_s"))

@@ -1,0 +1,30 @@
+"""Figure 7(b): local skyline optimality vs dimension, N=100,000.
+
+Shape assertions: the paper's ordering MR-Angle > MR-Grid > MR-Dim holds at
+the top dimension, where its gaps "are even greater" than at N=1,000, and
+optimality rises with dimension for the angle method.
+"""
+
+from repro.bench.experiments import figure7
+
+
+def test_fig7b(benchmark, scale, cache):
+    table = benchmark.pedantic(
+        lambda: figure7(
+            scale.large_n, dims=scale.dims, cluster=scale.cluster, cache=cache
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.render())
+    d_top = -1
+    angle = table.column("MR-Angle")
+    grid = table.column("MR-Grid")
+    dim = table.column("MR-Dim")
+    assert angle[d_top] > grid[d_top] > dim[d_top]
+    # Optimality increases with dimension ("the increase in dimensionality
+    # decreases the comparability between service pairs").
+    assert angle[d_top] > angle[0]
+    eq_width = table.column("MR-Angle(eq-width)")
+    assert eq_width[d_top] > grid[d_top]

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment has no `wheel` package, so PEP 660 editable installs
+(`pip install -e .` with a [build-system] table) cannot build the required
+wheel.  Shipping a setup.py and omitting [build-system] makes pip fall back
+to the legacy `setup.py develop` editable path, which works offline.
+"""
+from setuptools import setup
+
+setup()

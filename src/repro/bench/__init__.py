@@ -1,0 +1,49 @@
+"""Benchmark harness: experiment drivers, dataset cache, reporting.
+
+``python -m repro.cli <experiment>`` is the command-line front end; the
+pytest-benchmark suites under ``benchmarks/`` call the same drivers with
+scaled-down parameters.
+"""
+
+from repro.bench.experiments import (
+    PAPER_DIMS,
+    PAPER_METHODS,
+    ablations,
+    figure5,
+    figure6,
+    figure7,
+    headline,
+    stragglers,
+    theory,
+)
+from repro.bench.harness import (
+    DEFAULT_CLUSTER,
+    DatasetCache,
+    PointRecord,
+    default_cache,
+    run_point,
+    sweep,
+)
+from repro.bench.reporting import Table
+from repro.bench.timing import Timer, best_of
+
+__all__ = [
+    "DEFAULT_CLUSTER",
+    "DatasetCache",
+    "PAPER_DIMS",
+    "PAPER_METHODS",
+    "PointRecord",
+    "Table",
+    "Timer",
+    "ablations",
+    "best_of",
+    "default_cache",
+    "figure5",
+    "figure6",
+    "figure7",
+    "headline",
+    "run_point",
+    "stragglers",
+    "sweep",
+    "theory",
+]

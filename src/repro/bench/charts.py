@@ -1,0 +1,137 @@
+"""ASCII charts: render figure tables as terminal plots.
+
+The paper's evaluation is communicated through line charts (Figures 5, 7)
+and a stacked-bar chart (Figure 6).  These renderers turn the harness's
+:class:`~repro.bench.reporting.Table` rows into the same visual shapes
+without a plotting dependency — usable over SSH, in CI logs, and in this
+repository's EXPERIMENTS records.
+
+* :func:`line_chart` — multi-series scatter/line canvas with per-series
+  glyphs and a legend (Figures 5 and 7: x = dimension, one series per
+  method).
+* :func:`stacked_bars` — horizontal two-segment bars (Figure 6: map time +
+  reduce time per server count).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "stacked_bars"]
+
+_GLYPHS = "ox*+#@%&"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets a distinct glyph; the legend maps glyphs to names.
+    Values are linearly scaled into a ``height`` × ``width`` canvas with a
+    zero-based y axis (paper charts all start at 0).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("width must be >= 16 and height >= 4")
+    if not series:
+        raise ValueError("need at least one series")
+    xs = list(x)
+    if len(xs) < 1:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} x points"
+            )
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+
+    y_max = max(max(ys) for ys in series.values())
+    if y_max <= 0:
+        y_max = 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(_GLYPHS, series.items()):
+        for xv, yv in zip(xs, ys):
+            col = int((xv - x_min) / x_span * (width - 1))
+            row = height - 1 - int(yv / y_max * (height - 1))
+            canvas[row][col] = glyph
+
+    out = []
+    if title:
+        out.append(title)
+    label_width = max(len(f"{y_max:.0f}"), len("0")) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_max:.0f}"
+        elif i == height - 1:
+            label = "0"
+        else:
+            label = ""
+        out.append(f"{label:>{label_width}} |{''.join(row)}|")
+    out.append(f"{'':>{label_width}}  {x_min:<8g}{'':{max(width - 16, 0)}}{x_max:>8g}")
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    out.append(f"{'':>{label_width}}  {legend}")
+    if y_label:
+        out.append(f"{'':>{label_width}}  (y: {y_label})")
+    return "\n".join(out) + "\n"
+
+
+def stacked_bars(
+    labels: Sequence[object],
+    segments: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 56,
+) -> str:
+    """Horizontal stacked bars, one per label (the Figure-6 shape).
+
+    ``segments`` maps segment names to per-label values; segments stack in
+    mapping order using a distinct fill character each.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not segments:
+        raise ValueError("need at least one segment")
+    n = len(labels)
+    for name, vals in segments.items():
+        if len(vals) != n:
+            raise ValueError(
+                f"segment {name!r} has {len(vals)} values for {n} labels"
+            )
+        if any(v < 0 for v in vals):
+            raise ValueError(f"segment {name!r} has negative values")
+    fills = "#=+-~o"
+    if len(segments) > len(fills):
+        raise ValueError(f"at most {len(fills)} segments supported")
+
+    totals = [
+        sum(vals[i] for vals in segments.values()) for i in range(n)
+    ]
+    peak = max(totals) or 1.0
+    scale = width / peak
+
+    out = []
+    if title:
+        out.append(title)
+    label_width = max((len(str(l)) for l in labels), default=1)
+    for i, label in enumerate(labels):
+        bar = ""
+        for fill, vals in zip(fills, segments.values()):
+            bar += fill * int(round(vals[i] * scale))
+        out.append(f"{str(label):>{label_width}} |{bar:<{width}}| {totals[i]:.1f}")
+    legend = "   ".join(
+        f"{fill}={name}" for fill, name in zip(fills, segments)
+    )
+    out.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(out) + "\n"

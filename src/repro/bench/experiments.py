@@ -1,0 +1,439 @@
+"""One driver per table/figure of the paper's evaluation (§V–§VI).
+
+Each function regenerates the corresponding figure's data as a
+:class:`~repro.bench.reporting.Table` whose rows/series mirror what the
+paper plots.  Absolute seconds come from the deterministic cluster
+simulation (DESIGN.md §5 — a 2012 Hadoop testbed cannot be reproduced
+bit-for-bit); the reproduction target is the *shape*: method ordering,
+speedup factors, saturation behaviour, optimality ordering.
+
+Figure index (see DESIGN.md §4):
+
+* :func:`figure5`  — processing time vs dimension (a: N=1,000, b: N=100,000)
+* :func:`figure6`  — map/reduce breakdown vs server count (MR-Angle)
+* :func:`figure7`  — local skyline optimality vs dimension
+* :func:`headline` — the §V-B 1.7× / 2.3× speedup claims
+* :func:`theory`   — §IV Theorems 1–2, closed forms vs Monte-Carlo
+* :func:`ablations` — design-choice studies (DESIGN.md §4 last row)
+* :func:`stragglers` — robustness under stragglers / speculative execution
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.harness import (
+    DEFAULT_CLUSTER,
+    DatasetCache,
+    default_cache,
+    run_point,
+    sweep,
+)
+from repro.bench.reporting import Table
+from repro.core.dominance_ability import (
+    delta_dominance,
+    delta_lower_bound,
+    dominance_ability_angle,
+    dominance_ability_grid,
+    empirical_dominance_ability,
+)
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.optimality import optimality_of_result
+from repro.core.partitioning import AngularPartitioner, load_imbalance
+from repro.mapreduce.cluster import ClusterSpec
+
+__all__ = [
+    "PAPER_DIMS",
+    "PAPER_METHODS",
+    "figure5",
+    "figure6",
+    "figure7",
+    "headline",
+    "stragglers",
+    "theory",
+    "ablations",
+]
+
+#: The paper sweeps attribute dimensionality 2..10 in steps of 2.
+PAPER_DIMS: tuple[int, ...] = (2, 4, 6, 8, 10)
+
+#: Method order used in every figure legend.
+PAPER_METHODS: tuple[str, ...] = ("dim", "grid", "angle")
+
+_METHOD_LABEL = {"dim": "MR-Dim", "grid": "MR-Grid", "angle": "MR-Angle"}
+
+
+def figure5(
+    n: int,
+    *,
+    dims: Sequence[int] = PAPER_DIMS,
+    methods: Sequence[str] = PAPER_METHODS,
+    cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+) -> Table:
+    """Figure 5: processing time vs dimension for the three methods.
+
+    ``n=1_000`` reproduces Fig. 5(a), ``n=100_000`` Fig. 5(b).
+    """
+    records = sweep(methods, n, dims, cluster=cluster, cache=cache)
+    sub = "a" if n <= 10_000 else "b"
+    table = Table(
+        title=f"Figure 5({sub}): processing time (s) vs dimension, N={n:,}",
+        columns=["dimension"] + [_METHOD_LABEL.get(m, m) for m in methods],
+        precision=2,
+    )
+    for d in dims:
+        row: list = [d]
+        for method in methods:
+            rec = next(r for r in records if r.d == d and r.method == method)
+            row.append(rec.sim_total_s)
+        table.add_row(*row)
+    table.add_note(
+        f"simulated {cluster.num_nodes}-server cluster "
+        f"(partitions = 2 x servers); lower is better"
+    )
+    return table
+
+
+def figure6(
+    *,
+    n: int = 100_000,
+    d: int = 10,
+    node_counts: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
+    base_cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+    include_tree_merge: bool = True,
+) -> Table:
+    """Figure 6: MR-Angle map/reduce time breakdown vs server count.
+
+    The pipeline is executed once with ``partitions = 2 × max(servers)``
+    (the paper's partition rule applied to the sweep's largest cluster — a
+    fixed task decomposition, as one provisions a scalability study), then
+    replayed on simulated clusters of each size.  Scaling partitions *with*
+    the server count instead is available as an ablation
+    (:func:`ablations`); it inflates the union of local skylines and with
+    it the serial merge stage, washing out the speedup.
+    """
+    cache = cache or default_cache()
+    matrix = cache.matrix(n, d)
+    partitions = 2 * max(node_counts)
+    result = run_mr_skyline(
+        matrix,
+        method="angle",
+        num_workers=max(node_counts),
+        num_partitions=partitions,
+    )
+    tree_result = None
+    if include_tree_merge:
+        tree_result = run_mr_skyline(
+            matrix,
+            method="angle",
+            num_workers=max(node_counts),
+            num_partitions=partitions,
+            merge_strategy="tree",
+        )
+    columns = ["servers", "map_time_s", "reduce_time_s", "total_s"]
+    if tree_result is not None:
+        columns.append("total_tree_merge_s")
+    table = Table(
+        title=(
+            f"Figure 6: MR-Angle processing-time breakdown vs servers "
+            f"(N={n:,}, d={d}, {partitions} partitions)"
+        ),
+        columns=columns,
+        precision=2,
+    )
+    for nodes in node_counts:
+        cluster = base_cluster.scaled(num_nodes=nodes)
+        sim = result.simulate(cluster)
+        row = [nodes, sim.map_time_s, sim.reduce_time_s, sim.total_s]
+        if tree_result is not None:
+            row.append(tree_result.simulate(cluster).total_s)
+        table.add_row(*row)
+    table.add_note("sectioned-bar data: total = map_time + reduce_time")
+    table.add_note(
+        "reduce_time includes the serial global-merge job, the saturation "
+        "floor past ~16-24 servers; the tree-merge column is our extension "
+        "that parallelises the merge (8-way partial-merge rounds)"
+    )
+    return table
+
+
+def figure7(
+    n: int,
+    *,
+    dims: Sequence[int] = PAPER_DIMS,
+    methods: Sequence[str] = PAPER_METHODS,
+    cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+    include_equal_width: bool = True,
+) -> Table:
+    """Figure 7: local skyline optimality (Eq. 5) vs dimension.
+
+    ``n=1_000`` reproduces Fig. 7(a), ``n=100_000`` Fig. 7(b).
+
+    A fourth series shows MR-Angle with the paper-literal *equal-width*
+    sector boundaries: it reproduces the paper's optimality magnitudes
+    (maximum ≈ 0.61 at N=1,000) at the cost of load balance, whereas the
+    default quantile sectors trade some optimality for the balance that
+    wins Figures 5 and 6 (see EXPERIMENTS.md).
+    """
+    records = sweep(methods, n, dims, cluster=cluster, cache=cache)
+    sub = "a" if n <= 10_000 else "b"
+    columns = ["dimension"] + [_METHOD_LABEL.get(m, m) for m in methods]
+    if include_equal_width:
+        columns.append("MR-Angle(eq-width)")
+    table = Table(
+        title=f"Figure 7({sub}): local skyline optimality vs dimension, N={n:,}",
+        columns=columns,
+        precision=3,
+    )
+    for d in dims:
+        row: list = [d]
+        for method in methods:
+            rec = next(r for r in records if r.d == d and r.method == method)
+            row.append(rec.optimality)
+        if include_equal_width:
+            rec = run_point(
+                "angle",
+                n,
+                d,
+                cluster=cluster,
+                cache=cache,
+                partitioner_kwargs={"bins": "equal-width"},
+            )
+            row.append(rec.optimality)
+        table.add_row(*row)
+    table.add_note("fraction of local skyline services that are globally optimal")
+    return table
+
+
+def headline(
+    *,
+    n: int = 100_000,
+    d: int = 10,
+    cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+) -> Table:
+    """§V-B headline: MR-Angle is 1.7× / 2.3× faster than MR-Grid / MR-Dim
+    at N=100,000, d=10."""
+    records = {
+        m: run_point(m, n, d, cluster=cluster, cache=cache) for m in PAPER_METHODS
+    }
+    angle = records["angle"].sim_total_s
+    table = Table(
+        title=f"Headline speedups at N={n:,}, d={d} (paper: grid 1.7x, dim 2.3x)",
+        columns=["method", "sim_total_s", "speedup_vs_angle", "dominance_tests"],
+        precision=2,
+    )
+    for m in PAPER_METHODS:
+        rec = records[m]
+        table.add_row(
+            _METHOD_LABEL[m],
+            rec.sim_total_s,
+            rec.sim_total_s / angle if angle > 0 else float("nan"),
+            rec.dominance_tests,
+        )
+    return table
+
+
+def theory(
+    *,
+    L: float = 1.0,
+    grid_points: int = 9,
+    mc_samples: int = 200_000,
+    seed: int = 7,
+) -> Table:
+    """§IV: dominance-ability closed forms (Eq. 3–4) vs Monte-Carlo areas.
+
+    For points ``(x, y)`` with ``y ≤ x/2`` (the paper's premise) in the
+    ``[0, 2L]²`` square split into 4 partitions per scheme, we report the
+    closed-form ``D_angle``, ``D_grid``, exact ΔD, Theorem 2's lower bound,
+    and a Monte-Carlo estimate of ``D_angle`` under the implemented angular
+    partitioner.
+    """
+    rng = np.random.default_rng(seed)
+    sample = rng.random((mc_samples, 2)) * 2 * L
+    # The paper's geometry: four equal-AREA sectors of the square, bounded
+    # by the lines y = x/2, y = x, y = 2x (each sector has area L²) — not
+    # equal-angle sectors.  Theorem 1's premise "y ≤ x/2" names exactly the
+    # first of these sectors.
+    partitioner = AngularPartitioner(
+        4, boundaries=[np.arctan([0.5, 1.0, 2.0])]
+    ).fit(sample)
+    table = Table(
+        title="Section IV: dominance ability, closed form vs Monte-Carlo",
+        columns=[
+            "x",
+            "y",
+            "D_angle_eq3",
+            "D_grid",
+            "delta_exact",
+            "delta_bound_eq4",
+            "bound_holds",
+            "D_angle_mc",
+        ],
+        precision=4,
+    )
+    xs = np.linspace(0.1 * L, 0.9 * L, grid_points)
+    for x in xs:
+        y = x / 4.0  # inside the premise y <= x/2
+        d_angle = dominance_ability_angle(x, y, L)
+        d_grid = dominance_ability_grid(x, y, L)
+        delta = delta_dominance(x, y, L)
+        bound = delta_lower_bound(x, L)
+        emp = empirical_dominance_ability(
+            np.array([x, y]), sample, partitioner
+        )
+        table.add_row(
+            float(x),
+            float(y),
+            d_angle,
+            d_grid,
+            delta,
+            bound,
+            delta >= bound - 1e-12,
+            emp.ability,
+        )
+    table.add_note(
+        "closed forms follow the paper's 4-partition geometry; the "
+        "Monte-Carlo column uses the implemented equal-width angular "
+        "partitioner over a uniform square"
+    )
+    return table
+
+
+def stragglers(
+    *,
+    n: int = 20_000,
+    d: int = 8,
+    cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+) -> Table:
+    """Robustness study: straggling tasks and speculative execution.
+
+    Not a paper figure — Hadoop 0.20's speculative execution was active in
+    any real deployment of the paper's experiments, so this table shows how
+    the MR-Angle pipeline's simulated times degrade under deterministic
+    straggler injection and how much speculation recovers.
+    """
+    from repro.mapreduce.simulation import (
+        StragglerSpec,
+        simulate_job_with_stragglers,
+    )
+
+    cache = cache or default_cache()
+    matrix = cache.matrix(n, d)
+    result = run_mr_skyline(matrix, method="angle", num_workers=cluster.num_nodes)
+    table = Table(
+        title=f"Stragglers & speculative execution (MR-Angle, N={n:,}, d={d})",
+        columns=[
+            "straggler_prob",
+            "slowdown",
+            "speculative",
+            "total_s",
+            "overhead_vs_clean",
+        ],
+        precision=2,
+    )
+    clean = sum(
+        simulate_job_with_stragglers(r, cluster, StragglerSpec(probability=0.0)).total_s
+        for r in result.chain.results
+    )
+    for prob in (0.0, 0.1, 0.3):
+        for speculative in (False, True):
+            if prob == 0.0 and speculative:
+                continue
+            spec = StragglerSpec(
+                probability=prob, slowdown=8.0, speculative=speculative, seed=13
+            )
+            total = sum(
+                simulate_job_with_stragglers(r, cluster, spec).total_s
+                for r in result.chain.results
+            )
+            table.add_row(prob, 8.0, speculative, total, total / clean)
+    table.add_note("slowdown x8 per straggling task; backup at 1.5x median")
+    return table
+
+
+def ablations(
+    *,
+    n: int = 10_000,
+    d: int = 6,
+    cluster: ClusterSpec = DEFAULT_CLUSTER,
+    cache: DatasetCache | None = None,
+) -> Table:
+    """Design-choice studies called out in DESIGN.md §4.
+
+    Rows: partition-count rule (1×/2×/4× workers), angular binning mode,
+    map-side combiner, bounded BNL windows, and the random-partitioning
+    baseline.
+    """
+    cache = cache or default_cache()
+    matrix = cache.matrix(n, d)
+    nodes = cluster.num_nodes
+    table = Table(
+        title=f"Ablations (N={n:,}, d={d}, {nodes} servers)",
+        columns=[
+            "variant",
+            "partitions",
+            "sim_total_s",
+            "optimality",
+            "dominance_tests",
+            "imbalance",
+        ],
+        precision=3,
+    )
+
+    def row(label: str, **kwargs) -> None:
+        result = run_mr_skyline(matrix, num_workers=nodes, **kwargs)
+        sim = result.simulate(cluster)
+        opt = optimality_of_result(result).optimality
+        imb = load_imbalance(result.partition_ids, result.num_partitions)
+        table.add_row(
+            label,
+            result.num_partitions,
+            sim.total_s,
+            opt,
+            result.dominance_tests,
+            imb,
+        )
+
+    row("angle (2x workers, quantile)", method="angle")
+    row("angle 1x workers", method="angle", num_partitions=nodes)
+    row("angle 4x workers", method="angle", num_partitions=4 * nodes)
+    row(
+        "angle equal-width bins",
+        method="angle",
+        partitioner=AngularPartitioner(2 * nodes, bins="equal-width"),
+    )
+    row(
+        "angle balanced allocation",
+        method="angle",
+        partitioner=AngularPartitioner(2 * nodes, allocation="balanced"),
+    )
+    row("angle + combiner", method="angle", use_combiner=True)
+    row("angle window=64", method="angle", window_size=64)
+    row(
+        "angle tree merge (fan 8)",
+        method="angle",
+        num_partitions=4 * nodes,
+        merge_strategy="tree",
+        merge_fan_in=8,
+    )
+    row("grid (no cell pruning)", method="grid", prune_grid_cells=False)
+    row("grid (with pruning)", method="grid")
+    row(
+        "grid quantile cells",
+        method="grid",
+        partitioner_kwargs={"bins": "quantile"},
+    )
+    row(
+        "dim quantile slabs",
+        method="dim",
+        partitioner_kwargs={"bins": "quantile"},
+    )
+    row("random baseline", method="random")
+    return table

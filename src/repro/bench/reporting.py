@@ -1,0 +1,99 @@
+"""Tabular reporting: the harness prints the same rows/series the paper's
+figures plot.
+
+A :class:`Table` is an ordered list of column names plus rows; it renders as
+aligned ASCII (for the CLI), as Markdown (for EXPERIMENTS.md), and as CSV.
+Numeric cells are formatted with a per-table precision.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, List
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass(slots=True)
+class Table:
+    """A titled grid of results."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    precision: int = 3
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """Aligned ASCII table."""
+        cells = [
+            [_format_cell(v, self.precision) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in cells), 1)
+            if cells
+            else len(self.columns[j])
+            for j in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        out.write(header.rstrip() + "\n")
+        out.write("  ".join("-" * w for w in widths).rstrip() + "\n")
+        for row in cells:
+            out.write(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip() + "\n"
+            )
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        out = io.StringIO()
+        out.write(f"**{self.title}**\n\n")
+        out.write("| " + " | ".join(self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self.rows:
+            out.write(
+                "| "
+                + " | ".join(_format_cell(v, self.precision) for v in row)
+                + " |\n"
+            )
+        for note in self.notes:
+            out.write(f"\n_{note}_\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(_format_cell(v, self.precision) for v in row) + "\n")
+        return out.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,60 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List
+
+
+@dataclass(slots=True)
+class Timer:
+    """Accumulates named wall-clock measurements."""
+
+    samples: dict = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples.setdefault(name, []).append(time.perf_counter() - start)
+
+    def total(self, name: str) -> float:
+        return sum(self.samples.get(name, []))
+
+    def mean(self, name: str) -> float:
+        values = self.samples.get(name, [])
+        return sum(values) / len(values) if values else 0.0
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best seconds, last result).
+
+    Best-of-N is the standard noise-rejection strategy for wall-clock
+    micro-measurements (the minimum is the least-contaminated sample).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def measurements_summary(values: List[float]) -> dict:
+    """min/mean/max summary used in report footnotes."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "n": 0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "n": len(values),
+    }

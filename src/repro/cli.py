@@ -1,0 +1,183 @@
+"""Command-line front end: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.cli fig5a            # Figure 5(a): time vs dim, N=1,000
+    python -m repro.cli fig5b            # Figure 5(b): time vs dim, N=100,000
+    python -m repro.cli fig6             # Figure 6: map/reduce vs servers
+    python -m repro.cli fig7a / fig7b    # Figure 7: optimality vs dim
+    python -m repro.cli headline         # §V-B speedup claims
+    python -m repro.cli theory           # §IV dominance-ability check
+    python -m repro.cli ablations        # design-choice studies
+    python -m repro.cli all              # everything above, in order
+
+    --quick     scale cardinalities down ~10x for a fast sanity pass
+    --markdown  emit Markdown instead of ASCII (for EXPERIMENTS.md)
+    --csv       emit CSV
+
+The installed console script ``repro-skyline`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.bench import (
+    Table,
+    ablations,
+    figure5,
+    figure6,
+    figure7,
+    headline,
+    stragglers,
+    theory,
+)
+
+__all__ = ["main", "build_parser"]
+
+# Paper-scale cardinalities and their --quick counterparts.
+_SMALL_N, _LARGE_N = 1_000, 100_000
+_QUICK_SMALL_N, _QUICK_LARGE_N = 500, 10_000
+_QUICK_NODES = (2, 4, 8)
+
+
+def _experiments(quick: bool) -> Dict[str, Callable[[], Table]]:
+    small = _QUICK_SMALL_N if quick else _SMALL_N
+    large = _QUICK_LARGE_N if quick else _LARGE_N
+    dims = (2, 4, 6) if quick else (2, 4, 6, 8, 10)
+    fig6_kwargs = (
+        {"n": large, "d": dims[-1], "node_counts": _QUICK_NODES} if quick else {}
+    )
+    return {
+        "fig5a": lambda: figure5(small, dims=dims),
+        "fig5b": lambda: figure5(large, dims=dims),
+        "fig6": lambda: figure6(**fig6_kwargs),
+        "fig7a": lambda: figure7(small, dims=dims),
+        "fig7b": lambda: figure7(large, dims=dims),
+        "headline": lambda: headline(n=large, d=dims[-1]),
+        "theory": lambda: theory(mc_samples=50_000 if quick else 200_000),
+        "ablations": lambda: ablations(n=small if quick else 10_000),
+        "stragglers": lambda: stragglers(n=small if quick else 20_000),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description=(
+            "Regenerate the tables/figures of 'MapReduce Skyline Query "
+            "Processing with a New Angular Partitioning Approach' "
+            "(IPDPSW 2012)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=list(_experiments(False)) + ["all", "verify"],
+        help="which table/figure to regenerate ('verify' runs the "
+        "reproduction gate)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down cardinalities for a fast sanity pass",
+    )
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--markdown", action="store_true", help="Markdown output")
+    fmt.add_argument("--csv", action="store_true", help="CSV output")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also append the rendered tables to FILE",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII chart after each table (figures 5/6/7)",
+    )
+    return parser
+
+
+def _render(table: Table, args: argparse.Namespace) -> str:
+    if args.markdown:
+        return table.to_markdown()
+    if args.csv:
+        return table.to_csv()
+    text = table.render()
+    if args.chart:
+        chart = _chart_for(table)
+        if chart:
+            text += "\n" + chart
+    return text
+
+
+def _chart_for(table: Table) -> str:
+    """Best-effort ASCII chart matching the table's figure shape."""
+    from repro.bench.charts import line_chart, stacked_bars
+
+    if table.columns[:1] == ["dimension"]:
+        series = {
+            name: table.column(name)
+            for name in table.columns[1:]
+            if all(isinstance(v, (int, float)) for v in table.column(name))
+        }
+        return line_chart(
+            table.column("dimension"),
+            series,
+            title=table.title,
+            y_label="seconds" if "time" in table.title else "optimality",
+        )
+    if table.columns[:3] == ["servers", "map_time_s", "reduce_time_s"]:
+        return stacked_bars(
+            table.column("servers"),
+            {
+                "map": table.column("map_time_s"),
+                "reduce": table.column("reduce_time_s"),
+            },
+            title=table.title,
+        )
+    return ""
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    from repro.bench.expectations import verify_all
+
+    results = verify_all(quick=args.quick)
+    width = max(len(r.name) for r in results)
+    lines = ["== reproduction gate =="]
+    for r in results:
+        status = "PASS" if r.passed else "FAIL"
+        lines.append(f"{status}  {r.name:<{width}}  {r.detail}")
+    failed = sum(1 for r in results if not r.passed)
+    lines.append(
+        f"{len(results) - failed}/{len(results)} shape checks passed"
+    )
+    text = "\n".join(lines)
+    print(text)
+    if args.output:
+        with open(args.output, "a") as fh:
+            fh.write(text + "\n")
+    return 1 if failed else 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "verify":
+        return _run_verify(args)
+    registry = _experiments(args.quick)
+    names = list(registry) if args.experiment == "all" else [args.experiment]
+    rendered = []
+    for name in names:
+        table = registry[name]()
+        text = _render(table, args)
+        rendered.append(text)
+        print(text)
+    if args.output:
+        with open(args.output, "a") as fh:
+            fh.write("\n".join(rendered) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

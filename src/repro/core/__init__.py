@@ -1,0 +1,133 @@
+"""Skyline query processing core — the paper's contribution.
+
+Layout:
+
+* :mod:`repro.core.dominance` — Pareto-dominance kernels (minimisation)
+* :mod:`repro.core.bnl` / :mod:`repro.core.sfs` / :mod:`repro.core.dnc` —
+  single-machine skyline algorithms
+* :mod:`repro.core.skyline` — unified single-machine API
+* :mod:`repro.core.hyperspherical` — Eq. (1) coordinate transform
+* :mod:`repro.core.partitioning` — dimensional / grid / angular / random
+  data-space partitioners
+* :mod:`repro.core.mr_skyline` — MR-Dim, MR-Grid, MR-Angle drivers
+  (Algorithm 1) on the MapReduce engine
+* :mod:`repro.core.optimality` — the §VI local-skyline-optimality metric
+* :mod:`repro.core.dominance_ability` — §IV Theorems 1–2 + Monte-Carlo
+* :mod:`repro.core.incremental` — dynamic service insertion/removal (§II)
+"""
+
+from repro.core.bbs import BBSResult, bbs_skyline, bbs_skyline_progressive
+from repro.core.bnl import BNLResult, bnl_merge, bnl_skyline
+from repro.core.dnc import DNCResult, dnc_skyline
+from repro.core.dominance import (
+    DominanceCounter,
+    dominance_matrix,
+    dominated_mask,
+    dominates,
+    dominates_any,
+    incomparable,
+    validate_points,
+)
+from repro.core.dominance_ability import (
+    delta_dominance,
+    delta_lower_bound,
+    dominance_ability_angle,
+    dominance_ability_grid,
+    empirical_dominance_ability,
+)
+from repro.core.hyperspherical import (
+    MAX_ANGLE,
+    angular_coordinates,
+    from_hyperspherical,
+    to_hyperspherical,
+)
+from repro.core.incremental import IncrementalSkyline
+from repro.core.mr_skyline import (
+    MRSkylineResult,
+    default_partition_count,
+    run_mr_skyline,
+    update_mr_skyline,
+)
+from repro.core.optimality import (
+    OptimalityReport,
+    local_skyline_optimality,
+    optimality_of_result,
+    per_partition_optimality,
+)
+from repro.core.partitioning import (
+    AngularPartitioner,
+    DimensionalPartitioner,
+    GridPartitioner,
+    RandomPartitioner,
+    SpacePartitioner,
+    load_imbalance,
+    make_partitioner,
+    partition_sizes,
+)
+from repro.core.representative import (
+    RepresentativeResult,
+    distance_representatives,
+    max_dominance_representatives,
+)
+from repro.core.rtree import RTree
+from repro.core.sfs import SFSResult, monotone_score, sfs_skyline
+from repro.core.skyband import dominator_counts, k_skyband, top_k_dominating
+from repro.core.skyline import is_skyline, skyline, skyline_numpy, skyline_points
+
+__all__ = [
+    "AngularPartitioner",
+    "BBSResult",
+    "BNLResult",
+    "DimensionalPartitioner",
+    "DNCResult",
+    "DominanceCounter",
+    "GridPartitioner",
+    "IncrementalSkyline",
+    "MAX_ANGLE",
+    "MRSkylineResult",
+    "OptimalityReport",
+    "RandomPartitioner",
+    "RepresentativeResult",
+    "SFSResult",
+    "SpacePartitioner",
+    "RTree",
+    "angular_coordinates",
+    "bbs_skyline",
+    "bbs_skyline_progressive",
+    "bnl_merge",
+    "bnl_skyline",
+    "default_partition_count",
+    "delta_dominance",
+    "delta_lower_bound",
+    "dnc_skyline",
+    "dominance_ability_angle",
+    "dominance_ability_grid",
+    "distance_representatives",
+    "dominance_matrix",
+    "dominated_mask",
+    "dominates",
+    "dominates_any",
+    "dominator_counts",
+    "empirical_dominance_ability",
+    "from_hyperspherical",
+    "incomparable",
+    "is_skyline",
+    "k_skyband",
+    "load_imbalance",
+    "local_skyline_optimality",
+    "make_partitioner",
+    "max_dominance_representatives",
+    "monotone_score",
+    "optimality_of_result",
+    "partition_sizes",
+    "per_partition_optimality",
+    "run_mr_skyline",
+    "sfs_skyline",
+    "skyline",
+    "skyline_numpy",
+    "skyline_points",
+    "to_hyperspherical",
+    "top_k_dominating",
+    "update_mr_skyline",
+    "validate_points",
+]

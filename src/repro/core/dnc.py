@@ -1,0 +1,84 @@
+"""Divide-and-Conquer skyline — after Kung, Luccio & Preparata (JACM 1975)
+and the D&C variant of Börzsönyi et al. (ICDE 2001).
+
+The input is lexicographically sorted, which gives the key invariant: *no
+point can be dominated by a point that sorts after it* (if ``r`` dominated
+``l`` then ``r`` would be ≤ in every dimension with one strict ``<``, hence
+lexicographically smaller).  The array is then split in half, skylines of
+both halves are computed recursively, and the merge step only needs to
+filter the right half's skyline against the left half's.
+
+Included as the third classic baseline algorithm and as another independent
+oracle for the property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dominance import DominanceCounter, dominated_mask, validate_points
+
+__all__ = ["DNCResult", "dnc_skyline"]
+
+_BASE_CASE = 64
+
+
+@dataclass(slots=True)
+class DNCResult:
+    """Outcome of one divide-and-conquer run."""
+
+    indices: np.ndarray
+    dominance_tests: int
+
+    def points(self, points: np.ndarray) -> np.ndarray:
+        return np.asarray(points, dtype=np.float64)[self.indices]
+
+
+def _filter_against(
+    candidates: np.ndarray, filters: np.ndarray, tests: list[int]
+) -> np.ndarray:
+    """Mask of ``candidates`` rows NOT dominated by any ``filters`` row."""
+    if candidates.shape[0] == 0 or filters.shape[0] == 0:
+        return np.ones(candidates.shape[0], dtype=bool)
+    le = (filters[:, None, :] <= candidates[None, :, :]).all(axis=2)
+    lt = (filters[:, None, :] < candidates[None, :, :]).any(axis=2)
+    tests[0] += filters.shape[0] * candidates.shape[0]
+    return ~(le & lt).any(axis=0)
+
+
+def dnc_skyline(
+    points: np.ndarray,
+    *,
+    counter: DominanceCounter | None = None,
+) -> DNCResult:
+    """Compute the skyline with divide-and-conquer.
+
+    Returns ascending input indices, matching the other algorithms.
+    """
+    pts = validate_points(points)
+    n = pts.shape[0]
+    order = np.lexsort(pts.T[::-1])  # lexicographic by dim 0, then 1, ...
+    sorted_pts = pts[order]
+    tests = [0]
+
+    def recurse(lo: int, hi: int) -> np.ndarray:
+        """Skyline of sorted_pts[lo:hi]; returns sorted-array positions."""
+        size = hi - lo
+        if size <= _BASE_CASE:
+            chunk = sorted_pts[lo:hi]
+            mask = ~dominated_mask(chunk)
+            tests[0] += size * size
+            return np.arange(lo, hi, dtype=np.intp)[mask]
+        mid = lo + size // 2
+        left = recurse(lo, mid)
+        right = recurse(mid, hi)
+        keep = _filter_against(sorted_pts[right], sorted_pts[left], tests)
+        return np.concatenate([left, right[keep]])
+
+    sky_sorted_positions = recurse(0, n) if n else np.empty(0, dtype=np.intp)
+    indices = np.sort(order[sky_sorted_positions])
+    if counter is not None:
+        counter.add(tests[0], "dnc")
+    return DNCResult(indices=indices.astype(np.intp), dominance_tests=tests[0])

@@ -1,0 +1,113 @@
+"""Dominance-ability analysis — §IV of the paper (Theorems 1 and 2).
+
+The paper compares MR-Grid and MR-Angle on a 2-D square data space of side
+``2L``, both divided into 4 partitions, for a skyline point ``s = (x, y)``
+lying in the partition nearest the x-axis (so ``y ≤ x/2`` — under the
+4-sector angular split of the square, the lowest sector is bounded by the
+line ``y = x/2``).
+
+*Dominance ability* of ``s`` is the fraction of its own partition's area
+that ``s`` dominates.  The closed forms are taken verbatim from the paper:
+
+* Theorem 1 (Eq. 3):  ``D_angle = (L² − x²/4 − (2L − x)·y) / L²``
+* MR-Grid (proof of Thm 2): ``D_grid = (L − x)(L − y) / L²``
+* Theorem 2 (Eq. 4):  ``ΔD = D_angle − D_grid ≥ x/(2L²) · (L − x/2)``
+
+These formulas encode the paper's specific partition geometry (each of the
+4 partitions has area ``L²``).  This module provides the closed forms, the
+exact ΔD, the lower bound, and a Monte-Carlo *empirical* dominance-ability
+estimator that works for any partitioner and dimension — used by the theory
+benchmark to check the closed forms and by ablations to extend the
+comparison beyond 2-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+from repro.core.partitioning.base import SpacePartitioner
+
+__all__ = [
+    "dominance_ability_angle",
+    "dominance_ability_grid",
+    "delta_dominance",
+    "delta_lower_bound",
+    "empirical_dominance_ability",
+    "EmpiricalDominance",
+]
+
+
+def _check_point(x: float, y: float, L: float) -> None:
+    if L <= 0:
+        raise ValueError(f"L must be positive, got {L}")
+    if not (0 <= x <= 2 * L and 0 <= y <= 2 * L):
+        raise ValueError(f"point ({x}, {y}) outside the [0, 2L]² data space")
+
+
+def dominance_ability_angle(x: float, y: float, L: float) -> float:
+    """Theorem 1 (Eq. 3): dominance ability of ``(x, y)`` under MR-Angle."""
+    _check_point(x, y, L)
+    return (L * L - x * x / 4.0 - (2.0 * L - x) * y) / (L * L)
+
+
+def dominance_ability_grid(x: float, y: float, L: float) -> float:
+    """MR-Grid dominance ability (from the proof of Theorem 2)."""
+    _check_point(x, y, L)
+    return (L - x) * (L - y) / (L * L)
+
+
+def delta_dominance(x: float, y: float, L: float) -> float:
+    """Exact ΔD = D_angle − D_grid = (−x²/4 − yL + xL) / L²."""
+    _check_point(x, y, L)
+    return (-x * x / 4.0 - y * L + x * L) / (L * L)
+
+
+def delta_lower_bound(x: float, L: float) -> float:
+    """Theorem 2's bound: ΔD ≥ x/(2L²)·(L − x/2), valid for y ≤ x/2."""
+    if L <= 0:
+        raise ValueError(f"L must be positive, got {L}")
+    return x / (2.0 * L * L) * (L - x / 2.0)
+
+
+@dataclass(frozen=True, slots=True)
+class EmpiricalDominance:
+    """Monte-Carlo dominance ability of one point within its partition."""
+
+    ability: float  # dominated / partition-total, the paper's D_si
+    dominated: int
+    partition_total: int
+
+
+def empirical_dominance_ability(
+    point: np.ndarray,
+    sample: np.ndarray,
+    partitioner: SpacePartitioner,
+) -> EmpiricalDominance:
+    """Estimate ``D_s = Num_s / Num_partition`` by counting sample points.
+
+    ``sample`` approximates the data space (e.g. uniform over the square);
+    the partitioner must already be fitted.  Matches the paper's area-ratio
+    definition as the sample grows dense.
+    """
+    point = np.asarray(point, dtype=np.float64).reshape(-1)
+    sample = validate_points(sample)
+    if point.shape[0] != sample.shape[1]:
+        raise ValueError(
+            f"point has {point.shape[0]} dims, sample has {sample.shape[1]}"
+        )
+    pid = int(partitioner.assign(point.reshape(1, -1))[0])
+    ids = partitioner.assign(sample)
+    in_partition = ids == pid
+    total = int(in_partition.sum())
+    if total == 0:
+        return EmpiricalDominance(ability=0.0, dominated=0, partition_total=0)
+    members = sample[in_partition]
+    ge = (members >= point).all(axis=1)
+    gt = (members > point).any(axis=1)
+    dominated = int((ge & gt).sum())
+    return EmpiricalDominance(
+        ability=dominated / total, dominated=dominated, partition_total=total
+    )

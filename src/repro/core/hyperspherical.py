@@ -1,0 +1,101 @@
+"""Cartesian ↔ hyperspherical coordinate transform — Eq. (1) of the paper.
+
+For a service vector ``s = (v1, …, vn)`` the paper defines the radial
+coordinate and ``n−1`` angular coordinates::
+
+    r        = sqrt(v1² + … + vn²)
+    tan(ø_i) = sqrt(v_{i+1}² + … + v_n²) / v_i        for i = 1 … n−1
+
+i.e. ``ø_i = atan2(‖(v_{i+1}, …, v_n)‖, v_i)``.  For non-negative data
+(QoS attributes are non-negative after normalisation) every angle lies in
+``[0, π/2]``: 0 when the suffix is all-zero, π/2 when ``v_i`` is 0 but the
+suffix is not.  The all-zero vector gets angles 0 by convention.
+
+The inverse transform follows the standard hyperspherical recursion::
+
+    v_1 = r·cos ø_1
+    v_k = r·sin ø_1 ⋯ sin ø_{k−1} · cos ø_k     (k = 2 … n−1)
+    v_n = r·sin ø_1 ⋯ sin ø_{n−1}
+
+Everything is vectorised over ``(n, d)`` arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+
+__all__ = [
+    "to_hyperspherical",
+    "from_hyperspherical",
+    "angular_coordinates",
+    "MAX_ANGLE",
+]
+
+#: Upper bound of every angular coordinate for non-negative data.
+MAX_ANGLE = np.pi / 2
+
+
+def to_hyperspherical(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Transform ``(n, d)`` Cartesian points to ``(r, angles)``.
+
+    Returns
+    -------
+    r:
+        ``(n,)`` radial coordinates.
+    angles:
+        ``(n, d-1)`` angular coordinates, ``angles[:, i] = ø_{i+1}``.
+
+    Raises
+    ------
+    ValueError
+        If any coordinate is negative (the transform's angle range and the
+        angular partitioning both assume the non-negative orthant) or if
+        ``d < 2`` (no angles exist in 1-D).
+    """
+    pts = validate_points(points)
+    n, d = pts.shape
+    if d < 2:
+        raise ValueError("hyperspherical transform needs at least 2 dimensions")
+    if (pts < 0).any():
+        raise ValueError("hyperspherical transform requires non-negative data")
+
+    squares = pts**2
+    # suffix_norm[:, i] = sqrt(v_{i+1}² + ... + v_n²)  (0-indexed: dims i+1..d-1)
+    reversed_cumsum = np.cumsum(squares[:, ::-1], axis=1)[:, ::-1]
+    r = np.sqrt(reversed_cumsum[:, 0])
+    suffix = np.sqrt(reversed_cumsum[:, 1:])  # (n, d-1)
+    angles = np.arctan2(suffix, pts[:, : d - 1])
+    return r, angles
+
+
+def angular_coordinates(points: np.ndarray) -> np.ndarray:
+    """Just the angles (the partitioning only needs those)."""
+    return to_hyperspherical(points)[1]
+
+
+def from_hyperspherical(r: np.ndarray, angles: np.ndarray) -> np.ndarray:
+    """Inverse transform: ``(n,)`` radii + ``(n, d-1)`` angles → ``(n, d)``.
+
+    Exact round-trip with :func:`to_hyperspherical` up to floating-point
+    error for non-negative inputs.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    angles = np.asarray(angles, dtype=np.float64)
+    if angles.ndim == 1:
+        angles = angles.reshape(1, -1)
+    if r.ndim == 0:
+        r = r.reshape(1)
+    n, d_minus_1 = angles.shape
+    if r.shape != (n,):
+        raise ValueError(f"r has shape {r.shape}, expected ({n},)")
+    d = d_minus_1 + 1
+
+    out = np.empty((n, d))
+    sin_running = np.ones(n)
+    for k in range(d_minus_1):
+        out[:, k] = r * sin_running * np.cos(angles[:, k])
+        sin_running = sin_running * np.sin(angles[:, k])
+    out[:, d - 1] = r * sin_running
+    return out

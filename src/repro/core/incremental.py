@@ -1,0 +1,159 @@
+"""Incremental (dynamic) skyline maintenance — the §II motivation.
+
+"Given a new service which is added into UDDI, traditional approach has to
+compute the global skyline again.  With the MapReduce approach, the new
+service is first mapped into a group and added into the local skyline
+computation.  Then all local skylines are integrated into the global skyline
+at the Reduce stage."
+
+:class:`IncrementalSkyline` keeps, per data-space partition, the full member
+list and the current local skyline.  Inserting a service touches only its
+partition's local skyline (one window comparison); removing a service
+recomputes only the affected partition.  The global skyline is a lazy BNL
+merge of the local skylines, recomputed only after mutations — exactly the
+Reduce step of the MapReduce pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.bnl import bnl_skyline
+from repro.core.dominance import dominated_by_any, dominates_any
+from repro.core.partitioning.base import SpacePartitioner
+
+__all__ = ["IncrementalSkyline"]
+
+
+class IncrementalSkyline:
+    """Dynamic skyline over a partitioned service space.
+
+    Parameters
+    ----------
+    partitioner:
+        A :class:`SpacePartitioner`; fitted here on ``initial_points`` if it
+        is not fitted yet.  Later insertions reuse the fitted extents (out-
+        of-range points clamp into boundary partitions, as in the static
+        pipeline).
+    initial_points:
+        Optional ``(n, d)`` seed data.
+
+    Every point receives a stable integer id (its insertion order); removed
+    ids are never reused.
+    """
+
+    def __init__(
+        self,
+        partitioner: SpacePartitioner,
+        initial_points: np.ndarray | None = None,
+    ):
+        self._partitioner = partitioner
+        self._rows: Dict[int, np.ndarray] = {}
+        self._partition_of: Dict[int, int] = {}
+        self._members: Dict[int, List[int]] = {}
+        self._local_sky: Dict[int, List[int]] = {}
+        self._next_id = 0
+        self._global_cache: np.ndarray | None = None
+
+        if initial_points is not None:
+            pts = np.asarray(initial_points, dtype=np.float64)
+            if not getattr(partitioner, "_fitted", False):
+                partitioner.fit(pts)
+            for row in pts:
+                self.insert(row)
+        elif not getattr(partitioner, "_fitted", False):
+            raise ValueError(
+                "partitioner must be fitted when no initial points are given"
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._rows
+
+    @property
+    def num_partitions(self) -> int:
+        return self._partitioner.num_partitions
+
+    def point(self, point_id: int) -> np.ndarray:
+        return self._rows[point_id].copy()
+
+    def local_skyline(self, partition_id: int) -> List[int]:
+        """Current local skyline ids of one partition (sorted)."""
+        return sorted(self._local_sky.get(partition_id, []))
+
+    def global_skyline(self) -> List[int]:
+        """Ids of the current global skyline (sorted ascending)."""
+        if self._global_cache is None:
+            ids: List[int] = [
+                pid for sky in self._local_sky.values() for pid in sky
+            ]
+            if not ids:
+                self._global_cache = np.empty(0, dtype=np.intp)
+            else:
+                rows = np.vstack([self._rows[i] for i in ids])
+                result = bnl_skyline(rows)
+                self._global_cache = np.array(
+                    sorted(ids[j] for j in result.indices), dtype=np.intp
+                )
+        return [int(i) for i in self._global_cache]
+
+    def global_skyline_points(self) -> np.ndarray:
+        ids = self.global_skyline()
+        if not ids:
+            d = next(iter(self._rows.values())).shape[0] if self._rows else 0
+            return np.empty((0, d))
+        return np.vstack([self._rows[i] for i in ids])
+
+    # -- mutations ---------------------------------------------------------------
+
+    def insert(self, point: np.ndarray) -> int:
+        """Add a service; returns its id.  Only its partition is touched."""
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        pid = int(self._partitioner.assign(row.reshape(1, -1))[0])
+        point_id = self._next_id
+        self._next_id += 1
+        self._rows[point_id] = row
+        self._partition_of[point_id] = pid
+        self._members.setdefault(pid, []).append(point_id)
+
+        sky = self._local_sky.setdefault(pid, [])
+        if sky:
+            sky_rows = np.vstack([self._rows[i] for i in sky])
+            if dominates_any(sky_rows, row):
+                return point_id  # dominated locally: member, not skyline
+            evict = dominated_by_any(sky_rows, row)
+            if evict.any():
+                self._local_sky[pid] = [
+                    i for i, dead in zip(sky, evict) if not dead
+                ]
+        self._local_sky[pid].append(point_id)
+        self._global_cache = None
+        return point_id
+
+    def remove(self, point_id: int) -> None:
+        """Drop a service; recomputes only its partition's local skyline
+        (and only when the removed point was on it)."""
+        if point_id not in self._rows:
+            raise KeyError(f"unknown point id {point_id}")
+        pid = self._partition_of.pop(point_id)
+        self._members[pid].remove(point_id)
+        del self._rows[point_id]
+
+        sky = self._local_sky.get(pid, [])
+        if point_id in sky:
+            # Points the victim dominated may resurface: recompute from members.
+            members = self._members[pid]
+            if members:
+                rows = np.vstack([self._rows[i] for i in members])
+                result = bnl_skyline(rows)
+                self._local_sky[pid] = [members[j] for j in result.indices]
+            else:
+                self._local_sky[pid] = []
+            self._global_cache = None
+        # A non-skyline member's removal cannot change any skyline.

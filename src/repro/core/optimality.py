@@ -1,0 +1,94 @@
+"""Local skyline optimality — the paper's §VI quality metric (Eq. 5).
+
+For each partition ``i`` with local skyline ``sky_i`` and the global skyline
+``sky_global``::
+
+    LocalSkylineOptimality = (1/N) Σ_i |sky_i ∩ sky_global| / |sky_i|
+
+i.e. the mean, over partitions, of the fraction of locally-selected services
+that are also globally optimal.  High optimality means little Reduce-stage
+pruning — the mechanism behind MR-Angle's shorter Reduce time.
+
+The paper's summation index ("1 < i < N") is read as "over all partitions";
+partitions with an *empty* local skyline contribute nothing and are excluded
+from the average (their ratio is undefined), matching the metric's intent of
+averaging "the distribution of global skyline services in different
+partitions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.mr_skyline import MRSkylineResult
+
+__all__ = [
+    "OptimalityReport",
+    "local_skyline_optimality",
+    "optimality_of_result",
+    "per_partition_optimality",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalityReport:
+    """Optimality metric plus its per-partition breakdown."""
+
+    optimality: float
+    per_partition: Mapping[int, float]
+    partitions_counted: int
+    partitions_empty: int
+
+    def __float__(self) -> float:  # allows float(report)
+        return self.optimality
+
+
+def per_partition_optimality(
+    local_skylines: Mapping[int, np.ndarray] | Sequence[np.ndarray],
+    global_skyline: np.ndarray,
+) -> Dict[int, float]:
+    """``|sky_i ∩ sky_global| / |sky_i|`` per non-empty partition.
+
+    ``local_skylines`` maps partition id → point-index array (or is a
+    sequence, taken as partitions 0..k-1); ``global_skyline`` is the global
+    skyline's point-index array.  Indices must refer to the same point set.
+    """
+    if not isinstance(local_skylines, Mapping):
+        local_skylines = {i: sky for i, sky in enumerate(local_skylines)}
+    global_set = np.asarray(global_skyline, dtype=np.intp)
+    ratios: Dict[int, float] = {}
+    for pid, local in local_skylines.items():
+        local = np.asarray(local, dtype=np.intp)
+        if local.size == 0:
+            continue
+        hits = np.isin(local, global_set, assume_unique=False).sum()
+        ratios[int(pid)] = float(hits / local.size)
+    return ratios
+
+
+def local_skyline_optimality(
+    local_skylines: Mapping[int, np.ndarray] | Sequence[np.ndarray],
+    global_skyline: np.ndarray,
+) -> OptimalityReport:
+    """Eq. (5): the mean per-partition optimality."""
+    if not isinstance(local_skylines, Mapping):
+        local_skylines = {i: sky for i, sky in enumerate(local_skylines)}
+    ratios = per_partition_optimality(local_skylines, global_skyline)
+    empty = sum(
+        1 for sky in local_skylines.values() if np.asarray(sky).size == 0
+    )
+    optimality = float(np.mean(list(ratios.values()))) if ratios else 0.0
+    return OptimalityReport(
+        optimality=optimality,
+        per_partition=ratios,
+        partitions_counted=len(ratios),
+        partitions_empty=empty,
+    )
+
+
+def optimality_of_result(result: MRSkylineResult) -> OptimalityReport:
+    """Optimality of an :func:`~repro.core.mr_skyline.run_mr_skyline` run."""
+    return local_skyline_optimality(result.local_skylines, result.global_indices)

@@ -1,0 +1,59 @@
+"""Data-space partitioning schemes for MapReduce skyline processing.
+
+One class per scheme from the paper plus a random baseline:
+
+* :class:`DimensionalPartitioner` — MR-Dim's 1-D slabs (§III-A)
+* :class:`GridPartitioner` — MR-Grid's equal-width grid with dominated-cell
+  pruning (§III-B)
+* :class:`AngularPartitioner` — MR-Angle's hyperspherical sectors (§III-C,
+  the paper's contribution)
+* :class:`RandomPartitioner` — hash-based baseline for ablations
+
+All share the :class:`SpacePartitioner` fit/assign protocol and are
+picklable after fitting, so they ride to map tasks in the job parameters.
+"""
+
+from repro.core.partitioning.angular import AngularPartitioner
+from repro.core.partitioning.base import (
+    NotFittedError,
+    SpacePartitioner,
+    load_imbalance,
+    partition_sizes,
+)
+from repro.core.partitioning.dimensional import DimensionalPartitioner
+from repro.core.partitioning.grid import GridPartitioner, balanced_axis_counts
+from repro.core.partitioning.random_part import RandomPartitioner
+
+__all__ = [
+    "AngularPartitioner",
+    "DimensionalPartitioner",
+    "GridPartitioner",
+    "NotFittedError",
+    "RandomPartitioner",
+    "SpacePartitioner",
+    "balanced_axis_counts",
+    "load_imbalance",
+    "make_partitioner",
+    "partition_sizes",
+]
+
+_SCHEMES = {
+    "dim": DimensionalPartitioner,
+    "grid": GridPartitioner,
+    "angle": AngularPartitioner,
+    "random": RandomPartitioner,
+}
+
+
+def make_partitioner(scheme: str, num_partitions: int, **kwargs) -> SpacePartitioner:
+    """Factory: ``make_partitioner("angle", 8)`` → fitted-ready partitioner.
+
+    ``scheme`` is one of ``"dim"``, ``"grid"``, ``"angle"``, ``"random"``.
+    """
+    try:
+        cls = _SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from {sorted(_SCHEMES)}"
+        ) from None
+    return cls(num_partitions, **kwargs)

@@ -1,0 +1,183 @@
+"""Angular partitioning — the paper's new MR-Angle scheme (§III-C).
+
+Points are transformed to hyperspherical coordinates (Eq. 1, implemented in
+:mod:`repro.core.hyperspherical`) and the space is divided into sectors
+along the ``n−1`` *angular* coordinates only — the radial coordinate plays
+no role, so every sector is a cone from the origin.  That is exactly why the
+scheme works: each cone slices through the whole quality range, so every
+sector contains both near-origin (high-quality) and far-origin points, local
+skylines stay small, and the Reduce-stage merge has little redundant work.
+
+Two layout choices generalise the paper's 2-D picture (Figure 3c, a fan of
+N sectors) to n dimensions; both are configurable, with defaults chosen by
+measurement (see DESIGN.md §5):
+
+* **allocation** — how the sector budget spreads over the n−1 angle axes.
+  ``"first-axis"`` (default) puts all N sectors along ø₁, the direct
+  generalisation of the 2-D fan; ``"balanced"`` mimics MR-Grid's
+  balanced-budget rule over the angle subspace ("we modify the grid
+  partitioning over the n−1 subspaces"); an explicit per-axis count list is
+  also accepted.
+* **bins** — boundary placement per axis.  ``"quantile"`` (default) uses
+  angle quantiles of the fit data, so sectors hold equal point counts;
+  ``"equal-width"`` divides ``[0, π/2]`` evenly, which matches the 2-D
+  illustration but collapses in high dimensions, where angular coordinates
+  concentrate near π/2 (a ten-dimensional suffix norm dwarfs any single
+  coordinate, so ø₁ ≈ π/2 for almost every point).
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.hyperspherical import MAX_ANGLE, angular_coordinates
+from repro.core.partitioning.base import SpacePartitioner
+from repro.core.partitioning.grid import balanced_axis_counts
+
+__all__ = ["AngularPartitioner"]
+
+Bins = Literal["equal-width", "quantile"]
+Allocation = Literal["first-axis", "balanced"]
+
+
+class AngularPartitioner(SpacePartitioner):
+    """Hyperspherical sectors over the angular coordinates.
+
+    Parameters
+    ----------
+    num_partitions:
+        Requested sector budget.  Exact under ``"first-axis"`` allocation;
+        under ``"balanced"`` the effective count is the largest per-axis
+        product ≤ the budget.
+    bins:
+        Boundary placement: ``"quantile"`` (default, load-balanced) or
+        ``"equal-width"`` (the 2-D paper illustration).
+    allocation:
+        ``"first-axis"`` (default), ``"balanced"``, or an explicit sequence
+        of per-angle-axis sector counts.
+    boundaries:
+        Explicit per-axis boundary-angle arrays (each sorted ascending,
+        ``k−1`` edges for ``k`` sectors on that axis), overriding ``bins``.
+        Used e.g. by the §IV theory benchmark, whose closed forms assume
+        the paper's equal-*area* square sectors (boundary slopes 1/2, 1, 2)
+        rather than equal angles.
+    """
+
+    scheme = "angle"
+
+    def __init__(
+        self,
+        num_partitions: int,
+        *,
+        bins: Bins = "quantile",
+        allocation: Allocation | Sequence[int] = "first-axis",
+        boundaries: Sequence[np.ndarray] | None = None,
+    ):
+        super().__init__(num_partitions)
+        if bins not in ("equal-width", "quantile"):
+            raise ValueError(f"unknown bins mode {bins!r}")
+        if boundaries is not None:
+            boundaries = [np.asarray(b, dtype=np.float64) for b in boundaries]
+            for b in boundaries:
+                if b.ndim != 1 or (np.diff(b) < 0).any():
+                    raise ValueError(
+                        "each boundary array must be 1-D and sorted ascending"
+                    )
+        self._explicit_boundaries = boundaries
+        if isinstance(allocation, str):
+            if allocation not in ("first-axis", "balanced"):
+                raise ValueError(f"unknown allocation {allocation!r}")
+        else:
+            allocation = [int(c) for c in allocation]
+            if any(c < 1 for c in allocation):
+                raise ValueError(f"axis counts must be >= 1, got {allocation}")
+        self._requested = num_partitions
+        self.bins = bins
+        self.allocation = allocation
+        self._counts: list[int] | None = None
+        self._radix: np.ndarray | None = None
+        self._boundaries: list[np.ndarray] | None = None
+
+    def _axis_counts(self, n_axes: int) -> list[int]:
+        if isinstance(self.allocation, list):
+            counts = (self.allocation + [1] * n_axes)[:n_axes]
+            if len(self.allocation) > n_axes:
+                raise ValueError(
+                    f"{len(self.allocation)} axis counts for {n_axes} angle axes"
+                )
+            return counts
+        if self.allocation == "first-axis":
+            return [self._requested] + [1] * (n_axes - 1)
+        return balanced_axis_counts(self._requested, n_axes)
+
+    def _fit(self, points: np.ndarray) -> None:
+        angles = angular_coordinates(points)  # (n, d-1), values in [0, π/2]
+        n_axes = angles.shape[1]
+        if self._explicit_boundaries is not None:
+            if len(self._explicit_boundaries) != n_axes:
+                raise ValueError(
+                    f"{len(self._explicit_boundaries)} boundary arrays for "
+                    f"{n_axes} angle axes"
+                )
+            counts = [b.size + 1 for b in self._explicit_boundaries]
+            self._counts = counts
+            self.num_partitions = int(np.prod(counts))
+            radix = np.ones(n_axes, dtype=np.int64)
+            for i in range(n_axes - 2, -1, -1):
+                radix[i] = radix[i + 1] * counts[i + 1]
+            self._radix = radix
+            self._boundaries = list(self._explicit_boundaries)
+            return
+        counts = self._axis_counts(n_axes)
+        self._counts = counts
+        self.num_partitions = int(np.prod(counts)) if counts else 1
+        radix = np.ones(n_axes, dtype=np.int64)
+        for i in range(n_axes - 2, -1, -1):
+            radix[i] = radix[i + 1] * counts[i + 1]
+        self._radix = radix
+
+        boundaries: list[np.ndarray] = []
+        for axis, k in enumerate(counts):
+            if self.bins == "equal-width":
+                edges = np.linspace(0.0, MAX_ANGLE, k + 1)[1:-1]
+            else:
+                qs = np.linspace(0, 1, k + 1)[1:-1]
+                edges = np.quantile(angles[:, axis], qs)
+            boundaries.append(np.asarray(edges, dtype=np.float64))
+        self._boundaries = boundaries
+
+    def _assign(self, points: np.ndarray) -> np.ndarray:
+        angles = angular_coordinates(points)
+        if angles.shape[1] != len(self._counts):
+            raise ValueError(
+                f"expected {len(self._counts) + 1}-dimensional points, "
+                f"got {points.shape[1]}"
+            )
+        return self.sector_of_angles(angles)
+
+    def sector_of_angles(self, angles: np.ndarray) -> np.ndarray:
+        """Sector ids for pre-computed angle vectors."""
+        angles = np.atleast_2d(np.asarray(angles, dtype=np.float64))
+        ids = np.zeros(angles.shape[0], dtype=np.int64)
+        for axis, edges in enumerate(self._boundaries):
+            if edges.size == 0:
+                continue
+            # searchsorted gives the bin index; boundary ownership goes to
+            # the upper bin (right-open bins); clamping keeps π/2 in range.
+            bin_idx = np.searchsorted(edges, angles[:, axis], side="right")
+            bin_idx = np.clip(bin_idx, 0, self._counts[axis] - 1)
+            ids += bin_idx * self._radix[axis]
+        return ids
+
+    def _detail(self) -> Mapping[str, object]:
+        return {
+            "bins": self.bins,
+            "allocation": self.allocation,
+            "requested_partitions": self._requested,
+            "counts_per_angle_axis": list(self._counts) if self._counts else None,
+            "boundaries": (
+                [b.tolist() for b in self._boundaries] if self._boundaries else None
+            ),
+        }

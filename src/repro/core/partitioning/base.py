@@ -1,0 +1,117 @@
+"""Data-space partitioner interface.
+
+A :class:`SpacePartitioner` carves the QoS data space into ``num_partitions``
+regions; the Map stage of every MR skyline algorithm calls
+:meth:`~SpacePartitioner.assign` to route each point to its region.  The
+partitioner is *fitted* on the driver (it may need data extents) and then
+shipped to map tasks through the job parameters — the analogue of putting
+partition metadata in Hadoop's distributed cache, so it must stay picklable.
+
+Subclasses implement :meth:`_fit` and :meth:`_assign`; the base class
+handles validation and the fitted-state protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+
+__all__ = ["NotFittedError", "SpacePartitioner", "partition_sizes", "load_imbalance"]
+
+
+class NotFittedError(RuntimeError):
+    """assign() was called before fit()."""
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSummary:
+    """Human-readable description of a fitted partitioner."""
+
+    scheme: str
+    num_partitions: int
+    detail: Mapping[str, object]
+
+
+class SpacePartitioner:
+    """Base class for dimensional / grid / angular / random partitioning."""
+
+    #: short scheme name used in reports ("dim", "grid", "angle", ...)
+    scheme: str = "abstract"
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+        self._fitted = False
+
+    # -- public protocol ---------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "SpacePartitioner":
+        """Learn data extents (or whatever the scheme needs) from ``points``."""
+        pts = validate_points(points)
+        self._fit(pts)
+        self._fitted = True
+        return self
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Partition id in ``[0, num_partitions)`` for each point."""
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.assign() called before fit()"
+            )
+        pts = validate_points(points)
+        ids = np.asarray(self._assign(pts))
+        if ids.shape != (pts.shape[0],):
+            raise AssertionError(
+                f"{type(self).__name__}._assign returned shape {ids.shape}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_partitions):
+            raise AssertionError(
+                f"{type(self).__name__} produced ids outside "
+                f"[0, {self.num_partitions}): [{ids.min()}, {ids.max()}]"
+            )
+        return ids.astype(np.int64)
+
+    def fit_assign(self, points: np.ndarray) -> np.ndarray:
+        return self.fit(points).assign(points)
+
+    def summary(self) -> PartitionSummary:
+        return PartitionSummary(
+            scheme=self.scheme,
+            num_partitions=self.num_partitions,
+            detail=self._detail(),
+        )
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def _fit(self, points: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _assign(self, points: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _detail(self) -> Mapping[str, object]:
+        return {}
+
+
+def partition_sizes(ids: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Point count per partition (length ``num_partitions``)."""
+    return np.bincount(np.asarray(ids, dtype=np.int64), minlength=num_partitions)
+
+
+def load_imbalance(ids: np.ndarray, num_partitions: int) -> float:
+    """max/mean partition size over *non-degenerate* runs; 0 for empty input.
+
+    1.0 is a perfectly balanced partitioning; the paper argues angular
+    partitioning balances load better than dimensional slabs.
+    """
+    sizes = partition_sizes(ids, num_partitions)
+    total = sizes.sum()
+    if total == 0:
+        return 0.0
+    mean = total / num_partitions
+    return float(sizes.max() / mean)

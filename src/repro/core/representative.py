@@ -1,0 +1,149 @@
+"""Representative skyline selection — the paper's extension line of work.
+
+When the skyline itself is large (hundreds of services at d = 10), users
+want a small set of *representative* skyline services.  The paper's
+citations define the two standard notions, both implemented here:
+
+* **Max-dominance representatives** (Lin et al., ICDE'07, the paper's
+  [23]): pick the ``k`` skyline points that together dominate the most
+  non-skyline points.  Greedy selection gives the classic
+  ``(1 − 1/e)``-approximation because coverage is submodular.
+* **Distance-based representatives** (the paper's own prior work [12],
+  "similarity-based representative skyline"): pick ``k`` skyline points
+  minimising the maximum distance from any skyline point to its nearest
+  representative — approximated with Gonzalez's 2-approximation
+  (farthest-point traversal) on min-max-normalised coordinates.
+
+Both operate on indices into the original point set, composing directly
+with :func:`repro.core.skyline.skyline` and
+:func:`repro.core.mr_skyline.run_mr_skyline` results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+from repro.core.skyline import skyline_numpy
+
+__all__ = [
+    "RepresentativeResult",
+    "max_dominance_representatives",
+    "distance_representatives",
+]
+
+
+@dataclass(slots=True)
+class RepresentativeResult:
+    """``k`` chosen representatives plus the quality of the choice."""
+
+    indices: np.ndarray  # input indices of the representatives, pick order
+    #: max-dominance: number of points dominated by the chosen set;
+    #: distance: the covering radius (max distance to nearest rep).
+    score: float
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+def _resolve_skyline(points: np.ndarray, skyline_indices) -> np.ndarray:
+    if skyline_indices is None:
+        return skyline_numpy(points)
+    return np.asarray(skyline_indices, dtype=np.intp)
+
+
+def max_dominance_representatives(
+    points: np.ndarray,
+    k: int,
+    *,
+    skyline_indices: np.ndarray | None = None,
+) -> RepresentativeResult:
+    """Greedy max-coverage choice of ``k`` skyline representatives.
+
+    Coverage of a set is the number of distinct points dominated by at
+    least one member.  Coverage is monotone submodular, so the greedy sweep
+    is a (1 − 1/e)-approximation of the optimal ``k``-set (Lin et al.).
+
+    Returns fewer than ``k`` representatives only if the skyline itself is
+    smaller than ``k``.
+    """
+    pts = validate_points(points)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sky = _resolve_skyline(pts, skyline_indices)
+    if sky.size == 0:
+        return RepresentativeResult(indices=np.empty(0, dtype=np.intp), score=0.0)
+
+    # Boolean coverage matrix: cover[i, j] = skyline point i dominates point j.
+    sky_pts = pts[sky]
+    le = (sky_pts[:, None, :] <= pts[None, :, :]).all(axis=2)
+    lt = (sky_pts[:, None, :] < pts[None, :, :]).any(axis=2)
+    cover = le & lt  # (|sky|, n)
+
+    chosen: list[int] = []
+    covered = np.zeros(pts.shape[0], dtype=bool)
+    available = np.ones(sky.size, dtype=bool)
+    for _ in range(min(k, sky.size)):
+        gains = (cover & ~covered).sum(axis=1)
+        gains[~available] = -1
+        best = int(np.argmax(gains))
+        chosen.append(int(sky[best]))
+        covered |= cover[best]
+        available[best] = False
+    return RepresentativeResult(
+        indices=np.array(chosen, dtype=np.intp), score=float(covered.sum())
+    )
+
+
+def distance_representatives(
+    points: np.ndarray,
+    k: int,
+    *,
+    skyline_indices: np.ndarray | None = None,
+    seed_index: int | None = None,
+) -> RepresentativeResult:
+    """Gonzalez farthest-point choice of ``k`` skyline representatives.
+
+    Minimises (within a factor of 2 of optimal) the maximum Euclidean
+    distance, over min-max-normalised attributes, from any skyline point to
+    its nearest representative — the "spread" notion of representativeness
+    used in similarity-based representative skyline work.
+
+    ``seed_index`` selects the first representative (position *within the
+    skyline*, default: the point closest to the normalised origin, i.e. the
+    most balanced high-quality service).
+    """
+    pts = validate_points(points)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sky = _resolve_skyline(pts, skyline_indices)
+    if sky.size == 0:
+        return RepresentativeResult(indices=np.empty(0, dtype=np.intp), score=0.0)
+
+    sky_pts = pts[sky]
+    lo = sky_pts.min(axis=0)
+    span = sky_pts.max(axis=0) - lo
+    span[span == 0] = 1.0
+    norm = (sky_pts - lo) / span
+
+    if seed_index is None:
+        seed = int(np.argmin((norm**2).sum(axis=1)))
+    else:
+        if not 0 <= seed_index < sky.size:
+            raise ValueError(
+                f"seed_index {seed_index} outside the skyline of {sky.size}"
+            )
+        seed = int(seed_index)
+
+    chosen = [seed]
+    dist = np.linalg.norm(norm - norm[seed], axis=1)
+    while len(chosen) < min(k, sky.size):
+        nxt = int(np.argmax(dist))
+        chosen.append(nxt)
+        dist = np.minimum(dist, np.linalg.norm(norm - norm[nxt], axis=1))
+    return RepresentativeResult(
+        indices=sky[np.array(chosen, dtype=np.intp)],
+        score=float(dist.max()),
+    )

@@ -1,0 +1,177 @@
+"""A bulk-loaded R-tree (Sort-Tile-Recursive packing).
+
+Substrate for the BBS skyline algorithm (:mod:`repro.core.bbs`) — Papadias
+et al.'s branch-and-bound skyline, which the paper cites as the classic
+optimal single-machine method, needs a spatial index whose entries can be
+visited in mindist order.
+
+The tree is static: built once over a point set with STR bulk loading
+(Leutenegger et al., 1997), which packs leaves by sorting points into
+tiles along successive dimensions.  Nodes store minimum bounding rectangles
+(MBRs); leaves store point indices into the input array.  That is all BBS
+requires, and it keeps the structure simple enough to verify exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+
+__all__ = ["RTree", "RTreeNode", "DEFAULT_LEAF_CAPACITY"]
+
+DEFAULT_LEAF_CAPACITY = 32
+
+
+@dataclass(slots=True)
+class RTreeNode:
+    """One R-tree node: an MBR plus either children or point indices."""
+
+    lower: np.ndarray  # (d,) MBR lower corner
+    upper: np.ndarray  # (d,) MBR upper corner
+    children: List["RTreeNode"] = field(default_factory=list)
+    point_indices: np.ndarray | None = None  # leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.point_indices is not None
+
+    def mindist_key(self) -> float:
+        """L1 mindist of the MBR from the origin — the BBS priority.
+
+        For minimisation skylines the relevant corner is the MBR's lower
+        corner; its coordinate sum is a lower bound on ``Σ coords`` of any
+        point inside (a monotone score, so dominance-safe for pruning).
+        """
+        return float(self.lower.sum())
+
+    def __len__(self) -> int:
+        if self.is_leaf:
+            return int(self.point_indices.size)
+        return sum(len(c) for c in self.children)
+
+
+class RTree:
+    """Static STR-packed R-tree over an ``(n, d)`` point array."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int | None = None,
+    ):
+        self.points = validate_points(points)
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout if fanout is not None else max(2, leaf_capacity)
+        if self.fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {self.fanout}")
+        self.root = self._build()
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(self) -> RTreeNode:
+        n, d = self.points.shape
+        if n == 0:
+            return RTreeNode(
+                lower=np.full(d, np.inf),
+                upper=np.full(d, -np.inf),
+                point_indices=np.empty(0, dtype=np.intp),
+            )
+        leaves = self._pack_leaves(np.arange(n, dtype=np.intp))
+        level = leaves
+        while len(level) > 1:
+            level = self._pack_internal(level)
+        return level[0]
+
+    def _pack_leaves(self, indices: np.ndarray) -> List[RTreeNode]:
+        """STR: recursively sort-and-slice along each dimension."""
+        d = self.points.shape[1]
+        groups = self._str_slices(indices, axis=0, dims=d, capacity=self.leaf_capacity)
+        leaves = []
+        for group in groups:
+            pts = self.points[group]
+            leaves.append(
+                RTreeNode(
+                    lower=pts.min(axis=0),
+                    upper=pts.max(axis=0),
+                    point_indices=np.sort(group),
+                )
+            )
+        return leaves
+
+    def _str_slices(
+        self, indices: np.ndarray, axis: int, dims: int, capacity: int
+    ) -> List[np.ndarray]:
+        if indices.size <= capacity:
+            return [indices] if indices.size else []
+        if axis == dims - 1:
+            order = indices[np.argsort(self.points[indices, axis], kind="stable")]
+            return [
+                order[i : i + capacity] for i in range(0, order.size, capacity)
+            ]
+        # Number of vertical slabs so each slab recursively tiles the rest.
+        n_groups = int(np.ceil(indices.size / capacity))
+        per_axis = int(np.ceil(n_groups ** (1.0 / (dims - axis))))
+        slab = int(np.ceil(indices.size / per_axis))
+        order = indices[np.argsort(self.points[indices, axis], kind="stable")]
+        out: List[np.ndarray] = []
+        for i in range(0, order.size, slab):
+            out.extend(
+                self._str_slices(order[i : i + slab], axis + 1, dims, capacity)
+            )
+        return out
+
+    def _pack_internal(self, nodes: List[RTreeNode]) -> List[RTreeNode]:
+        """Group a level's nodes by their centre along dim 0 (simple STR)."""
+        centres = np.array([(n.lower[0] + n.upper[0]) / 2 for n in nodes])
+        order = np.argsort(centres, kind="stable")
+        out: List[RTreeNode] = []
+        for i in range(0, len(nodes), self.fanout):
+            group = [nodes[j] for j in order[i : i + self.fanout]]
+            lower = np.min([g.lower for g in group], axis=0)
+            upper = np.max([g.upper for g in group], axis=0)
+            out.append(RTreeNode(lower=lower, upper=upper, children=group))
+        return out
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def height(self) -> int:
+        h, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def validate(self) -> None:
+        """Structural invariants: MBR containment and full coverage.
+
+        Raises AssertionError on violation; used by tests.
+        """
+        seen: list[int] = []
+
+        def check(node: RTreeNode) -> None:
+            if node.is_leaf:
+                pts = self.points[node.point_indices]
+                assert (pts >= node.lower - 1e-12).all()
+                assert (pts <= node.upper + 1e-12).all()
+                seen.extend(node.point_indices.tolist())
+                return
+            assert node.children, "internal node without children"
+            for child in node.children:
+                assert (child.lower >= node.lower - 1e-12).all()
+                assert (child.upper <= node.upper + 1e-12).all()
+                check(child)
+
+        if len(self):
+            check(self.root)
+            assert sorted(seen) == list(range(len(self)))

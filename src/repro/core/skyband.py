@@ -1,0 +1,91 @@
+"""K-skyband and top-k dominating queries — skyline generalisations.
+
+Two standard relaxations of the skyline operator from the literature the
+paper builds on (Papadias et al. define both alongside BBS):
+
+* the **k-skyband** is the set of points dominated by *fewer than k* other
+  points — ``k = 1`` is exactly the skyline; larger ``k`` gives services
+  that are near-optimal, useful when the strict skyline is too small or
+  when robustness to measurement noise matters;
+* **top-k dominating** returns the ``k`` points that dominate the most
+  other points — a ranking flavour of dominance (not restricted to skyline
+  members, though the top dominator always is one).
+
+Both are vectorised blockwise like :func:`repro.core.dominance.dominated_mask`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dominance import DominanceCounter, validate_points
+
+__all__ = ["dominator_counts", "k_skyband", "top_k_dominating"]
+
+
+def dominator_counts(
+    points: np.ndarray,
+    *,
+    block: int = 2048,
+    counter: DominanceCounter | None = None,
+) -> np.ndarray:
+    """Number of points dominating each point (0 for skyline members)."""
+    pts = validate_points(points)
+    n = pts.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    for start in range(0, n, block):
+        chunk = pts[start : start + block]
+        le = (pts[:, None, :] <= chunk[None, :, :]).all(axis=2)
+        lt = (pts[:, None, :] < chunk[None, :, :]).any(axis=2)
+        counts[start : start + chunk.shape[0]] = (le & lt).sum(axis=0)
+        if counter is not None:
+            counter.add(n * chunk.shape[0], "skyband")
+    return counts
+
+
+def k_skyband(
+    points: np.ndarray,
+    k: int,
+    *,
+    block: int = 2048,
+    counter: DominanceCounter | None = None,
+) -> np.ndarray:
+    """Ascending indices of points dominated by fewer than ``k`` others.
+
+    ``k_skyband(points, 1)`` equals the skyline; skybands are nested in
+    ``k`` (each is a superset of the previous).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = dominator_counts(points, block=block, counter=counter)
+    return np.flatnonzero(counts < k).astype(np.intp)
+
+
+def top_k_dominating(
+    points: np.ndarray,
+    k: int,
+    *,
+    block: int = 2048,
+    counter: DominanceCounter | None = None,
+) -> np.ndarray:
+    """Indices of the ``k`` points dominating the most others (best first).
+
+    Ties break toward the lower input index (stable, deterministic).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pts = validate_points(points)
+    n = pts.shape[0]
+    dominated = np.zeros(n, dtype=np.int64)
+    for start in range(0, n, block):
+        chunk = pts[start : start + block]
+        # chunk[i] dominates pts[j]
+        le = (chunk[:, None, :] <= pts[None, :, :]).all(axis=2)
+        lt = (chunk[:, None, :] < pts[None, :, :]).any(axis=2)
+        dominated[start : start + chunk.shape[0]] = (le & lt).sum(axis=1)
+        if counter is not None:
+            counter.add(n * chunk.shape[0], "top-k-dominating")
+    # Stable sort on (-count, index): numpy's stable argsort on -count keeps
+    # input order among ties.
+    order = np.argsort(-dominated, kind="stable")
+    return order[: min(k, n)].astype(np.intp)

@@ -1,0 +1,123 @@
+"""Standard skyline benchmark workloads (Börzsönyi et al., ICDE 2001).
+
+The skyline literature evaluates on canonical distributions, all on
+the unit hypercube with minimisation semantics:
+
+* **independent** — attributes i.i.d. uniform; skyline size Θ(ln^{d−1} n / (d−1)!).
+* **correlated** — good in one attribute ⇒ good in the others; tiny skylines.
+* **anti-correlated** — good in one attribute ⇒ bad in the others; points
+  concentrate around the anti-diagonal plane Σxᵢ ≈ const; huge skylines,
+  the stress test.
+
+These complement the QWS-like workload for tests and ablations.  All
+generators are seeded and clip to [0, 1] so the hyperspherical transform's
+non-negativity requirement always holds.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+__all__ = [
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "generate",
+    "Workload",
+]
+
+Workload = Literal["independent", "correlated", "anticorrelated", "clustered"]
+
+
+def independent(n: int, d: int, *, seed: int = 0) -> np.ndarray:
+    """i.i.d. uniform points on the unit hypercube."""
+    _check(n, d)
+    rng = np.random.default_rng(seed)
+    return rng.random((n, d))
+
+
+def correlated(n: int, d: int, *, seed: int = 0, spread: float = 0.1) -> np.ndarray:
+    """Points scattered around the main diagonal.
+
+    A common position on the diagonal is drawn per point, then each
+    attribute is perturbed with a normal of standard deviation ``spread``.
+    """
+    _check(n, d)
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0, got {spread}")
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, 1))
+    noise = rng.normal(0.0, spread, size=(n, d))
+    return np.clip(base + noise, 0.0, 1.0)
+
+
+def anticorrelated(
+    n: int, d: int, *, seed: int = 0, spread: float = 0.1
+) -> np.ndarray:
+    """Points concentrated around the anti-diagonal hyperplane Σxᵢ = d/2.
+
+    Per point: draw a plane offset near d/2 (normal, σ = ``spread``), then
+    distribute that total over the attributes with a symmetric Dirichlet —
+    attributes within a point are strongly anti-correlated, which maximises
+    pairwise incomparability and skyline size.
+    """
+    _check(n, d)
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0, got {spread}")
+    rng = np.random.default_rng(seed)
+    totals = np.clip(rng.normal(d / 2.0, spread * d, size=n), 0.05 * d, 0.95 * d)
+    shares = rng.dirichlet(np.ones(d), size=n)
+    return np.clip(shares * totals[:, None], 0.0, 1.0)
+
+
+def clustered(
+    n: int,
+    d: int,
+    *,
+    seed: int = 0,
+    num_clusters: int = 5,
+    spread: float = 0.05,
+) -> np.ndarray:
+    """Gaussian-mixture clusters on the unit hypercube.
+
+    Models the market structure real registries exhibit: groups of
+    similar-quality services (one provider's fleet, one pricing tier).
+    Cluster centres are uniform; members are isotropic normals clipped to
+    the cube.
+    """
+    _check(n, d)
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0, got {spread}")
+    rng = np.random.default_rng(seed)
+    centres = rng.random((num_clusters, d))
+    membership = rng.integers(0, num_clusters, size=n)
+    noise = rng.normal(0.0, spread, size=(n, d))
+    return np.clip(centres[membership] + noise, 0.0, 1.0)
+
+
+def generate(workload: Workload, n: int, d: int, *, seed: int = 0) -> np.ndarray:
+    """Dispatch by workload name."""
+    if workload == "independent":
+        return independent(n, d, seed=seed)
+    if workload == "correlated":
+        return correlated(n, d, seed=seed)
+    if workload == "anticorrelated":
+        return anticorrelated(n, d, seed=seed)
+    if workload == "clustered":
+        return clustered(n, d, seed=seed)
+    raise ValueError(
+        f"unknown workload {workload!r}; choose independent / correlated / "
+        f"anticorrelated / clustered"
+    )
+
+
+def _check(n: int, d: int) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")

@@ -1,0 +1,111 @@
+"""Dataset persistence: CSV and NPZ round-trips for service datasets.
+
+CSV is the interchange format (one header row of attribute names, one line
+per service), convenient for feeding external tools or inspecting the
+synthetic QWS data; NPZ is the fast binary path for large sweeps.  Both
+preserve the schema (names, units, polarity, bounds) so a reloaded dataset
+normalises identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.services.qos import QoSSchema
+    from repro.services.qws import ServiceDataset
+
+__all__ = ["save_csv", "load_csv", "save_npz", "load_npz"]
+
+_SCHEMA_KEY = "__schema__"
+
+
+def _schema_to_json(schema: "QoSSchema") -> str:
+    return json.dumps(
+        [
+            {
+                "name": a.name,
+                "unit": a.unit,
+                "polarity": a.polarity.value,
+                "upper_bound": a.upper_bound,
+            }
+            for a in schema
+        ]
+    )
+
+
+def _schema_from_json(payload: str) -> "QoSSchema":
+    from repro.services.qos import Polarity, QoSAttribute, QoSSchema
+
+    entries = json.loads(payload)
+    return QoSSchema(
+        [
+            QoSAttribute(
+                name=e["name"],
+                unit=e["unit"],
+                polarity=Polarity(e["polarity"]),
+                upper_bound=e["upper_bound"],
+            )
+            for e in entries
+        ]
+    )
+
+
+def save_csv(dataset: "ServiceDataset", path: str | Path) -> None:
+    """Write a dataset as CSV with a ``#schema`` comment line + header."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        fh.write(f"#schema {_schema_to_json(dataset.schema)}\n")
+        writer = csv.writer(fh)
+        writer.writerow(dataset.schema.names)
+        for row in dataset.raw:
+            writer.writerow([f"{v:.10g}" for v in row])
+
+
+def load_csv(path: str | Path) -> "ServiceDataset":
+    """Inverse of :func:`save_csv`."""
+    from repro.services.qws import ServiceDataset
+
+    path = Path(path)
+    with path.open() as fh:
+        first = fh.readline()
+        if not first.startswith("#schema "):
+            raise ValueError(f"{path}: missing '#schema' line")
+        schema = _schema_from_json(first[len("#schema ") :])
+        reader = csv.reader(fh)
+        header = next(reader)
+        if header != schema.names:
+            raise ValueError(
+                f"{path}: header {header} does not match schema {schema.names}"
+            )
+        rows = [[float(v) for v in line] for line in reader if line]
+    raw = np.array(rows, dtype=np.float64).reshape(len(rows), len(schema))
+    return ServiceDataset(raw=raw, schema=schema, name=path.stem)
+
+
+def save_npz(dataset: "ServiceDataset", path: str | Path) -> None:
+    """Binary save (fast path for 100 k-service sweeps)."""
+    np.savez_compressed(
+        Path(path),
+        raw=dataset.raw,
+        schema=np.frombuffer(
+            _schema_to_json(dataset.schema).encode("utf-8"), dtype=np.uint8
+        ),
+        name=np.frombuffer(dataset.name.encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_npz(path: str | Path) -> "ServiceDataset":
+    """Inverse of :func:`save_npz`."""
+    from repro.services.qws import ServiceDataset
+
+    with np.load(Path(path)) as payload:
+        schema = _schema_from_json(bytes(payload["schema"]).decode("utf-8"))
+        name = bytes(payload["name"]).decode("utf-8")
+        return ServiceDataset(raw=payload["raw"], schema=schema, name=name)

@@ -1,0 +1,111 @@
+"""A from-scratch MapReduce execution engine (Hadoop-like substrate).
+
+The paper runs its three skyline algorithms on Hadoop 0.20.2.  This package
+is the substitute substrate: a small but complete MapReduce engine with
+
+* input formats and input splits (:mod:`repro.mapreduce.inputs`),
+* mapper / combiner / partitioner / reducer task pipeline
+  (:mod:`repro.mapreduce.tasks`),
+* a sort-based shuffle (:mod:`repro.mapreduce.shuffle`),
+* serial and multiprocessing runners (:mod:`repro.mapreduce.runner`),
+* per-task timing and counters (:mod:`repro.mapreduce.counters`,
+  :class:`repro.mapreduce.types.TaskStats`),
+* an in-memory block filesystem standing in for HDFS
+  (:mod:`repro.mapreduce.fs`), and
+* a deterministic cluster timing simulator used for the server-count
+  sweeps of the paper's Figure 6 (:mod:`repro.mapreduce.cluster`,
+  :mod:`repro.mapreduce.simulation`).
+
+Quick example::
+
+    from repro.mapreduce import Job, JobConf, Mapper, Reducer, run_job
+
+    class TokenMapper(Mapper):
+        def map(self, key, value, ctx):
+            for word in value.split():
+                ctx.emit(word, 1)
+
+    class SumReducer(Reducer):
+        def reduce(self, key, values, ctx):
+            ctx.emit(key, sum(values))
+
+    job = Job(name="wordcount", mapper=TokenMapper, reducer=SumReducer,
+              conf=JobConf(num_reducers=2))
+    result = run_job(job, records=[(None, "a b a"), (None, "b b c")])
+    dict(result.output_pairs())   # {'a': 2, 'b': 3, 'c': 1}
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import (
+    EngineError,
+    JobConfigError,
+    JobFailedError,
+    TaskError,
+)
+from repro.mapreduce.inputs import (
+    InputFormat,
+    InputSplit,
+    SequenceInputFormat,
+    TextInputFormat,
+    make_splits,
+)
+from repro.mapreduce.job import Job, JobChain, JobConf, JobResult
+from repro.mapreduce.outputs import (
+    SequenceOutputFormat,
+    TextOutputFormat,
+    read_sequence_output,
+    read_text_output,
+)
+from repro.mapreduce.partitioner import (
+    HashPartitioner,
+    KeyFieldPartitioner,
+    Partitioner,
+    RangePartitioner,
+    SingleReducerPartitioner,
+)
+from repro.mapreduce.runner import (
+    MultiprocessRunner,
+    Runner,
+    SerialRunner,
+    run_job,
+)
+from repro.mapreduce.tasks import Combiner, MapContext, Mapper, ReduceContext, Reducer
+from repro.mapreduce.types import KeyValue, TaskKind, TaskStats
+
+__all__ = [
+    "Combiner",
+    "Counters",
+    "EngineError",
+    "HashPartitioner",
+    "InputFormat",
+    "InputSplit",
+    "Job",
+    "JobChain",
+    "JobConf",
+    "JobConfigError",
+    "JobFailedError",
+    "JobResult",
+    "KeyFieldPartitioner",
+    "KeyValue",
+    "MapContext",
+    "Mapper",
+    "MultiprocessRunner",
+    "Partitioner",
+    "RangePartitioner",
+    "ReduceContext",
+    "Reducer",
+    "Runner",
+    "SequenceInputFormat",
+    "SequenceOutputFormat",
+    "SerialRunner",
+    "SingleReducerPartitioner",
+    "TaskError",
+    "TaskKind",
+    "TaskStats",
+    "TextInputFormat",
+    "TextOutputFormat",
+    "make_splits",
+    "read_sequence_output",
+    "read_text_output",
+    "run_job",
+]

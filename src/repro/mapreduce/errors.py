@@ -1,0 +1,56 @@
+"""Exception hierarchy for the MapReduce engine.
+
+All engine-raised exceptions derive from :class:`EngineError`, so callers can
+catch one type.  Configuration mistakes raise :class:`JobConfigError` at job
+submission time (fail fast, before any task runs); failures inside user map /
+reduce code are wrapped in :class:`TaskError` with the task id attached; a job
+whose tasks exhausted their retries raises :class:`JobFailedError`.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all MapReduce engine errors."""
+
+
+class JobConfigError(EngineError):
+    """The job configuration is invalid (detected before execution starts)."""
+
+
+class TaskError(EngineError):
+    """A map or reduce task failed while executing user code.
+
+    Attributes
+    ----------
+    task_id:
+        Engine-assigned identifier such as ``"map-3"`` or ``"reduce-0"``.
+    cause:
+        The original exception raised by user code (also chained via
+        ``__cause__`` when re-raised).
+    """
+
+    def __init__(self, task_id: str, cause: BaseException | str):
+        self.task_id = task_id
+        self.cause = cause
+        super().__init__(f"task {task_id} failed: {cause!r}")
+
+
+class JobFailedError(EngineError):
+    """A job could not complete because one or more tasks failed terminally."""
+
+    def __init__(self, job_name: str, failures: list[TaskError]):
+        self.job_name = job_name
+        self.failures = failures
+        detail = "; ".join(str(f) for f in failures[:3])
+        more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
+        super().__init__(f"job {job_name!r} failed: {detail}{more}")
+
+
+class FileSystemError(EngineError):
+    """Raised by :mod:`repro.mapreduce.fs` for missing paths, overwrite
+    conflicts, and malformed block operations."""
+
+
+class SerializationError(EngineError):
+    """A record could not be encoded to, or decoded from, bytes."""

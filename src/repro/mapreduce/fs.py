@@ -1,0 +1,200 @@
+"""An in-memory block filesystem standing in for HDFS.
+
+Files are stored as fixed-size byte blocks (default 1 MiB — scaled down from
+HDFS's 64 MiB so laptop-scale datasets still produce multi-block files and
+therefore multi-split map phases).  The engine's :class:`TextInputFormat`
+asks the filesystem for block boundaries to build input splits, mirroring how
+Hadoop aligns splits with HDFS blocks.
+
+Paths are ``/``-separated and absolute; directories exist implicitly (an
+object-store model).  The filesystem is process-local; multiprocess map tasks
+receive their split payloads by value, matching how the serial engine feeds
+tasks, so no cross-process filesystem is required.
+"""
+
+from __future__ import annotations
+
+import posixpath
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.mapreduce.errors import FileSystemError
+
+DEFAULT_BLOCK_SIZE = 1 << 20
+
+_PATH_RE = re.compile(r"^/[^\0]*$")
+
+
+def _normalize(path: str) -> str:
+    if not isinstance(path, str) or not _PATH_RE.match(path):
+        raise FileSystemError(f"invalid path {path!r}: must be absolute")
+    norm = posixpath.normpath(path)
+    if norm == "/":
+        raise FileSystemError("the root directory is not a file path")
+    return norm
+
+
+@dataclass(frozen=True, slots=True)
+class FileStatus:
+    """Metadata for one stored file."""
+
+    path: str
+    size: int
+    num_blocks: int
+    block_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockLocation:
+    """One block's byte range within its file."""
+
+    index: int
+    offset: int
+    length: int
+
+
+class BlockFileSystem:
+    """In-memory block store with an HDFS-flavoured API."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size <= 0:
+            raise FileSystemError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        self._files: Dict[str, List[bytes]] = {}
+
+    # -- writing ---------------------------------------------------------------
+
+    def write(self, path: str, data: bytes, *, overwrite: bool = False) -> FileStatus:
+        """Store ``data`` at ``path``, splitting it into blocks."""
+        norm = _normalize(path)
+        if norm in self._files and not overwrite:
+            raise FileSystemError(f"path exists and overwrite=False: {norm}")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise FileSystemError(
+                f"write() needs bytes, got {type(data).__name__}; "
+                "use write_text() for strings"
+            )
+        raw = bytes(data)
+        blocks = [
+            raw[i : i + self.block_size] for i in range(0, len(raw), self.block_size)
+        ] or [b""]
+        self._files[norm] = blocks
+        return self.status(norm)
+
+    def write_text(
+        self, path: str, text: str, *, overwrite: bool = False
+    ) -> FileStatus:
+        """Store UTF-8 text at ``path``."""
+        return self.write(path, text.encode("utf-8"), overwrite=overwrite)
+
+    def append(self, path: str, data: bytes) -> FileStatus:
+        """Append bytes to an existing file (re-blocking the tail)."""
+        norm = _normalize(path)
+        current = self.read(norm) if norm in self._files else b""
+        return self.write(norm, current + bytes(data), overwrite=True)
+
+    # -- reading ---------------------------------------------------------------
+
+    def read(self, path: str) -> bytes:
+        """Return the full contents of ``path``."""
+        return b"".join(self._blocks_of(path))
+
+    def read_text(self, path: str) -> str:
+        return self.read(path).decode("utf-8")
+
+    def read_range(self, path: str, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset`` (clamped at EOF)."""
+        if offset < 0 or length < 0:
+            raise FileSystemError(f"negative range ({offset}, {length})")
+        blocks = self._blocks_of(path)
+        out: list[bytes] = []
+        remaining = length
+        pos = 0
+        for block in blocks:
+            if remaining <= 0:
+                break
+            end = pos + len(block)
+            if end > offset:
+                start_in_block = max(0, offset - pos)
+                take = block[start_in_block : start_in_block + remaining]
+                out.append(take)
+                remaining -= len(take)
+            pos = end
+        return b"".join(out)
+
+    def iter_lines(self, path: str) -> Iterator[str]:
+        """Yield text lines (without trailing newlines) from ``path``."""
+        text = self.read_text(path)
+        if not text:
+            return
+        for line in text.split("\n"):
+            yield line
+
+    # -- metadata ----------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        try:
+            return _normalize(path) in self._files
+        except FileSystemError:
+            return False
+
+    def status(self, path: str) -> FileStatus:
+        blocks = self._blocks_of(path)
+        return FileStatus(
+            path=_normalize(path),
+            size=sum(len(b) for b in blocks),
+            num_blocks=len(blocks),
+            block_size=self.block_size,
+        )
+
+    def block_locations(self, path: str) -> List[BlockLocation]:
+        """Byte ranges of every block — the seams along which splits align."""
+        blocks = self._blocks_of(path)
+        locations = []
+        offset = 0
+        for i, block in enumerate(blocks):
+            locations.append(BlockLocation(index=i, offset=offset, length=len(block)))
+            offset += len(block)
+        return locations
+
+    def ls(self, prefix: str = "/") -> List[str]:
+        """All file paths under ``prefix`` (inclusive), sorted."""
+        if prefix != "/":
+            prefix = _normalize(prefix)
+        match = prefix if prefix.endswith("/") else prefix + "/"
+        return sorted(
+            p for p in self._files if p == prefix or p.startswith(match)
+        )
+
+    # -- mutation ----------------------------------------------------------------
+
+    def delete(self, path: str) -> None:
+        norm = _normalize(path)
+        if norm not in self._files:
+            raise FileSystemError(f"no such file: {norm}")
+        del self._files[norm]
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Delete every file under ``prefix``; returns the count removed."""
+        victims = self.ls(prefix)
+        for p in victims:
+            del self._files[p]
+        return len(victims)
+
+    def rename(self, src: str, dst: str) -> None:
+        src_n, dst_n = _normalize(src), _normalize(dst)
+        if src_n not in self._files:
+            raise FileSystemError(f"no such file: {src_n}")
+        if dst_n in self._files:
+            raise FileSystemError(f"rename target exists: {dst_n}")
+        self._files[dst_n] = self._files.pop(src_n)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _blocks_of(self, path: str) -> List[bytes]:
+        norm = _normalize(path)
+        try:
+            return self._files[norm]
+        except KeyError:
+            raise FileSystemError(f"no such file: {norm}") from None

@@ -1,0 +1,127 @@
+"""Job history: structured events and ASCII timelines for simulated runs.
+
+Hadoop's JobHistory answers "what actually happened on the cluster".  Our
+equivalent reconstructs a per-slot timeline from a measured
+:class:`~repro.mapreduce.job.JobResult` replayed on a
+:class:`~repro.mapreduce.cluster.ClusterSpec`, producing
+
+* a flat, sorted event list (task start/finish per phase), and
+* an ASCII Gantt chart of the slot schedule — handy for eyeballing load
+  imbalance (the dim/grid pathology of Figure 5b is immediately visible as
+  one long reduce bar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.scheduler import Schedule, schedule_tasks
+from repro.mapreduce.types import TaskKind
+
+__all__ = ["TaskEvent", "job_events", "render_gantt"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEvent:
+    """One task's simulated placement."""
+
+    job_name: str
+    task_id: str
+    kind: TaskKind
+    slot: int
+    start_s: float
+    end_s: float
+
+
+def _phase_schedule(result: JobResult, kind: TaskKind, cluster: ClusterSpec) -> Schedule:
+    tasks = (result.map_stats if kind is TaskKind.MAP else result.reduce_stats).tasks
+    slots = cluster.map_slots if kind is TaskKind.MAP else cluster.reduce_slots
+    return schedule_tasks(
+        [t.duration_s * cluster.speed_factor for t in tasks],
+        slots,
+        policy=cluster.scheduling_policy,
+        per_task_overhead_s=cluster.task_launch_s,
+    )
+
+
+def job_events(result: JobResult, cluster: ClusterSpec) -> List[TaskEvent]:
+    """Simulated task placements, sorted by start time.
+
+    Reduce-phase times are offset so they begin when the map phase ends
+    (the engine's phases are sequential, as in Hadoop without slow-start).
+    """
+    events: List[TaskEvent] = []
+    map_schedule = _phase_schedule(result, TaskKind.MAP, cluster)
+    for placed in map_schedule.tasks:
+        stats = result.map_stats.tasks[placed.task_index]
+        events.append(
+            TaskEvent(
+                job_name=result.job_name,
+                task_id=stats.task_id,
+                kind=TaskKind.MAP,
+                slot=placed.slot,
+                start_s=placed.start_s,
+                end_s=placed.end_s,
+            )
+        )
+    offset = map_schedule.makespan_s
+    reduce_schedule = _phase_schedule(result, TaskKind.REDUCE, cluster)
+    for placed in reduce_schedule.tasks:
+        stats = result.reduce_stats.tasks[placed.task_index]
+        events.append(
+            TaskEvent(
+                job_name=result.job_name,
+                task_id=stats.task_id,
+                kind=TaskKind.REDUCE,
+                slot=placed.slot,
+                start_s=offset + placed.start_s,
+                end_s=offset + placed.end_s,
+            )
+        )
+    return sorted(events, key=lambda e: (e.start_s, e.slot))
+
+
+def render_gantt(
+    result: JobResult,
+    cluster: ClusterSpec,
+    *,
+    width: int = 72,
+) -> str:
+    """ASCII Gantt chart of the simulated slot schedule.
+
+    Map tasks render as ``m``, reduce tasks as ``R``; one row per (phase,
+    slot).  The time axis is scaled to ``width`` characters.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    events = job_events(result, cluster)
+    if not events:
+        return f"{result.job_name}: (no tasks)\n"
+    horizon = max(e.end_s for e in events)
+    if horizon <= 0:
+        horizon = 1e-9
+    scale = width / horizon
+
+    lines = [f"{result.job_name}  (simulated on {cluster.num_nodes} nodes, "
+             f"{horizon:.2f}s horizon)"]
+    for kind, glyph, slots in (
+        (TaskKind.MAP, "m", cluster.map_slots),
+        (TaskKind.REDUCE, "R", cluster.reduce_slots),
+    ):
+        for slot in range(slots):
+            row = [" "] * width
+            for e in events:
+                if e.kind is not kind or e.slot != slot:
+                    continue
+                lo = min(int(e.start_s * scale), width - 1)
+                hi = min(max(int(e.end_s * scale), lo + 1), width)
+                for i in range(lo, hi):
+                    row[i] = glyph
+            lines.append(f"{kind.value:>6}[{slot:02d}] |{''.join(row)}|")
+    lines.append(
+        f"{'':>10} 0s{'':{width - 8}}{horizon:.1f}s"
+    )
+    return "\n".join(lines) + "\n"

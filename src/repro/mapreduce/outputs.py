@@ -1,0 +1,155 @@
+"""Output formats: committing job results to the block filesystem.
+
+Mirrors Hadoop's ``FileOutputFormat`` + ``OutputCommitter`` protocol:
+
+* each reduce partition writes ``part-r-NNNNN`` into a hidden temporary
+  directory (``<out>/_temporary``),
+* a successful job *commits* by renaming every part file into the output
+  directory and writing a ``_SUCCESS`` marker,
+* an aborted job leaves no partial output behind (the temporary prefix is
+  deleted).
+
+Two record encodings are provided: tab-separated text (Hadoop's
+``TextOutputFormat``) and a framed binary sequence format preserving
+arbitrary Python values (``SequenceFileOutputFormat``-flavoured).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.mapreduce.errors import FileSystemError
+from repro.mapreduce.fs import BlockFileSystem
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.serialization import PickleCodec, dump_records, load_records
+
+__all__ = [
+    "TextOutputFormat",
+    "SequenceOutputFormat",
+    "SUCCESS_MARKER",
+    "read_text_output",
+    "read_sequence_output",
+]
+
+SUCCESS_MARKER = "_SUCCESS"
+_TEMP_DIR = "_temporary"
+
+Pair = Tuple[Hashable, Any]
+
+
+def _part_name(partition: int) -> str:
+    return f"part-r-{partition:05d}"
+
+
+class _OutputFormatBase:
+    """Shared commit/abort machinery."""
+
+    def __init__(self, fs: BlockFileSystem, output_dir: str):
+        if output_dir.endswith("/"):
+            output_dir = output_dir[:-1]
+        self.fs = fs
+        self.output_dir = output_dir
+
+    # -- encoding hooks -----------------------------------------------------------
+
+    def _encode(self, pairs: List[Pair]) -> bytes:
+        raise NotImplementedError
+
+    # -- protocol -----------------------------------------------------------------
+
+    def write(self, result: JobResult, *, overwrite: bool = False) -> List[str]:
+        """Write a job's outputs with temporary-then-commit semantics.
+
+        Returns the committed part-file paths.  Raises
+        :class:`FileSystemError` if the output directory already holds a
+        committed result and ``overwrite`` is False.
+        """
+        success_path = f"{self.output_dir}/{SUCCESS_MARKER}"
+        if self.fs.exists(success_path):
+            if not overwrite:
+                raise FileSystemError(
+                    f"output directory already committed: {self.output_dir}"
+                )
+            self.fs.delete_prefix(self.output_dir)
+
+        temp_prefix = f"{self.output_dir}/{_TEMP_DIR}"
+        committed: List[str] = []
+        try:
+            for partition, pairs in enumerate(result.outputs):
+                temp_path = f"{temp_prefix}/{_part_name(partition)}"
+                self.fs.write(temp_path, self._encode(pairs), overwrite=True)
+            # Commit: rename every part out of the temporary directory.
+            for partition in range(len(result.outputs)):
+                src = f"{temp_prefix}/{_part_name(partition)}"
+                dst = f"{self.output_dir}/{_part_name(partition)}"
+                self.fs.rename(src, dst)
+                committed.append(dst)
+            self.fs.write(success_path, b"", overwrite=True)
+        except Exception:
+            self.abort()
+            raise
+        return committed
+
+    def abort(self) -> None:
+        """Remove any temporary output (idempotent)."""
+        self.fs.delete_prefix(f"{self.output_dir}/{_TEMP_DIR}")
+
+    def is_committed(self) -> bool:
+        return self.fs.exists(f"{self.output_dir}/{SUCCESS_MARKER}")
+
+
+class TextOutputFormat(_OutputFormatBase):
+    """Tab-separated ``key<TAB>value`` lines, one per output pair."""
+
+    def _encode(self, pairs: List[Pair]) -> bytes:
+        lines = []
+        for key, value in pairs:
+            text_key = "" if key is None else str(key)
+            lines.append(f"{text_key}\t{value}")
+        body = "\n".join(lines)
+        if body:
+            body += "\n"
+        return body.encode("utf-8")
+
+
+class SequenceOutputFormat(_OutputFormatBase):
+    """Framed binary records preserving arbitrary Python pair values."""
+
+    def _encode(self, pairs: List[Pair]) -> bytes:
+        return dump_records(pairs, PickleCodec())
+
+
+def read_text_output(fs: BlockFileSystem, output_dir: str) -> List[Tuple[str, str]]:
+    """Read back a committed text output as ``(key, value)`` string pairs."""
+    _require_committed(fs, output_dir)
+    pairs: List[Tuple[str, str]] = []
+    for path in _part_paths(fs, output_dir):
+        for line in fs.iter_lines(path):
+            if not line:
+                continue
+            key, _, value = line.partition("\t")
+            pairs.append((key, value))
+    return pairs
+
+
+def read_sequence_output(fs: BlockFileSystem, output_dir: str) -> List[Pair]:
+    """Read back a committed sequence output with original value types."""
+    _require_committed(fs, output_dir)
+    pairs: List[Pair] = []
+    for path in _part_paths(fs, output_dir):
+        pairs.extend(load_records(fs.read(path), PickleCodec()))
+    return pairs
+
+
+def _require_committed(fs: BlockFileSystem, output_dir: str) -> None:
+    if not fs.exists(f"{output_dir.rstrip('/')}/{SUCCESS_MARKER}"):
+        raise FileSystemError(f"no committed output at {output_dir}")
+
+
+def _part_paths(fs: BlockFileSystem, output_dir: str) -> Iterable[str]:
+    prefix = output_dir.rstrip("/")
+    return [
+        p
+        for p in fs.ls(prefix)
+        if p.rsplit("/", 1)[-1].startswith("part-r-")
+    ]

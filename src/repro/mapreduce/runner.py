@@ -1,0 +1,290 @@
+"""Job runners: serial (deterministic, measurable) and multiprocessing.
+
+The :class:`SerialRunner` executes tasks one at a time and is the default —
+its per-task timings are clean, which matters because those timings feed the
+cluster simulator for the paper's server-count sweep.  The
+:class:`MultiprocessRunner` runs map and reduce tasks in a process pool for
+real speedups on multi-core machines (task payloads are pickled to workers,
+so user mapper/reducer classes must be module-level).
+
+Both runners share the task bodies in :mod:`repro.mapreduce.tasks`, support
+per-task retries, and produce identical :class:`JobResult` structure.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
+
+from repro.mapreduce.errors import JobConfigError, JobFailedError, TaskError
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.inputs import InputFormat, InputSplit, SequenceInputFormat
+from repro.mapreduce.job import ChainResult, Job, JobChain, JobResult
+from repro.mapreduce.serialization import estimate_nbytes
+from repro.mapreduce.shuffle import Grouped, shuffle
+from repro.mapreduce.tasks import run_map_task, run_reduce_task
+from repro.mapreduce.types import PhaseStats, TaskKind, TaskStats
+
+Pair = Tuple[Hashable, Any]
+
+
+@dataclass(slots=True)
+class _JobSpec:
+    """The picklable task-side view of a job."""
+
+    name: str
+    mapper: type
+    reducer: type
+    combiner: type | None
+    params: Dict[str, Any]
+    num_reducers: int
+    partitioner: Any
+    spill_records: int
+    sort_keys: bool
+
+    @classmethod
+    def of(cls, job: Job) -> "_JobSpec":
+        return cls(
+            name=job.name,
+            mapper=job.mapper,
+            reducer=job.reducer,
+            combiner=job.combiner,
+            params=dict(job.conf.params),
+            num_reducers=job.conf.num_reducers,
+            partitioner=job.conf.partitioner,
+            spill_records=job.conf.spill_records,
+            sort_keys=job.conf.sort_keys,
+        )
+
+
+def _execute_map_task(
+    spec: _JobSpec, task_index: int, split: InputSplit
+) -> Tuple[List[List[Pair]], Counters, TaskStats]:
+    task_id = f"map-{task_index}"
+    buffers, counters, duration, rin, rout = run_map_task(
+        task_id,
+        spec.mapper,
+        split.records,
+        spec.params,
+        spec.num_reducers,
+        spec.partitioner,
+        spec.combiner,
+        spec.spill_records,
+        spec.sort_keys,
+    )
+    bytes_out = sum(
+        estimate_nbytes(k) + estimate_nbytes(v) for buf in buffers for k, v in buf
+    )
+    stats = TaskStats(
+        task_id=task_id,
+        kind=TaskKind.MAP,
+        duration_s=duration,
+        records_in=rin,
+        records_out=rout,
+        bytes_out=bytes_out,
+    )
+    return buffers, counters, stats
+
+
+def _execute_reduce_task(
+    spec: _JobSpec, part_index: int, grouped: Grouped
+) -> Tuple[List[Pair], Counters, TaskStats]:
+    task_id = f"reduce-{part_index}"
+    output, counters, duration, rin, rout = run_reduce_task(
+        task_id, spec.reducer, grouped, spec.params
+    )
+    bytes_out = sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in output)
+    stats = TaskStats(
+        task_id=task_id,
+        kind=TaskKind.REDUCE,
+        duration_s=duration,
+        records_in=rin,
+        records_out=rout,
+        bytes_out=bytes_out,
+        partition=part_index,
+    )
+    return output, counters, stats
+
+
+class Runner:
+    """Common driver logic; subclasses provide the task execution strategy."""
+
+    def __init__(self, max_task_retries: int = 0):
+        if max_task_retries < 0:
+            raise JobConfigError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        self.max_task_retries = max_task_retries
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        job: Job,
+        *,
+        records: Sequence[Pair] | None = None,
+        input_format: InputFormat | None = None,
+    ) -> JobResult:
+        """Execute one job over in-memory records or an input format."""
+        job.validate()
+        if (records is None) == (input_format is None):
+            raise JobConfigError("provide exactly one of records / input_format")
+        if input_format is None:
+            input_format = SequenceInputFormat(records, job.conf.num_map_tasks)
+        splits = input_format.splits()
+        spec = _JobSpec.of(job)
+        counters = Counters()
+
+        t0 = time.perf_counter()
+        map_results = self._run_map_phase(spec, splits)
+        map_wall = time.perf_counter() - t0
+
+        map_stats = PhaseStats(kind=TaskKind.MAP)
+        map_outputs: List[List[List[Pair]]] = []
+        for buffers, task_counters, stats in map_results:
+            map_outputs.append(buffers)
+            counters.merge(task_counters)
+            map_stats.tasks.append(stats)
+
+        t1 = time.perf_counter()
+        partitions, shuffle_stats = shuffle(
+            map_outputs,
+            job.conf.num_reducers,
+            sort_keys=job.conf.sort_keys,
+            spill_dir=job.conf.spill_dir,
+            spill_threshold_records=job.conf.spill_threshold_records,
+        )
+        shuffle_wall = time.perf_counter() - t1
+
+        t2 = time.perf_counter()
+        reduce_results = self._run_reduce_phase(spec, partitions)
+        reduce_wall = time.perf_counter() - t2
+
+        reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
+        outputs: List[List[Pair]] = []
+        for output, task_counters, stats in reduce_results:
+            outputs.append(output)
+            counters.merge(task_counters)
+            reduce_stats.tasks.append(stats)
+
+        return JobResult(
+            job_name=job.name,
+            outputs=outputs,
+            counters=counters,
+            map_stats=map_stats,
+            reduce_stats=reduce_stats,
+            shuffle_stats=shuffle_stats,
+            map_wall_s=map_wall,
+            shuffle_wall_s=shuffle_wall,
+            reduce_wall_s=reduce_wall,
+        )
+
+    def run_chain(self, chain: JobChain, records: Sequence[Pair]) -> ChainResult:
+        """Execute a job chain, feeding each job the previous job's output."""
+        current: List[Pair] = list(records)
+        results: List[JobResult] = []
+        for builder in chain.stages:
+            job = builder(current)
+            result = self.run(job, records=current)
+            results.append(result)
+            current = list(result.output_pairs())
+        return ChainResult(results=results)
+
+    # -- strategy hooks -----------------------------------------------------------
+
+    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
+        raise NotImplementedError
+
+    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
+        raise NotImplementedError
+
+    def _with_retries(self, fn, *args):
+        attempts = self.max_task_retries + 1
+        failures: List[TaskError] = []
+        for attempt in range(attempts):
+            try:
+                result = fn(*args)
+                if attempt > 0:
+                    _, _, stats = result
+                    stats.attempt = attempt + 1
+                return result
+            except TaskError as exc:
+                failures.append(exc)
+        raise JobFailedError(args[0].name, failures)
+
+
+class SerialRunner(Runner):
+    """Runs every task in the driver process, one at a time."""
+
+    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
+        return [
+            self._with_retries(_execute_map_task, spec, i, split)
+            for i, split in enumerate(splits)
+        ]
+
+    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
+        return [
+            self._with_retries(_execute_reduce_task, spec, p, grouped)
+            for p, grouped in enumerate(partitions)
+        ]
+
+
+class MultiprocessRunner(Runner):
+    """Runs tasks in a :class:`ProcessPoolExecutor`.
+
+    One pool is created per phase; payloads travel by pickle.  Retries are
+    re-submitted to the pool (a fresh worker may succeed where a poisoned one
+    failed).
+    """
+
+    def __init__(self, num_workers: int, max_task_retries: int = 0):
+        super().__init__(max_task_retries)
+        if num_workers <= 0:
+            raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+
+    def _run_phase(self, fn, spec: _JobSpec, items: list):
+        results: list = [None] * len(items)
+        with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
+            pending = {
+                pool.submit(fn, spec, i, item): (i, item, 0)
+                for i, item in enumerate(items)
+            }
+            failures: List[TaskError] = []
+            while pending:
+                finished, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i, item, attempt = pending.pop(future)
+                    try:
+                        results[i] = future.result()
+                    except TaskError as exc:
+                        if attempt < self.max_task_retries:
+                            retry = pool.submit(fn, spec, i, item)
+                            pending[retry] = (i, item, attempt + 1)
+                        else:
+                            failures.append(exc)
+                    except Exception as exc:  # worker crashed outside user code
+                        failures.append(TaskError(f"{fn.__name__}-{i}", exc))
+            if failures:
+                raise JobFailedError(spec.name, failures)
+        return results
+
+    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
+        return self._run_phase(_execute_map_task, spec, splits)
+
+    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
+        return self._run_phase(_execute_reduce_task, spec, partitions)
+
+
+def run_job(
+    job: Job,
+    *,
+    records: Sequence[Pair] | None = None,
+    input_format: InputFormat | None = None,
+    runner: Runner | None = None,
+) -> JobResult:
+    """One-call convenience: run ``job`` with the given or default runner."""
+    runner = runner or SerialRunner()
+    return runner.run(job, records=records, input_format=input_format)

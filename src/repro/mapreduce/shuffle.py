@@ -1,0 +1,153 @@
+"""Sort-based shuffle: map outputs → grouped, key-sorted reduce inputs.
+
+The runner hands over each map task's per-partition buffers; the shuffle
+merges them per reduce partition, sorts by key, and groups values, exactly
+like Hadoop's merge phase (minus the on-disk segment merging — an optional
+spill path through framed temp files exists for memory-constrained runs).
+
+Keys of mixed types are ordered by ``(type name, repr)`` so the sort is total
+even for heterogeneous key sets; homogeneous keys sort naturally.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Tuple
+
+from repro.mapreduce.serialization import (
+    PickleCodec,
+    estimate_nbytes,
+    read_frames,
+    write_frames,
+)
+
+Pair = Tuple[Hashable, Any]
+Grouped = List[Tuple[Hashable, List[Any]]]
+
+
+@dataclass(slots=True)
+class ShuffleStats:
+    """Volume accounting for one job's shuffle."""
+
+    records: int = 0
+    bytes: int = 0
+    segments: int = 0
+    spilled_segments: int = 0
+
+
+def _sort_token(key: Hashable) -> Tuple[str, Any]:
+    """A totally-ordered proxy for arbitrary hashable keys."""
+    return (type(key).__name__, key)
+
+
+def _safe_sort(pairs: List[Pair]) -> List[Pair]:
+    """Sort pairs by key, surviving heterogeneous / partially-ordered keys."""
+    try:
+        return sorted(pairs, key=lambda kv: kv[0])
+    except TypeError:
+        return sorted(pairs, key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+
+
+def group_sorted(pairs: List[Pair]) -> Grouped:
+    """Group a key-sorted pair list into ``(key, [values])`` runs."""
+    grouped: Grouped = []
+    current_key: Hashable = None
+    current_values: List[Any] | None = None
+    for key, value in pairs:
+        if current_values is not None and key == current_key:
+            current_values.append(value)
+        else:
+            current_values = [value]
+            current_key = key
+            grouped.append((key, current_values))
+    return grouped
+
+
+def shuffle(
+    map_outputs: List[List[List[Pair]]],
+    num_partitions: int,
+    *,
+    sort_keys: bool = True,
+    spill_dir: str | None = None,
+    spill_threshold_records: int = 0,
+) -> Tuple[List[Grouped], ShuffleStats]:
+    """Merge map-side buffers into grouped reduce inputs.
+
+    Parameters
+    ----------
+    map_outputs:
+        ``map_outputs[m][p]`` is map task *m*'s buffer destined for reduce
+        partition *p*.
+    num_partitions:
+        Number of reduce partitions ``R``.
+    sort_keys:
+        Sort each partition's pairs by key before grouping (Hadoop always
+        does; disable only for experiments).
+    spill_dir / spill_threshold_records:
+        When set and a partition exceeds the threshold, its segments are
+        staged through framed temp files and k-way merged — an external-sort
+        path exercising the same code users would need at scale.
+
+    Returns
+    -------
+    (per-partition grouped inputs, shuffle statistics)
+    """
+    stats = ShuffleStats()
+    partitions: List[Grouped] = []
+    for part in range(num_partitions):
+        segments = [out[part] for out in map_outputs if out[part]]
+        stats.segments += len(segments)
+        n_records = sum(len(seg) for seg in segments)
+        stats.records += n_records
+        for seg in segments:
+            for key, value in seg:
+                stats.bytes += estimate_nbytes(key) + estimate_nbytes(value)
+        use_spill = (
+            spill_dir is not None
+            and spill_threshold_records > 0
+            and n_records > spill_threshold_records
+            and sort_keys
+        )
+        if use_spill:
+            merged = _external_merge(segments, spill_dir, stats)
+        else:
+            flat = [pair for seg in segments for pair in seg]
+            merged = _safe_sort(flat) if sort_keys else flat
+        partitions.append(group_sorted(merged))
+    return partitions, stats
+
+
+def _external_merge(
+    segments: List[List[Pair]], spill_dir: str, stats: ShuffleStats
+) -> List[Pair]:
+    """Sort each segment, spill to framed files, then k-way merge."""
+    codec = PickleCodec()
+    paths: List[str] = []
+    os.makedirs(spill_dir, exist_ok=True)
+    try:
+        for seg in segments:
+            fd, path = tempfile.mkstemp(dir=spill_dir, suffix=".spill")
+            paths.append(path)
+            stats.spilled_segments += 1
+            with os.fdopen(fd, "wb") as fh:
+                write_frames(fh, (codec.encode(p) for p in _safe_sort(seg)))
+
+        def _stream(path: str):
+            with open(path, "rb") as fh:
+                for frame in read_frames(fh):
+                    yield codec.decode(frame)
+
+        streams = [_stream(p) for p in paths]
+        merged = list(
+            heapq.merge(*streams, key=lambda kv: _sort_token(kv[0]))
+        )
+        return merged
+    finally:
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass

@@ -1,0 +1,224 @@
+"""Deterministic replay of measured jobs on a simulated cluster.
+
+Given the per-task :class:`~repro.mapreduce.types.TaskStats` measured by a
+(serial) run and a :class:`~repro.mapreduce.cluster.ClusterSpec`, the
+simulator computes phase makespans:
+
+* **Map time** — list-schedule the map tasks' (scaled) durations over the
+  cluster's map slots, plus per-task launch overhead.
+* **Shuffle time** — the map phase's output volume over the aggregate copy
+  bandwidth, plus a fixed latency.  Hadoop accounts the copy/merge inside
+  the reduce tasks, so :attr:`SimulatedJob.reduce_time_s` includes it — this
+  matches how the paper's Figure 6 splits "Map Time" vs "Reduce Time".
+* **Reduce time** — list-schedule the reduce tasks over reduce slots (plus
+  shuffle).
+
+Chained jobs add one ``job_overhead_s`` each, so the simulated total for the
+skyline pipelines is ``overheads + Σ(job phases)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.scheduler import Schedule, schedule_tasks
+from repro.mapreduce.types import TaskStats
+
+
+@dataclass(frozen=True, slots=True)
+class SimulatedJob:
+    """Phase times for one job replayed on a simulated cluster."""
+
+    job_name: str
+    num_nodes: int
+    map_makespan_s: float
+    shuffle_s: float
+    reduce_makespan_s: float
+    job_overhead_s: float
+
+    @property
+    def map_time_s(self) -> float:
+        """Figure-6 style "Map Time" (includes the job's fixed overhead)."""
+        return self.map_makespan_s + self.job_overhead_s
+
+    @property
+    def reduce_time_s(self) -> float:
+        """Figure-6 style "Reduce Time": copy/merge (shuffle) + reduce."""
+        return self.shuffle_s + self.reduce_makespan_s
+
+    @property
+    def total_s(self) -> float:
+        return self.map_time_s + self.reduce_time_s
+
+
+@dataclass(frozen=True, slots=True)
+class SimulatedPipeline:
+    """Aggregated times for a chain of jobs (the two-job skyline pipeline)."""
+
+    jobs: tuple[SimulatedJob, ...]
+
+    @property
+    def map_time_s(self) -> float:
+        return sum(j.map_time_s for j in self.jobs)
+
+    @property
+    def reduce_time_s(self) -> float:
+        return sum(j.reduce_time_s for j in self.jobs)
+
+    @property
+    def total_s(self) -> float:
+        return sum(j.total_s for j in self.jobs)
+
+
+def _phase_schedule(
+    tasks: Sequence[TaskStats], slots: int, cluster: ClusterSpec
+) -> Schedule:
+    durations = [t.duration_s * cluster.speed_factor for t in tasks]
+    return schedule_tasks(
+        durations,
+        slots,
+        policy=cluster.scheduling_policy,
+        per_task_overhead_s=cluster.task_launch_s,
+    )
+
+
+def simulate_job(result: JobResult, cluster: ClusterSpec) -> SimulatedJob:
+    """Replay one measured job on ``cluster``."""
+    map_schedule = _phase_schedule(result.map_stats.tasks, cluster.map_slots, cluster)
+    reduce_schedule = _phase_schedule(
+        result.reduce_stats.tasks, cluster.reduce_slots, cluster
+    )
+    shuffle_s = 0.0
+    if result.shuffle_stats.bytes > 0:
+        shuffle_s = (
+            result.shuffle_stats.bytes / cluster.aggregate_shuffle_bytes_per_s
+            + cluster.shuffle_latency_s
+        )
+    return SimulatedJob(
+        job_name=result.job_name,
+        num_nodes=cluster.num_nodes,
+        map_makespan_s=map_schedule.makespan_s,
+        shuffle_s=shuffle_s,
+        reduce_makespan_s=reduce_schedule.makespan_s,
+        job_overhead_s=cluster.job_overhead_s,
+    )
+
+
+def simulate_pipeline(
+    results: Sequence[JobResult], cluster: ClusterSpec
+) -> SimulatedPipeline:
+    """Replay a chain of measured jobs (sequential, as Hadoop runs them)."""
+    return SimulatedPipeline(
+        jobs=tuple(simulate_job(r, cluster) for r in results)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class StragglerSpec:
+    """Deterministic straggler injection for robustness studies.
+
+    Hadoop-era clusters lose time to stragglers (slow disks, hot nodes);
+    speculative execution launches backup attempts for tasks running far
+    beyond the norm.  This model perturbs measured task durations and
+    (optionally) caps each straggler at the speculative-backup completion
+    time:
+
+    * each task independently straggles with probability ``probability``
+      (deterministic per ``seed`` and task index),
+    * a straggling task's duration is multiplied by ``slowdown``,
+    * with ``speculative=True``, the effective duration becomes
+      ``min(slowed, trigger + nominal + relaunch)`` where ``trigger`` is
+      when the backup is launched (the phase's median nominal duration
+      times ``trigger_factor``) — the backup runs at nominal speed.
+    """
+
+    probability: float = 0.1
+    slowdown: float = 5.0
+    speculative: bool = True
+    trigger_factor: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+        if self.trigger_factor <= 0:
+            raise ValueError(f"trigger_factor must be > 0, got {self.trigger_factor}")
+
+    def perturb(self, durations: Sequence[float], launch_s: float) -> list[float]:
+        """Effective per-task durations under this straggler model."""
+        durations = list(durations)
+        if not durations:
+            return []
+        import numpy as np
+
+        rng = np.random.default_rng(self.seed)
+        straggles = rng.random(len(durations)) < self.probability
+        median = float(np.median(durations))
+        out = []
+        for nominal, slow in zip(durations, straggles):
+            if not slow:
+                out.append(nominal)
+                continue
+            slowed = nominal * self.slowdown
+            if self.speculative:
+                backup_done = self.trigger_factor * median + nominal + launch_s
+                slowed = min(slowed, backup_done)
+            out.append(slowed)
+        return out
+
+
+def simulate_job_with_stragglers(
+    result: JobResult, cluster: ClusterSpec, stragglers: StragglerSpec
+) -> SimulatedJob:
+    """Replay one job with straggler-perturbed task durations."""
+    def perturbed_schedule(tasks: Sequence[TaskStats], slots: int) -> Schedule:
+        nominal = [t.duration_s * cluster.speed_factor for t in tasks]
+        effective = stragglers.perturb(nominal, cluster.task_launch_s)
+        return schedule_tasks(
+            effective,
+            slots,
+            policy=cluster.scheduling_policy,
+            per_task_overhead_s=cluster.task_launch_s,
+        )
+
+    map_schedule = perturbed_schedule(result.map_stats.tasks, cluster.map_slots)
+    reduce_schedule = perturbed_schedule(
+        result.reduce_stats.tasks, cluster.reduce_slots
+    )
+    shuffle_s = 0.0
+    if result.shuffle_stats.bytes > 0:
+        shuffle_s = (
+            result.shuffle_stats.bytes / cluster.aggregate_shuffle_bytes_per_s
+            + cluster.shuffle_latency_s
+        )
+    return SimulatedJob(
+        job_name=result.job_name,
+        num_nodes=cluster.num_nodes,
+        map_makespan_s=map_schedule.makespan_s,
+        shuffle_s=shuffle_s,
+        reduce_makespan_s=reduce_schedule.makespan_s,
+        job_overhead_s=cluster.job_overhead_s,
+    )
+
+
+def server_sweep(
+    results: Sequence[JobResult],
+    node_counts: Sequence[int],
+    base_cluster: ClusterSpec,
+) -> list[SimulatedPipeline]:
+    """Simulate the same measured pipeline at several cluster sizes.
+
+    Note: this keeps the *task decomposition* fixed; experiments that follow
+    the paper's "partitions = 2 × nodes" rule should instead re-run the
+    pipeline per node count (see ``repro.bench.experiments.figure6``) so the
+    task structure scales too, and use :func:`simulate_pipeline` per point.
+    """
+    return [
+        simulate_pipeline(results, base_cluster.scaled(num_nodes=n))
+        for n in node_counts
+    ]

@@ -1,0 +1,260 @@
+"""Mapper / combiner / reducer interfaces and their execution contexts.
+
+User code subclasses :class:`Mapper` and :class:`Reducer` (a combiner is just
+a :class:`Reducer` run map-side).  Classes — not instances — are attached to
+the :class:`~repro.mapreduce.job.Job`, so they remain picklable for the
+multiprocessing runner; per-job parameters travel in ``JobConf.params`` and
+are available as ``self.params`` after ``setup``.
+
+The :class:`MapContext` buffers emitted pairs per reduce partition and runs
+the combiner whenever the in-memory buffer exceeds ``JobConf.spill_records``
+(and once more at task end), mirroring Hadoop's spill-time combining.  This
+is where the paper's "local skyline computation" middle stage plugs in.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Tuple
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import TaskError
+
+Pair = Tuple[Hashable, Any]
+
+
+class _TaskBase:
+    """Shared lifecycle for mappers and reducers."""
+
+    def __init__(self) -> None:
+        self.params: Dict[str, Any] = {}
+
+    def setup(self, params: Dict[str, Any]) -> None:
+        """Called once before the first record; default stores ``params``."""
+        self.params = params
+
+    def cleanup(self, ctx: "_ContextBase") -> None:
+        """Called once after the last record; default does nothing."""
+
+
+class Mapper(_TaskBase):
+    """Transforms one input record into zero or more intermediate pairs."""
+
+    def map(self, key: Hashable, value: Any, ctx: "MapContext") -> None:
+        raise NotImplementedError
+
+
+class Reducer(_TaskBase):
+    """Folds all values sharing a key into zero or more output pairs."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], ctx: "ReduceContext") -> None:
+        raise NotImplementedError
+
+
+class IdentityMapper(Mapper):
+    """Passes records through unchanged."""
+
+    def map(self, key: Hashable, value: Any, ctx: "MapContext") -> None:
+        ctx.emit(key, value)
+
+
+class IdentityReducer(Reducer):
+    """Emits every value under its key unchanged."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], ctx: "ReduceContext") -> None:
+        for value in values:
+            ctx.emit(key, value)
+
+
+#: A combiner has the reducer interface; the alias documents intent.
+Combiner = Reducer
+
+
+class _ContextBase:
+    """State shared by map and reduce contexts: counters and parameters."""
+
+    def __init__(self, params: Dict[str, Any], counters: Counters):
+        self.params = params
+        self.counters = counters
+
+    def increment(self, group: str, name: str, amount: int = 1) -> None:
+        """Bump a user counter (merged into the job counters at task end)."""
+        self.counters.increment(group, name, amount)
+
+
+class MapContext(_ContextBase):
+    """Collects a map task's emits into per-reduce-partition buffers."""
+
+    def __init__(
+        self,
+        params: Dict[str, Any],
+        counters: Counters,
+        num_partitions: int,
+        partition_fn: Callable[[Hashable, int], int],
+        combiner_factory: Callable[[], Reducer] | None = None,
+        spill_records: int = 0,
+        sort_keys: bool = True,
+    ):
+        super().__init__(params, counters)
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.num_partitions = num_partitions
+        self._partition_fn = partition_fn
+        self._combiner_factory = combiner_factory
+        self._spill_records = spill_records
+        self._sort_keys = sort_keys
+        self._buffers: List[List[Pair]] = [[] for _ in range(num_partitions)]
+        self._buffered = 0
+        self.records_out = 0
+        self.spills = 0
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        """Route one intermediate pair to its reduce partition."""
+        part = self._partition_fn(key, self.num_partitions)
+        if not 0 <= part < self.num_partitions:
+            raise TaskError(
+                "map", f"partitioner returned {part} outside [0, {self.num_partitions})"
+            )
+        self._buffers[part].append((key, value))
+        self._buffered += 1
+        self.records_out += 1
+        if self._spill_records and self._buffered >= self._spill_records:
+            self._run_combiner()
+
+    def finish(self) -> List[List[Pair]]:
+        """Final combine pass; returns the per-partition pair lists."""
+        if self._combiner_factory is not None:
+            self._run_combiner()
+        return self._buffers
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_combiner(self) -> None:
+        if self._combiner_factory is None:
+            self._buffered = 0
+            return
+        self.spills += 1
+        self.counters.framework("combiner_invocations")
+        for part in range(self.num_partitions):
+            buffer = self._buffers[part]
+            if not buffer:
+                continue
+            combined = _combine(
+                buffer,
+                self._combiner_factory,
+                self.params,
+                self.counters,
+                sort_keys=self._sort_keys,
+            )
+            self.counters.framework("combiner_in_records", len(buffer))
+            self.counters.framework("combiner_out_records", len(combined))
+            self._buffers[part] = combined
+        self._buffered = sum(len(b) for b in self._buffers)
+        # Combined output still counts once toward records_out semantics:
+        self.records_out = self._buffered
+
+
+class ReduceContext(_ContextBase):
+    """Collects a reduce task's output pairs."""
+
+    def __init__(self, params: Dict[str, Any], counters: Counters):
+        super().__init__(params, counters)
+        self.output: List[Pair] = []
+
+    def emit(self, key: Hashable, value: Any) -> None:
+        self.output.append((key, value))
+
+
+def _combine(
+    pairs: List[Pair],
+    combiner_factory: Callable[[], Reducer],
+    params: Dict[str, Any],
+    counters: Counters,
+    *,
+    sort_keys: bool,
+) -> List[Pair]:
+    """Group ``pairs`` by key and run the combiner over each group."""
+    groups: Dict[Hashable, List[Any]] = {}
+    for key, value in pairs:
+        groups.setdefault(key, []).append(value)
+    combiner = combiner_factory()
+    combiner.setup(params)
+    ctx = ReduceContext(params, counters)
+    keys = sorted(groups) if sort_keys else list(groups)
+    for key in keys:
+        combiner.reduce(key, groups[key], ctx)
+    combiner.cleanup(ctx)
+    return ctx.output
+
+
+def run_map_task(
+    task_id: str,
+    mapper_factory: Callable[[], Mapper],
+    records: Iterable[Pair],
+    params: Dict[str, Any],
+    num_partitions: int,
+    partition_fn: Callable[[Hashable, int], int],
+    combiner_factory: Callable[[], Reducer] | None,
+    spill_records: int,
+    sort_keys: bool = True,
+) -> Tuple[List[List[Pair]], Counters, float, int, int]:
+    """Execute one map task; returns (buffers, counters, seconds, in, out)."""
+    counters = Counters()
+    ctx = MapContext(
+        params,
+        counters,
+        num_partitions,
+        partition_fn,
+        combiner_factory,
+        spill_records,
+        sort_keys,
+    )
+    mapper = mapper_factory()
+    start = time.perf_counter()
+    records_in = 0
+    try:
+        mapper.setup(params)
+        for key, value in records:
+            records_in += 1
+            mapper.map(key, value, ctx)
+        mapper.cleanup(ctx)
+        buffers = ctx.finish()
+    except TaskError:
+        raise
+    except Exception as exc:
+        raise TaskError(task_id, exc) from exc
+    duration = time.perf_counter() - start
+    counters.framework("map_input_records", records_in)
+    counters.framework("map_output_records", ctx.records_out)
+    return buffers, counters, duration, records_in, ctx.records_out
+
+
+def run_reduce_task(
+    task_id: str,
+    reducer_factory: Callable[[], Reducer],
+    grouped: List[Tuple[Hashable, List[Any]]],
+    params: Dict[str, Any],
+) -> Tuple[List[Pair], Counters, float, int, int]:
+    """Execute one reduce task over pre-grouped input.
+
+    ``grouped`` is a key-sorted list of ``(key, values)`` as produced by the
+    shuffle.  Returns (output pairs, counters, seconds, records in, out).
+    """
+    counters = Counters()
+    ctx = ReduceContext(params, counters)
+    reducer = reducer_factory()
+    records_in = sum(len(vs) for _, vs in grouped)
+    start = time.perf_counter()
+    try:
+        reducer.setup(params)
+        for key, values in grouped:
+            reducer.reduce(key, values, ctx)
+        reducer.cleanup(ctx)
+    except TaskError:
+        raise
+    except Exception as exc:
+        raise TaskError(task_id, exc) from exc
+    duration = time.perf_counter() - start
+    counters.framework("reduce_input_records", records_in)
+    counters.framework("reduce_output_records", len(ctx.output))
+    return ctx.output, counters, duration, records_in, len(ctx.output)

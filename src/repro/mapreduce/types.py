@@ -1,0 +1,116 @@
+"""Core value types shared across the MapReduce engine.
+
+The engine moves ``(key, value)`` pairs.  Keys must be hashable and totally
+orderable within one job (the shuffle sorts by key); values are arbitrary
+Python objects.  :class:`TaskStats` is the engine's timing record — one per
+executed task — and is the raw material for the cluster timing simulation
+(:mod:`repro.mapreduce.simulation`) that reproduces the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable, NamedTuple
+
+
+class KeyValue(NamedTuple):
+    """A single key/value record flowing through the engine."""
+
+    key: Hashable
+    value: Any
+
+
+class TaskKind(enum.Enum):
+    """Which pipeline stage a task belongs to."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True)
+class TaskStats:
+    """Timing and volume accounting for one executed task.
+
+    Attributes
+    ----------
+    task_id:
+        Engine-assigned id, e.g. ``"map-7"``.
+    kind:
+        :class:`TaskKind.MAP` or :class:`TaskKind.REDUCE`.
+    duration_s:
+        Wall-clock seconds spent inside the task body (user code + framework
+        record handling, excluding inter-process transfer).
+    records_in / records_out:
+        Record counts crossing the task boundary.
+    bytes_out:
+        Estimated serialized size of the task output; drives the shuffle
+        cost model in the simulator.
+    partition:
+        For reduce tasks, the reduce-partition index; ``-1`` for map tasks.
+    """
+
+    task_id: str
+    kind: TaskKind
+    duration_s: float = 0.0
+    records_in: int = 0
+    records_out: int = 0
+    bytes_out: int = 0
+    partition: int = -1
+    attempt: int = 1
+
+    def merged_with(self, other: "TaskStats") -> "TaskStats":
+        """Combine two attempts/stat fragments of the same logical task."""
+        if other.task_id != self.task_id:
+            raise ValueError(
+                f"cannot merge stats of {self.task_id} with {other.task_id}"
+            )
+        return TaskStats(
+            task_id=self.task_id,
+            kind=self.kind,
+            duration_s=self.duration_s + other.duration_s,
+            records_in=self.records_in + other.records_in,
+            records_out=self.records_out + other.records_out,
+            bytes_out=self.bytes_out + other.bytes_out,
+            partition=self.partition,
+            attempt=max(self.attempt, other.attempt),
+        )
+
+
+@dataclass(slots=True)
+class PhaseStats:
+    """Aggregated statistics for one phase (all map tasks or all reduce tasks).
+
+    ``busy_s`` is the *sum* of task durations (total work); ``critical_s`` is
+    the longest single task (a lower bound on the phase's parallel makespan
+    with unlimited slots).
+    """
+
+    kind: TaskKind
+    tasks: list[TaskStats] = field(default_factory=list)
+
+    @property
+    def busy_s(self) -> float:
+        return sum(t.duration_s for t in self.tasks)
+
+    @property
+    def critical_s(self) -> float:
+        return max((t.duration_s for t in self.tasks), default=0.0)
+
+    @property
+    def records_in(self) -> int:
+        return sum(t.records_in for t in self.tasks)
+
+    @property
+    def records_out(self) -> int:
+        return sum(t.records_out for t in self.tasks)
+
+    @property
+    def bytes_out(self) -> int:
+        return sum(t.bytes_out for t in self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)

@@ -1,0 +1,50 @@
+"""Web-service / QoS domain layer.
+
+* :mod:`repro.services.qos` — attribute schema, polarity normalisation
+* :mod:`repro.services.qws` — synthetic QWS dataset + the paper's extension
+  procedure (the evaluation workload)
+* :mod:`repro.services.registry` — UDDI-like registry with incremental
+  per-category skylines
+* :mod:`repro.services.selection` — user-facing skyline selection + ranking
+* :mod:`repro.services.composition` — QoS-aware workflow composition with
+  per-task skyline pruning
+"""
+
+from repro.services.composition import (
+    CompositionResult,
+    CompositionTask,
+    aggregate_qos,
+    skyline_compositions,
+)
+from repro.services.qos import Polarity, QoSAttribute, QoSSchema
+from repro.services.qws import (
+    QWS_SCHEMA,
+    ServiceDataset,
+    extend_dataset,
+    generate_qws,
+)
+from repro.services.registry import Service, ServiceRegistry
+from repro.services.selection import (
+    SelectionResult,
+    rank_by_utility,
+    select_services,
+)
+
+__all__ = [
+    "CompositionResult",
+    "CompositionTask",
+    "Polarity",
+    "QWS_SCHEMA",
+    "QoSAttribute",
+    "QoSSchema",
+    "SelectionResult",
+    "Service",
+    "ServiceDataset",
+    "aggregate_qos",
+    "ServiceRegistry",
+    "extend_dataset",
+    "generate_qws",
+    "rank_by_utility",
+    "select_services",
+    "skyline_compositions",
+]

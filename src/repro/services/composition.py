@@ -1,0 +1,210 @@
+"""QoS-aware service composition — skyline pruning for workflow plans.
+
+The paper motivates skyline processing with QoS-based *selection*; its
+companion problem (references [8] Alrifai et al. and [32] Zeng et al.) is
+QoS-based *composition*: a workflow of abstract tasks, each with many
+candidate services, where the plan's end-to-end QoS aggregates the chosen
+services' attributes.  The search space is the product of the candidate
+sets, but a classic pruning theorem cuts it down:
+
+    For monotone aggregation functions, every Pareto-optimal composition
+    uses only *per-task skyline* services.
+
+(Replace a dominated component with its dominator: every aggregate improves
+or stays equal, so the original plan was dominated too.)
+
+This module implements the standard aggregation rules over the
+minimisation-oriented QoS space produced by
+:meth:`repro.services.qos.QoSSchema.to_minimization`:
+
+* ``"sum"``       — additive attributes (response time, latency, price);
+* ``"max"``       — bottleneck attributes (a flipped throughput: the plan is
+  as slow as its slowest member, i.e. the *largest* flipped value);
+* ``"prob"``      — success-probability attributes (availability,
+  reliability, successability): the plan succeeds iff every member does, so
+  raw probabilities multiply — in flipped space ``1 − Π(1 − vᵢ/bound)``
+  scaled back by the bound.
+
+and a composition enumerator that prunes per task, composes aggregates, and
+returns the Pareto-optimal plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Literal, Sequence
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+from repro.core.skyline import skyline
+
+__all__ = [
+    "AGGREGATIONS",
+    "CompositionResult",
+    "CompositionTask",
+    "aggregate_qos",
+    "skyline_compositions",
+]
+
+Aggregation = Literal["sum", "max", "prob"]
+
+AGGREGATIONS: tuple[str, ...] = ("sum", "max", "prob")
+
+
+@dataclass(slots=True)
+class CompositionTask:
+    """One abstract workflow task and its candidate services.
+
+    ``candidates`` is an ``(m, d)`` minimisation-oriented QoS matrix;
+    ``ids`` optionally names the rows (defaults to 0..m-1).
+    """
+
+    name: str
+    candidates: np.ndarray
+    ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.candidates = validate_points(self.candidates, name=self.name)
+        if self.ids is None:
+            self.ids = np.arange(self.candidates.shape[0], dtype=np.intp)
+        else:
+            self.ids = np.asarray(self.ids, dtype=np.intp)
+            if self.ids.shape != (self.candidates.shape[0],):
+                raise ValueError(
+                    f"{self.name}: ids shape {self.ids.shape} does not match "
+                    f"{self.candidates.shape[0]} candidates"
+                )
+
+
+def _check_aggregations(aggregations: Sequence[str], d: int) -> List[str]:
+    aggs = list(aggregations)
+    if len(aggs) != d:
+        raise ValueError(f"{len(aggs)} aggregation rules for {d} attributes")
+    for a in aggs:
+        if a not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {a!r}; choose from {AGGREGATIONS}")
+    return aggs
+
+
+def aggregate_qos(
+    component_rows: np.ndarray,
+    aggregations: Sequence[str],
+    *,
+    prob_bounds: Sequence[float] | None = None,
+) -> np.ndarray:
+    """End-to-end QoS of one plan from its ``(k, d)`` component rows.
+
+    ``prob_bounds[j]`` is the flip bound of a ``"prob"`` attribute (e.g. 100
+    for percentages): a flipped value ``v`` encodes success probability
+    ``1 − v/bound``, the plan's probability is the product, and the result
+    is flipped back.  Defaults to 100 for every prob attribute.
+    """
+    rows = validate_points(component_rows, name="component_rows")
+    k, d = rows.shape
+    aggs = _check_aggregations(aggregations, d)
+    out = np.empty(d)
+    for j, agg in enumerate(aggs):
+        col = rows[:, j]
+        if agg == "sum":
+            out[j] = col.sum()
+        elif agg == "max":
+            out[j] = col.max()
+        else:  # prob
+            bound = 100.0 if prob_bounds is None else float(prob_bounds[j])
+            if bound <= 0:
+                raise ValueError(f"prob bound must be positive, got {bound}")
+            success = np.clip(1.0 - col / bound, 0.0, 1.0)
+            out[j] = bound * (1.0 - success.prod())
+    return out
+
+
+@dataclass(slots=True)
+class CompositionResult:
+    """Pareto-optimal plans for a workflow."""
+
+    #: (p, k) matrix: row = plan, column = chosen candidate id per task.
+    plans: np.ndarray
+    #: (p, d) aggregated QoS per plan (minimisation orientation).
+    qos: np.ndarray
+    #: number of raw combinations before per-task skyline pruning.
+    search_space: int
+    #: number of combinations actually enumerated (after pruning).
+    enumerated: int
+
+    def __len__(self) -> int:
+        return int(self.plans.shape[0])
+
+
+def skyline_compositions(
+    tasks: Sequence[CompositionTask],
+    aggregations: Sequence[str],
+    *,
+    prob_bounds: Sequence[float] | None = None,
+    max_enumerations: int = 200_000,
+) -> CompositionResult:
+    """Pareto-optimal compositions of one service per task.
+
+    Per-task skyline pruning is applied first (sound for the monotone
+    aggregations implemented here), then the reduced product space is
+    enumerated, aggregated vectorised per task-batch, and filtered to the
+    global Pareto set.
+
+    Raises if the pruned space still exceeds ``max_enumerations`` — callers
+    should then reduce per-task candidates (e.g. via
+    :func:`repro.core.representative.max_dominance_representatives`).
+    """
+    if not tasks:
+        raise ValueError("need at least one task")
+    d = tasks[0].candidates.shape[1]
+    aggs = _check_aggregations(aggregations, d)
+    for t in tasks:
+        if t.candidates.shape[1] != d:
+            raise ValueError(
+                f"task {t.name!r} has {t.candidates.shape[1]} attributes, "
+                f"expected {d}"
+            )
+
+    search_space = 1
+    for t in tasks:
+        search_space *= t.candidates.shape[0]
+
+    # Per-task skyline pruning.
+    pruned_rows: List[np.ndarray] = []
+    pruned_ids: List[np.ndarray] = []
+    enumerated = 1
+    for t in tasks:
+        keep = skyline(t.candidates, algorithm="sfs")
+        pruned_rows.append(t.candidates[keep])
+        pruned_ids.append(t.ids[keep])
+        enumerated *= keep.size
+    if enumerated > max_enumerations:
+        raise ValueError(
+            f"pruned composition space still has {enumerated:,} plans "
+            f"(> {max_enumerations:,}); shrink per-task candidate sets"
+        )
+
+    # Enumerate the pruned product space.
+    combos = list(product(*(range(r.shape[0]) for r in pruned_rows)))
+    qos = np.empty((len(combos), d))
+    for i, combo in enumerate(combos):
+        rows = np.vstack(
+            [pruned_rows[t_idx][c] for t_idx, c in enumerate(combo)]
+        )
+        qos[i] = aggregate_qos(rows, aggs, prob_bounds=prob_bounds)
+
+    pareto = skyline(qos, algorithm="sfs")
+    plans = np.array(
+        [
+            [int(pruned_ids[t_idx][combos[i][t_idx]]) for t_idx in range(len(tasks))]
+            for i in pareto
+        ],
+        dtype=np.intp,
+    ).reshape(pareto.size, len(tasks))
+    return CompositionResult(
+        plans=plans,
+        qos=qos[pareto],
+        search_space=search_space,
+        enumerated=len(combos),
+    )

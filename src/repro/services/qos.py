@@ -1,0 +1,124 @@
+"""QoS attribute schema and orientation normalisation.
+
+Skyline code in :mod:`repro.core` minimises every dimension.  Real QoS
+attributes are mixed: response time and latency should be minimised, but
+availability or throughput maximised.  A :class:`QoSSchema` records each
+attribute's polarity and converts raw service measurements into the
+all-minimisation, non-negative matrix the skyline pipeline expects
+(non-negativity also being a requirement of the hyperspherical transform).
+
+Maximisation attributes are flipped as ``upper_bound − value``; attributes
+with no natural upper bound use the observed maximum (recorded so the same
+transform applies to later, unseen services).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Polarity", "QoSAttribute", "QoSSchema"]
+
+
+class Polarity(enum.Enum):
+    """Whether smaller or larger raw values are better."""
+
+    LOWER_IS_BETTER = "min"
+    HIGHER_IS_BETTER = "max"
+
+
+@dataclass(frozen=True, slots=True)
+class QoSAttribute:
+    """One QoS dimension.
+
+    ``upper_bound`` is the value used to flip maximisation attributes
+    (e.g. 100 for percentages); ``None`` means "use the observed maximum".
+    """
+
+    name: str
+    unit: str
+    polarity: Polarity
+    upper_bound: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.upper_bound is not None and self.upper_bound <= 0:
+            raise ValueError(
+                f"{self.name}: upper_bound must be positive, got {self.upper_bound}"
+            )
+
+
+class QoSSchema:
+    """An ordered list of QoS attributes with orientation handling."""
+
+    def __init__(self, attributes: Sequence[QoSAttribute]):
+        attrs = list(attributes)
+        if not attrs:
+            raise ValueError("schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {names}")
+        self.attributes = attrs
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def index_of(self, name: str) -> int:
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise KeyError(f"no attribute named {name!r}")
+
+    def subset(self, dims: int) -> "QoSSchema":
+        """The first ``dims`` attributes (the paper sweeps d = 2 … 10)."""
+        if not 1 <= dims <= len(self.attributes):
+            raise ValueError(
+                f"dims must be in [1, {len(self.attributes)}], got {dims}"
+            )
+        return QoSSchema(self.attributes[:dims])
+
+    def to_minimization(self, raw: np.ndarray) -> np.ndarray:
+        """Convert raw measurements to the all-minimisation orientation.
+
+        Parameters
+        ----------
+        raw:
+            ``(n, len(schema))`` matrix of raw attribute values; negative
+            raw values are rejected (QoS measurements are non-negative).
+
+        Returns
+        -------
+        ``(n, d)`` float64 matrix, non-negative, lower-is-better everywhere.
+        """
+        data = np.asarray(raw, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != len(self.attributes):
+            raise ValueError(
+                f"expected shape (n, {len(self.attributes)}), got {data.shape}"
+            )
+        if np.isnan(data).any():
+            raise ValueError("raw QoS matrix contains NaN")
+        if (data < 0).any():
+            raise ValueError("raw QoS values must be non-negative")
+        out = data.copy()
+        for j, attr in enumerate(self.attributes):
+            if attr.polarity is Polarity.HIGHER_IS_BETTER:
+                bound = attr.upper_bound
+                if bound is None:
+                    bound = float(data[:, j].max())
+                if (data[:, j] > bound).any():
+                    raise ValueError(
+                        f"{attr.name}: values exceed upper_bound {bound}"
+                    )
+                out[:, j] = bound - data[:, j]
+        return out

@@ -1,0 +1,175 @@
+"""A UDDI-like service registry with dynamic skyline maintenance.
+
+§II of the paper frames the system around a UDDI registry: providers
+publish services with QoS measurements, users query for the skyline of a
+service category, and the registry absorbs publishes/withdrawals without
+global recomputation (the partition-local update of
+:class:`repro.core.incremental.IncrementalSkyline`).
+
+This is the domain-facing substrate the examples build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.core.incremental import IncrementalSkyline
+from repro.core.partitioning import AngularPartitioner, SpacePartitioner
+from repro.services.qos import QoSSchema
+
+__all__ = ["Service", "ServiceRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Service:
+    """One published web service."""
+
+    service_id: int
+    name: str
+    provider: str
+    category: str
+    qos_raw: np.ndarray  # raw attribute values, schema order
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "qos_raw", np.asarray(self.qos_raw, dtype=np.float64)
+        )
+
+
+class ServiceRegistry:
+    """Registry of services grouped by category, with per-category skylines.
+
+    Parameters
+    ----------
+    schema:
+        QoS schema shared by every service.
+    dims:
+        Number of leading attributes used for skyline evaluation.
+    partitioner_factory:
+        Builds the per-category space partitioner; defaults to the paper's
+        angular scheme with 8 sectors.
+    """
+
+    def __init__(
+        self,
+        schema: QoSSchema,
+        *,
+        dims: int | None = None,
+        partitioner_factory=None,
+    ):
+        self.schema = schema
+        self.dims = dims or len(schema)
+        if not 1 <= self.dims <= len(schema):
+            raise ValueError(f"dims must be in [1, {len(schema)}], got {self.dims}")
+        from repro.services.qos import Polarity
+
+        for attr in schema.subset(self.dims):
+            if attr.polarity is Polarity.HIGHER_IS_BETTER and attr.upper_bound is None:
+                raise ValueError(
+                    f"registry needs a fixed upper_bound on maximisation "
+                    f"attribute {attr.name!r} (per-service normalisation "
+                    f"cannot use observed maxima)"
+                )
+        if partitioner_factory is None:
+            # Angles need >= 2 dimensions; a 1-attribute registry falls back
+            # to dimensional slabs.
+            if self.dims >= 2:
+                partitioner_factory = lambda: AngularPartitioner(8)  # noqa: E731
+            else:
+                from repro.core.partitioning import DimensionalPartitioner
+
+                partitioner_factory = lambda: DimensionalPartitioner(8)  # noqa: E731
+        self._partitioner_factory = partitioner_factory
+        self._services: Dict[int, Service] = {}
+        self._categories: Dict[str, Dict[int, int]] = {}  # cat -> {sid: sky_id}
+        self._skylines: Dict[str, IncrementalSkyline] = {}
+        self._next_id = 1
+
+    # -- publication -------------------------------------------------------------
+
+    def publish(
+        self,
+        name: str,
+        provider: str,
+        category: str,
+        qos_raw: np.ndarray,
+    ) -> Service:
+        """Register a service; updates the category skyline incrementally."""
+        raw = np.asarray(qos_raw, dtype=np.float64).reshape(-1)
+        if raw.shape[0] != len(self.schema):
+            raise ValueError(
+                f"qos_raw has {raw.shape[0]} values, schema expects "
+                f"{len(self.schema)}"
+            )
+        service = Service(
+            service_id=self._next_id,
+            name=name,
+            provider=provider,
+            category=category,
+            qos_raw=raw,
+        )
+        self._next_id += 1
+        self._services[service.service_id] = service
+
+        vector = self._minimized(raw)
+        sky = self._skylines.get(category)
+        if sky is None:
+            # Bootstrap the category's partitioner on its first service; the
+            # partitioners clamp out-of-range values, so this stays valid as
+            # the category grows.  Fit on a tiny box around the first point.
+            partitioner: SpacePartitioner = self._partitioner_factory()
+            seed = np.vstack([vector, vector * 2 + 1.0])
+            partitioner.fit(seed)
+            sky = IncrementalSkyline(partitioner)
+            self._skylines[category] = sky
+            self._categories[category] = {}
+        sky_id = sky.insert(vector)
+        self._categories[category][service.service_id] = sky_id
+        return service
+
+    def withdraw(self, service_id: int) -> None:
+        """Remove a service; only its partition's skyline is recomputed."""
+        service = self._services.pop(service_id, None)
+        if service is None:
+            raise KeyError(f"unknown service id {service_id}")
+        mapping = self._categories[service.category]
+        sky_id = mapping.pop(service_id)
+        self._skylines[service.category].remove(sky_id)
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._services.values())
+
+    def get(self, service_id: int) -> Service:
+        return self._services[service_id]
+
+    def categories(self) -> List[str]:
+        return sorted(self._categories)
+
+    def services_in(self, category: str) -> List[Service]:
+        return [self._services[sid] for sid in self._categories.get(category, {})]
+
+    def skyline(self, category: str) -> List[Service]:
+        """The current skyline services of a category (QoS-optimal set)."""
+        sky = self._skylines.get(category)
+        if sky is None:
+            return []
+        optimal_ids = set(sky.global_skyline())
+        return [
+            self._services[sid]
+            for sid, sky_id in sorted(self._categories[category].items())
+            if sky_id in optimal_ids
+        ]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _minimized(self, raw: np.ndarray) -> np.ndarray:
+        sub = self.schema.subset(self.dims)
+        return sub.to_minimization(raw[: self.dims].reshape(1, -1))[0]

@@ -1,0 +1,100 @@
+"""QoS-based service selection on top of the skyline pipeline.
+
+The end-user API of the paper's motivating scenario: given a set of
+candidate services, return the QoS-optimal (skyline) ones, optionally ranked
+by a user utility over normalised attributes.  Selection can run on a single
+machine or through any of the three MapReduce algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.skyline import skyline as local_skyline
+from repro.services.qws import ServiceDataset
+
+__all__ = ["SelectionResult", "select_services", "rank_by_utility"]
+
+Mode = Literal["local", "mr-dim", "mr-grid", "mr-angle"]
+
+_MR_METHODS = {"mr-dim": "dim", "mr-grid": "grid", "mr-angle": "angle"}
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionResult:
+    """Outcome of a selection query."""
+
+    indices: np.ndarray  # dataset row indices of the skyline services
+    dims: int
+    mode: str
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+def select_services(
+    dataset: ServiceDataset,
+    *,
+    dims: int | None = None,
+    mode: Mode = "local",
+    num_workers: int = 4,
+) -> SelectionResult:
+    """Return the skyline services of ``dataset`` over its first ``dims``
+    attributes.
+
+    ``mode="local"`` runs single-machine BNL; the ``mr-*`` modes run the
+    corresponding MapReduce pipeline (useful when the candidate set is
+    large or the caller wants the distributed code path end to end).
+    """
+    dims = dims or dataset.num_attributes
+    matrix = dataset.qos_matrix(dims)
+    if mode == "local":
+        idx = local_skyline(matrix, algorithm="bnl")
+    elif mode in _MR_METHODS:
+        result = run_mr_skyline(
+            matrix, method=_MR_METHODS[mode], num_workers=num_workers
+        )
+        idx = result.global_indices
+    else:
+        raise ValueError(
+            f"unknown mode {mode!r}; choose 'local' or one of {sorted(_MR_METHODS)}"
+        )
+    return SelectionResult(indices=idx, dims=dims, mode=mode)
+
+
+def rank_by_utility(
+    dataset: ServiceDataset,
+    selection: SelectionResult,
+    weights: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Order selected services by a weighted additive utility (best first).
+
+    Attributes are min-max normalised over the *selected* services in the
+    minimisation orientation, so utility = −Σ wᵢ·normᵢ; ``weights`` defaults
+    to uniform.  Ties keep dataset order (stable sort).
+    """
+    if len(selection) == 0:
+        return np.empty(0, dtype=np.intp)
+    matrix = dataset.qos_matrix(selection.dims)[selection.indices]
+    weights_arr = (
+        np.full(matrix.shape[1], 1.0 / matrix.shape[1])
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    if weights_arr.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"weights shape {weights_arr.shape} does not match {matrix.shape[1]} dims"
+        )
+    if (weights_arr < 0).any():
+        raise ValueError("weights must be non-negative")
+    lo = matrix.min(axis=0)
+    span = matrix.max(axis=0) - lo
+    span[span == 0] = 1.0
+    norm = (matrix - lo) / span
+    cost = norm @ weights_arr
+    order = np.argsort(cost, kind="stable")
+    return selection.indices[order]

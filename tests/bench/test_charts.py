@@ -1,0 +1,117 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import line_chart, stacked_bars
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        out = line_chart(
+            [2, 4, 6],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="demo",
+            width=32,
+            height=8,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        rows = [l for l in lines if "|" in l]
+        assert len(rows) == 8
+        assert "o=a" in out and "x=b" in out
+
+    def test_glyphs_plotted(self):
+        out = line_chart([0, 1], {"s": [0.0, 10.0]}, width=20, height=6)
+        assert out.count("o") >= 2 + 1  # two points + legend
+
+    def test_max_point_on_top_row(self):
+        out = line_chart([0, 1, 2], {"s": [1.0, 5.0, 10.0]}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[0]  # y max
+        assert "10" in rows[0]
+
+    def test_zero_series_ok(self):
+        out = line_chart([0, 1], {"flat": [0.0, 0.0]}, width=20, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "o" in rows[-1]  # plotted on the zero row
+
+    def test_y_label(self):
+        out = line_chart([0], {"s": [1.0]}, y_label="seconds")
+        assert "(y: seconds)" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0], {}, width=20)
+        with pytest.raises(ValueError):
+            line_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([0], {"s": [1.0]}, width=4)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            line_chart([0], series)
+
+
+class TestStackedBars:
+    def test_basic_structure(self):
+        out = stacked_bars(
+            [4, 8],
+            {"map": [2.0, 1.0], "reduce": [6.0, 3.0]},
+            title="fig6",
+            width=20,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "fig6"
+        assert "#" in out and "=" in out
+        assert "#=map" in out and "==reduce" in out
+
+    def test_totals_annotated(self):
+        out = stacked_bars([1], {"a": [3.0], "b": [4.0]}, width=14)
+        assert "7.0" in out
+
+    def test_longest_bar_fills_width(self):
+        out = stacked_bars([1, 2], {"a": [10.0, 5.0]}, width=20)
+        rows = [l for l in out.splitlines() if "|" in l]
+        first_bar = rows[0].split("|")[1]
+        assert first_bar.count("#") == 20
+
+    def test_segment_proportions(self):
+        out = stacked_bars([1], {"a": [5.0], "b": [5.0]}, width=20)
+        bar = out.splitlines()[0].split("|")[1]
+        assert bar.count("#") == bar.count("=") == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stacked_bars([1], {}, width=20)
+        with pytest.raises(ValueError):
+            stacked_bars([1], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            stacked_bars([1], {"a": [-1.0]})
+        with pytest.raises(ValueError):
+            stacked_bars([1], {"a": [1.0]}, width=4)
+
+
+class TestCliChartFlag:
+    def test_fig5_chart_appended(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5a", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o=MR-Dim" in out
+
+    def test_fig6_chart_appended(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig6", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#=map" in out
+
+    def test_theory_has_no_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["theory", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "o=" not in out

@@ -1,0 +1,140 @@
+"""Tests for the reproduction gate (shape checks)."""
+
+import pytest
+
+from repro.bench.expectations import (
+    CheckResult,
+    ShapeCheck,
+    _angle_fastest,
+    _angle_gap_grows,
+    _fig6_declines_and_saturates,
+    _fig7_eq_width_magnitude,
+    _fig7_ordering_at_top_dim,
+    _theory_bound_holds,
+    reproduction_checks,
+)
+from repro.bench.reporting import Table
+
+
+def _fig5_table(dim_vals, grid_vals, angle_vals):
+    t = Table(title="t", columns=["dimension", "MR-Dim", "MR-Grid", "MR-Angle"])
+    for d, a, b, c in zip((2, 6, 10), dim_vals, grid_vals, angle_vals):
+        t.add_row(d, a, b, c)
+    return t
+
+
+class TestPredicates:
+    def test_angle_fastest_pass(self):
+        t = _fig5_table([10, 20, 30], [11, 22, 33], [5, 6, 7])
+        assert _angle_fastest(t) == ""
+
+    def test_angle_fastest_fail(self):
+        t = _fig5_table([10, 20, 30], [11, 22, 33], [5, 25, 7])
+        assert "slower" in _angle_fastest(t)
+
+    def test_gap_grows_pass(self):
+        t = _fig5_table([10, 40, 90], [11, 44, 99], [5, 10, 15])
+        assert _angle_gap_grows(t) == ""
+
+    def test_gap_grows_fail_shrinking(self):
+        t = _fig5_table([50, 40, 30], [55, 44, 33], [5, 10, 20])
+        assert "shrank" in _angle_gap_grows(t)
+
+    def test_gap_grows_fail_small_factor(self):
+        t = _fig5_table([10, 11, 12], [10, 11, 12], [9, 10, 10])
+        assert "floor" in _angle_gap_grows(t)
+
+    def test_fig6_pass(self):
+        t = Table(title="t", columns=["servers", "map_time_s", "reduce_time_s", "total_s"])
+        for s, total in zip((4, 8, 16, 32), (100, 80, 72, 70)):
+            t.add_row(s, 10, total - 10, total)
+        assert _fig6_declines_and_saturates(t) == ""
+
+    def test_fig6_fail_no_speedup(self):
+        t = Table(title="t", columns=["servers", "map_time_s", "reduce_time_s", "total_s"])
+        for s in (4, 8, 16, 32):
+            t.add_row(s, 10, 90, 100)
+        assert "no total speedup" in _fig6_declines_and_saturates(t)
+
+    def test_fig6_fail_no_saturation(self):
+        t = Table(title="t", columns=["servers", "map_time_s", "reduce_time_s", "total_s"])
+        for s, total in zip((4, 8, 16, 32), (100, 99, 98, 50)):
+            t.add_row(s, 10, total - 10, total)
+        assert "saturate" in _fig6_declines_and_saturates(t)
+
+    def test_fig7_ordering(self):
+        t = Table(
+            title="t",
+            columns=["dimension", "MR-Dim", "MR-Grid", "MR-Angle"],
+        )
+        t.add_row(10, 0.1, 0.3, 0.4)
+        assert _fig7_ordering_at_top_dim(t) == ""
+        bad = Table(
+            title="t",
+            columns=["dimension", "MR-Dim", "MR-Grid", "MR-Angle"],
+        )
+        bad.add_row(10, 0.1, 0.5, 0.4)
+        assert "broken" in _fig7_ordering_at_top_dim(bad)
+
+    def test_eq_width_band(self):
+        t = Table(title="t", columns=["dimension", "MR-Angle(eq-width)"])
+        t.add_row(10, 0.65)
+        assert _fig7_eq_width_magnitude(t) == ""
+        low = Table(title="t", columns=["dimension", "MR-Angle(eq-width)"])
+        low.add_row(10, 0.2)
+        assert "band" in _fig7_eq_width_magnitude(low)
+
+    def test_theory(self):
+        t = Table(
+            title="t",
+            columns=["x", "D_angle_eq3", "D_angle_mc", "bound_holds"],
+        )
+        t.add_row(0.5, 0.75, 0.751, True)
+        assert _theory_bound_holds(t) == ""
+        bad = Table(
+            title="t",
+            columns=["x", "D_angle_eq3", "D_angle_mc", "bound_holds"],
+        )
+        bad.add_row(0.5, 0.75, 0.80, True)
+        assert "diverges" in _theory_bound_holds(bad)
+
+
+class TestShapeCheck:
+    def test_run_pass(self):
+        check = ShapeCheck(
+            name="x",
+            claim="always true",
+            predicate=lambda t: "",
+            table_fn=lambda: Table(title="t", columns=["a"]),
+        )
+        result = check.run()
+        assert result.passed
+        assert result.detail == "always true"
+        assert bool(result)
+
+    def test_run_fail(self):
+        check = ShapeCheck(
+            name="x",
+            claim="c",
+            predicate=lambda t: "broken",
+            table_fn=lambda: Table(title="t", columns=["a"]),
+        )
+        result = check.run()
+        assert not result.passed
+        assert result.detail == "broken"
+
+    def test_suite_declares_six_checks(self):
+        checks = reproduction_checks(quick=True)
+        assert len(checks) == 6
+        assert len({c.name for c in checks}) == 6
+
+
+class TestCliVerify:
+    def test_verify_quick(self, capsys):
+        from repro.cli import main
+
+        rc = main(["verify", "--quick"])
+        out = capsys.readouterr().out
+        assert "reproduction gate" in out
+        assert rc == 0
+        assert "6/6 shape checks passed" in out

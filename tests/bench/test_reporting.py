@@ -1,0 +1,81 @@
+"""Tests for the Table reporting primitives."""
+
+import pytest
+
+from repro.bench.reporting import Table
+
+
+@pytest.fixture
+def table():
+    t = Table(title="demo", columns=["method", "time_s"], precision=2)
+    t.add_row("angle", 1.234567)
+    t.add_row("dim", 2.0)
+    return t
+
+
+class TestRows:
+    def test_add_row_width_checked(self, table):
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_column_extraction(self, table):
+        assert table.column("method") == ["angle", "dim"]
+        assert table.column("time_s") == [1.234567, 2.0]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+
+class TestRender:
+    def test_ascii_contains_everything(self, table):
+        out = table.render()
+        assert "== demo ==" in out
+        assert "angle" in out and "1.23" in out
+        assert "method" in out and "time_s" in out
+
+    def test_precision_applied(self, table):
+        assert "1.23" in table.render()
+        assert "1.234567" not in table.render()
+
+    def test_notes_rendered(self, table):
+        table.add_note("hello note")
+        assert "note: hello note" in table.render()
+
+    def test_empty_table_renders(self):
+        t = Table(title="empty", columns=["a", "b"])
+        out = t.render()
+        assert "empty" in out and "a" in out
+
+    def test_str_is_render(self, table):
+        assert str(table) == table.render()
+
+
+class TestMarkdownCsv:
+    def test_markdown_structure(self, table):
+        md = table.to_markdown()
+        lines = md.strip().splitlines()
+        assert lines[0] == "**demo**"
+        assert lines[2] == "| method | time_s |"
+        assert lines[3] == "|---|---|"
+        assert "| angle | 1.23 |" in md
+
+    def test_markdown_notes(self, table):
+        table.add_note("context")
+        assert "_context_" in table.to_markdown()
+
+    def test_csv(self, table):
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "method,time_s"
+        assert "angle,1.23" in csv
+
+    def test_bool_cells(self):
+        t = Table(title="flags", columns=["ok"])
+        t.add_row(True)
+        assert "True" in t.render()
+
+    def test_int_cells_not_float_formatted(self):
+        t = Table(title="ints", columns=["n"], precision=3)
+        t.add_row(42)
+        assert "42" in t.render()
+        assert "42.000" not in t.render()

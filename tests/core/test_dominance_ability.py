@@ -1,0 +1,131 @@
+"""Tests for the §IV dominance-ability theory (Theorems 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dominance_ability import (
+    delta_dominance,
+    delta_lower_bound,
+    dominance_ability_angle,
+    dominance_ability_grid,
+    empirical_dominance_ability,
+)
+from repro.core.partitioning import AngularPartitioner, GridPartitioner
+
+
+class TestClosedForms:
+    def test_eq3_example(self):
+        # (x, y) = (1, 0.25), L = 1: D = (1 - 0.25 - 1*0.25) / 1 = 0.5
+        assert dominance_ability_angle(1.0, 0.25, 1.0) == pytest.approx(0.5)
+
+    def test_grid_example(self):
+        assert dominance_ability_grid(0.5, 0.5, 1.0) == pytest.approx(0.25)
+
+    def test_origin_point_dominates_whole_partition(self):
+        assert dominance_ability_angle(0.0, 0.0, 1.0) == pytest.approx(1.0)
+        assert dominance_ability_grid(0.0, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_delta_matches_difference(self):
+        x, y, L = 0.6, 0.2, 1.0
+        assert delta_dominance(x, y, L) == pytest.approx(
+            dominance_ability_angle(x, y, L) - dominance_ability_grid(x, y, L)
+        )
+
+    def test_bound_at_zero(self):
+        assert delta_lower_bound(0.0, 1.0) == 0.0
+
+    def test_invalid_L(self):
+        with pytest.raises(ValueError):
+            dominance_ability_angle(0.1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            delta_lower_bound(0.5, -1.0)
+
+    def test_point_outside_space_rejected(self):
+        with pytest.raises(ValueError):
+            dominance_ability_grid(3.0, 0.0, 1.0)
+
+
+class TestTheorem2:
+    @given(
+        x=st.floats(0.0, 2.0),
+        frac=st.floats(0.0, 1.0),
+        L=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=200)
+    def test_property_bound_holds_under_premise(self, x, frac, L):
+        """Theorem 2: for y ≤ x/2, ΔD ≥ x/(2L²)(L − x/2)."""
+        x = x * L  # scale into [0, 2L]
+        y = frac * (x / 2.0)  # the paper's premise y <= x/2
+        assume(y <= 2 * L)
+        delta = delta_dominance(x, y, L)
+        bound = delta_lower_bound(x, L)
+        assert delta >= bound - 1e-12
+
+    @given(x=st.floats(0.01, 0.99), L=st.floats(0.5, 5.0))
+    @settings(max_examples=100)
+    def test_property_bound_positive_inside_partition(self, x, L):
+        """Within the near-axis partition (x < L), the bound is strictly
+        positive: MR-Angle strictly beats MR-Grid there."""
+        assert delta_lower_bound(x * L, L) > 0
+
+    def test_equality_at_y_equals_half_x(self):
+        # The proof's inequality is tight at y = x/2.
+        x, L = 0.8, 1.0
+        assert delta_dominance(x, x / 2, L) == pytest.approx(
+            delta_lower_bound(x, L)
+        )
+
+
+class TestEmpirical:
+    @pytest.fixture(scope="class")
+    def square(self):
+        rng = np.random.default_rng(0)
+        return rng.random((100_000, 2)) * 2.0  # [0, 2L]² with L = 1
+
+    def test_matches_closed_form_angle(self, square):
+        # Paper geometry: equal-area square sectors with boundary slopes
+        # 1/2, 1, 2 (Theorem 1's premise "y <= x/2" names the first one).
+        partitioner = AngularPartitioner(
+            4, boundaries=[np.arctan([0.5, 1.0, 2.0])]
+        ).fit(square)
+        for x in (0.3, 0.6, 0.9):
+            y = x / 4.0
+            emp = empirical_dominance_ability(
+                np.array([x, y]), square, partitioner
+            )
+            closed = dominance_ability_angle(x, y, 1.0)
+            assert emp.ability == pytest.approx(closed, abs=0.03)
+
+    def test_matches_closed_form_grid(self, square):
+        partitioner = GridPartitioner(4, cells_per_dim=[2, 2]).fit(square)
+        x, y = 0.5, 0.125
+        emp = empirical_dominance_ability(np.array([x, y]), square, partitioner)
+        assert emp.ability == pytest.approx(
+            dominance_ability_grid(x, y, 1.0), abs=0.03
+        )
+
+    def test_empty_partition(self):
+        pts = np.random.default_rng(1).random((100, 2))
+        partitioner = GridPartitioner(4, cells_per_dim=[2, 2]).fit(pts)
+        # Probe a partition that the tiny sample may populate; ensure the
+        # API degrades gracefully when it does not.
+        emp = empirical_dominance_ability(
+            np.array([0.99, 0.99]), pts[:1], partitioner
+        )
+        assert emp.partition_total in (0, 1)
+
+    def test_dimension_mismatch(self):
+        pts = np.random.default_rng(2).random((10, 2))
+        partitioner = GridPartitioner(4).fit(pts)
+        with pytest.raises(ValueError):
+            empirical_dominance_ability(np.zeros(3), pts, partitioner)
+
+    def test_counts_consistent(self, square):
+        partitioner = GridPartitioner(4, cells_per_dim=[2, 2]).fit(square)
+        emp = empirical_dominance_ability(
+            np.array([0.2, 0.2]), square, partitioner
+        )
+        assert 0 <= emp.dominated <= emp.partition_total
+        assert emp.ability == pytest.approx(emp.dominated / emp.partition_total)

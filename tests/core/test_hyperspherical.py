@@ -1,0 +1,132 @@
+"""Tests for the Eq. (1) hyperspherical coordinate transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.hyperspherical import (
+    MAX_ANGLE,
+    angular_coordinates,
+    from_hyperspherical,
+    to_hyperspherical,
+)
+
+nonneg_points = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.integers(2, 6)),
+    elements=st.floats(0, 1000, allow_nan=False),
+)
+
+
+class TestForward:
+    def test_2d_matches_eq2(self):
+        # Paper Eq. (2): r = sqrt(x²+y²), tan(ø) = y/x.
+        pts = np.array([[3.0, 4.0]])
+        r, angles = to_hyperspherical(pts)
+        assert r[0] == pytest.approx(5.0)
+        assert np.tan(angles[0, 0]) == pytest.approx(4.0 / 3.0)
+
+    def test_known_3d(self):
+        pts = np.array([[1.0, 1.0, 1.0]])
+        r, angles = to_hyperspherical(pts)
+        assert r[0] == pytest.approx(np.sqrt(3))
+        assert np.tan(angles[0, 0]) == pytest.approx(np.sqrt(2) / 1.0)
+        assert np.tan(angles[0, 1]) == pytest.approx(1.0)
+
+    def test_axis_points(self):
+        # A point on the first axis has every angle 0.
+        r, angles = to_hyperspherical(np.array([[5.0, 0.0, 0.0]]))
+        assert r[0] == pytest.approx(5.0)
+        assert np.allclose(angles, 0.0)
+
+    def test_last_axis_point(self):
+        # A point on the last axis has every angle π/2.
+        r, angles = to_hyperspherical(np.array([[0.0, 0.0, 7.0]]))
+        assert np.allclose(angles, MAX_ANGLE)
+
+    def test_origin_angles_zero(self):
+        r, angles = to_hyperspherical(np.zeros((1, 4)))
+        assert r[0] == 0.0
+        assert np.allclose(angles, 0.0)
+
+    def test_angle_count(self):
+        _, angles = to_hyperspherical(np.ones((3, 6)))
+        assert angles.shape == (3, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            to_hyperspherical(np.array([[1.0, -0.1]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2 dimensions"):
+            to_hyperspherical(np.array([[1.0]]))
+
+    def test_angular_coordinates_shortcut(self):
+        pts = np.random.default_rng(0).random((10, 4))
+        _, angles = to_hyperspherical(pts)
+        assert np.array_equal(angular_coordinates(pts), angles)
+
+    @given(nonneg_points)
+    @settings(max_examples=80)
+    def test_property_ranges(self, pts):
+        r, angles = to_hyperspherical(pts)
+        assert (r >= 0).all()
+        assert (angles >= 0).all()
+        assert (angles <= MAX_ANGLE + 1e-12).all()
+        norms = np.linalg.norm(pts, axis=1)
+        assert np.allclose(r, norms)
+
+
+class TestInverse:
+    def test_round_trip_small(self):
+        pts = np.array([[3.0, 4.0], [1.0, 0.0], [0.0, 2.0]])
+        r, angles = to_hyperspherical(pts)
+        assert np.allclose(from_hyperspherical(r, angles), pts)
+
+    def test_scalar_shapes(self):
+        out = from_hyperspherical(np.array(5.0), np.array([np.pi / 4]))
+        assert out.shape == (1, 2)
+        assert np.allclose(out, [[5 / np.sqrt(2), 5 / np.sqrt(2)]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            from_hyperspherical(np.ones(3), np.ones((2, 2)))
+
+    @given(nonneg_points)
+    @settings(max_examples=80)
+    def test_property_round_trip(self, pts):
+        r, angles = to_hyperspherical(pts)
+        back = from_hyperspherical(r, angles)
+        assert np.allclose(back, pts, atol=1e-8)
+
+    @given(
+        r=arrays(np.float64, 5, elements=st.floats(0.1, 100, allow_nan=False)),
+        angles=arrays(
+            np.float64, (5, 3), elements=st.floats(0.01, np.pi / 2 - 0.01)
+        ),
+    )
+    @settings(max_examples=60)
+    def test_property_inverse_round_trip(self, r, angles):
+        # Going the other way: angles -> cartesian -> angles.
+        pts = from_hyperspherical(r, angles)
+        r2, angles2 = to_hyperspherical(pts)
+        assert np.allclose(r2, r, rtol=1e-9)
+        assert np.allclose(angles2, angles, atol=1e-9)
+
+
+class TestScaleInvariance:
+    @given(
+        pts=arrays(
+            np.float64, (8, 4), elements=st.floats(0.01, 100, allow_nan=False)
+        ),
+        scale=st.floats(0.1, 1000),
+    )
+    @settings(max_examples=60)
+    def test_property_angles_scale_invariant(self, pts, scale):
+        """Scaling all coordinates uniformly leaves the angles unchanged —
+        the geometric property that makes cones radial partitions."""
+        _, angles = to_hyperspherical(pts)
+        _, scaled_angles = to_hyperspherical(pts * scale)
+        assert np.allclose(angles, scaled_angles, atol=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the incremental MapReduce update path (§II batch arrivals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.mr_skyline import run_mr_skyline, update_mr_skyline
+from repro.core.skyline import skyline_numpy
+
+
+@pytest.fixture(scope="module")
+def base_points():
+    return np.random.default_rng(0).random((3000, 4))
+
+
+@pytest.fixture(scope="module")
+def previous(base_points):
+    return run_mr_skyline(base_points, method="angle", num_workers=4)
+
+
+class TestCorrectness:
+    def test_matches_full_recompute(self, base_points, previous):
+        new = np.random.default_rng(1).random((500, 4))
+        updated = update_mr_skyline(previous, base_points, new)
+        combined = np.vstack([base_points, new])
+        assert np.array_equal(updated.global_indices, skyline_numpy(combined))
+
+    def test_chained_updates(self, base_points, previous):
+        rng = np.random.default_rng(2)
+        current = previous
+        pts = base_points
+        for _ in range(3):
+            new = rng.random((200, 4))
+            current = update_mr_skyline(current, pts, new)
+            pts = np.vstack([pts, new])
+            assert np.array_equal(current.global_indices, skyline_numpy(pts))
+
+    def test_single_new_point_dominating_everything(self, base_points, previous):
+        new = np.zeros((1, 4))
+        updated = update_mr_skyline(previous, base_points, new)
+        assert updated.global_indices.tolist() == [len(base_points)]
+
+    def test_single_dominated_new_point(self, base_points, previous):
+        new = np.ones((1, 4)) * 2  # worse than everything in [0,1]^4
+        updated = update_mr_skyline(previous, base_points, new)
+        assert np.array_equal(updated.global_indices, previous.global_indices)
+
+    def test_untouched_partitions_keep_local_skylines(self, base_points, previous):
+        # Insert points into exactly one sector and check other sectors'
+        # local skylines are reused object-identically.
+        partitioner = previous.partitioner
+        target_pid = 0
+        probe = base_points[previous.partition_ids == target_pid][:1]
+        new = np.clip(probe * 0.99, 0, None)
+        assert partitioner.assign(new)[0] == target_pid
+        updated = update_mr_skyline(previous, base_points, new)
+        for pid, sky in updated.local_skylines.items():
+            if pid != target_pid:
+                assert sky is previous.local_skylines[pid]
+
+    def test_grid_pruning_in_update(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((2000, 2))
+        prev = run_mr_skyline(pts, method="grid", num_partitions=4)
+        new = rng.random((400, 2)) * 0.4 + 0.6  # top-right, mostly prunable
+        updated = update_mr_skyline(prev, pts, new)
+        combined = np.vstack([pts, new])
+        assert np.array_equal(updated.global_indices, skyline_numpy(combined))
+        assert updated.points_pruned > prev.points_pruned
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 40), st.integers(2, 3)),
+            elements=st.floats(0, 1, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_arbitrary_arrivals(self, new):
+        pts = np.random.default_rng(4).random((500, new.shape[1]))
+        prev = run_mr_skyline(pts, method="angle", num_workers=2)
+        updated = update_mr_skyline(prev, pts, new)
+        combined = np.vstack([pts, new])
+        assert np.array_equal(updated.global_indices, skyline_numpy(combined))
+
+
+class TestValidation:
+    def test_dim_mismatch(self, base_points, previous):
+        with pytest.raises(ValueError, match="dims"):
+            update_mr_skyline(previous, base_points, np.ones((3, 2)))
+
+    def test_points_count_mismatch(self, base_points, previous):
+        with pytest.raises(ValueError, match="covers"):
+            update_mr_skyline(previous, base_points[:-5], np.ones((1, 4)))
+
+    def test_missing_partitioner(self, base_points, previous):
+        import dataclasses
+
+        stripped = dataclasses.replace(previous, partitioner=None)
+        with pytest.raises(ValueError, match="partitioner"):
+            update_mr_skyline(stripped, base_points, np.ones((1, 4)))
+
+
+class TestEfficiency:
+    def test_update_does_less_work_than_recompute(self, base_points, previous):
+        new = np.random.default_rng(5).random((100, 4))
+        updated = update_mr_skyline(previous, base_points, new)
+        combined = np.vstack([base_points, new])
+        full = run_mr_skyline(combined, method="angle", num_workers=4)
+        assert updated.dominance_tests < full.dominance_tests
+
+    def test_index_spaces_concatenated(self, base_points, previous):
+        new = np.random.default_rng(6).random((50, 4))
+        updated = update_mr_skyline(previous, base_points, new)
+        assert updated.partition_ids.shape[0] == len(base_points) + 50

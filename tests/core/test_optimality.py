@@ -1,0 +1,107 @@
+"""Tests for the §VI local-skyline-optimality metric (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.optimality import (
+    local_skyline_optimality,
+    optimality_of_result,
+    per_partition_optimality,
+)
+
+
+class TestPerPartition:
+    def test_simple_ratios(self):
+        locals_ = {0: np.array([1, 2, 3, 4]), 1: np.array([5, 6])}
+        global_ = np.array([1, 2, 5])
+        ratios = per_partition_optimality(locals_, global_)
+        assert ratios[0] == pytest.approx(0.5)
+        assert ratios[1] == pytest.approx(0.5)
+
+    def test_empty_partition_excluded(self):
+        locals_ = {0: np.array([1]), 1: np.array([], dtype=int)}
+        ratios = per_partition_optimality(locals_, np.array([1]))
+        assert 1 not in ratios
+        assert ratios[0] == 1.0
+
+    def test_sequence_input(self):
+        ratios = per_partition_optimality(
+            [np.array([0, 1]), np.array([2])], np.array([0, 2])
+        )
+        assert ratios == {0: 0.5, 1: 1.0}
+
+
+class TestEquation5:
+    def test_mean_of_ratios(self):
+        locals_ = {0: np.array([1, 2]), 1: np.array([3, 4, 5, 6])}
+        global_ = np.array([1, 2, 3])
+        report = local_skyline_optimality(locals_, global_)
+        assert report.optimality == pytest.approx((1.0 + 0.25) / 2)
+        assert report.partitions_counted == 2
+        assert report.partitions_empty == 0
+
+    def test_all_local_globally_optimal(self):
+        locals_ = {0: np.array([1]), 1: np.array([2])}
+        report = local_skyline_optimality(locals_, np.array([1, 2]))
+        assert report.optimality == 1.0
+
+    def test_disjoint_gives_zero(self):
+        report = local_skyline_optimality({0: np.array([9])}, np.array([1]))
+        assert report.optimality == 0.0
+
+    def test_no_partitions(self):
+        report = local_skyline_optimality({}, np.array([1]))
+        assert report.optimality == 0.0
+        assert report.partitions_counted == 0
+
+    def test_float_protocol(self):
+        report = local_skyline_optimality({0: np.array([1])}, np.array([1]))
+        assert float(report) == 1.0
+
+    def test_empty_partitions_counted_separately(self):
+        locals_ = {0: np.array([1]), 1: np.array([], dtype=int)}
+        report = local_skyline_optimality(locals_, np.array([1]))
+        assert report.partitions_empty == 1
+        assert report.partitions_counted == 1
+
+    @given(
+        k=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40)
+    def test_property_in_unit_interval(self, k, seed):
+        rng = np.random.default_rng(seed)
+        locals_ = {
+            i: rng.choice(100, size=rng.integers(1, 10), replace=False)
+            for i in range(k)
+        }
+        global_ = rng.choice(100, size=20, replace=False)
+        report = local_skyline_optimality(locals_, global_)
+        assert 0.0 <= report.optimality <= 1.0
+
+
+class TestOnRealPipeline:
+    def test_metric_from_result(self):
+        pts = np.random.default_rng(0).random((2000, 3))
+        result = run_mr_skyline(pts, method="angle", num_workers=4)
+        report = optimality_of_result(result)
+        assert 0.0 < report.optimality <= 1.0
+
+    def test_global_skyline_members_always_local(self):
+        """Every global skyline point is in its partition's local skyline,
+        so per-partition hits sum to the global skyline size."""
+        pts = np.random.default_rng(1).random((2000, 3))
+        result = run_mr_skyline(pts, method="grid", num_workers=4)
+        hits = sum(
+            np.isin(sky, result.global_indices).sum()
+            for sky in result.local_skylines.values()
+        )
+        assert hits == result.global_indices.size
+
+    def test_single_partition_is_perfect(self):
+        pts = np.random.default_rng(2).random((500, 3))
+        result = run_mr_skyline(pts, method="angle", num_partitions=1)
+        assert optimality_of_result(result).optimality == 1.0

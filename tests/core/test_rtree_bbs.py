@@ -1,0 +1,191 @@
+"""Tests for the STR R-tree and the BBS skyline algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bbs import bbs_skyline, bbs_skyline_progressive
+from repro.core.dominance import DominanceCounter
+from repro.core.rtree import RTree
+from repro.core.skyline import skyline_numpy
+
+clouds = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 120), st.integers(1, 5)),
+    elements=st.floats(0, 50, allow_nan=False),
+)
+
+
+class TestRTreeStructure:
+    def test_small_build(self):
+        pts = np.random.default_rng(0).random((10, 3))
+        tree = RTree(pts, leaf_capacity=4)
+        tree.validate()
+        assert len(tree) == 10
+
+    def test_single_point(self):
+        tree = RTree(np.array([[1.0, 2.0]]))
+        tree.validate()
+        assert tree.root.is_leaf
+        assert tree.height == 1
+
+    def test_empty(self):
+        tree = RTree(np.empty((0, 3)))
+        tree.validate()
+        assert len(tree) == 0
+        assert tree.root.is_leaf
+
+    def test_height_grows_with_size(self):
+        rng = np.random.default_rng(1)
+        small = RTree(rng.random((10, 2)), leaf_capacity=4)
+        large = RTree(rng.random((1000, 2)), leaf_capacity=4)
+        assert large.height > small.height
+
+    def test_leaf_capacity_respected(self):
+        pts = np.random.default_rng(2).random((200, 3))
+        tree = RTree(pts, leaf_capacity=8)
+
+        def check(node):
+            if node.is_leaf:
+                assert node.point_indices.size <= 8
+            else:
+                for c in node.children:
+                    check(c)
+
+        check(tree.root)
+
+    def test_invalid_params(self):
+        pts = np.ones((3, 2))
+        with pytest.raises(ValueError):
+            RTree(pts, leaf_capacity=0)
+        with pytest.raises(ValueError):
+            RTree(pts, fanout=1)
+
+    def test_mindist_is_lower_bound(self):
+        pts = np.random.default_rng(3).random((300, 3))
+        tree = RTree(pts, leaf_capacity=16)
+
+        def check(node):
+            if node.is_leaf:
+                sums = pts[node.point_indices].sum(axis=1)
+                assert node.mindist_key() <= sums.min() + 1e-9
+            else:
+                for c in node.children:
+                    assert node.mindist_key() <= c.mindist_key() + 1e-9
+                    check(c)
+
+        check(tree.root)
+
+    @given(clouds, st.integers(2, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_property_structure_valid(self, pts, capacity):
+        tree = RTree(pts, leaf_capacity=capacity)
+        tree.validate()
+
+
+class TestBBSCorrectness:
+    def test_matches_reference(self):
+        pts = np.random.default_rng(4).random((2000, 3))
+        assert np.array_equal(bbs_skyline(pts).indices, skyline_numpy(pts))
+
+    def test_duplicates(self):
+        pts = np.vstack([np.ones((50, 2)), [[0.5, 2.0]]])
+        result = bbs_skyline(pts)
+        assert np.array_equal(result.indices, skyline_numpy(pts))
+
+    def test_quantized_ties(self):
+        pts = np.round(np.random.default_rng(5).random((1500, 4)), 1)
+        assert np.array_equal(bbs_skyline(pts).indices, skyline_numpy(pts))
+
+    def test_single_point(self):
+        assert bbs_skyline(np.array([[3.0, 4.0]])).indices.tolist() == [0]
+
+    def test_reused_tree(self):
+        pts = np.random.default_rng(6).random((500, 3))
+        tree = RTree(pts)
+        a = bbs_skyline(pts, tree=tree)
+        b = bbs_skyline(pts)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_foreign_tree_rejected(self):
+        pts = np.random.default_rng(7).random((50, 2))
+        other = RTree(np.random.default_rng(8).random((50, 2)))
+        with pytest.raises(ValueError, match="different points"):
+            bbs_skyline(pts, tree=other)
+
+    def test_float_tie_with_dominance(self):
+        # Same adversarial pair as the SFS regression: sums round equal.
+        pts = np.array([[1e-99, 1.0], [0.0, 1.0]])
+        assert bbs_skyline(pts).indices.tolist() == [1]
+
+    @given(clouds)
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_bruteforce(self, pts):
+        assert np.array_equal(bbs_skyline(pts).indices, skyline_numpy(pts))
+
+    @given(clouds, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_property_leaf_capacity_invariant(self, pts, capacity):
+        assert np.array_equal(
+            bbs_skyline(pts, leaf_capacity=capacity).indices, skyline_numpy(pts)
+        )
+
+
+class TestProgressive:
+    def test_same_set_as_batch(self):
+        pts = np.random.default_rng(20).random((1000, 3))
+        prog = sorted(bbs_skyline_progressive(pts))
+        assert prog == bbs_skyline(pts).indices.tolist()
+
+    def test_mindist_order(self):
+        pts = np.random.default_rng(21).random((500, 3))
+        emitted = list(bbs_skyline_progressive(pts))
+        sums = pts[emitted].sum(axis=1)
+        assert (np.diff(sums) >= -1e-12).all()
+
+    def test_early_stop_prefix(self):
+        import itertools
+
+        pts = np.random.default_rng(22).random((2000, 4))
+        full = list(bbs_skyline_progressive(pts))
+        first = list(itertools.islice(bbs_skyline_progressive(pts), 5))
+        assert first == full[:5]
+
+    def test_empty(self):
+        assert list(bbs_skyline_progressive(np.empty((0, 2)))) == []
+
+    @given(clouds)
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_batch(self, pts):
+        assert sorted(bbs_skyline_progressive(pts)) ==             bbs_skyline(pts).indices.tolist()
+
+
+class TestBBSEfficiency:
+    def test_prunes_subtrees_on_correlated_data(self):
+        """On correlated data most of the tree is dominated; BBS must touch
+        far fewer entries than the brute-force bound."""
+        from repro.data.generators import correlated
+
+        pts = correlated(5_000, 3, seed=9)
+        result = bbs_skyline(pts)
+        assert result.entries_pruned > 0
+        assert result.dominance_tests < 5_000 * max(result.indices.size, 1)
+
+    def test_fewer_tests_than_bnl_low_dim(self):
+        from repro.core.bnl import bnl_skyline
+
+        pts = np.random.default_rng(10).random((5_000, 2))
+        assert bbs_skyline(pts).dominance_tests < bnl_skyline(pts).dominance_tests
+
+    def test_counter(self):
+        counter = DominanceCounter()
+        bbs_skyline(np.random.default_rng(11).random((200, 3)), counter=counter)
+        assert counter.by_stage.get("bbs", 0) > 0
+
+    def test_stats_consistency(self):
+        pts = np.random.default_rng(12).random((1000, 3))
+        result = bbs_skyline(pts)
+        assert result.nodes_expanded >= 1
+        assert result.entries_pruned >= 0

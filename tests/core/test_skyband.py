@@ -1,0 +1,126 @@
+"""Tests for k-skyband and top-k dominating queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dominance import DominanceCounter, dominates
+from repro.core.skyband import dominator_counts, k_skyband, top_k_dominating
+from repro.core.skyline import skyline_numpy
+
+clouds = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 60), st.integers(1, 4)),
+    elements=st.floats(0, 20, allow_nan=False),
+)
+
+
+class TestDominatorCounts:
+    def test_manual_chain(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert dominator_counts(pts).tolist() == [0, 1, 2]
+
+    def test_skyline_has_zero(self):
+        pts = np.random.default_rng(0).random((200, 3))
+        counts = dominator_counts(pts)
+        sky = skyline_numpy(pts)
+        assert (counts[sky] == 0).all()
+        non_sky = np.setdiff1d(np.arange(200), sky)
+        assert (counts[non_sky] > 0).all()
+
+    @pytest.mark.parametrize("block", [1, 7, 4096])
+    def test_block_invariant(self, block):
+        pts = np.random.default_rng(1).random((150, 3))
+        assert np.array_equal(
+            dominator_counts(pts, block=block), dominator_counts(pts)
+        )
+
+    def test_counter(self):
+        c = DominanceCounter()
+        dominator_counts(np.ones((10, 2)), counter=c)
+        assert c.tests == 100
+
+    @given(clouds)
+    @settings(max_examples=40)
+    def test_property_matches_scalar(self, pts):
+        counts = dominator_counts(pts)
+        n = pts.shape[0]
+        for j in range(min(n, 8)):
+            expected = sum(
+                1 for i in range(n) if i != j and dominates(pts[i], pts[j])
+            )
+            assert counts[j] == expected
+
+
+class TestKSkyband:
+    def test_k1_is_skyline(self):
+        pts = np.random.default_rng(2).random((300, 3))
+        assert np.array_equal(k_skyband(pts, 1), skyline_numpy(pts))
+
+    def test_nested_in_k(self):
+        pts = np.random.default_rng(3).random((300, 3))
+        prev: set = set()
+        for k in (1, 2, 4, 8):
+            band = set(k_skyband(pts, k).tolist())
+            assert prev <= band
+            prev = band
+
+    def test_k_large_returns_everything(self):
+        pts = np.random.default_rng(4).random((50, 2))
+        assert k_skyband(pts, 10_000).size == 50
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_skyband(np.ones((2, 2)), 0)
+
+    def test_total_order_chain(self):
+        pts = np.arange(10, dtype=float).reshape(-1, 1) @ np.ones((1, 2))
+        assert k_skyband(pts, 3).tolist() == [0, 1, 2]
+
+    @given(clouds, st.integers(1, 5))
+    @settings(max_examples=40)
+    def test_property_definition(self, pts, k):
+        band = set(k_skyband(pts, k).tolist())
+        counts = dominator_counts(pts)
+        for j in range(pts.shape[0]):
+            assert (j in band) == (counts[j] < k)
+
+
+class TestTopKDominating:
+    def test_best_dominator_first(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [5.0, 0.1]])
+        top = top_k_dominating(pts, 2)
+        assert top[0] == 0  # dominates 2 points (and [5,.1]? no) -> most
+
+    def test_top1_is_skyline_member(self):
+        pts = np.random.default_rng(5).random((300, 3))
+        top = top_k_dominating(pts, 1)
+        assert top[0] in set(skyline_numpy(pts).tolist())
+
+    def test_k_capped_at_n(self):
+        pts = np.ones((3, 2))
+        assert top_k_dominating(pts, 10).size == 3
+
+    def test_stable_ties(self):
+        pts = np.ones((5, 2))  # nobody dominates anybody
+        assert top_k_dominating(pts, 3).tolist() == [0, 1, 2]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_dominating(np.ones((2, 2)), 0)
+
+    @given(clouds)
+    @settings(max_examples=40)
+    def test_property_ordering(self, pts):
+        n = pts.shape[0]
+        top = top_k_dominating(pts, n)
+
+        def coverage(i):
+            le = (pts[i] <= pts).all(axis=1)
+            lt = (pts[i] < pts).any(axis=1)
+            return int((le & lt).sum())
+
+        covers = [coverage(i) for i in top]
+        assert covers == sorted(covers, reverse=True)

@@ -1,0 +1,111 @@
+"""Integration tests: the file-to-file skyline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import skyline_numpy
+from repro.core.textio import (
+    read_skyline_output,
+    run_mr_skyline_files,
+    write_points_csv,
+)
+from repro.mapreduce.errors import FileSystemError
+from repro.mapreduce.fs import BlockFileSystem
+from repro.mapreduce.outputs import SUCCESS_MARKER
+
+
+@pytest.fixture
+def fs():
+    # Small blocks so the input genuinely spans multiple splits.
+    return BlockFileSystem(block_size=512)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.round(np.random.default_rng(0).random((400, 3)), 6)
+
+
+class TestWritePoints:
+    def test_round_trip_via_lines(self, fs, points):
+        write_points_csv(fs, "/data/points.csv", points)
+        lines = [l for l in fs.iter_lines("/data/points.csv") if l]
+        parsed = np.vstack(
+            [np.array([float(t) for t in l.split(",")]) for l in lines]
+        )
+        assert np.allclose(parsed, points)
+
+    def test_empty_matrix(self, fs):
+        write_points_csv(fs, "/data/empty.csv", np.empty((0, 3)))
+        assert fs.read_text("/data/empty.csv") == ""
+
+    def test_overwrite_flag(self, fs, points):
+        write_points_csv(fs, "/data/p.csv", points)
+        with pytest.raises(FileSystemError):
+            write_points_csv(fs, "/data/p.csv", points)
+        write_points_csv(fs, "/data/p.csv", points[:10], overwrite=True)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("method", ["dim", "grid", "angle"])
+    def test_matches_reference(self, fs, points, method):
+        write_points_csv(fs, "/in/points.csv", points)
+        result = run_mr_skyline_files(
+            fs, "/in/points.csv", f"/out/{method}", method=method
+        )
+        expected = skyline_numpy(points)
+        assert np.allclose(
+            result.skyline_points, points[expected]
+        ), "skyline coordinates differ"
+        assert result.skyline_offsets.size == expected.size
+
+    def test_output_committed(self, fs, points):
+        write_points_csv(fs, "/in/p.csv", points)
+        result = run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        assert fs.exists(f"/out/sky/{SUCCESS_MARKER}")
+        assert all(fs.exists(p) for p in result.part_paths)
+
+    def test_read_back(self, fs, points):
+        write_points_csv(fs, "/in/p.csv", points)
+        run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        offsets, rows = read_skyline_output(fs, "/out/sky")
+        expected = skyline_numpy(points)
+        assert np.allclose(np.sort(rows, axis=0), np.sort(points[expected], axis=0))
+        # Offsets are genuine byte offsets into the input file.
+        text = fs.read_text("/in/p.csv")
+        for off, row in zip(offsets, rows):
+            line = text[off:].split("\n", 1)[0]
+            assert np.allclose(
+                np.array([float(t) for t in line.split(",")]), row
+            )
+
+    def test_multi_block_input(self, points):
+        # 1 KiB of text per block ensures several map tasks.
+        fs = BlockFileSystem(block_size=256)
+        write_points_csv(fs, "/in/p.csv", points)
+        result = run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        assert len(result.chain.results[0].map_stats) > 1
+        assert result.skyline_offsets.size == skyline_numpy(points).size
+
+    def test_overwrite_output(self, fs, points):
+        write_points_csv(fs, "/in/p.csv", points)
+        run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        with pytest.raises(FileSystemError):
+            run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        run_mr_skyline_files(fs, "/in/p.csv", "/out/sky", overwrite=True)
+
+    def test_counters_track_points(self, fs, points):
+        write_points_csv(fs, "/in/p.csv", points)
+        result = run_mr_skyline_files(fs, "/in/p.csv", "/out/sky")
+        assert result.counters.value("skyline", "points_mapped") == len(points)
+
+    def test_grid_pruning_active_in_2d(self, fs):
+        pts = np.random.default_rng(1).random((500, 2))
+        write_points_csv(fs, "/in/p2.csv", pts)
+        result = run_mr_skyline_files(
+            fs, "/in/p2.csv", "/out/p2", method="grid", num_partitions=4
+        )
+        assert result.counters.value("skyline", "points_pruned") > 0
+        assert np.allclose(
+            np.sort(result.skyline_points, axis=0),
+            np.sort(pts[skyline_numpy(pts)], axis=0),
+        )

@@ -1,0 +1,106 @@
+"""Tests for the Börzsönyi benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import skyline_numpy
+from repro.data.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    generate,
+    independent,
+)
+
+
+class TestShapesAndRanges:
+    @pytest.mark.parametrize(
+        "fn", [independent, correlated, anticorrelated, clustered]
+    )
+    def test_shape(self, fn):
+        pts = fn(100, 4, seed=0)
+        assert pts.shape == (100, 4)
+
+    @pytest.mark.parametrize(
+        "fn", [independent, correlated, anticorrelated, clustered]
+    )
+    def test_unit_cube(self, fn):
+        pts = fn(500, 3, seed=1)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    @pytest.mark.parametrize("fn", [independent, correlated, anticorrelated])
+    def test_deterministic(self, fn):
+        assert np.array_equal(fn(50, 3, seed=5), fn(50, 3, seed=5))
+        assert not np.array_equal(fn(50, 3, seed=5), fn(50, 3, seed=6))
+
+    @pytest.mark.parametrize("fn", [independent, correlated, anticorrelated])
+    def test_invalid_args(self, fn):
+        with pytest.raises(ValueError):
+            fn(0, 3)
+        with pytest.raises(ValueError):
+            fn(10, 0)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, spread=-1)
+        with pytest.raises(ValueError):
+            anticorrelated(10, 2, spread=-1)
+
+
+class TestDistributionCharacter:
+    def test_correlated_attributes_positively_correlated(self):
+        pts = correlated(3000, 3, seed=2)
+        c = np.corrcoef(pts, rowvar=False)
+        assert c[0, 1] > 0.5 and c[0, 2] > 0.5
+
+    def test_anticorrelated_attributes_negatively_correlated(self):
+        pts = anticorrelated(3000, 2, seed=3)
+        assert np.corrcoef(pts, rowvar=False)[0, 1] < -0.3
+
+    def test_skyline_ordering_across_workloads(self):
+        """The canonical skyline-size ordering: correlated << independent
+        << anti-correlated, at matched n and d."""
+        n, d = 2000, 4
+        sizes = {
+            name: skyline_numpy(generate(name, n, d, seed=4)).size
+            for name in ("correlated", "independent", "anticorrelated")
+        }
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+
+    def test_anticorrelated_sums_concentrated(self):
+        d = 4
+        pts = anticorrelated(2000, d, seed=5)
+        sums = pts.sum(axis=1)
+        assert abs(sums.mean() - d / 2) < 0.25 * d
+
+
+class TestClustered:
+    def test_points_near_centres(self):
+        pts = clustered(2000, 3, seed=7, num_clusters=3, spread=0.01)
+        # With tiny spread, points collapse into at most 3 tight groups.
+        rounded = {tuple(r) for r in np.round(pts, 1)}
+        assert len(rounded) <= 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered(10, 2, num_clusters=0)
+        with pytest.raises(ValueError):
+            clustered(10, 2, spread=-1)
+
+    def test_more_clusters_more_spread(self):
+        few = clustered(3000, 2, seed=8, num_clusters=2, spread=0.01)
+        many = clustered(3000, 2, seed=8, num_clusters=20, spread=0.01)
+        assert many.std() >= few.std() * 0.5  # sanity, not strict
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "name", ["independent", "correlated", "anticorrelated", "clustered"]
+    )
+    def test_generate(self, name):
+        assert generate(name, 20, 2, seed=0).shape == (20, 2)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            generate("zipfian", 10, 2)

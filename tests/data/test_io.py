@@ -1,0 +1,76 @@
+"""Tests for dataset persistence (CSV / NPZ)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, load_npz, save_csv, save_npz
+from repro.services.qos import Polarity
+from repro.services.qws import generate_qws
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_qws(50, seed=9)
+
+
+class TestCsv:
+    def test_round_trip_values(self, dataset, tmp_path):
+        path = tmp_path / "services.csv"
+        save_csv(dataset, path)
+        back = load_csv(path)
+        assert np.allclose(back.raw, dataset.raw)
+
+    def test_round_trip_schema(self, dataset, tmp_path):
+        path = tmp_path / "services.csv"
+        save_csv(dataset, path)
+        back = load_csv(path)
+        assert back.schema.names == dataset.schema.names
+        for a, b in zip(back.schema, dataset.schema):
+            assert a.polarity == b.polarity
+            assert a.upper_bound == b.upper_bound
+            assert a.unit == b.unit
+
+    def test_header_line_present(self, dataset, tmp_path):
+        path = tmp_path / "services.csv"
+        save_csv(dataset, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("#schema ")
+        assert lines[1].split(",") == dataset.schema.names
+
+    def test_missing_schema_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="#schema"):
+            load_csv(path)
+
+    def test_header_schema_mismatch_rejected(self, dataset, tmp_path):
+        path = tmp_path / "services.csv"
+        save_csv(dataset, path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("response_time", "wrong_name")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path)
+
+    def test_normalisation_identical_after_reload(self, dataset, tmp_path):
+        path = tmp_path / "services.csv"
+        save_csv(dataset, path)
+        back = load_csv(path)
+        assert np.allclose(back.qos_matrix(6), dataset.qos_matrix(6))
+
+
+class TestNpz:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "services.npz"
+        save_npz(dataset, path)
+        back = load_npz(path)
+        assert np.array_equal(back.raw, dataset.raw)
+        assert back.schema.names == dataset.schema.names
+        assert back.name == dataset.name
+
+    def test_polarity_preserved(self, dataset, tmp_path):
+        path = tmp_path / "services.npz"
+        save_npz(dataset, path)
+        back = load_npz(path)
+        assert back.schema.attributes[0].polarity is Polarity.LOWER_IS_BETTER
+        assert back.schema.attributes[1].polarity is Polarity.HIGHER_IS_BETTER

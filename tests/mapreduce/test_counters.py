@@ -1,0 +1,108 @@
+"""Tests for repro.mapreduce.counters."""
+
+import pytest
+
+from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
+
+
+class TestIncrement:
+    def test_starts_at_zero(self):
+        c = Counters()
+        assert c.value("g", "n") == 0
+
+    def test_single_increment(self):
+        c = Counters()
+        c.increment("g", "n")
+        assert c.value("g", "n") == 1
+
+    def test_increment_amount(self):
+        c = Counters()
+        c.increment("g", "n", 5)
+        c.increment("g", "n", 7)
+        assert c.value("g", "n") == 12
+
+    def test_negative_amount_allowed(self):
+        c = Counters()
+        c.increment("g", "n", -3)
+        assert c.value("g", "n") == -3
+
+    def test_non_int_amount_rejected(self):
+        c = Counters()
+        with pytest.raises(TypeError):
+            c.increment("g", "n", 1.5)
+
+    def test_groups_are_independent(self):
+        c = Counters()
+        c.increment("a", "n", 1)
+        c.increment("b", "n", 2)
+        assert c.value("a", "n") == 1
+        assert c.value("b", "n") == 2
+
+    def test_framework_shortcut(self):
+        c = Counters()
+        c.framework("spills", 3)
+        assert c.value(FRAMEWORK_GROUP, "spills") == 3
+
+
+class TestMerge:
+    def test_merge_adds(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 1)
+        b.increment("g", "x", 2)
+        b.increment("g", "y", 5)
+        a.merge(b)
+        assert a.value("g", "x") == 3
+        assert a.value("g", "y") == 5
+
+    def test_merge_does_not_mutate_source(self):
+        a, b = Counters(), Counters()
+        b.increment("g", "x", 2)
+        a.merge(b)
+        a.increment("g", "x", 10)
+        assert b.value("g", "x") == 2
+
+    def test_merge_empty_is_noop(self):
+        a = Counters()
+        a.increment("g", "x", 4)
+        a.merge(Counters())
+        assert a.value("g", "x") == 4
+
+
+class TestViews:
+    def test_group_snapshot_is_copy(self):
+        c = Counters()
+        c.increment("g", "x", 1)
+        snap = c.group("g")
+        c.increment("g", "x", 1)
+        assert snap["x"] == 1
+
+    def test_as_dict_round_trip(self):
+        c = Counters()
+        c.increment("g1", "a", 1)
+        c.increment("g2", "b", 2)
+        assert c.as_dict() == {"g1": {"a": 1}, "g2": {"b": 2}}
+
+    def test_iteration_sorted(self):
+        c = Counters()
+        c.increment("b", "z", 1)
+        c.increment("a", "y", 2)
+        c.increment("a", "x", 3)
+        assert list(c) == [("a", "x", 3), ("a", "y", 2), ("b", "z", 1)]
+
+    def test_len_counts_names(self):
+        c = Counters()
+        c.increment("g", "a")
+        c.increment("g", "b")
+        c.increment("h", "a")
+        assert len(c) == 3
+
+    def test_equality(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 2)
+        b.increment("g", "x", 1)
+        assert a != b
+        b.increment("g", "x", 1)
+        assert a == b
+
+    def test_equality_other_type(self):
+        assert Counters() != 42

@@ -1,0 +1,159 @@
+"""Tests for the in-memory block filesystem."""
+
+import pytest
+
+from repro.mapreduce.errors import FileSystemError
+from repro.mapreduce.fs import BlockFileSystem
+
+
+@pytest.fixture
+def fs():
+    return BlockFileSystem(block_size=8)
+
+
+class TestWriteRead:
+    def test_round_trip(self, fs):
+        fs.write("/a/b.txt", b"hello world, blocks!")
+        assert fs.read("/a/b.txt") == b"hello world, blocks!"
+
+    def test_text_round_trip(self, fs):
+        fs.write_text("/t.txt", "héllo\nwörld")
+        assert fs.read_text("/t.txt") == "héllo\nwörld"
+
+    def test_empty_file(self, fs):
+        fs.write("/empty", b"")
+        assert fs.read("/empty") == b""
+        assert fs.status("/empty").size == 0
+        assert fs.status("/empty").num_blocks == 1
+
+    def test_overwrite_requires_flag(self, fs):
+        fs.write("/x", b"1")
+        with pytest.raises(FileSystemError):
+            fs.write("/x", b"2")
+        fs.write("/x", b"2", overwrite=True)
+        assert fs.read("/x") == b"2"
+
+    def test_write_str_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write("/x", "not bytes")
+
+    def test_append(self, fs):
+        fs.write("/x", b"1234")
+        fs.append("/x", b"5678abcd")
+        assert fs.read("/x") == b"12345678abcd"
+        assert fs.status("/x").num_blocks == 2
+
+    def test_append_to_missing_creates(self, fs):
+        fs.append("/new", b"data")
+        assert fs.read("/new") == b"data"
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read("/nope")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write("rel/path", b"x")
+
+    def test_root_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write("/", b"x")
+
+    def test_path_normalisation(self, fs):
+        fs.write("/a//b/../c.txt", b"x")
+        assert fs.exists("/a/c.txt")
+
+
+class TestBlocks:
+    def test_block_split(self, fs):
+        fs.write("/f", b"x" * 20)  # block_size=8 -> 8+8+4
+        st = fs.status("/f")
+        assert st.num_blocks == 3
+        locs = fs.block_locations("/f")
+        assert [(l.offset, l.length) for l in locs] == [(0, 8), (8, 8), (16, 4)]
+
+    def test_exact_multiple(self, fs):
+        fs.write("/f", b"x" * 16)
+        assert fs.status("/f").num_blocks == 2
+
+    def test_read_range(self, fs):
+        fs.write("/f", bytes(range(20)))
+        assert fs.read_range("/f", 5, 7) == bytes(range(5, 12))
+
+    def test_read_range_across_blocks(self, fs):
+        fs.write("/f", bytes(range(24)))
+        assert fs.read_range("/f", 6, 12) == bytes(range(6, 18))
+
+    def test_read_range_clamps_at_eof(self, fs):
+        fs.write("/f", b"abc")
+        assert fs.read_range("/f", 1, 100) == b"bc"
+
+    def test_read_range_negative_rejected(self, fs):
+        fs.write("/f", b"abc")
+        with pytest.raises(FileSystemError):
+            fs.read_range("/f", -1, 2)
+
+    def test_bad_block_size(self):
+        with pytest.raises(FileSystemError):
+            BlockFileSystem(block_size=0)
+
+
+class TestListingAndMutation:
+    def test_ls_prefix(self, fs):
+        fs.write("/a/1", b"")
+        fs.write("/a/2", b"")
+        fs.write("/b/3", b"")
+        assert fs.ls("/a") == ["/a/1", "/a/2"]
+        assert fs.ls() == ["/a/1", "/a/2", "/b/3"]
+
+    def test_ls_does_not_match_sibling_prefix(self, fs):
+        fs.write("/ab", b"")
+        fs.write("/a/x", b"")
+        assert fs.ls("/a") == ["/a/x"]
+
+    def test_delete(self, fs):
+        fs.write("/x", b"1")
+        fs.delete("/x")
+        assert not fs.exists("/x")
+        with pytest.raises(FileSystemError):
+            fs.delete("/x")
+
+    def test_delete_prefix(self, fs):
+        fs.write("/out/p0", b"")
+        fs.write("/out/p1", b"")
+        fs.write("/keep", b"")
+        assert fs.delete_prefix("/out") == 2
+        assert fs.ls() == ["/keep"]
+
+    def test_rename(self, fs):
+        fs.write("/src", b"data")
+        fs.rename("/src", "/dst")
+        assert fs.read("/dst") == b"data"
+        assert not fs.exists("/src")
+
+    def test_rename_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.rename("/nope", "/dst")
+
+    def test_rename_onto_existing_raises(self, fs):
+        fs.write("/a", b"1")
+        fs.write("/b", b"2")
+        with pytest.raises(FileSystemError):
+            fs.rename("/a", "/b")
+
+    def test_exists_invalid_path_false(self, fs):
+        assert fs.exists("not-absolute") is False
+
+
+class TestLines:
+    def test_iter_lines(self, fs):
+        fs.write_text("/f", "a\nb\nc")
+        assert list(fs.iter_lines("/f")) == ["a", "b", "c"]
+
+    def test_iter_lines_trailing_newline(self, fs):
+        fs.write_text("/f", "a\nb\n")
+        assert list(fs.iter_lines("/f")) == ["a", "b", ""]
+
+    def test_iter_lines_empty(self, fs):
+        fs.write_text("/f", "")
+        assert list(fs.iter_lines("/f")) == []

@@ -1,0 +1,94 @@
+"""Tests for job history events and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.mapreduce import Job, JobConf, Mapper, Reducer, run_job
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.history import job_events, render_gantt
+from repro.mapreduce.types import TaskKind
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+@pytest.fixture(scope="module")
+def result():
+    job = Job(
+        name="wc",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        conf=JobConf(num_reducers=3, num_map_tasks=5),
+    )
+    records = [(None, "a b c d " * 20) for _ in range(100)]
+    return run_job(job, records=records)
+
+
+CLUSTER = ClusterSpec(num_nodes=2, task_launch_s=0.5, speed_factor=100.0)
+
+
+class TestEvents:
+    def test_all_tasks_present(self, result):
+        events = job_events(result, CLUSTER)
+        ids = {e.task_id for e in events}
+        assert ids == {f"map-{i}" for i in range(5)} | {
+            f"reduce-{i}" for i in range(3)
+        }
+
+    def test_sorted_by_start(self, result):
+        events = job_events(result, CLUSTER)
+        starts = [e.start_s for e in events]
+        assert starts == sorted(starts)
+
+    def test_reduce_after_map(self, result):
+        events = job_events(result, CLUSTER)
+        map_end = max(e.end_s for e in events if e.kind is TaskKind.MAP)
+        reduce_start = min(e.start_s for e in events if e.kind is TaskKind.REDUCE)
+        assert reduce_start >= map_end - 1e-9
+
+    def test_slots_within_cluster(self, result):
+        events = job_events(result, CLUSTER)
+        for e in events:
+            limit = CLUSTER.map_slots if e.kind is TaskKind.MAP else CLUSTER.reduce_slots
+            assert 0 <= e.slot < limit
+
+    def test_durations_positive(self, result):
+        for e in job_events(result, CLUSTER):
+            assert e.end_s > e.start_s
+
+
+class TestGantt:
+    def test_renders_rows_per_slot(self, result):
+        chart = render_gantt(result, CLUSTER, width=40)
+        lines = chart.splitlines()
+        # header + map slots + reduce slots + axis
+        assert len(lines) == 1 + CLUSTER.map_slots + CLUSTER.reduce_slots + 1
+        assert "wc" in lines[0]
+
+    def test_glyphs_present(self, result):
+        chart = render_gantt(result, CLUSTER)
+        assert "m" in chart and "R" in chart
+
+    def test_width_respected(self, result):
+        chart = render_gantt(result, CLUSTER, width=30)
+        bars = [l for l in chart.splitlines() if "|" in l]
+        for line in bars:
+            inner = line.split("|")[1]
+            assert len(inner) == 30
+
+    def test_bad_width(self, result):
+        with pytest.raises(ValueError):
+            render_gantt(result, CLUSTER, width=5)
+
+    def test_empty_job(self):
+        job = Job(name="empty", mapper=TokenMapper, reducer=SumReducer)
+        res = run_job(job, records=[])
+        chart = render_gantt(res, CLUSTER)
+        assert "empty" in chart

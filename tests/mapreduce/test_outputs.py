@@ -1,0 +1,138 @@
+"""Tests for job output formats and commit semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    Job,
+    JobConf,
+    Mapper,
+    Reducer,
+    SequenceOutputFormat,
+    TextOutputFormat,
+    read_sequence_output,
+    read_text_output,
+    run_job,
+)
+from repro.mapreduce.errors import FileSystemError
+from repro.mapreduce.fs import BlockFileSystem
+from repro.mapreduce.outputs import SUCCESS_MARKER
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+@pytest.fixture
+def fs():
+    return BlockFileSystem()
+
+
+@pytest.fixture
+def result():
+    job = Job(
+        name="wc",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        conf=JobConf(num_reducers=3),
+    )
+    return run_job(job, records=[(None, "a b a"), (None, "b c")])
+
+
+class TestTextOutput:
+    def test_write_and_read_back(self, fs, result):
+        fmt = TextOutputFormat(fs, "/out/wc")
+        paths = fmt.write(result)
+        assert len(paths) == 3
+        pairs = dict(read_text_output(fs, "/out/wc"))
+        assert pairs == {"a": "2", "b": "2", "c": "1"}
+
+    def test_success_marker(self, fs, result):
+        fmt = TextOutputFormat(fs, "/out/wc")
+        assert not fmt.is_committed()
+        fmt.write(result)
+        assert fmt.is_committed()
+        assert fs.exists(f"/out/wc/{SUCCESS_MARKER}")
+
+    def test_no_temporary_left_behind(self, fs, result):
+        TextOutputFormat(fs, "/out/wc").write(result)
+        assert not any("_temporary" in p for p in fs.ls("/out/wc"))
+
+    def test_double_write_needs_overwrite(self, fs, result):
+        fmt = TextOutputFormat(fs, "/out/wc")
+        fmt.write(result)
+        with pytest.raises(FileSystemError, match="committed"):
+            fmt.write(result)
+        fmt.write(result, overwrite=True)  # allowed
+
+    def test_read_uncommitted_rejected(self, fs):
+        with pytest.raises(FileSystemError, match="no committed output"):
+            read_text_output(fs, "/nowhere")
+
+    def test_abort_removes_temp(self, fs, result):
+        fmt = TextOutputFormat(fs, "/out/wc")
+        # Simulate a failure mid-write by staging then aborting.
+        fs.write("/out/wc/_temporary/part-r-00000", b"partial")
+        fmt.abort()
+        assert fs.ls("/out/wc") == []
+
+    def test_none_key_rendered_empty(self, fs):
+        class PassMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(None, value)
+
+        class PassReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                for v in values:
+                    ctx.emit(key, v)
+
+        job = Job(name="p", mapper=PassMapper, reducer=PassReducer)
+        res = run_job(job, records=[(None, "x")])
+        TextOutputFormat(fs, "/out/p").write(res)
+        assert read_text_output(fs, "/out/p") == [("", "x")]
+
+
+class TestSequenceOutput:
+    def test_preserves_types(self, fs):
+        class ArrayMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, np.asarray(value))
+
+        class PassReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                for v in values:
+                    ctx.emit(key, v)
+
+        job = Job(name="arr", mapper=ArrayMapper, reducer=PassReducer)
+        res = run_job(job, records=[(7, [1.0, 2.0])])
+        SequenceOutputFormat(fs, "/out/arr").write(res)
+        pairs = read_sequence_output(fs, "/out/arr")
+        assert pairs[0][0] == 7
+        assert np.array_equal(pairs[0][1], [1.0, 2.0])
+
+    def test_round_trip_counts(self, fs, result):
+        SequenceOutputFormat(fs, "/out/seq").write(result)
+        pairs = read_sequence_output(fs, "/out/seq")
+        assert dict(pairs) == {"a": 2, "b": 2, "c": 1}
+
+    def test_empty_partitions_ok(self, fs):
+        class NullMapper(Mapper):
+            def map(self, key, value, ctx):
+                pass
+
+        job = Job(
+            name="empty",
+            mapper=NullMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=2),
+        )
+        res = run_job(job, records=[(None, "ignored")])
+        SequenceOutputFormat(fs, "/out/empty").write(res)
+        assert read_sequence_output(fs, "/out/empty") == []

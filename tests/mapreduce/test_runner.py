@@ -1,0 +1,236 @@
+"""End-to-end tests for the serial and multiprocessing runners."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    Job,
+    JobChain,
+    JobConf,
+    JobConfigError,
+    JobFailedError,
+    Mapper,
+    MultiprocessRunner,
+    Reducer,
+    SerialRunner,
+    SingleReducerPartitioner,
+    run_job,
+)
+from repro.mapreduce.fs import BlockFileSystem
+from repro.mapreduce.inputs import TextInputFormat
+from repro.mapreduce.types import TaskKind
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+            ctx.increment("app", "tokens")
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+class CrashOnXMapper(Mapper):
+    def map(self, key, value, ctx):
+        if value == "x":
+            raise RuntimeError("poisoned record")
+        ctx.emit(value, 1)
+
+
+def _wordcount_job(reducers=2, maps=2, combiner=None):
+    return Job(
+        name="wordcount",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        combiner=combiner,
+        conf=JobConf(num_reducers=reducers, num_map_tasks=maps),
+    )
+
+
+WORDS = [(None, "a b a"), (None, "b b c"), (None, "c a d")]
+EXPECTED = {"a": 3, "b": 3, "c": 2, "d": 1}
+
+
+class TestSerialRunner:
+    def test_wordcount(self):
+        result = run_job(_wordcount_job(), records=WORDS)
+        assert dict(result.output_pairs()) == EXPECTED
+
+    def test_counters_merged(self):
+        result = run_job(_wordcount_job(), records=WORDS)
+        assert result.counters.value("app", "tokens") == 9
+        assert result.counters.value("framework", "map_input_records") == 3
+
+    def test_task_stats_populated(self):
+        result = run_job(_wordcount_job(maps=3), records=WORDS)
+        assert len(result.map_stats) == 3
+        assert len(result.reduce_stats) == 2
+        assert result.map_stats.kind is TaskKind.MAP
+        assert result.map_stats.records_in == 3
+        assert all(t.duration_s >= 0 for t in result.map_stats.tasks)
+        assert result.wall_s > 0
+
+    def test_combiner_does_not_change_result(self):
+        plain = run_job(_wordcount_job(), records=WORDS)
+        combined = run_job(_wordcount_job(combiner=SumReducer), records=WORDS)
+        assert dict(plain.output_pairs()) == dict(combined.output_pairs())
+        assert (
+            combined.shuffle_stats.records < plain.shuffle_stats.records
+        ), "combiner should shrink shuffle volume"
+
+    def test_single_reducer_partitioner(self):
+        job = Job(
+            name="single",
+            mapper=TokenMapper,
+            reducer=SumReducer,
+            conf=JobConf(
+                num_reducers=3, partitioner=SingleReducerPartitioner()
+            ),
+        )
+        result = run_job(job, records=WORDS)
+        assert [len(p) for p in result.outputs] == [4, 0, 0]
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(JobConfigError):
+            run_job(_wordcount_job())
+        fs = BlockFileSystem()
+        fs.write_text("/in.txt", "a b")
+        fmt = TextInputFormat(fs, "/in.txt")
+        with pytest.raises(JobConfigError):
+            run_job(_wordcount_job(), records=WORDS, input_format=fmt)
+
+    def test_file_input(self):
+        fs = BlockFileSystem(block_size=8)
+        fs.write_text("/in.txt", "a b a\nb b c\nc a d")
+        result = run_job(
+            _wordcount_job(), input_format=TextInputFormat(fs, "/in.txt")
+        )
+        assert dict(result.output_pairs()) == EXPECTED
+
+    def test_failing_task_raises_job_failed(self):
+        job = Job(
+            name="crash",
+            mapper=CrashOnXMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=1),
+        )
+        with pytest.raises(JobFailedError) as info:
+            run_job(job, records=[(None, "ok"), (None, "x")])
+        assert "crash" in str(info.value)
+
+    def test_validation_rejects_non_mapper(self):
+        job = Job(name="bad", mapper=SumReducer, reducer=SumReducer)  # type: ignore[arg-type]
+        with pytest.raises(JobConfigError):
+            run_job(job, records=WORDS)
+
+    def test_empty_input(self):
+        result = run_job(_wordcount_job(), records=[])
+        assert list(result.output_pairs()) == []
+
+    def test_numpy_values_flow_through(self):
+        class ArrayMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(0, np.asarray(value))
+
+        class StackReducer(Reducer):
+            def reduce(self, key, values, ctx):
+                ctx.emit(key, np.vstack(list(values)).sum())
+
+        job = Job(
+            name="np",
+            mapper=ArrayMapper,
+            reducer=StackReducer,
+            conf=JobConf(num_reducers=1),
+        )
+        result = run_job(job, records=[(0, [1.0, 2.0]), (1, [3.0, 4.0])])
+        assert list(result.output_values()) == [10.0]
+
+
+class TestRetries:
+    def test_deterministic_failure_exhausts_retries(self):
+        job = Job(
+            name="crash",
+            mapper=CrashOnXMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=1),
+        )
+        runner = SerialRunner(max_task_retries=2)
+        with pytest.raises(JobFailedError) as info:
+            runner.run(job, records=[(None, "x")])
+        assert len(info.value.failures) == 3  # 1 try + 2 retries
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(JobConfigError):
+            SerialRunner(max_task_retries=-1)
+
+
+class TestJobChain:
+    def test_two_stage_pipeline(self):
+        def stage1(records):
+            return _wordcount_job()
+
+        def stage2(records):
+            # Second job: re-key counts by parity of the count.
+            class ParityMapper(Mapper):
+                def map(self, key, value, ctx):
+                    ctx.emit(value % 2, 1)
+
+            return Job(
+                name="parity",
+                mapper=ParityMapper,
+                reducer=SumReducer,
+                conf=JobConf(num_reducers=1),
+            )
+
+        chain = JobChain("wc-parity", [stage1, stage2])
+        result = SerialRunner().run_chain(chain, WORDS)
+        assert len(result.results) == 2
+        # counts are {3,3,2,1} -> parities {1:2 odd, 0:1}... 3,3 odd, 2 even, 1 odd
+        assert dict(result.final.output_pairs()) == {0: 1, 1: 3}
+        assert result.wall_s >= result.final.wall_s
+
+    def test_phase_stats_concatenated(self):
+        class CountKeyMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.emit(key, value)
+
+        second = Job(
+            name="passthrough",
+            mapper=CountKeyMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=1, num_map_tasks=1),
+        )
+        chain = JobChain("x", [lambda r: _wordcount_job(), lambda r: second])
+        result = SerialRunner().run_chain(chain, WORDS)
+        assert len(result.phase_stats(TaskKind.MAP)) == 3
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(JobConfigError):
+            JobChain("empty", [])
+
+
+class TestMultiprocessRunner:
+    def test_matches_serial(self):
+        serial = run_job(_wordcount_job(maps=3), records=WORDS)
+        mp = MultiprocessRunner(num_workers=2).run(
+            _wordcount_job(maps=3), records=WORDS
+        )
+        assert dict(mp.output_pairs()) == dict(serial.output_pairs())
+        assert mp.counters.value("app", "tokens") == 9
+
+    def test_failure_propagates(self):
+        job = Job(
+            name="crash",
+            mapper=CrashOnXMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=1),
+        )
+        with pytest.raises(JobFailedError):
+            MultiprocessRunner(num_workers=2).run(job, records=[(None, "x")])
+
+    def test_bad_worker_count(self):
+        with pytest.raises(JobConfigError):
+            MultiprocessRunner(num_workers=0)

@@ -1,0 +1,131 @@
+"""Tests for the sort-based shuffle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.shuffle import group_sorted, shuffle
+
+
+def _one_map_output(pairs, num_partitions, partition_fn):
+    buffers = [[] for _ in range(num_partitions)]
+    for k, v in pairs:
+        buffers[partition_fn(k)].append((k, v))
+    return buffers
+
+
+class TestGroupSorted:
+    def test_groups_runs(self):
+        pairs = [("a", 1), ("a", 2), ("b", 3), ("b", 4), ("c", 5)]
+        assert group_sorted(pairs) == [("a", [1, 2]), ("b", [3, 4]), ("c", [5])]
+
+    def test_empty(self):
+        assert group_sorted([]) == []
+
+    def test_non_adjacent_duplicates_stay_separate(self):
+        # group_sorted only merges adjacent runs; callers must sort first.
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        assert group_sorted(pairs) == [("a", [1]), ("b", [2]), ("a", [3])]
+
+    def test_none_key(self):
+        assert group_sorted([(None, 1), (None, 2)]) == [(None, [1, 2])]
+
+
+class TestShuffle:
+    def test_merges_across_map_tasks(self):
+        m0 = _one_map_output([("a", 1), ("b", 2)], 2, lambda k: 0 if k == "a" else 1)
+        m1 = _one_map_output([("a", 3), ("b", 4)], 2, lambda k: 0 if k == "a" else 1)
+        partitions, stats = shuffle([m0, m1], 2)
+        assert partitions[0] == [("a", [1, 3])]
+        assert partitions[1] == [("b", [2, 4])]
+        assert stats.records == 4
+        assert stats.bytes > 0
+
+    def test_sorts_keys_within_partition(self):
+        m0 = [[("z", 1), ("a", 2), ("m", 3)]]
+        partitions, _ = shuffle([m0], 1)
+        assert [k for k, _ in partitions[0]] == ["a", "m", "z"]
+
+    def test_sort_disabled_preserves_order(self):
+        m0 = [[("z", 1), ("a", 2)]]
+        partitions, _ = shuffle([m0], 1, sort_keys=False)
+        assert [k for k, _ in partitions[0]] == ["z", "a"]
+
+    def test_value_order_stable_within_key(self):
+        # Map-task order then buffer order — Hadoop gives no guarantee, we do.
+        m0 = [[("k", "first")]]
+        m1 = [[("k", "second")]]
+        partitions, _ = shuffle([m0, m1], 1)
+        assert partitions[0] == [("k", ["first", "second"])]
+
+    def test_empty_partitions_present(self):
+        partitions, stats = shuffle([[[("k", 1)], []]], 2)
+        assert len(partitions) == 2
+        assert partitions[1] == []
+        assert stats.segments == 1
+
+    def test_heterogeneous_keys_total_order(self):
+        m0 = [[(1, "a"), ("x", "b"), (2.5, "c"), ((1, 2), "d")]]
+        partitions, _ = shuffle([m0], 1)
+        assert len(partitions[0]) == 4  # no crash, all keys present
+
+    def test_no_map_outputs(self):
+        partitions, stats = shuffle([], 3)
+        assert partitions == [[], [], []]
+        assert stats.records == 0
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 20), st.integers()), max_size=60
+        ),
+        num_maps=st.integers(1, 4),
+        num_partitions=st.integers(1, 5),
+    )
+    @settings(max_examples=60)
+    def test_property_no_records_lost(self, pairs, num_maps, num_partitions):
+        # Distribute pairs across map tasks round-robin, partition by key mod.
+        outputs = []
+        for m in range(num_maps):
+            chunk = pairs[m::num_maps]
+            outputs.append(
+                _one_map_output(chunk, num_partitions, lambda k: k % num_partitions)
+            )
+        partitions, stats = shuffle(outputs, num_partitions)
+        flat = [
+            (k, v)
+            for part in partitions
+            for k, values in part
+            for v in values
+        ]
+        assert sorted(flat) == sorted(pairs)
+        assert stats.records == len(pairs)
+        # Keys grouped exactly once per partition
+        for part in partitions:
+            keys = [k for k, _ in part]
+            assert len(keys) == len(set(keys))
+
+
+class TestExternalSpill:
+    def test_spill_path_equals_in_memory(self, tmp_path):
+        pairs = [(i % 7, i) for i in range(500)]
+        m0 = _one_map_output(pairs, 1, lambda k: 0)
+        in_mem, _ = shuffle([m0], 1)
+        spilled, stats = shuffle(
+            [m0], 1, spill_dir=str(tmp_path), spill_threshold_records=100
+        )
+        assert spilled == in_mem
+        assert stats.spilled_segments >= 1
+
+    def test_spill_files_cleaned_up(self, tmp_path):
+        pairs = [(i, i) for i in range(200)]
+        m0 = _one_map_output(pairs, 1, lambda k: 0)
+        shuffle([m0], 1, spill_dir=str(tmp_path), spill_threshold_records=50)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_below_threshold_stays_in_memory(self, tmp_path):
+        pairs = [(i, i) for i in range(10)]
+        m0 = _one_map_output(pairs, 1, lambda k: 0)
+        _, stats = shuffle(
+            [m0], 1, spill_dir=str(tmp_path), spill_threshold_records=100
+        )
+        assert stats.spilled_segments == 0

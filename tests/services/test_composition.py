@@ -1,0 +1,209 @@
+"""Tests for QoS-aware service composition."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dominance import dominates
+from repro.core.skyline import skyline_numpy
+from repro.services.composition import (
+    AGGREGATIONS,
+    CompositionTask,
+    aggregate_qos,
+    skyline_compositions,
+)
+
+candidate_sets = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 8), st.integers(2, 3)),
+    elements=st.floats(0, 50, allow_nan=False),
+)
+
+
+class TestAggregateQos:
+    def test_sum(self):
+        rows = np.array([[10.0, 1.0], [20.0, 2.0]])
+        out = aggregate_qos(rows, ["sum", "sum"])
+        assert out.tolist() == [30.0, 3.0]
+
+    def test_max(self):
+        rows = np.array([[10.0], [25.0], [5.0]])
+        assert aggregate_qos(rows, ["max"])[0] == 25.0
+
+    def test_prob_multiplies_success(self):
+        # Flipped availability 10 and 20 on bound 100 -> 0.9 * 0.8 = 0.72
+        rows = np.array([[10.0], [20.0]])
+        out = aggregate_qos(rows, ["prob"], prob_bounds=[100.0])
+        assert out[0] == pytest.approx(100.0 * (1 - 0.72))
+
+    def test_prob_default_bound_100(self):
+        rows = np.array([[0.0], [0.0]])
+        assert aggregate_qos(rows, ["prob"])[0] == pytest.approx(0.0)
+
+    def test_prob_bad_bound(self):
+        with pytest.raises(ValueError):
+            aggregate_qos(np.ones((1, 1)), ["prob"], prob_bounds=[0.0])
+
+    def test_wrong_rule_count(self):
+        with pytest.raises(ValueError):
+            aggregate_qos(np.ones((1, 2)), ["sum"])
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            aggregate_qos(np.ones((1, 1)), ["median"])
+
+    def test_single_component_identity_for_sum_max(self):
+        row = np.array([[3.0, 7.0]])
+        assert aggregate_qos(row, ["sum", "max"]).tolist() == [3.0, 7.0]
+
+    @given(
+        a=arrays(np.float64, (3, 2), elements=st.floats(0, 99, allow_nan=False)),
+        b=arrays(np.float64, (3, 2), elements=st.floats(0, 99, allow_nan=False)),
+        rule=st.sampled_from(AGGREGATIONS),
+    )
+    @settings(max_examples=80)
+    def test_property_monotone(self, a, b, rule):
+        """Componentwise-smaller inputs give componentwise-smaller aggregates
+        — the premise of the per-task pruning theorem."""
+        lo = np.minimum(a, b)
+        out_lo = aggregate_qos(lo, [rule, rule])
+        out_a = aggregate_qos(a, [rule, rule])
+        assert (out_lo <= out_a + 1e-9).all()
+
+
+class TestTaskContainer:
+    def test_default_ids(self):
+        t = CompositionTask("t", np.ones((3, 2)))
+        assert t.ids.tolist() == [0, 1, 2]
+
+    def test_custom_ids_checked(self):
+        with pytest.raises(ValueError):
+            CompositionTask("t", np.ones((3, 2)), ids=np.array([1, 2]))
+
+
+class TestSkylineCompositions:
+    def _tiny(self, seed=0, tasks=2, m=5, d=2):
+        rng = np.random.default_rng(seed)
+        return [
+            CompositionTask(f"t{i}", rng.uniform(0, 10, (m, d)))
+            for i in range(tasks)
+        ]
+
+    def test_matches_bruteforce_sum(self):
+        tasks = self._tiny(seed=1)
+        res = skyline_compositions(tasks, ["sum", "sum"])
+        all_qos = np.array(
+            [
+                tasks[0].candidates[a] + tasks[1].candidates[b]
+                for a, b in product(range(5), range(5))
+            ]
+        )
+        expected = {tuple(np.round(q, 9)) for q in all_qos[skyline_numpy(all_qos)]}
+        got = {tuple(np.round(q, 9)) for q in res.qos}
+        assert got == expected
+
+    @pytest.mark.parametrize("rule", AGGREGATIONS)
+    def test_matches_bruteforce_each_rule(self, rule):
+        tasks = self._tiny(seed=2, m=4)
+        res = skyline_compositions(tasks, [rule, rule])
+        combos = list(product(range(4), range(4)))
+        all_qos = np.array(
+            [
+                aggregate_qos(
+                    np.vstack([tasks[0].candidates[a], tasks[1].candidates[b]]),
+                    [rule, rule],
+                )
+                for a, b in combos
+            ]
+        )
+        expected = {tuple(np.round(q, 9)) for q in all_qos[skyline_numpy(all_qos)]}
+        got = {tuple(np.round(q, 9)) for q in res.qos}
+        assert got == expected
+
+    def test_result_is_pareto(self):
+        tasks = self._tiny(seed=3, tasks=3, m=8, d=3)
+        res = skyline_compositions(tasks, ["sum", "max", "prob"])
+        for i in range(len(res)):
+            for j in range(len(res)):
+                if i != j:
+                    assert not dominates(res.qos[i], res.qos[j])
+
+    def test_plan_ids_valid(self):
+        tasks = self._tiny(seed=4, tasks=3)
+        res = skyline_compositions(tasks, ["sum", "sum"])
+        assert res.plans.shape[1] == 3
+        for col, task in zip(res.plans.T, tasks):
+            assert set(col.tolist()) <= set(task.ids.tolist())
+
+    def test_plan_qos_recomputable(self):
+        tasks = self._tiny(seed=5)
+        res = skyline_compositions(tasks, ["sum", "sum"])
+        for plan, qos in zip(res.plans, res.qos):
+            rows = np.vstack(
+                [t.candidates[pid] for t, pid in zip(tasks, plan)]
+            )
+            assert np.allclose(aggregate_qos(rows, ["sum", "sum"]), qos)
+
+    def test_pruning_reduces_enumeration(self):
+        rng = np.random.default_rng(6)
+        tasks = [
+            CompositionTask(f"t{i}", rng.uniform(0, 10, (50, 2)))
+            for i in range(3)
+        ]
+        res = skyline_compositions(tasks, ["sum", "sum"])
+        assert res.enumerated < res.search_space
+
+    def test_enumeration_cap(self):
+        x = np.linspace(0, 1, 40)
+        front = np.column_stack([x, 1 - x])  # everything is skyline
+        tasks = [CompositionTask(f"t{i}", front) for i in range(4)]
+        with pytest.raises(ValueError, match="shrink"):
+            skyline_compositions(tasks, ["sum", "sum"], max_enumerations=1000)
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            skyline_compositions([], ["sum"])
+
+    def test_attribute_mismatch_rejected(self):
+        tasks = [
+            CompositionTask("a", np.ones((2, 2))),
+            CompositionTask("b", np.ones((2, 3))),
+        ]
+        with pytest.raises(ValueError, match="attributes"):
+            skyline_compositions(tasks, ["sum", "sum"])
+
+    def test_single_task_is_its_skyline(self):
+        rng = np.random.default_rng(7)
+        task = CompositionTask("only", rng.uniform(0, 10, (30, 2)))
+        res = skyline_compositions([task], ["sum", "sum"])
+        expected = skyline_numpy(task.candidates)
+        assert sorted(res.plans[:, 0].tolist()) == expected.tolist()
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_bruteforce(self, data):
+        a = data.draw(candidate_sets)
+        b = data.draw(
+            arrays(
+                np.float64,
+                st.tuples(st.integers(1, 8), st.just(a.shape[1])),
+                elements=st.floats(0, 50, allow_nan=False),
+            )
+        )
+        tasks = [CompositionTask("a", a), CompositionTask("b", b)]
+        rules = ["sum"] * a.shape[1]
+        res = skyline_compositions(tasks, rules)
+        all_qos = np.array(
+            [
+                a[i] + b[j]
+                for i in range(a.shape[0])
+                for j in range(b.shape[0])
+            ]
+        )
+        expected = {tuple(np.round(q, 6)) for q in all_qos[skyline_numpy(all_qos)]}
+        got = {tuple(np.round(q, 6)) for q in res.qos}
+        assert got == expected

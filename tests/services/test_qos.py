@@ -1,0 +1,137 @@
+"""Tests for the QoS schema and orientation normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.qos import Polarity, QoSAttribute, QoSSchema
+
+
+def _schema():
+    return QoSSchema(
+        [
+            QoSAttribute("response_time", "ms", Polarity.LOWER_IS_BETTER),
+            QoSAttribute("availability", "%", Polarity.HIGHER_IS_BETTER, 100.0),
+            QoSAttribute("throughput", "req/s", Polarity.HIGHER_IS_BETTER),
+        ]
+    )
+
+
+class TestAttribute:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            QoSAttribute("", "ms", Polarity.LOWER_IS_BETTER)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            QoSAttribute("x", "%", Polarity.HIGHER_IS_BETTER, 0.0)
+
+    def test_frozen(self):
+        attr = QoSAttribute("x", "ms", Polarity.LOWER_IS_BETTER)
+        with pytest.raises(AttributeError):
+            attr.name = "y"  # type: ignore[misc]
+
+
+class TestSchema:
+    def test_basic_properties(self):
+        s = _schema()
+        assert len(s) == 3
+        assert s.names == ["response_time", "availability", "throughput"]
+        assert s.index_of("availability") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            _schema().index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        a = QoSAttribute("x", "ms", Polarity.LOWER_IS_BETTER)
+        with pytest.raises(ValueError):
+            QoSSchema([a, a])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QoSSchema([])
+
+    def test_subset(self):
+        sub = _schema().subset(2)
+        assert sub.names == ["response_time", "availability"]
+
+    def test_subset_bounds(self):
+        with pytest.raises(ValueError):
+            _schema().subset(0)
+        with pytest.raises(ValueError):
+            _schema().subset(4)
+
+
+class TestToMinimization:
+    def test_min_attribute_unchanged(self):
+        raw = np.array([[100.0, 90.0, 5.0]])
+        out = _schema().to_minimization(raw)
+        assert out[0, 0] == 100.0
+
+    def test_max_attribute_flipped_with_bound(self):
+        raw = np.array([[100.0, 90.0, 5.0]])
+        out = _schema().to_minimization(raw)
+        assert out[0, 1] == pytest.approx(10.0)  # 100 - 90
+
+    def test_max_attribute_without_bound_uses_observed_max(self):
+        raw = np.array([[0.0, 0.0, 5.0], [0.0, 0.0, 20.0]])
+        out = _schema().to_minimization(raw)
+        assert out[:, 2].tolist() == [15.0, 0.0]
+
+    def test_values_above_bound_rejected(self):
+        raw = np.array([[1.0, 150.0, 1.0]])
+        with pytest.raises(ValueError, match="exceed"):
+            _schema().to_minimization(raw)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _schema().to_minimization(np.array([[-1.0, 1.0, 1.0]]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            _schema().to_minimization(np.array([[np.nan, 1.0, 1.0]]))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            _schema().to_minimization(np.ones((2, 2)))
+
+    def test_output_nonnegative(self):
+        rng = np.random.default_rng(0)
+        raw = np.column_stack(
+            [rng.random(50) * 1000, rng.random(50) * 100, rng.random(50) * 10]
+        )
+        out = _schema().to_minimization(raw)
+        assert (out >= 0).all()
+
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.floats(0, 1000, allow_nan=False).map(lambda v: round(v, 6)),
+                st.floats(0, 100, allow_nan=False).map(lambda v: round(v, 6)),
+                st.floats(0, 50, allow_nan=False).map(lambda v: round(v, 6)),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_dominance_preserved(self, values):
+        """Flipping orientation preserves the 'better' relation: service A
+        better than B in raw terms ⇔ A dominates B after normalisation.
+
+        Values are rounded to measurement granularity (1e-6): the flip
+        ``bound − v`` cannot represent sub-epsilon differences near the
+        bound (e.g. 100 − 1e-146 == 100.0), which is fine for real QoS
+        measurements but would fail this property on adversarial floats.
+        """
+        raw = np.array(values)
+        out = _schema().to_minimization(raw)
+        a, b = raw[0], raw[1]
+        better_raw = (
+            a[0] <= b[0] and a[1] >= b[1] and a[2] >= b[2]
+        ) and (a[0] < b[0] or a[1] > b[1] or a[2] > b[2])
+        from repro.core.dominance import dominates
+
+        assert dominates(out[0], out[1]) == better_raw

@@ -1,0 +1,187 @@
+"""Tests for the synthetic QWS workload generator and extension procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core.sfs import sfs_skyline
+from repro.services.qws import (
+    QWS_SCHEMA,
+    ServiceDataset,
+    extend_dataset,
+    generate_qws,
+    quantize_raw,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_qws(3000, seed=42)
+
+
+class TestGenerate:
+    def test_shape_and_schema(self, base):
+        assert base.raw.shape == (3000, 10)
+        assert base.schema is QWS_SCHEMA
+        assert len(base) == 3000
+
+    def test_deterministic(self):
+        a = generate_qws(100, seed=7)
+        b = generate_qws(100, seed=7)
+        assert np.array_equal(a.raw, b.raw)
+
+    def test_seed_changes_data(self):
+        a = generate_qws(100, seed=7)
+        b = generate_qws(100, seed=8)
+        assert not np.array_equal(a.raw, b.raw)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_qws(0)
+
+    def test_attribute_ranges(self, base):
+        raw = base.raw
+        names = QWS_SCHEMA.names
+        pct_cols = [
+            names.index(n)
+            for n in (
+                "availability",
+                "successability",
+                "reliability",
+                "compliance",
+                "best_practices",
+                "documentation",
+            )
+        ]
+        for j in pct_cols:
+            assert raw[:, j].min() >= 0 and raw[:, j].max() <= 100
+        assert raw[:, names.index("response_time")].min() > 0
+        assert raw[:, names.index("throughput")].max() <= 50
+
+    def test_quantization_applied(self, base):
+        names = QWS_SCHEMA.names
+        av = base.raw[:, names.index("availability")]
+        assert np.array_equal(av, np.round(av))
+
+    def test_correlations_have_expected_signs(self, base):
+        names = QWS_SCHEMA.names
+        raw = base.raw
+        rt = raw[:, names.index("response_time")]
+        la = raw[:, names.index("latency")]
+        av = raw[:, names.index("availability")]
+        su = raw[:, names.index("successability")]
+        assert np.corrcoef(rt, la)[0, 1] > 0.4
+        assert np.corrcoef(av, su)[0, 1] > 0.3
+        assert np.corrcoef(rt, av)[0, 1] < -0.1
+
+    def test_no_perfect_service(self, base):
+        """The degenerate all-optimal corner must not exist (it would
+        collapse the skyline to one point)."""
+        m = base.qos_matrix(10)
+        best = m.min(axis=0)
+        assert not (m == best).all(axis=1).any()
+
+    def test_skyline_grows_with_dimension(self, base):
+        sizes = [sfs_skyline(base.qos_matrix(d)).indices.size for d in (2, 4, 6, 8, 10)]
+        # Weak monotonicity (ties allow small dips); overall growth required.
+        assert sizes[-1] > sizes[0]
+        assert sizes[-1] >= 100
+
+
+class TestDatasetContainer:
+    def test_qos_matrix_orientation(self, base):
+        m = base.qos_matrix(4)
+        assert m.shape == (3000, 4)
+        assert (m >= 0).all()
+
+    def test_qos_matrix_default_all_dims(self, base):
+        assert base.qos_matrix().shape == (3000, 10)
+
+    def test_subset_sampling(self, base):
+        sub = base.subset(100, seed=1)
+        assert len(sub) == 100
+        # Every sampled row exists in the base.
+        base_rows = {tuple(r) for r in base.raw}
+        assert all(tuple(r) in base_rows for r in sub.raw)
+
+    def test_subset_bounds(self, base):
+        with pytest.raises(ValueError):
+            base.subset(0)
+        with pytest.raises(ValueError):
+            base.subset(len(base) + 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceDataset(raw=np.ones((5, 3)), schema=QWS_SCHEMA)
+
+
+class TestQuantize:
+    def test_idempotent(self, base):
+        assert np.array_equal(quantize_raw(base.raw), base.raw)
+
+    def test_rounds_percentages_to_integers(self):
+        raw = np.zeros((1, 10))
+        raw[0, 1] = 93.7
+        assert quantize_raw(raw)[0, 1] == 94.0
+
+
+class TestExtension:
+    @pytest.mark.parametrize("method", ["resample", "jitter"])
+    def test_prefix_is_base(self, base, method):
+        ext = extend_dataset(base, 4000, seed=1, method=method)
+        assert len(ext) == 4000
+        assert np.array_equal(ext.raw[:3000], base.raw)
+
+    @pytest.mark.parametrize("method", ["resample", "jitter"])
+    def test_marginals_close_to_base(self, base, method):
+        ext = extend_dataset(base, 9000, seed=1, method=method)
+        synth = ext.raw[3000:]
+        for j in range(10):
+            lo, hi = base.raw[:, j].min(), base.raw[:, j].max()
+            assert synth[:, j].min() >= lo - 1e-9
+            assert synth[:, j].max() <= hi + 1e-9
+            base_med = np.median(base.raw[:, j])
+            synth_med = np.median(synth[:, j])
+            scale = max(base.raw[:, j].std(), 1e-9)
+            assert abs(base_med - synth_med) < scale
+
+    def test_resample_preserves_correlation_sign(self, base):
+        ext = extend_dataset(base, 9000, seed=2, method="resample")
+        synth = ext.raw[3000:]
+        rt, la = synth[:, 0], synth[:, 7]
+        assert np.corrcoef(rt, la)[0, 1] > 0.3
+
+    def test_same_size_returns_copy(self, base):
+        same = extend_dataset(base, len(base))
+        assert np.array_equal(same.raw, base.raw)
+        assert same.raw is not base.raw
+
+    def test_shrinking_rejected(self, base):
+        with pytest.raises(ValueError):
+            extend_dataset(base, 10)
+
+    def test_unknown_method_rejected(self, base):
+        with pytest.raises(ValueError, match="unknown method"):
+            extend_dataset(base, 4000, method="clone")
+
+    def test_negative_narrow_range_rejected(self, base):
+        with pytest.raises(ValueError):
+            extend_dataset(base, 4000, method="jitter", narrow_range=-0.1)
+
+    def test_deterministic(self, base):
+        a = extend_dataset(base, 4000, seed=5)
+        b = extend_dataset(base, 4000, seed=5)
+        assert np.array_equal(a.raw, b.raw)
+
+    def test_jitter_stays_near_parents(self, base):
+        ext = extend_dataset(base, 3500, seed=3, method="jitter", narrow_range=0.01)
+        synth = ext.raw[3000:]
+        # Each synthetic row must be within 1% of a std of SOME base row,
+        # plus the per-attribute quantisation step (values are re-rounded
+        # to QWS measurement resolution after jittering).
+        from repro.services.qws import _QUANT_DECIMALS
+
+        quant_step = np.array([0.5 * 10.0**-d for d in _QUANT_DECIMALS])
+        spread = base.raw.std(axis=0) * 0.01 + quant_step + 1e-9
+        for row in synth[:50]:
+            close = (np.abs(base.raw - row) <= spread).all(axis=1)
+            assert close.any()

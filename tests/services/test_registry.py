@@ -1,0 +1,117 @@
+"""Tests for the UDDI-like service registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import skyline_numpy
+from repro.services.qos import Polarity, QoSAttribute, QoSSchema
+from repro.services.qws import QWS_SCHEMA, generate_qws
+from repro.services.registry import ServiceRegistry
+
+
+@pytest.fixture
+def registry():
+    return ServiceRegistry(QWS_SCHEMA, dims=4)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_qws(200, seed=0)
+
+
+class TestPublish:
+    def test_publish_assigns_ids(self, registry, dataset):
+        s1 = registry.publish("a", "p", "weather", dataset.raw[0])
+        s2 = registry.publish("b", "p", "weather", dataset.raw[1])
+        assert s1.service_id != s2.service_id
+        assert len(registry) == 2
+
+    def test_wrong_qos_width_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.publish("a", "p", "weather", np.ones(3))
+
+    def test_categories_tracked(self, registry, dataset):
+        registry.publish("a", "p", "weather", dataset.raw[0])
+        registry.publish("b", "p", "stocks", dataset.raw[1])
+        assert registry.categories() == ["stocks", "weather"]
+        assert len(registry.services_in("weather")) == 1
+
+    def test_get_service(self, registry, dataset):
+        s = registry.publish("a", "prov", "weather", dataset.raw[0])
+        got = registry.get(s.service_id)
+        assert got.name == "a"
+        assert got.provider == "prov"
+
+    def test_unbounded_max_attribute_rejected(self):
+        schema = QoSSchema(
+            [
+                QoSAttribute("rt", "ms", Polarity.LOWER_IS_BETTER),
+                QoSAttribute("tp", "req/s", Polarity.HIGHER_IS_BETTER),  # no bound
+            ]
+        )
+        with pytest.raises(ValueError, match="upper_bound"):
+            ServiceRegistry(schema)
+
+
+class TestSkylineQueries:
+    def test_matches_batch_skyline(self, registry, dataset):
+        for i in range(100):
+            registry.publish(f"s{i}", "p", "weather", dataset.raw[i])
+        expected_rows = dataset.qos_matrix(4)[:100]
+        expected = set((skyline_numpy(expected_rows) + 1).tolist())  # ids are 1-based
+        got = {s.service_id for s in registry.skyline("weather")}
+        assert got == expected
+
+    def test_empty_category(self, registry):
+        assert registry.skyline("nope") == []
+
+    def test_categories_isolated(self, registry, dataset):
+        registry.publish("a", "p", "weather", dataset.raw[0])
+        registry.publish("b", "p", "stocks", dataset.raw[1])
+        assert len(registry.skyline("weather")) == 1
+        assert len(registry.skyline("stocks")) == 1
+
+
+class TestWithdraw:
+    def test_withdraw_updates_skyline(self, registry, dataset):
+        ids = [
+            registry.publish(f"s{i}", "p", "w", dataset.raw[i]).service_id
+            for i in range(50)
+        ]
+        before = {s.service_id for s in registry.skyline("w")}
+        victim = next(iter(before))
+        registry.withdraw(victim)
+        after = {s.service_id for s in registry.skyline("w")}
+        assert victim not in after
+        # Survivors must equal the batch skyline over remaining services.
+        remaining = [i for i in ids if i != victim]
+        rows = np.vstack(
+            [dataset.qos_matrix(4)[i - 1] for i in remaining]
+        )
+        expected = {remaining[j] for j in skyline_numpy(rows)}
+        assert after == expected
+
+    def test_withdraw_unknown_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.withdraw(999)
+
+    def test_withdraw_removes_from_listing(self, registry, dataset):
+        s = registry.publish("a", "p", "w", dataset.raw[0])
+        registry.withdraw(s.service_id)
+        assert len(registry) == 0
+        assert registry.services_in("w") == []
+
+
+class TestDims:
+    def test_custom_dims_validated(self):
+        with pytest.raises(ValueError):
+            ServiceRegistry(QWS_SCHEMA, dims=11)
+
+    def test_dims_control_skyline(self, dataset):
+        # With dims=1 the skyline is just the minimum response time service(s).
+        reg = ServiceRegistry(QWS_SCHEMA, dims=1)
+        for i in range(50):
+            reg.publish(f"s{i}", "p", "w", dataset.raw[i])
+        rts = dataset.raw[:50, 0]
+        sky = reg.skyline("w")
+        assert {s.qos_raw[0] for s in sky} == {rts.min()}

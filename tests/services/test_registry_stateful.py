@@ -1,0 +1,84 @@
+"""Stateful property testing of the service registry against a model.
+
+Random publish/withdraw sequences across two categories; after every step
+the registry's per-category skyline must equal the batch skyline over the
+surviving services of that category.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.skyline import skyline_numpy
+from repro.services.qos import Polarity, QoSAttribute, QoSSchema
+from repro.services.registry import ServiceRegistry
+
+SCHEMA = QoSSchema(
+    [
+        QoSAttribute("rt", "ms", Polarity.LOWER_IS_BETTER),
+        QoSAttribute("avail", "%", Polarity.HIGHER_IS_BETTER, 100.0),
+        QoSAttribute("price", "$", Polarity.LOWER_IS_BETTER),
+    ]
+)
+
+qos_values = st.tuples(
+    st.floats(1.0, 999.0, allow_nan=False),
+    st.floats(0.0, 100.0, allow_nan=False),
+    st.floats(0.1, 99.0, allow_nan=False),
+)
+
+CATEGORIES = ("weather", "stocks")
+
+
+class RegistryMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.registry = ServiceRegistry(SCHEMA, dims=3)
+        self.model: dict[str, dict[int, np.ndarray]] = {c: {} for c in CATEGORIES}
+
+    @rule(qos=qos_values, category=st.sampled_from(CATEGORIES))
+    def publish(self, qos, category) -> None:
+        raw = np.array(qos)
+        svc = self.registry.publish("svc", "prov", category, raw)
+        self.model[category][svc.service_id] = raw
+
+    @precondition(lambda self: any(self.model[c] for c in CATEGORIES))
+    @rule(data=st.data())
+    def withdraw(self, data) -> None:
+        category = data.draw(
+            st.sampled_from([c for c in CATEGORIES if self.model[c]])
+        )
+        victim = data.draw(st.sampled_from(sorted(self.model[category])))
+        self.registry.withdraw(victim)
+        del self.model[category][victim]
+
+    @invariant()
+    def skyline_matches_batch(self) -> None:
+        for category in CATEGORIES:
+            services = self.model[category]
+            got = {s.service_id for s in self.registry.skyline(category)}
+            if not services:
+                assert got == set()
+                continue
+            ids = sorted(services)
+            raw = np.vstack([services[i] for i in ids])
+            matrix = SCHEMA.to_minimization(raw)
+            expected = {ids[j] for j in skyline_numpy(matrix)}
+            assert got == expected, (category, got, expected)
+
+    @invariant()
+    def counts_match(self) -> None:
+        assert len(self.registry) == sum(len(v) for v in self.model.values())
+
+
+RegistryMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestRegistryStateful = RegistryMachine.TestCase

@@ -1,0 +1,83 @@
+"""Tests for QoS-based service selection and utility ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import skyline_numpy
+from repro.services.qws import generate_qws
+from repro.services.selection import (
+    SelectionResult,
+    rank_by_utility,
+    select_services,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_qws(800, seed=3)
+
+
+class TestSelect:
+    def test_local_mode_matches_reference(self, dataset):
+        sel = select_services(dataset, dims=4, mode="local")
+        expected = skyline_numpy(dataset.qos_matrix(4))
+        assert np.array_equal(np.sort(sel.indices), expected)
+        assert sel.dims == 4
+        assert len(sel) == expected.size
+
+    @pytest.mark.parametrize("mode", ["mr-dim", "mr-grid", "mr-angle"])
+    def test_mr_modes_match_local(self, dataset, mode):
+        local = select_services(dataset, dims=4, mode="local")
+        mr = select_services(dataset, dims=4, mode=mode)
+        assert np.array_equal(np.sort(mr.indices), np.sort(local.indices))
+
+    def test_default_dims_is_all(self, dataset):
+        sel = select_services(dataset)
+        assert sel.dims == dataset.num_attributes
+
+    def test_unknown_mode(self, dataset):
+        with pytest.raises(ValueError, match="unknown mode"):
+            select_services(dataset, mode="quantum")  # type: ignore[arg-type]
+
+
+class TestRanking:
+    def test_best_first(self, dataset):
+        sel = select_services(dataset, dims=4)
+        ranked = rank_by_utility(dataset, sel)
+        matrix = dataset.qos_matrix(4)
+        lo = matrix[sel.indices].min(axis=0)
+        span = matrix[sel.indices].max(axis=0) - lo
+        span[span == 0] = 1.0
+        norm = (matrix[ranked] - lo) / span
+        costs = norm.mean(axis=1)
+        assert np.all(np.diff(costs) >= -1e-12)
+
+    def test_ranked_is_permutation_of_selection(self, dataset):
+        sel = select_services(dataset, dims=4)
+        ranked = rank_by_utility(dataset, sel)
+        assert sorted(ranked.tolist()) == sorted(sel.indices.tolist())
+
+    def test_custom_weights_change_order(self, dataset):
+        sel = select_services(dataset, dims=2)
+        if len(sel) < 3:
+            pytest.skip("skyline too small to compare orderings")
+        rt_first = rank_by_utility(dataset, sel, weights=[1.0, 0.0])
+        cost_first = rank_by_utility(dataset, sel, weights=[0.0, 1.0])
+        assert rt_first.tolist() != cost_first.tolist()
+
+    def test_weight_validation(self, dataset):
+        sel = select_services(dataset, dims=4)
+        with pytest.raises(ValueError):
+            rank_by_utility(dataset, sel, weights=[1.0])
+        with pytest.raises(ValueError):
+            rank_by_utility(dataset, sel, weights=[-1.0, 1.0, 1.0, 1.0])
+
+    def test_empty_selection(self, dataset):
+        empty = SelectionResult(indices=np.empty(0, dtype=np.intp), dims=4, mode="local")
+        assert rank_by_utility(dataset, empty).size == 0
+
+    def test_single_dim_weight_extreme(self, dataset):
+        sel = select_services(dataset, dims=2)
+        ranked = rank_by_utility(dataset, sel, weights=[1.0, 0.0])
+        rts = dataset.qos_matrix(2)[ranked][:, 0]
+        assert np.all(np.diff(rts) >= 0)
