@@ -65,6 +65,23 @@ PAPER_METHODS: tuple[str, ...] = ("dim", "grid", "angle")
 _METHOD_LABEL = {"dim": "MR-Dim", "grid": "MR-Grid", "angle": "MR-Angle"}
 
 
+def _attach_trace_meta(table: Table, records) -> None:
+    """Store per-record trace summaries in ``table.meta`` (traced runs only).
+
+    Each entry keys the cell (method, n, d) and carries the per-phase
+    breakdown from :func:`repro.observability.report.summarize_spans`, so a
+    ``Table.to_json()`` export of a traced benchmark includes where the
+    time went, not just the totals.
+    """
+    summaries = [
+        {"method": r.method, "n": r.n, "d": r.d, **r.trace_summary}
+        for r in records
+        if r.trace_summary is not None
+    ]
+    if summaries:
+        table.meta["trace_summaries"] = summaries
+
+
 def figure5(
     n: int,
     *,
@@ -94,6 +111,7 @@ def figure5(
         f"simulated {cluster.num_nodes}-server cluster "
         f"(partitions = 2 x servers); lower is better"
     )
+    _attach_trace_meta(table, records)
     return table
 
 
@@ -180,7 +198,7 @@ def figure7(
     default quantile sectors trade some optimality for the balance that
     wins Figures 5 and 6 (see EXPERIMENTS.md).
     """
-    records = sweep(methods, n, dims, cluster=cluster, cache=cache)
+    records = list(sweep(methods, n, dims, cluster=cluster, cache=cache))
     sub = "a" if n <= 10_000 else "b"
     columns = ["dimension"] + [_METHOD_LABEL.get(m, m) for m in methods]
     if include_equal_width:
@@ -204,9 +222,11 @@ def figure7(
                 cache=cache,
                 partitioner_kwargs={"bins": "equal-width"},
             )
+            records.append(rec)
             row.append(rec.optimality)
         table.add_row(*row)
     table.add_note("fraction of local skyline services that are globally optimal")
+    _attach_trace_meta(table, records)
     return table
 
 
@@ -236,6 +256,7 @@ def headline(
             rec.sim_total_s / angle if angle > 0 else float("nan"),
             rec.dominance_tests,
         )
+    _attach_trace_meta(table, records.values())
     return table
 
 

@@ -16,13 +16,15 @@ different column selections over a sweep of such records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 import numpy as np
 
 from repro.core.mr_skyline import MRSkylineResult, run_mr_skyline
 from repro.core.optimality import optimality_of_result
 from repro.mapreduce.cluster import ClusterSpec
+from repro.observability.report import summarize_spans
+from repro.observability.tracing import get_tracer
 from repro.services.qws import ServiceDataset, extend_dataset, generate_qws
 
 __all__ = [
@@ -118,6 +120,9 @@ class PointRecord:
     local_skyline_total: int
     optimality: float
     points_pruned: int
+    #: Per-phase trace breakdown (``summarize_spans`` output) when the run
+    #: executed under an enabled tracer; ``None`` otherwise.
+    trace_summary: Dict[str, Any] | None = None
 
     @classmethod
     def from_result(
@@ -127,6 +132,7 @@ class PointRecord:
         n: int,
         d: int,
         cluster: ClusterSpec,
+        trace_summary: Dict[str, Any] | None = None,
     ) -> "PointRecord":
         sim = result.simulate(cluster)
         report = optimality_of_result(result)
@@ -147,6 +153,7 @@ class PointRecord:
             ),
             optimality=report.optimality,
             points_pruned=result.points_pruned,
+            trace_summary=trace_summary,
         )
 
 
@@ -159,13 +166,31 @@ def run_point(
     cache: DatasetCache | None = None,
     **mr_kwargs,
 ) -> PointRecord:
-    """Execute one figure cell end to end on the simulated cluster."""
+    """Execute one figure cell end to end on the simulated cluster.
+
+    Under an enabled tracer each cell becomes a ``bench`` span, and the
+    spans finishing inside it are summarized into the record's
+    ``trace_summary`` (per-phase seconds/shares, task percentiles).
+    """
     cache = cache or default_cache()
     matrix = cache.matrix(n, d)
-    result = run_mr_skyline(
-        matrix, method=method, num_workers=cluster.num_nodes, **mr_kwargs
+    tracer = get_tracer()
+    with tracer.capture() as spans:
+        with tracer.span(
+            "bench.point",
+            kind="bench",
+            method=method,
+            n=n,
+            d=d,
+            workers=cluster.num_nodes,
+        ):
+            result = run_mr_skyline(
+                matrix, method=method, num_workers=cluster.num_nodes, **mr_kwargs
+            )
+    trace_summary = summarize_spans(spans) if tracer.enabled else None
+    return PointRecord.from_result(
+        result, n=n, d=d, cluster=cluster, trace_summary=trace_summary
     )
-    return PointRecord.from_result(result, n=n, d=d, cluster=cluster)
 
 
 def sweep(

@@ -3,14 +3,18 @@ figures plot.
 
 A :class:`Table` is an ordered list of column names plus rows; it renders as
 aligned ASCII (for the CLI), as Markdown (for EXPERIMENTS.md), and as CSV.
-Numeric cells are formatted with a per-table precision.
+Numeric cells are formatted with a per-table precision.  Non-tabular
+sidecar data — notably per-phase trace summaries from a traced benchmark
+run — rides along in :attr:`Table.meta` and is emitted by
+:meth:`Table.to_json` (the machine-readable export).
 """
 
 from __future__ import annotations
 
 import io
+import json
 from dataclasses import dataclass, field
-from typing import Any, List
+from typing import Any, Dict, List
 
 __all__ = ["Table"]
 
@@ -32,6 +36,9 @@ class Table:
     rows: List[List[Any]] = field(default_factory=list)
     precision: int = 3
     notes: List[str] = field(default_factory=list)
+    #: Sidecar data that doesn't fit the grid (e.g. ``trace_summaries``:
+    #: per-row phase breakdowns attached by the bench layer under tracing).
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -94,6 +101,20 @@ class Table:
         for row in self.rows:
             out.write(",".join(_format_cell(v, self.precision) for v in row) + "\n")
         return out.getvalue()
+
+    def to_json(self) -> str:
+        """Machine-readable export: title, columns, rows, notes, and meta."""
+        return json.dumps(
+            {
+                "title": self.title,
+                "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows],
+                "notes": list(self.notes),
+                "meta": self.meta,
+            },
+            default=str,
+            indent=2,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()

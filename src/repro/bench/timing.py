@@ -1,11 +1,35 @@
-"""Timing helpers for the benchmark harness."""
+"""Timing helpers for the benchmark harness.
+
+All measurements use the monotonic nanosecond clock
+(:func:`repro.observability.tracing.now_ns`, i.e.
+``time.perf_counter_ns``) — the same clock the tracer stamps spans with,
+so bench timings and trace durations are directly comparable.
+:func:`stopwatch` is the single start/stop primitive; :class:`Timer` and
+:func:`best_of` are thin conveniences over it.
+"""
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List
+
+from repro.observability.tracing import now_ns
+
+
+@contextmanager
+def stopwatch() -> Iterator[Callable[[], float]]:
+    """Context manager yielding an elapsed-seconds reader.
+
+    The reader can be called any number of times, inside or after the
+    block; it always reports monotonic time since the block was entered::
+
+        with stopwatch() as elapsed:
+            work()
+        seconds = elapsed()
+    """
+    start = now_ns()
+    yield lambda: (now_ns() - start) / 1e9
 
 
 @dataclass(slots=True)
@@ -16,11 +40,11 @@ class Timer:
 
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.samples.setdefault(name, []).append(time.perf_counter() - start)
+        with stopwatch() as elapsed:
+            try:
+                yield
+            finally:
+                self.samples.setdefault(name, []).append(elapsed())
 
     def total(self, name: str) -> float:
         return sum(self.samples.get(name, []))
@@ -41,10 +65,9 @@ def best_of(fn: Callable[[], object], repeats: int = 3) -> tuple[float, object]:
     best = float("inf")
     result: object = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
+        with stopwatch() as elapsed:
+            result = fn()
+        best = min(best, elapsed())
     return best, result
 
 

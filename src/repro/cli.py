@@ -10,10 +10,12 @@ Usage::
     python -m repro.cli theory           # §IV dominance-ability check
     python -m repro.cli ablations        # design-choice studies
     python -m repro.cli all              # everything above, in order
+    python -m repro.cli trace FILE       # summarize a JSONL trace file
 
     --quick     scale cardinalities down ~10x for a fast sanity pass
     --markdown  emit Markdown instead of ASCII (for EXPERIMENTS.md)
     --csv       emit CSV
+    --trace F   write a JSON-lines execution trace to F (see docs/observability.md)
 
 The installed console script ``repro-skyline`` is equivalent.
 """
@@ -96,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII chart after each table (figures 5/6/7)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSON-lines execution trace (spans + metrics snapshot) "
+        "to FILE; inspect it with 'python -m repro.cli trace FILE'",
+    )
     return parser
 
 
@@ -161,18 +169,74 @@ def _run_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _run_trace(argv: List[str]) -> int:
+    """``repro trace FILE`` — render a per-phase summary + span tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline trace",
+        description="Summarize a JSON-lines execution trace produced by --trace",
+    )
+    parser.add_argument("trace_file", help="JSONL trace file to analyse")
+    parser.add_argument(
+        "--tasks",
+        type=int,
+        default=8,
+        metavar="N",
+        help="task spans shown per phase in the tree (longest first; default 8)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observability.report import (
+        TraceError,
+        load_trace,
+        render_summary,
+        render_tree,
+    )
+
+    try:
+        spans, snapshot = load_trace(args.trace_file)
+    except TraceError as exc:
+        print(f"trace: {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"== trace: {args.trace_file} ==")
+    print(render_summary(spans, snapshot))
+    print()
+    print(render_tree(spans, max_tasks_per_phase=args.tasks))
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'trace' reads a file instead of running an experiment, so it takes its
+    # own options and is dispatched before the experiment parser.
+    if argv[:1] == ["trace"]:
+        return _run_trace(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "verify":
         return _run_verify(args)
     registry = _experiments(args.quick)
     names = list(registry) if args.experiment == "all" else [args.experiment]
+    if args.trace:
+        from repro.observability import disable_tracing, enable_tracing
+
+        try:
+            enable_tracing(args.trace)
+        except OSError as exc:
+            print(f"--trace: cannot write {args.trace}: {exc}", file=sys.stderr)
+            return 1
     rendered = []
-    for name in names:
-        table = registry[name]()
-        text = _render(table, args)
-        rendered.append(text)
-        print(text)
+    try:
+        for name in names:
+            table = registry[name]()
+            text = _render(table, args)
+            rendered.append(text)
+            print(text)
+    finally:
+        # Close the trace even on failure: spans export as they finish, so a
+        # crashed run still leaves a usable partial trace plus the metrics
+        # collected so far.
+        if args.trace:
+            disable_tracing(write_metrics=True)
     if args.output:
         with open(args.output, "a") as fh:
             fh.write("\n".join(rendered) + "\n")
@@ -180,4 +244,10 @@ def main(argv: List[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `repro trace f | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

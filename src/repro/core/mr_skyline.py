@@ -49,6 +49,12 @@ from repro.mapreduce.runner import Runner, SerialRunner
 from repro.mapreduce.simulation import SimulatedPipeline, simulate_pipeline
 from repro.mapreduce.tasks import MapContext, Mapper, ReduceContext, Reducer
 from repro.mapreduce.types import TaskKind
+from repro.observability.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    get_metrics,
+    observe_partition_skew,
+)
+from repro.observability.tracing import get_tracer
 
 __all__ = [
     "MRSkylineResult",
@@ -119,6 +125,11 @@ class LocalSkylineReducer(Reducer):
         ctx.increment(COUNTER_GROUP, "local_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "local_skyline_points", int(result.indices.size))
         ctx.increment(COUNTER_GROUP, "local_input_points", int(rows.shape[0]))
+        # Per-task skew distribution (process-local; the serial runner — the
+        # measurement path — sees every task).
+        get_metrics().histogram(
+            "skyline.dominance_tests_per_task", DEFAULT_COUNT_BUCKETS
+        ).observe(result.dominance_tests)
         ctx.emit(key, (indices[result.indices], rows[result.indices]))
 
 
@@ -156,6 +167,9 @@ class GlobalMergeReducer(Reducer):
         result = bnl_skyline(rows, window_size=self.params.get("window_size"))
         ctx.increment(COUNTER_GROUP, "merge_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "global_skyline_points", int(result.indices.size))
+        get_metrics().histogram(
+            "skyline.dominance_tests_per_task", DEFAULT_COUNT_BUCKETS
+        ).observe(result.dominance_tests)
         ctx.emit(0, (indices[result.indices], rows[result.indices]))
 
 
@@ -293,108 +307,132 @@ def run_mr_skyline(
         num_partitions = default_partition_count(num_workers)
     runner = runner or SerialRunner()
 
-    if partitioner is None:
-        partitioner = make_partitioner(
-            method, num_partitions, **(partitioner_kwargs or {})
-        )
-    partitioner.fit(pts)
-    effective_partitions = partitioner.num_partitions
-
-    pruned: frozenset = frozenset()
-    if prune_grid_cells and isinstance(partitioner, GridPartitioner):
-        pruned = frozenset(int(c) for c in partitioner.pruned_cells())
-
-    params = {
-        "partitioner": partitioner,
-        "pruned": pruned,
-        "window_size": window_size,
-    }
-    records = _block_records(pts, block_rows)
-
-    job1 = Job(
-        name=f"mr-{partitioner.scheme}-partition",
-        mapper=PartitionAssignMapper,
-        reducer=LocalSkylineReducer,
-        combiner=LocalSkylineReducer if use_combiner else None,
-        conf=JobConf(
-            num_reducers=effective_partitions,
-            num_map_tasks=max(1, min(num_workers, len(records))),
-            partitioner=KeyFieldPartitioner(),
-            params=params,
-        ),
-    )
-    result1 = runner.run(job1, records=records)
-
-    if merge_strategy not in ("single", "tree"):
-        raise ValueError(
-            f"unknown merge_strategy {merge_strategy!r}; use 'single' or 'tree'"
-        )
-    if merge_fan_in < 2:
-        raise ValueError(f"merge_fan_in must be >= 2, got {merge_fan_in}")
-
-    merge_results = []
-    intermediate = list(result1.output_pairs())
-    if merge_strategy == "tree":
-        # Hierarchical rounds: fan_in local skylines per reducer until only
-        # a handful of groups remain, then the final single-reducer merge.
-        round_no = 0
-        while len(intermediate) > merge_fan_in:
-            # Re-key to dense group ids so `key // fan_in` packs evenly.
-            intermediate = [
-                (i, block) for i, (_, block) in enumerate(intermediate)
-            ]
-            groups = -(-len(intermediate) // merge_fan_in)  # ceil
-            job = Job(
-                name=f"mr-{partitioner.scheme}-treemerge-{round_no}",
-                mapper=TreeMergeMapper,
-                reducer=LocalSkylineReducer,
-                conf=JobConf(
-                    num_reducers=groups,
-                    num_map_tasks=max(1, min(num_workers, len(intermediate))),
-                    partitioner=KeyFieldPartitioner(),
-                    params={"window_size": window_size, "fan_in": merge_fan_in},
-                ),
+    with get_tracer().span(
+        f"mr-skyline:{method if partitioner is None else partitioner.scheme}",
+        kind="pipeline",
+        n=int(pts.shape[0]),
+        d=int(pts.shape[1]),
+        workers=num_workers,
+        merge_strategy=merge_strategy,
+    ) as pipeline_span:
+        if partitioner is None:
+            partitioner = make_partitioner(
+                method, num_partitions, **(partitioner_kwargs or {})
             )
-            result = runner.run(job, records=intermediate)
-            merge_results.append(result)
-            intermediate = list(result.output_pairs())
-            round_no += 1
+        partitioner.fit(pts)
+        effective_partitions = partitioner.num_partitions
 
-    job2 = Job(
-        name=f"mr-{partitioner.scheme}-merge",
-        mapper=GlobalMergeMapper,
-        reducer=GlobalMergeReducer,
-        conf=JobConf(
-            num_reducers=1,
-            num_map_tasks=max(1, min(num_workers, len(intermediate))),
-            partitioner=SingleReducerPartitioner(),
-            params={"window_size": window_size},
-        ),
-    )
-    result2 = runner.run(job2, records=intermediate)
+        pruned: frozenset = frozenset()
+        if prune_grid_cells and isinstance(partitioner, GridPartitioner):
+            pruned = frozenset(int(c) for c in partitioner.pruned_cells())
 
-    chain = ChainResult(results=[result1, *merge_results, result2])
-    counters = Counters()
-    for res in chain.results:
-        counters.merge(res.counters)
+        params = {
+            "partitioner": partitioner,
+            "pruned": pruned,
+            "window_size": window_size,
+        }
+        records = _block_records(pts, block_rows)
 
-    local_skylines: Dict[int, np.ndarray] = {
-        int(pid): np.asarray(block[0], dtype=np.intp)
-        for pid, block in result1.output_pairs()
-    }
-    merged_blocks = list(result2.output_values())
-    if merged_blocks:
-        global_indices = np.sort(
-            np.concatenate([b[0] for b in merged_blocks]).astype(np.intp)
+        job1 = Job(
+            name=f"mr-{partitioner.scheme}-partition",
+            mapper=PartitionAssignMapper,
+            reducer=LocalSkylineReducer,
+            combiner=LocalSkylineReducer if use_combiner else None,
+            conf=JobConf(
+                num_reducers=effective_partitions,
+                num_map_tasks=max(1, min(num_workers, len(records))),
+                partitioner=KeyFieldPartitioner(),
+                params=params,
+            ),
         )
-    else:
-        global_indices = np.empty(0, dtype=np.intp)
+        result1 = runner.run(job1, records=records)
+
+        if merge_strategy not in ("single", "tree"):
+            raise ValueError(
+                f"unknown merge_strategy {merge_strategy!r}; use 'single' or 'tree'"
+            )
+        if merge_fan_in < 2:
+            raise ValueError(f"merge_fan_in must be >= 2, got {merge_fan_in}")
+
+        merge_results = []
+        intermediate = list(result1.output_pairs())
+        if merge_strategy == "tree":
+            # Hierarchical rounds: fan_in local skylines per reducer until only
+            # a handful of groups remain, then the final single-reducer merge.
+            round_no = 0
+            while len(intermediate) > merge_fan_in:
+                # Re-key to dense group ids so `key // fan_in` packs evenly.
+                intermediate = [
+                    (i, block) for i, (_, block) in enumerate(intermediate)
+                ]
+                groups = -(-len(intermediate) // merge_fan_in)  # ceil
+                job = Job(
+                    name=f"mr-{partitioner.scheme}-treemerge-{round_no}",
+                    mapper=TreeMergeMapper,
+                    reducer=LocalSkylineReducer,
+                    conf=JobConf(
+                        num_reducers=groups,
+                        num_map_tasks=max(1, min(num_workers, len(intermediate))),
+                        partitioner=KeyFieldPartitioner(),
+                        params={"window_size": window_size, "fan_in": merge_fan_in},
+                    ),
+                )
+                result = runner.run(job, records=intermediate)
+                merge_results.append(result)
+                intermediate = list(result.output_pairs())
+                round_no += 1
+
+        job2 = Job(
+            name=f"mr-{partitioner.scheme}-merge",
+            mapper=GlobalMergeMapper,
+            reducer=GlobalMergeReducer,
+            conf=JobConf(
+                num_reducers=1,
+                num_map_tasks=max(1, min(num_workers, len(intermediate))),
+                partitioner=SingleReducerPartitioner(),
+                params={"window_size": window_size},
+            ),
+        )
+        result2 = runner.run(job2, records=intermediate)
+
+        chain = ChainResult(results=[result1, *merge_results, result2])
+        counters = Counters()
+        for res in chain.results:
+            counters.merge(res.counters)
+
+        local_skylines: Dict[int, np.ndarray] = {
+            int(pid): np.asarray(block[0], dtype=np.intp)
+            for pid, block in result1.output_pairs()
+        }
+        merged_blocks = list(result2.output_values())
+        if merged_blocks:
+            global_indices = np.sort(
+                np.concatenate([b[0] for b in merged_blocks]).astype(np.intp)
+            )
+        else:
+            global_indices = np.empty(0, dtype=np.intp)
+
+        partition_ids = partitioner.assign(pts)
+        # Data-space skew — the quantity the three partitioning schemes
+        # compete on (records per partition, max/min ratio, imbalance).
+        skew = observe_partition_skew(
+            get_metrics(),
+            np.bincount(partition_ids, minlength=effective_partitions),
+        )
+        pipeline_span.set_attrs(
+            scheme=partitioner.scheme,
+            partitions=effective_partitions,
+            global_skyline=int(global_indices.size),
+            dominance_tests=counters.value(COUNTER_GROUP, "local_dominance_tests")
+            + counters.value(COUNTER_GROUP, "merge_dominance_tests"),
+            **{f"skew_{k}": v for k, v in skew.items()},
+        )
 
     return MRSkylineResult(
         method=partitioner.scheme,
         global_indices=global_indices,
         local_skylines=local_skylines,
-        partition_ids=partitioner.assign(pts),
+        partition_ids=partition_ids,
         chain=chain,
         counters=counters,
         num_partitions=effective_partitions,

@@ -181,3 +181,12 @@ class AngularPartitioner(SpacePartitioner):
                 [b.tolist() for b in self._boundaries] if self._boundaries else None
             ),
         }
+
+    def _trace_attrs(self) -> Mapping[str, object]:
+        return {
+            "bins": self.bins,
+            "allocation": (
+                self.allocation if isinstance(self.allocation, str) else "explicit"
+            ),
+            "sectors_per_axis": list(self._counts) if self._counts else [],
+        }

@@ -19,6 +19,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.core.dominance import validate_points
+from repro.observability.tracing import get_tracer
 
 __all__ = ["NotFittedError", "SpacePartitioner", "partition_sizes", "load_imbalance"]
 
@@ -53,8 +54,16 @@ class SpacePartitioner:
     def fit(self, points: np.ndarray) -> "SpacePartitioner":
         """Learn data extents (or whatever the scheme needs) from ``points``."""
         pts = validate_points(points)
-        self._fit(pts)
-        self._fitted = True
+        with get_tracer().span(
+            f"partition-fit:{self.scheme}",
+            kind="partition",
+            scheme=self.scheme,
+            points=int(pts.shape[0]),
+            dims=int(pts.shape[1]),
+        ) as span:
+            self._fit(pts)
+            self._fitted = True
+            span.set_attrs(partitions=self.num_partitions, **self._trace_attrs())
         return self
 
     def assign(self, points: np.ndarray) -> np.ndarray:
@@ -95,6 +104,14 @@ class SpacePartitioner:
         raise NotImplementedError
 
     def _detail(self) -> Mapping[str, object]:
+        return {}
+
+    def _trace_attrs(self) -> Mapping[str, object]:
+        """Compact scheme-specific annotations for the fit-time trace span.
+
+        Unlike :meth:`_detail` this must stay small (no boundary arrays) —
+        it is serialized into every trace file.
+        """
         return {}
 
 

@@ -94,3 +94,6 @@ class DimensionalPartitioner(SpacePartitioner):
             "slab_width": self._width if self.bins == "equal-width" else None,
             "edges": None if self._edges is None else self._edges.tolist(),
         }
+
+    def _trace_attrs(self) -> Mapping[str, object]:
+        return {"dim": self.dim, "bins": self.bins, "slabs": self.num_partitions}

@@ -202,3 +202,14 @@ class GridPartitioner(SpacePartitioner):
                 int(self.pruned_cells().size) if self._occupied is not None else None
             ),
         }
+
+    def _trace_attrs(self) -> Mapping[str, object]:
+        return {
+            "cells_per_dim": list(self._counts) if self._counts else [],
+            "occupied_cells": (
+                int(self._occupied.sum()) if self._occupied is not None else 0
+            ),
+            "pruned_cells": (
+                int(self.pruned_cells().size) if self._occupied is not None else 0
+            ),
+        }

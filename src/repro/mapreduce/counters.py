@@ -26,7 +26,9 @@ class Counters:
 
     def increment(self, group: str, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` in ``group`` (creating it at 0)."""
-        if not isinstance(amount, int):
+        # bool passes isinstance(int) but a True/False "amount" is always a
+        # bug (e.g. `increment(g, n, mask.any())`), so reject it explicitly.
+        if isinstance(amount, bool) or not isinstance(amount, int):
             raise TypeError(f"counter increment must be int, got {type(amount)!r}")
         bucket = self._data[group]
         bucket[name] = bucket.get(name, 0) + amount

@@ -35,13 +35,45 @@ class TaskError(EngineError):
         self.cause = cause
         super().__init__(f"task {task_id} failed: {cause!r}")
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args (the
+        # formatted message), which doesn't match this signature — a failed
+        # worker task would then break the whole process pool and mask the
+        # real error as BrokenProcessPool.  Rebuild from the true fields,
+        # degrading an unpicklable cause to its repr.
+        import pickle
+
+        cause = self.cause
+        if not isinstance(cause, str):
+            try:
+                pickle.dumps(cause)
+            except Exception:
+                cause = repr(cause)
+        return (type(self), (self.task_id, cause))
+
 
 class JobFailedError(EngineError):
-    """A job could not complete because one or more tasks failed terminally."""
+    """A job could not complete because one or more tasks failed terminally.
 
-    def __init__(self, job_name: str, failures: list[TaskError]):
+    Attributes
+    ----------
+    failures:
+        The terminal :class:`TaskError` of every failed task.
+    completed_stats:
+        ``TaskStats`` of the tasks that *did* finish before the job died
+        (same phase), so a failed job still yields partial timing data —
+        the runner also emits these as trace spans before raising.
+    """
+
+    def __init__(
+        self,
+        job_name: str,
+        failures: list[TaskError],
+        completed_stats: list | None = None,
+    ):
         self.job_name = job_name
         self.failures = failures
+        self.completed_stats = list(completed_stats or [])
         detail = "; ".join(str(f) for f in failures[:3])
         more = "" if len(failures) <= 3 else f" (+{len(failures) - 3} more)"
         super().__init__(f"job {job_name!r} failed: {detail}{more}")

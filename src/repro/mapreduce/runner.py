@@ -9,6 +9,15 @@ so user mapper/reducer classes must be module-level).
 
 Both runners share the task bodies in :mod:`repro.mapreduce.tasks`, support
 per-task retries, and produce identical :class:`JobResult` structure.
+
+Every run is traced through :mod:`repro.observability`: a ``job`` span
+nests ``phase`` spans (map / shuffle / reduce), which nest ``task`` spans —
+real nested spans under the serial runner, synthetic back-dated spans under
+multiprocessing (tasks execute in workers; only their measured durations
+travel back).  Spans export as they finish, so a job that dies mid-phase
+still leaves a partial trace, and the raised :class:`JobFailedError`
+carries the completed tasks' stats.  With the default disabled tracer all
+hooks are no-ops.
 """
 
 from __future__ import annotations
@@ -26,6 +35,8 @@ from repro.mapreduce.serialization import estimate_nbytes
 from repro.mapreduce.shuffle import Grouped, shuffle
 from repro.mapreduce.tasks import run_map_task, run_reduce_task
 from repro.mapreduce.types import PhaseStats, TaskKind, TaskStats
+from repro.observability.metrics import get_metrics, observe_partition_skew
+from repro.observability.tracing import Tracer, get_tracer
 
 Pair = Tuple[Hashable, Any]
 
@@ -108,15 +119,40 @@ def _execute_reduce_task(
     return output, counters, stats
 
 
+def _task_span_attrs(stats: TaskStats) -> Dict[str, Any]:
+    """Span annotations shared by real and synthetic task spans."""
+    return {
+        "task_kind": str(stats.kind),
+        "records_in": stats.records_in,
+        "records_out": stats.records_out,
+        "bytes_out": stats.bytes_out,
+        "attempt": stats.attempt,
+        "measured_s": round(stats.duration_s, 9),
+    }
+
+
+def _observe_task(stats: TaskStats) -> None:
+    """Feed one finished task into the duration histograms."""
+    get_metrics().histogram(f"task.{stats.kind}.duration_s").observe(
+        stats.duration_s
+    )
+
+
 class Runner:
     """Common driver logic; subclasses provide the task execution strategy."""
 
-    def __init__(self, max_task_retries: int = 0):
+    def __init__(self, max_task_retries: int = 0, tracer: Tracer | None = None):
         if max_task_retries < 0:
             raise JobConfigError(
                 f"max_task_retries must be >= 0, got {max_task_retries}"
             )
         self.max_task_retries = max_task_retries
+        self._tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        """This runner's tracer (late-bound to the process default)."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # -- public API -------------------------------------------------------------
 
@@ -136,39 +172,69 @@ class Runner:
         splits = input_format.splits()
         spec = _JobSpec.of(job)
         counters = Counters()
+        tracer = self.tracer
 
-        t0 = time.perf_counter()
-        map_results = self._run_map_phase(spec, splits)
-        map_wall = time.perf_counter() - t0
+        with tracer.span(
+            job.name,
+            kind="job",
+            num_map_tasks=len(splits),
+            num_reducers=job.conf.num_reducers,
+        ) as job_span:
+            with tracer.span("map", kind="phase", phase="map") as map_span:
+                t0 = time.perf_counter_ns()
+                map_results = self._run_map_phase(spec, splits)
+                map_wall = (time.perf_counter_ns() - t0) / 1e9
+                map_span.set_attrs(tasks=len(map_results))
 
-        map_stats = PhaseStats(kind=TaskKind.MAP)
-        map_outputs: List[List[List[Pair]]] = []
-        for buffers, task_counters, stats in map_results:
-            map_outputs.append(buffers)
-            counters.merge(task_counters)
-            map_stats.tasks.append(stats)
+            map_stats = PhaseStats(kind=TaskKind.MAP)
+            map_outputs: List[List[List[Pair]]] = []
+            for buffers, task_counters, stats in map_results:
+                map_outputs.append(buffers)
+                counters.merge(task_counters)
+                map_stats.tasks.append(stats)
+                _observe_task(stats)
 
-        t1 = time.perf_counter()
-        partitions, shuffle_stats = shuffle(
-            map_outputs,
-            job.conf.num_reducers,
-            sort_keys=job.conf.sort_keys,
-            spill_dir=job.conf.spill_dir,
-            spill_threshold_records=job.conf.spill_threshold_records,
-        )
-        shuffle_wall = time.perf_counter() - t1
+            with tracer.span("shuffle", kind="phase", phase="shuffle") as sh_span:
+                t1 = time.perf_counter_ns()
+                partitions, shuffle_stats = shuffle(
+                    map_outputs,
+                    job.conf.num_reducers,
+                    sort_keys=job.conf.sort_keys,
+                    spill_dir=job.conf.spill_dir,
+                    spill_threshold_records=job.conf.spill_threshold_records,
+                )
+                shuffle_wall = (time.perf_counter_ns() - t1) / 1e9
+                sh_span.set_attrs(**shuffle_stats.as_dict())
 
-        t2 = time.perf_counter()
-        reduce_results = self._run_reduce_phase(spec, partitions)
-        reduce_wall = time.perf_counter() - t2
+            # Per-reduce-partition record counts: the skew the paper's
+            # partitioning schemes compete on.
+            observe_partition_skew(
+                get_metrics(),
+                [sum(len(vs) for _, vs in grouped) for grouped in partitions],
+            )
 
-        reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
-        outputs: List[List[Pair]] = []
-        for output, task_counters, stats in reduce_results:
-            outputs.append(output)
-            counters.merge(task_counters)
-            reduce_stats.tasks.append(stats)
+            with tracer.span("reduce", kind="phase", phase="reduce") as red_span:
+                t2 = time.perf_counter_ns()
+                reduce_results = self._run_reduce_phase(spec, partitions)
+                reduce_wall = (time.perf_counter_ns() - t2) / 1e9
+                red_span.set_attrs(tasks=len(reduce_results))
 
+            reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
+            outputs: List[List[Pair]] = []
+            for output, task_counters, stats in reduce_results:
+                outputs.append(output)
+                counters.merge(task_counters)
+                reduce_stats.tasks.append(stats)
+                _observe_task(stats)
+
+            job_span.set_attrs(
+                map_wall_s=round(map_wall, 9),
+                shuffle_wall_s=round(shuffle_wall, 9),
+                reduce_wall_s=round(reduce_wall, 9),
+                output_records=sum(len(p) for p in outputs),
+            )
+
+        get_metrics().absorb_counters(counters)
         return JobResult(
             job_name=job.name,
             outputs=outputs,
@@ -185,11 +251,12 @@ class Runner:
         """Execute a job chain, feeding each job the previous job's output."""
         current: List[Pair] = list(records)
         results: List[JobResult] = []
-        for builder in chain.stages:
-            job = builder(current)
-            result = self.run(job, records=current)
-            results.append(result)
-            current = list(result.output_pairs())
+        with self.tracer.span(chain.name, kind="chain", stages=len(chain)):
+            for builder in chain.stages:
+                job = builder(current)
+                result = self.run(job, records=current)
+                results.append(result)
+                current = list(result.output_pairs())
         return ChainResult(results=results)
 
     # -- strategy hooks -----------------------------------------------------------
@@ -200,35 +267,48 @@ class Runner:
     def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
         raise NotImplementedError
 
-    def _with_retries(self, fn, *args):
+    def _with_retries(self, fn, spec: _JobSpec, index: int, payload):
+        """Serial execution of one task with retries, each attempt traced."""
+        kind = "map" if fn is _execute_map_task else "reduce"
+        task_id = f"{kind}-{index}"
+        tracer = self.tracer
         attempts = self.max_task_retries + 1
         failures: List[TaskError] = []
         for attempt in range(attempts):
             try:
-                result = fn(*args)
-                if attempt > 0:
+                with tracer.span(task_id, kind="task", attempt=attempt + 1) as span:
+                    result = fn(spec, index, payload)
                     _, _, stats = result
-                    stats.attempt = attempt + 1
+                    if attempt > 0:
+                        stats.attempt = attempt + 1
+                    span.set_attrs(**_task_span_attrs(stats))
                 return result
             except TaskError as exc:
+                # The span closed with status="error"; keep the cause too.
                 failures.append(exc)
-        raise JobFailedError(args[0].name, failures)
+                get_metrics().counter(f"task.{kind}.failures").inc()
+        raise JobFailedError(spec.name, failures)
 
 
 class SerialRunner(Runner):
     """Runs every task in the driver process, one at a time."""
 
+    def _run_serial(self, fn, spec: _JobSpec, items: list):
+        results = []
+        for i, item in enumerate(items):
+            try:
+                results.append(self._with_retries(fn, spec, i, item))
+            except JobFailedError as exc:
+                # Preserve the telemetry of everything that did finish.
+                exc.completed_stats = [stats for _, _, stats in results]
+                raise
+        return results
+
     def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
-        return [
-            self._with_retries(_execute_map_task, spec, i, split)
-            for i, split in enumerate(splits)
-        ]
+        return self._run_serial(_execute_map_task, spec, splits)
 
     def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
-        return [
-            self._with_retries(_execute_reduce_task, spec, p, grouped)
-            for p, grouped in enumerate(partitions)
-        ]
+        return self._run_serial(_execute_reduce_task, spec, partitions)
 
 
 class MultiprocessRunner(Runner):
@@ -237,15 +317,29 @@ class MultiprocessRunner(Runner):
     One pool is created per phase; payloads travel by pickle.  Retries are
     re-submitted to the pool (a fresh worker may succeed where a poisoned one
     failed).
+
+    Tasks execute in worker processes, where the driver's tracer does not
+    exist, so the driver records *synthetic* task spans from each task's
+    measured duration as its future completes — including error spans for
+    tasks that exhaust their retries, so a failed job still produces a
+    partial trace and a :class:`JobFailedError` carrying the completed
+    tasks' stats.
     """
 
-    def __init__(self, num_workers: int, max_task_retries: int = 0):
-        super().__init__(max_task_retries)
+    def __init__(
+        self,
+        num_workers: int,
+        max_task_retries: int = 0,
+        tracer: Tracer | None = None,
+    ):
+        super().__init__(max_task_retries, tracer)
         if num_workers <= 0:
             raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
 
     def _run_phase(self, fn, spec: _JobSpec, items: list):
+        kind = "map" if fn is _execute_map_task else "reduce"
+        tracer = self.tracer
         results: list = [None] * len(items)
         with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
             pending = {
@@ -259,17 +353,47 @@ class MultiprocessRunner(Runner):
                     i, item, attempt = pending.pop(future)
                     try:
                         results[i] = future.result()
+                        _, _, stats = results[i]
+                        if attempt > 0:
+                            stats.attempt = attempt + 1
+                        tracer.record_span(
+                            stats.task_id,
+                            kind="task",
+                            duration_ns=int(stats.duration_s * 1e9),
+                            **_task_span_attrs(stats),
+                        )
                     except TaskError as exc:
                         if attempt < self.max_task_retries:
                             retry = pool.submit(fn, spec, i, item)
                             pending[retry] = (i, item, attempt + 1)
                         else:
                             failures.append(exc)
+                            self._record_failure(exc, kind, attempt + 1)
                     except Exception as exc:  # worker crashed outside user code
-                        failures.append(TaskError(f"{fn.__name__}-{i}", exc))
+                        failure = TaskError(f"{kind}-{i}", exc)
+                        failures.append(failure)
+                        self._record_failure(failure, kind, attempt + 1)
             if failures:
-                raise JobFailedError(spec.name, failures)
+                raise JobFailedError(
+                    spec.name,
+                    failures,
+                    completed_stats=[
+                        stats for r in results if r is not None for stats in (r[2],)
+                    ],
+                )
         return results
+
+    def _record_failure(self, exc: TaskError, kind: str, attempts: int) -> None:
+        """Trace/metric footprint of a terminally-failed worker task."""
+        self.tracer.record_span(
+            exc.task_id,
+            kind="task",
+            status="error",
+            attempt=attempts,
+            task_kind=kind,
+            error=str(exc.cause),
+        )
+        get_metrics().counter(f"task.{kind}.failures").inc()
 
     def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
         return self._run_phase(_execute_map_task, spec, splits)

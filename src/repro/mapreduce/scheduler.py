@@ -63,6 +63,20 @@ class Schedule:
             (t for t in self.tasks if t.slot == slot), key=lambda t: t.start_s
         )
 
+    def observe(self, registry, prefix: str) -> None:
+        """Record this schedule's shape as gauges under ``prefix.``.
+
+        ``makespan_s`` / ``busy_s`` / ``utilisation`` plus ``tasks`` and
+        ``slots`` — enough to diagnose a wave's packing quality (a low
+        utilisation with a long makespan means one straggling task holds
+        the phase, the paper's core load-balance argument).
+        """
+        registry.gauge(f"{prefix}.makespan_s").set(self.makespan_s)
+        registry.gauge(f"{prefix}.busy_s").set(self.busy_s)
+        registry.gauge(f"{prefix}.utilisation").set(self.utilisation)
+        registry.gauge(f"{prefix}.tasks").set(len(self.tasks))
+        registry.gauge(f"{prefix}.slots").set(self.num_slots)
+
 
 def schedule_tasks(
     durations: Sequence[float],

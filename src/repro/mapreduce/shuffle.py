@@ -23,6 +23,7 @@ from repro.mapreduce.serialization import (
     read_frames,
     write_frames,
 )
+from repro.observability.metrics import get_metrics
 
 Pair = Tuple[Hashable, Any]
 Grouped = List[Tuple[Hashable, List[Any]]]
@@ -36,6 +37,22 @@ class ShuffleStats:
     bytes: int = 0
     segments: int = 0
     spilled_segments: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (attached to the shuffle phase's trace span)."""
+        return {
+            "records": self.records,
+            "bytes": self.bytes,
+            "segments": self.segments,
+            "spilled_segments": self.spilled_segments,
+        }
+
+    def observe(self, registry) -> None:
+        """Accumulate this shuffle's volume into a metrics registry."""
+        registry.counter("shuffle.records").inc(self.records)
+        registry.counter("shuffle.bytes").inc(self.bytes)
+        registry.counter("shuffle.segments").inc(self.segments)
+        registry.counter("shuffle.spilled_segments").inc(self.spilled_segments)
 
 
 def _sort_token(key: Hashable) -> Tuple[str, Any]:
@@ -117,6 +134,7 @@ def shuffle(
             flat = [pair for seg in segments for pair in seg]
             merged = _safe_sort(flat) if sort_keys else flat
         partitions.append(group_sorted(merged))
+    stats.observe(get_metrics())
     return partitions, stats
 
 

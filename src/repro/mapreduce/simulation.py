@@ -26,6 +26,8 @@ from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.job import JobResult
 from repro.mapreduce.scheduler import Schedule, schedule_tasks
 from repro.mapreduce.types import TaskStats
+from repro.observability.metrics import get_metrics
+from repro.observability.tracing import get_tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,15 +89,30 @@ def _phase_schedule(
 
 def simulate_job(result: JobResult, cluster: ClusterSpec) -> SimulatedJob:
     """Replay one measured job on ``cluster``."""
-    map_schedule = _phase_schedule(result.map_stats.tasks, cluster.map_slots, cluster)
-    reduce_schedule = _phase_schedule(
-        result.reduce_stats.tasks, cluster.reduce_slots, cluster
-    )
-    shuffle_s = 0.0
-    if result.shuffle_stats.bytes > 0:
-        shuffle_s = (
-            result.shuffle_stats.bytes / cluster.aggregate_shuffle_bytes_per_s
-            + cluster.shuffle_latency_s
+    with get_tracer().span(
+        f"simulate:{result.job_name}", kind="simulate", num_nodes=cluster.num_nodes
+    ) as span:
+        map_schedule = _phase_schedule(
+            result.map_stats.tasks, cluster.map_slots, cluster
+        )
+        reduce_schedule = _phase_schedule(
+            result.reduce_stats.tasks, cluster.reduce_slots, cluster
+        )
+        shuffle_s = 0.0
+        if result.shuffle_stats.bytes > 0:
+            shuffle_s = (
+                result.shuffle_stats.bytes / cluster.aggregate_shuffle_bytes_per_s
+                + cluster.shuffle_latency_s
+            )
+        registry = get_metrics()
+        map_schedule.observe(registry, "sim.map")
+        reduce_schedule.observe(registry, "sim.reduce")
+        span.set_attrs(
+            sim_map_s=round(map_schedule.makespan_s, 6),
+            sim_shuffle_s=round(shuffle_s, 6),
+            sim_reduce_s=round(reduce_schedule.makespan_s, 6),
+            map_utilisation=round(map_schedule.utilisation, 6),
+            reduce_utilisation=round(reduce_schedule.utilisation, 6),
         )
     return SimulatedJob(
         job_name=result.job_name,

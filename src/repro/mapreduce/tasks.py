@@ -210,7 +210,7 @@ def run_map_task(
         sort_keys,
     )
     mapper = mapper_factory()
-    start = time.perf_counter()
+    start = time.perf_counter_ns()
     records_in = 0
     try:
         mapper.setup(params)
@@ -223,9 +223,11 @@ def run_map_task(
         raise
     except Exception as exc:
         raise TaskError(task_id, exc) from exc
-    duration = time.perf_counter() - start
+    duration = (time.perf_counter_ns() - start) / 1e9
     counters.framework("map_input_records", records_in)
     counters.framework("map_output_records", ctx.records_out)
+    if ctx.spills:
+        counters.framework("map_spills", ctx.spills)
     return buffers, counters, duration, records_in, ctx.records_out
 
 
@@ -244,7 +246,7 @@ def run_reduce_task(
     ctx = ReduceContext(params, counters)
     reducer = reducer_factory()
     records_in = sum(len(vs) for _, vs in grouped)
-    start = time.perf_counter()
+    start = time.perf_counter_ns()
     try:
         reducer.setup(params)
         for key, values in grouped:
@@ -254,7 +256,7 @@ def run_reduce_task(
         raise
     except Exception as exc:
         raise TaskError(task_id, exc) from exc
-    duration = time.perf_counter() - start
+    duration = (time.perf_counter_ns() - start) / 1e9
     counters.framework("reduce_input_records", records_in)
     counters.framework("reduce_output_records", len(ctx.output))
     return ctx.output, counters, duration, records_in, len(ctx.output)

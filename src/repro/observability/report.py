@@ -1,0 +1,206 @@
+"""Trace-file analysis: per-phase breakdowns and a text span tree.
+
+This is the read side of the tracer: ``repro trace <file>`` loads a
+JSON-lines trace, validates it, and renders
+
+* a **summary** — span counts, per-phase (map/shuffle/reduce) totals and
+  shares, and the partition-skew gauges from the trace's metrics
+  snapshot, and
+* a **tree** — a flamegraph-style indented listing of every span with
+  duration, self-time share, and status.
+
+The same :func:`summarize_spans` feeds the bench harness, which attaches
+per-phase breakdowns to benchmark records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, TextIO
+
+from repro.observability.tracing import (
+    Span,
+    metrics_of,
+    read_trace,
+    spans_of,
+)
+
+__all__ = [
+    "TraceError",
+    "load_trace",
+    "summarize_spans",
+    "render_tree",
+    "render_summary",
+]
+
+#: Phase names the engine emits, in pipeline order.
+PHASES = ("map", "shuffle", "reduce")
+
+
+class TraceError(ValueError):
+    """The trace file is empty, malformed, or missing required spans."""
+
+
+def load_trace(source: str | TextIO) -> tuple[List[Span], Dict[str, Any] | None]:
+    """Read and validate a trace file → (spans, metrics snapshot or None).
+
+    Raises :class:`TraceError` if the file has no span records or any
+    record fails schema validation — the CI smoke step depends on this.
+    """
+    try:
+        records = read_trace(source)
+    except (OSError, ValueError) as exc:
+        raise TraceError(str(exc)) from exc
+    spans = spans_of(records)
+    if not spans:
+        raise TraceError("trace contains no span records")
+    return spans, metrics_of(records)
+
+
+def _phase_of(span: Span) -> str | None:
+    if span.kind != "phase":
+        return None
+    phase = span.attrs.get("phase", span.name)
+    return phase if phase in PHASES else None
+
+
+def summarize_spans(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Aggregate a span set into the per-phase breakdown dict.
+
+    Keys: ``spans`` (count), ``jobs`` (job-span count), ``tasks``,
+    ``errors``, ``wall_s`` (sum of root spans), ``phase_s`` (map /
+    shuffle / reduce seconds), ``phase_share`` (fractions of the phase
+    total), ``task_p50_s`` / ``task_max_s``.
+    """
+    phase_s = {p: 0.0 for p in PHASES}
+    jobs = tasks = errors = 0
+    roots = 0.0
+    task_durations: List[float] = []
+    for span in spans:
+        if span.status == "error":
+            errors += 1
+        if span.parent_id is None:
+            roots += span.duration_s
+        if span.kind == "job":
+            jobs += 1
+        elif span.kind == "task":
+            tasks += 1
+            task_durations.append(span.duration_s)
+        phase = _phase_of(span)
+        if phase is not None:
+            phase_s[phase] += span.duration_s
+    phase_total = sum(phase_s.values())
+    phase_share = {
+        p: (phase_s[p] / phase_total if phase_total > 0 else 0.0) for p in PHASES
+    }
+    task_durations.sort()
+    return {
+        "spans": len(spans),
+        "jobs": jobs,
+        "tasks": tasks,
+        "errors": errors,
+        "wall_s": roots,
+        "phase_s": {p: round(v, 6) for p, v in phase_s.items()},
+        "phase_share": {p: round(v, 4) for p, v in phase_share.items()},
+        "task_p50_s": (
+            round(task_durations[len(task_durations) // 2], 6)
+            if task_durations
+            else 0.0
+        ),
+        "task_max_s": round(task_durations[-1], 6) if task_durations else 0.0,
+    }
+
+
+def _children_index(spans: Sequence[Span]) -> Dict[str | None, List[Span]]:
+    index: Dict[str | None, List[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        # Orphans (parent not in file, e.g. a truncated trace) root the tree.
+        parent = span.parent_id if span.parent_id in ids else None
+        index.setdefault(parent, []).append(span)
+    for children in index.values():
+        children.sort(key=lambda s: (s.start_ns, s.span_id))
+    return index
+
+
+def render_tree(
+    spans: Sequence[Span],
+    *,
+    max_tasks_per_phase: int = 8,
+) -> str:
+    """Flamegraph-style indented text tree of the span hierarchy.
+
+    Phases with many tasks are elided to the ``max_tasks_per_phase``
+    longest (the straggler end is what one reads a trace for), with an
+    explicit ``… k more`` line so nothing is silently dropped.
+    """
+    index = _children_index(spans)
+    total = sum(s.duration_s for s in index.get(None, ())) or 1e-12
+    lines: List[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        share = span.duration_s / total
+        marker = "  " * depth
+        flag = "  [ERROR]" if span.status == "error" else ""
+        extra = ""
+        if span.kind == "phase":
+            n = span.attrs.get("tasks")
+            if n is not None:
+                extra = f"  ({n} tasks)"
+        lines.append(
+            f"{marker}{span.kind}:{span.name:<28s}"
+            f"{span.duration_s:>12.6f}s  {share:>5.1%}{extra}{flag}"
+        )
+        children = index.get(span.span_id, [])
+        task_children = [c for c in children if c.kind == "task"]
+        other_children = [c for c in children if c.kind != "task"]
+        if len(task_children) > max_tasks_per_phase:
+            shown = sorted(
+                task_children, key=lambda s: s.duration_s, reverse=True
+            )[:max_tasks_per_phase]
+            hidden = len(task_children) - len(shown)
+            for child in shown:
+                emit(child, depth + 1)
+            lines.append(
+                "  " * (depth + 1)
+                + f"… {hidden} more tasks "
+                f"({sum(c.duration_s for c in task_children):.6f}s phase-task total)"
+            )
+        else:
+            for child in task_children:
+                emit(child, depth + 1)
+        for child in other_children:
+            emit(child, depth + 1)
+
+    for root in index.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_summary(
+    spans: Sequence[Span], snapshot: Dict[str, Any] | None = None
+) -> str:
+    """Human-readable header block for ``repro trace``."""
+    summary = summarize_spans(spans)
+    lines = [
+        f"spans: {summary['spans']}  jobs: {summary['jobs']}  "
+        f"tasks: {summary['tasks']}  errors: {summary['errors']}",
+        f"wall (root spans): {summary['wall_s']:.6f}s",
+        "per-phase breakdown:",
+    ]
+    for phase in PHASES:
+        lines.append(
+            f"  {phase:<8s}{summary['phase_s'][phase]:>12.6f}s"
+            f"  {summary['phase_share'][phase]:>6.1%}"
+        )
+    lines.append(
+        f"task durations: p50 {summary['task_p50_s']:.6f}s, "
+        f"max {summary['task_max_s']:.6f}s"
+    )
+    if snapshot:
+        gauges = snapshot.get("gauges", {})
+        skew = {k: v for k, v in gauges.items() if k.startswith("partition.")}
+        if skew:
+            lines.append("partition skew:")
+            for name, value in sorted(skew.items()):
+                lines.append(f"  {name:<28s}{value:>12.3f}")
+    return "\n".join(lines)

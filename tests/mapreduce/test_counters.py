@@ -1,6 +1,8 @@
 """Tests for repro.mapreduce.counters."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.mapreduce.counters import FRAMEWORK_GROUP, Counters
 
@@ -30,6 +32,15 @@ class TestIncrement:
         c = Counters()
         with pytest.raises(TypeError):
             c.increment("g", "n", 1.5)
+
+    def test_bool_amount_rejected(self):
+        # bool is an int subclass; passing one is always an upstream bug.
+        c = Counters()
+        with pytest.raises(TypeError):
+            c.increment("g", "n", True)
+        with pytest.raises(TypeError):
+            c.increment("g", "n", False)
+        assert c.value("g", "n") == 0
 
     def test_groups_are_independent(self):
         c = Counters()
@@ -66,6 +77,51 @@ class TestMerge:
         a.increment("g", "x", 4)
         a.merge(Counters())
         assert a.value("g", "x") == 4
+
+
+_counter_dicts = st.dictionaries(
+    keys=st.text(min_size=1, max_size=8),
+    values=st.dictionaries(
+        keys=st.text(min_size=1, max_size=8),
+        values=st.integers(min_value=-(10**12), max_value=10**12),
+        max_size=5,
+    ),
+    max_size=4,
+)
+
+
+def _from_dict(data: dict) -> Counters:
+    c = Counters()
+    for group, names in data.items():
+        for name, val in names.items():
+            c.increment(group, name, val)
+    return c
+
+
+class TestMergeProperties:
+    @given(_counter_dicts, _counter_dicts)
+    def test_merge_round_trip(self, left, right):
+        """merge() is exactly per-(group, name) addition: rebuilding a
+        Counters from the merged as_dict() reproduces the merge."""
+        a, b = _from_dict(left), _from_dict(right)
+        expected = {}
+        for data in (left, right):
+            for group, names in data.items():
+                for name, val in names.items():
+                    expected.setdefault(group, {})[name] = (
+                        expected.get(group, {}).get(name, 0) + val
+                    )
+        a.merge(b)
+        assert a.as_dict() == expected
+        assert _from_dict(a.as_dict()) == a
+
+    @given(_counter_dicts, _counter_dicts)
+    def test_merge_is_commutative(self, left, right):
+        ab = _from_dict(left)
+        ab.merge(_from_dict(right))
+        ba = _from_dict(right)
+        ba.merge(_from_dict(left))
+        assert ab == ba
 
 
 class TestViews:

@@ -231,6 +231,24 @@ class TestMultiprocessRunner:
         with pytest.raises(JobFailedError):
             MultiprocessRunner(num_workers=2).run(job, records=[(None, "x")])
 
+    def test_failure_preserves_real_cause(self):
+        # TaskError must survive the pool's pickle round-trip; a broken
+        # round-trip kills the worker result pipe and masks the user error
+        # as BrokenProcessPool.
+        job = Job(
+            name="crash",
+            mapper=CrashOnXMapper,
+            reducer=SumReducer,
+            conf=JobConf(num_reducers=1, num_map_tasks=3),
+        )
+        records = [(None, "a"), (None, "b"), (None, "x")]
+        with pytest.raises(JobFailedError) as info:
+            MultiprocessRunner(num_workers=2).run(job, records=records)
+        assert len(info.value.failures) == 1
+        assert "poisoned record" in str(info.value.failures[0].cause)
+        # The two healthy tasks still completed and report their timings.
+        assert len(info.value.completed_stats) == 2
+
     def test_bad_worker_count(self):
         with pytest.raises(JobConfigError):
             MultiprocessRunner(num_workers=0)

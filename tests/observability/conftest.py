@@ -1,0 +1,16 @@
+"""Isolation for the process-wide tracer/metrics singletons."""
+
+import pytest
+
+from repro.observability.metrics import set_metrics
+from repro.observability.tracing import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Each test starts from the disabled tracer and an empty registry."""
+    set_tracer(None)
+    set_metrics(None)
+    yield
+    set_tracer(None)
+    set_metrics(None)

@@ -1,0 +1,185 @@
+"""Tests for repro.observability.metrics."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+from repro.observability.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    observe_partition_skew,
+    set_metrics,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(3)
+        reg.gauge("g").set(7.5)
+        assert reg.gauge("g").value == 7.5
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_quantiles_uniform_distribution(self):
+        # 1..1000 against decade buckets: estimates must land within one
+        # bucket of the exact quantile.
+        h = Histogram("h", buckets=tuple(float(b) for b in range(100, 1100, 100)))
+        for v in range(1, 1001):
+            h.observe(v)
+        assert h.count == 1000
+        assert h.mean == pytest.approx(500.5)
+        assert h.quantile(0.5) == pytest.approx(500, abs=100)
+        assert h.quantile(0.9) == pytest.approx(900, abs=100)
+        assert h.quantile(0.99) == pytest.approx(990, abs=100)
+        assert h.quantile(0.0) >= 1.0
+        assert h.quantile(1.0) <= 1000.0
+
+    def test_quantiles_skewed_distribution(self):
+        # 99 fast tasks at ~1ms and one straggler at 1s: p50 must stay in
+        # the fast bucket and p99+ must reach toward the straggler.
+        h = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0, 10.0))
+        for _ in range(99):
+            h.observe(0.0009)
+        h.observe(1.0)
+        assert h.quantile(0.5) <= 0.001
+        assert h.quantile(0.995) > 0.1
+        snap = h.snapshot()
+        assert snap["max"] == 1.0
+        assert snap["min"] == pytest.approx(0.0009)
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("h", buckets=(100.0, 200.0))
+        h.observe(150.0)
+        # Interpolation inside [100, 200] would give values below the only
+        # observation; clamping pins every quantile to it.
+        assert h.quantile(0.01) == 150.0
+        assert h.quantile(0.99) == 150.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(99.0)
+        snap = h.snapshot()
+        assert snap["overflow"] == 1
+        assert h.quantile(0.5) >= 2.0
+
+    def test_quantile_validates_range(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+        assert snap["min"] == snap["max"] == 0.0
+
+    def test_default_count_buckets_cover_decades(self):
+        h = Histogram("h", buckets=DEFAULT_COUNT_BUCKETS)
+        h.observe(3)
+        h.observe(40_000)
+        assert h.snapshot()["overflow"] == 0
+
+
+class TestRegistry:
+    def test_instruments_are_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_absorb_counters(self):
+        reg = MetricsRegistry()
+        counters = Counters()
+        counters.increment("skyline", "dominance_tests", 42)
+        counters.framework("map_records", 10)
+        reg.absorb_counters(counters)
+        reg.absorb_counters(counters)  # accumulates across jobs
+        snap = reg.snapshot()
+        assert snap["counters"]["skyline.dominance_tests"] == 84
+        assert snap["counters"]["framework.map_records"] == 20
+
+    def test_absorb_counters_prefix_and_negative(self):
+        reg = MetricsRegistry()
+        reg.absorb_counters([("g", "bad", -3)], prefix="job1")
+        assert reg.snapshot()["gauges"]["job1.g.bad"] == -3.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h", (1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert set(snap["histograms"]["h"]) == {
+            "count",
+            "mean",
+            "min",
+            "max",
+            "p50",
+            "p90",
+            "p99",
+            "overflow",
+        }
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_registry_swap(self):
+        custom = MetricsRegistry()
+        assert set_metrics(custom) is custom
+        assert get_metrics() is custom
+        fresh = set_metrics(None)
+        assert fresh is not custom
+
+
+class TestPartitionSkew:
+    def test_gauges_recorded(self):
+        reg = MetricsRegistry()
+        values = observe_partition_skew(reg, [10, 40, 30, 20])
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["partition.records_max"] == 40.0
+        assert gauges["partition.records_min"] == 10.0
+        assert gauges["partition.max_min_ratio"] == 4.0
+        assert gauges["partition.imbalance"] == pytest.approx(40 / 25)
+        assert values["max_min_ratio"] == 4.0
+
+    def test_empty_partition_floor(self):
+        reg = MetricsRegistry()
+        values = observe_partition_skew(reg, [0, 8])
+        assert values["max_min_ratio"] == 8.0  # min floored to 1
+
+    def test_no_partitions(self):
+        reg = MetricsRegistry()
+        values = observe_partition_skew(reg, [])
+        assert values == {
+            "records_max": 0.0,
+            "records_min": 0.0,
+            "max_min_ratio": 0.0,
+            "imbalance": 0.0,
+        }
+
+    def test_custom_prefix(self):
+        reg = MetricsRegistry()
+        observe_partition_skew(reg, [1, 2], prefix="sim.map")
+        assert "sim.map.records_max" in reg.snapshot()["gauges"]

@@ -1,0 +1,149 @@
+"""Tests for repro.observability.report (trace loading + rendering)."""
+
+import io
+
+import pytest
+
+from repro.observability.report import (
+    TraceError,
+    load_trace,
+    render_summary,
+    render_tree,
+    summarize_spans,
+)
+from repro.observability.tracing import JsonLinesExporter, Tracer
+
+
+def _traced_job(exporter=None):
+    """A small job/phase/task span tree; returns (tracer, finished spans)."""
+    tracer = Tracer(exporter, keep_spans=True)
+    with tracer.span("mr-angle-partition", kind="job"):
+        with tracer.span("map", kind="phase", phase="map", tasks=2):
+            with tracer.span("map-0", kind="task"):
+                pass
+            with tracer.span("map-1", kind="task"):
+                pass
+        with tracer.span("shuffle", kind="phase", phase="shuffle"):
+            pass
+        with tracer.span("reduce", kind="phase", phase="reduce", tasks=1):
+            with tracer.span("reduce-0", kind="task"):
+                pass
+    return tracer, tracer.finished
+
+
+class TestLoadTrace:
+    def test_json_lines_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonLinesExporter(str(path))
+        _, original = _traced_job(exporter)
+        exporter.write_metrics({"gauges": {"partition.max_min_ratio": 2.0}})
+        exporter.close()
+
+        spans, snapshot = load_trace(str(path))
+        assert [s.name for s in spans] == [s.name for s in original]
+        assert [s.span_id for s in spans] == [s.span_id for s in original]
+        assert [s.duration_ns for s in spans] == [s.duration_ns for s in original]
+        assert snapshot == {"gauges": {"partition.max_min_ratio": 2.0}}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError, match="no span records"):
+            load_trace(io.StringIO(""))
+
+    def test_metrics_only_trace_rejected(self):
+        with pytest.raises(TraceError, match="no span records"):
+            load_trace(io.StringIO('{"type": "metrics", "snapshot": {}}\n'))
+
+    def test_malformed_trace_rejected(self):
+        with pytest.raises(TraceError):
+            load_trace(io.StringIO("garbage\n"))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(str(tmp_path / "absent.jsonl"))
+
+
+class TestSummarize:
+    def test_counts_and_phases(self):
+        _, spans = _traced_job()
+        summary = summarize_spans(spans)
+        assert summary["spans"] == 7
+        assert summary["jobs"] == 1
+        assert summary["tasks"] == 3
+        assert summary["errors"] == 0
+        assert summary["wall_s"] > 0
+        # Phase shares form a distribution over map/shuffle/reduce.
+        assert sum(summary["phase_share"].values()) == pytest.approx(1.0, abs=1e-3)
+        assert summary["task_max_s"] >= summary["task_p50_s"] >= 0
+
+    def test_phase_durations_bounded_by_wall(self):
+        _, spans = _traced_job()
+        summary = summarize_spans(spans)
+        assert sum(summary["phase_s"].values()) <= summary["wall_s"]
+
+    def test_error_span_counted(self):
+        tracer = Tracer(keep_spans=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("job", kind="job"):
+                raise RuntimeError("x")
+        assert summarize_spans(tracer.finished)["errors"] == 1
+
+
+class TestRenderTree:
+    def test_hierarchy_and_durations(self):
+        _, spans = _traced_job()
+        text = render_tree(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("job:mr-angle-partition")
+        assert any(line.startswith("  phase:map") for line in lines)
+        assert any(line.startswith("    task:map-0") for line in lines)
+        assert "(2 tasks)" in text
+        assert "%" in lines[0]
+
+    def test_elides_long_phases(self):
+        tracer = Tracer(keep_spans=True)
+        with tracer.span("job", kind="job"):
+            with tracer.span("reduce", kind="phase", phase="reduce"):
+                for i in range(6):
+                    with tracer.span(f"reduce-{i}", kind="task"):
+                        pass
+        text = render_tree(tracer.finished, max_tasks_per_phase=2)
+        assert "… 4 more tasks" in text
+        assert text.count("task:") == 2
+
+    def test_error_flag(self):
+        tracer = Tracer(keep_spans=True)
+        with pytest.raises(ValueError):
+            with tracer.span("job", kind="job"):
+                raise ValueError("x")
+        assert "[ERROR]" in render_tree(tracer.finished)
+
+    def test_orphan_spans_root_the_tree(self):
+        # A truncated trace can reference a parent that was never written.
+        _, spans = _traced_job()
+        tail = spans[:2]  # two tasks whose parents are missing
+        text = render_tree(tail)
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderSummary:
+    def test_includes_phases_and_skew(self):
+        _, spans = _traced_job()
+        snapshot = {
+            "gauges": {
+                "partition.max_min_ratio": 1.25,
+                "partition.records_max": 500.0,
+                "other.gauge": 9.0,
+            }
+        }
+        text = render_summary(spans, snapshot)
+        assert "per-phase breakdown" in text
+        for phase in ("map", "shuffle", "reduce"):
+            assert phase in text
+        assert "partition.max_min_ratio" in text
+        assert "1.250" in text
+        assert "other.gauge" not in text  # only partition.* gauges shown
+
+    def test_without_snapshot(self):
+        _, spans = _traced_job()
+        text = render_summary(spans, None)
+        assert "partition skew" not in text

@@ -9,6 +9,7 @@ PACKAGES = [
     "repro.core",
     "repro.core.partitioning",
     "repro.mapreduce",
+    "repro.observability",
     "repro.services",
     "repro.data",
     "repro.bench",
