@@ -82,6 +82,24 @@ def _attach_trace_meta(table: Table, records) -> None:
         table.meta["trace_summaries"] = summaries
 
 
+def _attach_engine_meta(table: Table, records) -> None:
+    """Record the execution policy in ``table.meta`` (flows to ``to_json``).
+
+    Tables compare simulated cluster seconds, which must not silently mix
+    engine backends — ``meta["engine"]`` makes the executor and chain mode
+    of every run auditable in exports.
+    """
+    records = list(records)
+    if not records:
+        return
+    executors = sorted({r.executor for r in records})
+    pipelined = sorted({r.pipelined for r in records})
+    table.meta["engine"] = {
+        "executor": executors[0] if len(executors) == 1 else executors,
+        "pipelined": pipelined[0] if len(pipelined) == 1 else pipelined,
+    }
+
+
 def figure5(
     n: int,
     *,
@@ -89,12 +107,22 @@ def figure5(
     methods: Sequence[str] = PAPER_METHODS,
     cluster: ClusterSpec = DEFAULT_CLUSTER,
     cache: DatasetCache | None = None,
+    executor: str | None = None,
+    pipelined: bool = False,
 ) -> Table:
     """Figure 5: processing time vs dimension for the three methods.
 
     ``n=1_000`` reproduces Fig. 5(a), ``n=100_000`` Fig. 5(b).
     """
-    records = sweep(methods, n, dims, cluster=cluster, cache=cache)
+    records = sweep(
+        methods,
+        n,
+        dims,
+        cluster=cluster,
+        cache=cache,
+        executor=executor,
+        pipelined=pipelined,
+    )
     sub = "a" if n <= 10_000 else "b"
     table = Table(
         title=f"Figure 5({sub}): processing time (s) vs dimension, N={n:,}",
@@ -112,6 +140,7 @@ def figure5(
         f"(partitions = 2 x servers); lower is better"
     )
     _attach_trace_meta(table, records)
+    _attach_engine_meta(table, records)
     return table
 
 
@@ -123,6 +152,8 @@ def figure6(
     base_cluster: ClusterSpec = DEFAULT_CLUSTER,
     cache: DatasetCache | None = None,
     include_tree_merge: bool = True,
+    executor: str | None = None,
+    pipelined: bool = False,
 ) -> Table:
     """Figure 6: MR-Angle map/reduce time breakdown vs server count.
 
@@ -142,15 +173,19 @@ def figure6(
         method="angle",
         num_workers=max(node_counts),
         num_partitions=partitions,
+        executor=executor,
+        pipelined=pipelined,
     )
     tree_result = None
     if include_tree_merge:
+        # The tree merge is data-dependently chained, so it cannot pipeline.
         tree_result = run_mr_skyline(
             matrix,
             method="angle",
             num_workers=max(node_counts),
             num_partitions=partitions,
             merge_strategy="tree",
+            executor=executor,
         )
     columns = ["servers", "map_time_s", "reduce_time_s", "total_s"]
     if tree_result is not None:
@@ -170,12 +205,22 @@ def figure6(
         if tree_result is not None:
             row.append(tree_result.simulate(cluster).total_s)
         table.add_row(*row)
-    table.add_note("sectioned-bar data: total = map_time + reduce_time")
+    if pipelined:
+        table.add_note(
+            "pipelined chain: total_s models per-partition job overlap and "
+            "can undercut map_time + reduce_time"
+        )
+    else:
+        table.add_note("sectioned-bar data: total = map_time + reduce_time")
     table.add_note(
         "reduce_time includes the serial global-merge job, the saturation "
         "floor past ~16-24 servers; the tree-merge column is our extension "
         "that parallelises the merge (8-way partial-merge rounds)"
     )
+    table.meta["engine"] = {
+        "executor": result.executor,
+        "pipelined": result.pipelined,
+    }
     return table
 
 
@@ -187,6 +232,8 @@ def figure7(
     cluster: ClusterSpec = DEFAULT_CLUSTER,
     cache: DatasetCache | None = None,
     include_equal_width: bool = True,
+    executor: str | None = None,
+    pipelined: bool = False,
 ) -> Table:
     """Figure 7: local skyline optimality (Eq. 5) vs dimension.
 
@@ -198,7 +245,17 @@ def figure7(
     default quantile sectors trade some optimality for the balance that
     wins Figures 5 and 6 (see EXPERIMENTS.md).
     """
-    records = list(sweep(methods, n, dims, cluster=cluster, cache=cache))
+    records = list(
+        sweep(
+            methods,
+            n,
+            dims,
+            cluster=cluster,
+            cache=cache,
+            executor=executor,
+            pipelined=pipelined,
+        )
+    )
     sub = "a" if n <= 10_000 else "b"
     columns = ["dimension"] + [_METHOD_LABEL.get(m, m) for m in methods]
     if include_equal_width:
@@ -221,12 +278,15 @@ def figure7(
                 cluster=cluster,
                 cache=cache,
                 partitioner_kwargs={"bins": "equal-width"},
+                executor=executor,
+                pipelined=pipelined,
             )
             records.append(rec)
             row.append(rec.optimality)
         table.add_row(*row)
     table.add_note("fraction of local skyline services that are globally optimal")
     _attach_trace_meta(table, records)
+    _attach_engine_meta(table, records)
     return table
 
 
@@ -236,11 +296,22 @@ def headline(
     d: int = 10,
     cluster: ClusterSpec = DEFAULT_CLUSTER,
     cache: DatasetCache | None = None,
+    executor: str | None = None,
+    pipelined: bool = False,
 ) -> Table:
     """§V-B headline: MR-Angle is 1.7× / 2.3× faster than MR-Grid / MR-Dim
     at N=100,000, d=10."""
     records = {
-        m: run_point(m, n, d, cluster=cluster, cache=cache) for m in PAPER_METHODS
+        m: run_point(
+            m,
+            n,
+            d,
+            cluster=cluster,
+            cache=cache,
+            executor=executor,
+            pipelined=pipelined,
+        )
+        for m in PAPER_METHODS
     }
     angle = records["angle"].sim_total_s
     table = Table(
@@ -257,6 +328,7 @@ def headline(
             rec.dominance_tests,
         )
     _attach_trace_meta(table, records.values())
+    _attach_engine_meta(table, records.values())
     return table
 
 

@@ -123,6 +123,9 @@ class PointRecord:
     #: Per-phase trace breakdown (``summarize_spans`` output) when the run
     #: executed under an enabled tracer; ``None`` otherwise.
     trace_summary: Dict[str, Any] | None = None
+    #: Engine execution policy the cell ran under.
+    executor: str = "serial"
+    pipelined: bool = False
 
     @classmethod
     def from_result(
@@ -154,6 +157,8 @@ class PointRecord:
             optimality=report.optimality,
             points_pruned=result.points_pruned,
             trace_summary=trace_summary,
+            executor=result.executor,
+            pipelined=result.pipelined,
         )
 
 

@@ -16,6 +16,10 @@ Usage::
     --markdown  emit Markdown instead of ASCII (for EXPERIMENTS.md)
     --csv       emit CSV
     --trace F   write a JSON-lines execution trace to F (see docs/observability.md)
+    --executor  engine backend for the runs: serial (default; the
+                measurement path), threads, or processes
+    --workers   pool size for the thread/process executors
+    --pipelined overlap the two-job skyline chain (see docs/tuning.md)
 
 The installed console script ``repro-skyline`` is equivalent.
 """
@@ -45,20 +49,30 @@ _QUICK_SMALL_N, _QUICK_LARGE_N = 500, 10_000
 _QUICK_NODES = (2, 4, 8)
 
 
-def _experiments(quick: bool) -> Dict[str, Callable[[], Table]]:
+def _experiments(
+    quick: bool,
+    *,
+    executor: str | None = None,
+    pipelined: bool = False,
+) -> Dict[str, Callable[[], Table]]:
     small = _QUICK_SMALL_N if quick else _SMALL_N
     large = _QUICK_LARGE_N if quick else _LARGE_N
     dims = (2, 4, 6) if quick else (2, 4, 6, 8, 10)
     fig6_kwargs = (
         {"n": large, "d": dims[-1], "node_counts": _QUICK_NODES} if quick else {}
     )
+    # Engine execution policy, forwarded to the experiments that run the
+    # MapReduce pipeline (theory/ablations/stragglers stay on their own
+    # defaults: theory runs no engine jobs; the others compare chained and
+    # tree-merge variants that pin their own chain modes).
+    engine = {"executor": executor, "pipelined": pipelined}
     return {
-        "fig5a": lambda: figure5(small, dims=dims),
-        "fig5b": lambda: figure5(large, dims=dims),
-        "fig6": lambda: figure6(**fig6_kwargs),
-        "fig7a": lambda: figure7(small, dims=dims),
-        "fig7b": lambda: figure7(large, dims=dims),
-        "headline": lambda: headline(n=large, d=dims[-1]),
+        "fig5a": lambda: figure5(small, dims=dims, **engine),
+        "fig5b": lambda: figure5(large, dims=dims, **engine),
+        "fig6": lambda: figure6(**fig6_kwargs, **engine),
+        "fig7a": lambda: figure7(small, dims=dims, **engine),
+        "fig7b": lambda: figure7(large, dims=dims, **engine),
+        "headline": lambda: headline(n=large, d=dims[-1], **engine),
         "theory": lambda: theory(mc_samples=50_000 if quick else 200_000),
         "ablations": lambda: ablations(n=small if quick else 10_000),
         "stragglers": lambda: stragglers(n=small if quick else 20_000),
@@ -103,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a JSON-lines execution trace (spans + metrics snapshot) "
         "to FILE; inspect it with 'python -m repro.cli trace FILE'",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="engine backend for the pipeline runs (default: $REPRO_EXECUTOR "
+        "or serial — the clean-timing measurement path)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool size for --executor threads/processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="overlap the two-job skyline chain (merge maps start as local-"
+        "skyline partitions finish); results are identical",
     )
     return parser
 
@@ -214,7 +248,18 @@ def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "verify":
         return _run_verify(args)
-    registry = _experiments(args.quick)
+    executor = args.executor
+    if args.workers is not None:
+        if args.workers <= 0:
+            print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+            return 2
+        # A sized executor instance: make_executor passes it through, and the
+        # lazy pools re-create themselves across experiments after each
+        # pipeline releases them.
+        from repro.mapreduce.executors import make_executor
+
+        executor = make_executor(args.executor, num_workers=args.workers)
+    registry = _experiments(args.quick, executor=executor, pipelined=args.pipelined)
     names = list(registry) if args.experiment == "all" else [args.experiment]
     if args.trace:
         from repro.observability import disable_tracing, enable_tracing

@@ -29,6 +29,7 @@ hook into the cluster simulator for the Figure-6 server sweep.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -43,7 +44,8 @@ from repro.core.partitioning import (
 )
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.job import ChainResult, Job, JobConf
+from repro.mapreduce.executors import Executor, make_executor
+from repro.mapreduce.job import ChainResult, Job, JobChain, JobConf
 from repro.mapreduce.partitioner import KeyFieldPartitioner, SingleReducerPartitioner
 from repro.mapreduce.runner import Runner, SerialRunner
 from repro.mapreduce.simulation import SimulatedPipeline, simulate_pipeline
@@ -192,6 +194,10 @@ class MRSkylineResult:
     num_workers: int
     points_pruned: int = 0
     partitioner: SpacePartitioner | None = field(default=None, repr=False)
+    #: Executor the engine ran under ("serial" / "threads" / "processes").
+    executor: str = "serial"
+    #: Whether the two-job chain ran in pipelined (overlapped) mode.
+    pipelined: bool = False
 
     @property
     def processing_time_s(self) -> float:
@@ -215,13 +221,23 @@ class MRSkylineResult:
     def global_points(self, points: np.ndarray) -> np.ndarray:
         return np.asarray(points, dtype=np.float64)[self.global_indices]
 
-    def simulate(self, cluster: ClusterSpec) -> SimulatedPipeline:
-        """Replay the measured chain on a simulated cluster (Figure 6)."""
-        return simulate_pipeline(self.chain.results, cluster)
+    def simulate(
+        self, cluster: ClusterSpec, *, pipelined: bool | None = None
+    ) -> SimulatedPipeline:
+        """Replay the measured chain on a simulated cluster (Figure 6).
+
+        ``pipelined`` defaults to how this result was actually executed;
+        pass ``True``/``False`` to model the other chaining mode instead.
+        """
+        if pipelined is None:
+            pipelined = self.pipelined
+        return simulate_pipeline(self.chain.results, cluster, pipelined=pipelined)
 
     def summary(self) -> dict:
         return {
             "method": self.method,
+            "executor": self.executor,
+            "pipelined": self.pipelined,
             "partitions": self.num_partitions,
             "workers": self.num_workers,
             "global_skyline": int(self.global_indices.size),
@@ -232,6 +248,16 @@ class MRSkylineResult:
             "dominance_tests": self.dominance_tests,
             "processing_time_s": round(self.processing_time_s, 6),
         }
+
+
+@contextmanager
+def _owned_runner(runner: Runner, owned: bool):
+    """Release a runner (and its executor pool) only if we created it."""
+    try:
+        yield runner
+    finally:
+        if owned:
+            runner.close()
 
 
 def _block_records(points: np.ndarray, block_rows: int) -> List[Tuple[int, Block]]:
@@ -260,6 +286,8 @@ def run_mr_skyline(
     partitioner_kwargs: dict | None = None,
     merge_strategy: str = "single",
     merge_fan_in: int = 8,
+    executor: str | Executor | None = None,
+    pipelined: bool = False,
 ) -> MRSkylineResult:
     """Run one of the MapReduce skyline algorithms end to end.
 
@@ -277,10 +305,11 @@ def run_mr_skyline(
     num_partitions:
         Override the partition-count rule.
     runner:
-        Engine runner; defaults to the serial runner (clean per-task
-        timings for the simulator).  Pass a
-        :class:`~repro.mapreduce.runner.MultiprocessRunner` for real
-        parallelism.
+        Engine runner.  By default one is built from ``executor`` (or, when
+        that is ``None`` too, from ``$REPRO_EXECUTOR``, falling back to
+        serial — the measurement configuration with clean per-task timings
+        for the simulator).  A runner built here owns one executor for the
+        whole pipeline, so pool workers are reused across the chained jobs.
     window_size:
         Bounded BNL window for local and merge stages (ablation).
     use_combiner:
@@ -297,6 +326,16 @@ def run_mr_skyline(
         hints at iterative MapReduce via Twister for exactly this).
     merge_fan_in:
         Local skylines merged per reducer per tree round.
+    executor:
+        Executor name (``"serial"`` / ``"threads"`` / ``"processes"``) or a
+        ready :class:`~repro.mapreduce.executors.Executor` instance for the
+        default runner; ignored when ``runner`` is given.
+    pipelined:
+        Overlap the two jobs: the merge job's map task *i* consumes local
+        skyline partition *i* as soon as its reducer finishes, instead of
+        waiting for the whole partitioning job.  Requires
+        ``merge_strategy="single"`` (tree rounds are sized from the data,
+        which is still in flight while pipelining).  Results are identical.
 
     Returns
     -------
@@ -305,15 +344,31 @@ def run_mr_skyline(
     pts = validate_points(points)
     if num_partitions is None:
         num_partitions = default_partition_count(num_workers)
-    runner = runner or SerialRunner()
+    if merge_strategy not in ("single", "tree"):
+        raise ValueError(
+            f"unknown merge_strategy {merge_strategy!r}; use 'single' or 'tree'"
+        )
+    if merge_fan_in < 2:
+        raise ValueError(f"merge_fan_in must be >= 2, got {merge_fan_in}")
+    if pipelined and merge_strategy != "single":
+        raise ValueError(
+            "pipelined=True requires merge_strategy='single': tree-merge "
+            "rounds are sized from intermediate data that is still in "
+            "flight while pipelining"
+        )
+    owns_runner = runner is None
+    if runner is None:
+        runner = Runner(make_executor(executor, num_workers=num_workers))
 
-    with get_tracer().span(
+    with _owned_runner(runner, owns_runner), get_tracer().span(
         f"mr-skyline:{method if partitioner is None else partitioner.scheme}",
         kind="pipeline",
         n=int(pts.shape[0]),
         d=int(pts.shape[1]),
         workers=num_workers,
         merge_strategy=merge_strategy,
+        executor=runner.executor_name,
+        pipelined=pipelined,
     ) as pipeline_span:
         if partitioner is None:
             partitioner = make_partitioner(
@@ -345,57 +400,65 @@ def run_mr_skyline(
                 params=params,
             ),
         )
-        result1 = runner.run(job1, records=records)
-
-        if merge_strategy not in ("single", "tree"):
-            raise ValueError(
-                f"unknown merge_strategy {merge_strategy!r}; use 'single' or 'tree'"
+        def _merge_job(recs: List) -> Job:
+            return Job(
+                name=f"mr-{partitioner.scheme}-merge",
+                mapper=GlobalMergeMapper,
+                reducer=GlobalMergeReducer,
+                conf=JobConf(
+                    num_reducers=1,
+                    num_map_tasks=max(1, min(num_workers, max(len(recs), 1))),
+                    partitioner=SingleReducerPartitioner(),
+                    params={"window_size": window_size},
+                ),
             )
-        if merge_fan_in < 2:
-            raise ValueError(f"merge_fan_in must be >= 2, got {merge_fan_in}")
 
-        merge_results = []
-        intermediate = list(result1.output_pairs())
-        if merge_strategy == "tree":
-            # Hierarchical rounds: fan_in local skylines per reducer until only
-            # a handful of groups remain, then the final single-reducer merge.
-            round_no = 0
-            while len(intermediate) > merge_fan_in:
-                # Re-key to dense group ids so `key // fan_in` packs evenly.
-                intermediate = [
-                    (i, block) for i, (_, block) in enumerate(intermediate)
-                ]
-                groups = -(-len(intermediate) // merge_fan_in)  # ceil
-                job = Job(
-                    name=f"mr-{partitioner.scheme}-treemerge-{round_no}",
-                    mapper=TreeMergeMapper,
-                    reducer=LocalSkylineReducer,
-                    conf=JobConf(
-                        num_reducers=groups,
-                        num_map_tasks=max(1, min(num_workers, len(intermediate))),
-                        partitioner=KeyFieldPartitioner(),
-                        params={"window_size": window_size, "fan_in": merge_fan_in},
-                    ),
-                )
-                result = runner.run(job, records=intermediate)
-                merge_results.append(result)
-                intermediate = list(result.output_pairs())
-                round_no += 1
+        if pipelined:
+            # Overlapped two-job chain: the merge job's map task i runs
+            # over local-skyline partition i the moment its reducer ends.
+            chain = runner.run_chain(
+                JobChain(
+                    f"mr-{partitioner.scheme}",
+                    [lambda _recs: job1, _merge_job],
+                    pipelined=True,
+                ),
+                records,
+            )
+            result1, result2 = chain.results[0], chain.results[-1]
+        else:
+            result1 = runner.run(job1, records=records)
 
-        job2 = Job(
-            name=f"mr-{partitioner.scheme}-merge",
-            mapper=GlobalMergeMapper,
-            reducer=GlobalMergeReducer,
-            conf=JobConf(
-                num_reducers=1,
-                num_map_tasks=max(1, min(num_workers, len(intermediate))),
-                partitioner=SingleReducerPartitioner(),
-                params={"window_size": window_size},
-            ),
-        )
-        result2 = runner.run(job2, records=intermediate)
+            merge_results = []
+            intermediate = list(result1.output_pairs())
+            if merge_strategy == "tree":
+                # Hierarchical rounds: fan_in local skylines per reducer until
+                # only a handful of groups remain, then the final single-reducer
+                # merge.
+                round_no = 0
+                while len(intermediate) > merge_fan_in:
+                    # Re-key to dense group ids so `key // fan_in` packs evenly.
+                    intermediate = [
+                        (i, block) for i, (_, block) in enumerate(intermediate)
+                    ]
+                    groups = -(-len(intermediate) // merge_fan_in)  # ceil
+                    job = Job(
+                        name=f"mr-{partitioner.scheme}-treemerge-{round_no}",
+                        mapper=TreeMergeMapper,
+                        reducer=LocalSkylineReducer,
+                        conf=JobConf(
+                            num_reducers=groups,
+                            num_map_tasks=max(1, min(num_workers, len(intermediate))),
+                            partitioner=KeyFieldPartitioner(),
+                            params={"window_size": window_size, "fan_in": merge_fan_in},
+                        ),
+                    )
+                    result = runner.run(job, records=intermediate)
+                    merge_results.append(result)
+                    intermediate = list(result.output_pairs())
+                    round_no += 1
 
-        chain = ChainResult(results=[result1, *merge_results, result2])
+            result2 = runner.run(_merge_job(intermediate), records=intermediate)
+            chain = ChainResult(results=[result1, *merge_results, result2])
         counters = Counters()
         for res in chain.results:
             counters.merge(res.counters)
@@ -439,6 +502,8 @@ def run_mr_skyline(
         num_workers=num_workers,
         points_pruned=counters.value(COUNTER_GROUP, "points_pruned"),
         partitioner=partitioner,
+        executor=result2.executor,
+        pipelined=pipelined,
     )
 
 
@@ -480,6 +545,9 @@ def update_mr_skyline(
     ``np.vstack([points, new_points])``.  Removals are out of scope here —
     they need full partition membership, which is what
     :class:`repro.core.incremental.IncrementalSkyline` keeps.
+
+    The default runner resolves its executor from ``$REPRO_EXECUTOR``
+    (serial when unset), like :func:`run_mr_skyline`.
     """
     pts = validate_points(points)
     fresh = validate_points(new_points)
@@ -494,7 +562,7 @@ def update_mr_skyline(
             f"previous result covers {previous.partition_ids.shape[0]} points, "
             f"got {pts.shape[0]}"
         )
-    runner = runner or SerialRunner()
+    runner = runner or Runner()
     partitioner = previous.partitioner
     offset = pts.shape[0]
 
@@ -586,6 +654,7 @@ def update_mr_skyline(
         num_workers=previous.num_workers,
         points_pruned=previous.points_pruned + n_pruned,
         partitioner=partitioner,
+        executor=merge_result.executor,
     )
 
 

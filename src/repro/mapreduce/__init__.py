@@ -6,8 +6,9 @@ is the substitute substrate: a small but complete MapReduce engine with
 * input formats and input splits (:mod:`repro.mapreduce.inputs`),
 * mapper / combiner / partitioner / reducer task pipeline
   (:mod:`repro.mapreduce.tasks`),
-* a sort-based shuffle (:mod:`repro.mapreduce.shuffle`),
-* serial and multiprocessing runners (:mod:`repro.mapreduce.runner`),
+* a sort-based shuffle, batch or streaming (:mod:`repro.mapreduce.shuffle`),
+* one runner over pluggable serial / thread-pool / process-pool executors
+  (:mod:`repro.mapreduce.runner`, :mod:`repro.mapreduce.executors`),
 * per-task timing and counters (:mod:`repro.mapreduce.counters`,
   :class:`repro.mapreduce.types.TaskStats`),
 * an in-memory block filesystem standing in for HDFS
@@ -42,6 +43,15 @@ from repro.mapreduce.errors import (
     JobFailedError,
     TaskError,
 )
+from repro.mapreduce.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    make_executor,
+)
 from repro.mapreduce.inputs import (
     InputFormat,
     InputSplit,
@@ -75,7 +85,9 @@ from repro.mapreduce.types import KeyValue, TaskKind, TaskStats
 __all__ = [
     "Combiner",
     "Counters",
+    "EXECUTOR_NAMES",
     "EngineError",
+    "Executor",
     "HashPartitioner",
     "InputFormat",
     "InputSplit",
@@ -91,19 +103,24 @@ __all__ = [
     "Mapper",
     "MultiprocessRunner",
     "Partitioner",
+    "ProcessExecutor",
     "RangePartitioner",
     "ReduceContext",
     "Reducer",
     "Runner",
     "SequenceInputFormat",
     "SequenceOutputFormat",
+    "SerialExecutor",
     "SerialRunner",
     "SingleReducerPartitioner",
+    "ThreadExecutor",
     "TaskError",
     "TaskKind",
     "TaskStats",
     "TextInputFormat",
     "TextOutputFormat",
+    "default_executor_name",
+    "make_executor",
     "make_splits",
     "read_sequence_output",
     "read_text_output",

@@ -1,0 +1,75 @@
+"""Pluggable task executors for the MapReduce engine.
+
+Execution policy — *where* a task body runs — is isolated here behind the
+:class:`Executor` protocol, so the single :class:`~repro.mapreduce.runner.Runner`
+handles every orchestration concern (splits, retries, streaming shuffle,
+tracing) exactly once, for all backends:
+
+* :class:`SerialExecutor` — inline, deterministic, clean per-task timings
+  (the measurement path feeding the Figure-6 cluster simulator),
+* :class:`ThreadExecutor` — shared-memory concurrency; wins when the task
+  kernels release the GIL (NumPy dominance tests do),
+* :class:`ProcessExecutor` — real parallelism over pickled payloads, the
+  closest analogue to Hadoop task slots.
+
+Select one by name with :func:`make_executor`; the ``REPRO_EXECUTOR``
+environment variable overrides the default (``serial``) — this is how the
+CI executor matrix runs the whole test suite under each backend without
+touching test code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from repro.mapreduce.errors import JobConfigError
+from repro.mapreduce.executors.base import Executor
+from repro.mapreduce.executors.processes import ProcessExecutor
+from repro.mapreduce.executors.serial import SerialExecutor
+from repro.mapreduce.executors.threads import ThreadExecutor
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_executor_name",
+    "make_executor",
+]
+
+#: Recognised executor names, in documentation order.
+EXECUTOR_NAMES: Tuple[str, ...] = ("serial", "threads", "processes")
+
+#: Environment variable naming the default executor.
+ENV_EXECUTOR = "REPRO_EXECUTOR"
+
+
+def default_executor_name() -> str:
+    """The executor used when none is requested: ``$REPRO_EXECUTOR`` or serial."""
+    return os.environ.get(ENV_EXECUTOR, "").strip().lower() or "serial"
+
+
+def make_executor(
+    name: str | Executor | None = None, *, num_workers: int | None = None
+) -> Executor:
+    """Build an executor from a name (or pass an instance through).
+
+    ``None`` resolves via :func:`default_executor_name`, so exported
+    ``REPRO_EXECUTOR=processes`` flips every default-configured runner in
+    the process.  ``num_workers`` sizes the pool backends and is ignored
+    by the serial executor.
+    """
+    if isinstance(name, Executor):
+        return name
+    resolved = (name or default_executor_name()).strip().lower()
+    if resolved == "serial":
+        return SerialExecutor()
+    if resolved == "threads":
+        return ThreadExecutor(num_workers)
+    if resolved == "processes":
+        return ProcessExecutor(num_workers)
+    raise JobConfigError(
+        f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+    )

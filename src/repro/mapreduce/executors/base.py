@@ -1,0 +1,59 @@
+"""The :class:`Executor` protocol: *where* tasks run, and nothing else.
+
+The unified :class:`~repro.mapreduce.runner.Runner` owns all orchestration —
+splits, retries, the streaming shuffle, tracing, stats — and delegates only
+the question "run this callable, give me a future" to an executor.  The
+lifecycle is deliberately tiny:
+
+* :meth:`Executor.submit` — schedule one task body, return a
+  :class:`concurrent.futures.Future` (the runner drains futures with
+  :func:`concurrent.futures.wait`),
+* :meth:`Executor.shutdown` — release pools/workers,
+* the context-manager protocol, equivalent to ``shutdown()`` on exit.
+
+Two capability flags drive the runner's behaviour:
+
+``inline``
+    ``True`` means ``submit`` executes the task *during the call*, in the
+    caller's thread (the serial executor).  The runner then traces real
+    nested task spans and skips all overlap machinery — inline execution
+    is what gives the measurement path its clean per-task timings.
+``name``
+    Stable identifier (``"serial"`` / ``"threads"`` / ``"processes"``)
+    recorded on every task span's ``executor`` attribute and in bench
+    metadata, so traces and ``BENCH_*.json`` files say where tasks ran.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from concurrent.futures import Future
+from typing import Any, Callable
+
+__all__ = ["Executor"]
+
+
+class Executor(ABC):
+    """Task execution strategy consumed by the unified runner."""
+
+    #: Stable identifier stamped on task spans and bench metadata.
+    name: str = "abstract"
+
+    #: ``True`` when ``submit`` runs the task synchronously in the caller.
+    inline: bool = False
+
+    @abstractmethod
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        """Schedule ``fn(*args)``; return a future with its result."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release any worker pools; idempotent.  Default: nothing to do."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,34 @@
+"""Serial executor: tasks run inline, in submission order, in the driver."""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Any, Callable
+
+from repro.mapreduce.executors.base import Executor
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Runs every task during :meth:`submit`, in the calling thread.
+
+    This is the default and the *measurement* executor: tasks execute one
+    at a time with nothing else on the interpreter, so their
+    ``perf_counter_ns`` durations are clean inputs for the cluster
+    simulator, and the runner can trace real (non-synthetic) nested task
+    spans.  The returned future is already resolved — a task's exception
+    is captured, not raised, so the runner's drain loop handles serial
+    failures exactly like pool failures.
+    """
+
+    name = "serial"
+    inline = True
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future

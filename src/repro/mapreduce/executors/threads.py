@@ -1,0 +1,48 @@
+"""Thread-pool executor: in-process concurrency, shared memory."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.mapreduce.errors import JobConfigError
+from repro.mapreduce.executors.base import Executor
+
+__all__ = ["ThreadExecutor"]
+
+
+class ThreadExecutor(Executor):
+    """Runs tasks in a lazily-created :class:`ThreadPoolExecutor`.
+
+    Payloads are shared by reference (no pickling), so this is the cheap
+    way to overlap tasks whose heavy lifting releases the GIL — the
+    skyline jobs' NumPy dominance kernels do.  Task durations reported
+    back are measured inside the worker threads and may include GIL
+    contention; the runner records them as synthetic (back-dated) spans.
+
+    Metrics histograms observed *inside* task code are best-effort under
+    threads: the registry is not locked, so concurrent observations may
+    race.  Counters are immune — each task owns a private
+    :class:`~repro.mapreduce.counters.Counters` merged in the driver.
+    """
+
+    name = "threads"
+
+    def __init__(self, num_workers: int | None = None):
+        if num_workers is not None and num_workers <= 0:
+            raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers or (os.cpu_count() or 1)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-task"
+            )
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None

@@ -1,122 +1,61 @@
-"""Job runners: serial (deterministic, measurable) and multiprocessing.
+"""One job runner, pluggable executors, streaming shuffle.
 
-The :class:`SerialRunner` executes tasks one at a time and is the default —
-its per-task timings are clean, which matters because those timings feed the
-cluster simulator for the paper's server-count sweep.  The
-:class:`MultiprocessRunner` runs map and reduce tasks in a process pool for
-real speedups on multi-core machines (task payloads are pickled to workers,
-so user mapper/reducer classes must be module-level).
+Orchestration lives in a single :class:`Runner`; *where* task bodies run is
+delegated to an :class:`~repro.mapreduce.executors.Executor` (serial inline,
+thread pool, or process pool — ``Runner("threads", num_workers=8)`` or the
+``REPRO_EXECUTOR`` environment variable select one).  The former split into
+a ``SerialRunner`` and a ``MultiprocessRunner`` with duplicated map/reduce
+loops is gone; both names survive as thin aliases that pin an executor.
 
-Both runners share the task bodies in :mod:`repro.mapreduce.tasks`, support
-per-task retries, and produce identical :class:`JobResult` structure.
+The shuffle is incremental: each map task's per-partition buffers are
+ingested into a :class:`~repro.mapreduce.shuffle.StreamingShuffle` as the
+task completes, so segment sorting overlaps still-running map tasks, and
+with a pool executor each reduce partition is submitted the moment it is
+merged — the next partition's merge overlaps the previous partition's
+reduce.  ``Runner(streaming=False)`` restores the old barrier shuffle
+(output is identical either way).
+
+:meth:`Runner.run_chain` additionally supports *pipelined* chains
+(``JobChain(..., pipelined=True)``): job *k+1*'s map task *i* consumes job
+*k*'s reduce partition *i* as soon as it finishes, overlapping the two jobs
+— the §IV pipeline shape the paper's Figure 6 reduce-dominance claim turns
+on.
 
 Every run is traced through :mod:`repro.observability`: a ``job`` span
-nests ``phase`` spans (map / shuffle / reduce), which nest ``task`` spans —
-real nested spans under the serial runner, synthetic back-dated spans under
-multiprocessing (tasks execute in workers; only their measured durations
-travel back).  Spans export as they finish, so a job that dies mid-phase
-still leaves a partial trace, and the raised :class:`JobFailedError`
-carries the completed tasks' stats.  With the default disabled tracer all
-hooks are no-ops.
+nests ``phase`` spans (map / shuffle / reduce), which nest ``task`` spans,
+every task span tagged with its ``executor``.  Inline (serial) execution
+produces real nested task spans; pool executors produce synthetic
+back-dated spans recorded as futures drain (tasks execute in workers, so
+only measured durations travel back).  Pipelined chains use detached spans,
+so overlapping phases render truthfully in ``repro trace``.  Spans export
+as they finish — a job that dies mid-phase still leaves a partial trace,
+and the raised :class:`JobFailedError` carries the completed tasks' stats.
+With the default disabled tracer all hooks are no-ops.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Sequence, Tuple
 
-from repro.mapreduce.errors import JobConfigError, JobFailedError, TaskError
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import JobConfigError, JobFailedError, TaskError
+from repro.mapreduce.executors import Executor, SerialExecutor, make_executor
 from repro.mapreduce.inputs import InputFormat, InputSplit, SequenceInputFormat
 from repro.mapreduce.job import ChainResult, Job, JobChain, JobResult
-from repro.mapreduce.serialization import estimate_nbytes
-from repro.mapreduce.shuffle import Grouped, shuffle
-from repro.mapreduce.tasks import run_map_task, run_reduce_task
+from repro.mapreduce.shuffle import Grouped, StreamingShuffle, shuffle
+from repro.mapreduce.tasks import JobSpec, execute_map_task, execute_reduce_task
 from repro.mapreduce.types import PhaseStats, TaskKind, TaskStats
 from repro.observability.metrics import get_metrics, observe_partition_skew
-from repro.observability.tracing import Tracer, get_tracer
+from repro.observability.tracing import Span, Tracer, get_tracer
 
 Pair = Tuple[Hashable, Any]
 
-
-@dataclass(slots=True)
-class _JobSpec:
-    """The picklable task-side view of a job."""
-
-    name: str
-    mapper: type
-    reducer: type
-    combiner: type | None
-    params: Dict[str, Any]
-    num_reducers: int
-    partitioner: Any
-    spill_records: int
-    sort_keys: bool
-
-    @classmethod
-    def of(cls, job: Job) -> "_JobSpec":
-        return cls(
-            name=job.name,
-            mapper=job.mapper,
-            reducer=job.reducer,
-            combiner=job.combiner,
-            params=dict(job.conf.params),
-            num_reducers=job.conf.num_reducers,
-            partitioner=job.conf.partitioner,
-            spill_records=job.conf.spill_records,
-            sort_keys=job.conf.sort_keys,
-        )
-
-
-def _execute_map_task(
-    spec: _JobSpec, task_index: int, split: InputSplit
-) -> Tuple[List[List[Pair]], Counters, TaskStats]:
-    task_id = f"map-{task_index}"
-    buffers, counters, duration, rin, rout = run_map_task(
-        task_id,
-        spec.mapper,
-        split.records,
-        spec.params,
-        spec.num_reducers,
-        spec.partitioner,
-        spec.combiner,
-        spec.spill_records,
-        spec.sort_keys,
-    )
-    bytes_out = sum(
-        estimate_nbytes(k) + estimate_nbytes(v) for buf in buffers for k, v in buf
-    )
-    stats = TaskStats(
-        task_id=task_id,
-        kind=TaskKind.MAP,
-        duration_s=duration,
-        records_in=rin,
-        records_out=rout,
-        bytes_out=bytes_out,
-    )
-    return buffers, counters, stats
-
-
-def _execute_reduce_task(
-    spec: _JobSpec, part_index: int, grouped: Grouped
-) -> Tuple[List[Pair], Counters, TaskStats]:
-    task_id = f"reduce-{part_index}"
-    output, counters, duration, rin, rout = run_reduce_task(
-        task_id, spec.reducer, grouped, spec.params
-    )
-    bytes_out = sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in output)
-    stats = TaskStats(
-        task_id=task_id,
-        kind=TaskKind.REDUCE,
-        duration_s=duration,
-        records_in=rin,
-        records_out=rout,
-        bytes_out=bytes_out,
-        partition=part_index,
-    )
-    return output, counters, stats
+#: pending-future bookkeeping: future -> (task index, payload, attempt).
+_Pending = Dict[Future, Tuple[int, Any, int]]
 
 
 def _task_span_attrs(stats: TaskStats) -> Dict[str, Any]:
@@ -138,21 +77,106 @@ def _observe_task(stats: TaskStats) -> None:
     )
 
 
-class Runner:
-    """Common driver logic; subclasses provide the task execution strategy."""
+@dataclass
+class _StageState:
+    """Driver-side bookkeeping for one in-flight stage of a pipelined chain."""
 
-    def __init__(self, max_task_retries: int = 0, tracer: Tracer | None = None):
+    job: Job
+    spec: JobSpec
+    num_maps: int
+    streaming: StreamingShuffle | None = None
+    job_span: Any = None
+    reduce_span: Any = None
+    reduce_pending: _Pending = field(default_factory=dict)
+    reduce_results: List[Any] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    map_stats: PhaseStats = field(
+        default_factory=lambda: PhaseStats(kind=TaskKind.MAP)
+    )
+    map_wall: float = 0.0
+    shuffle_wall: float = 0.0
+    reduce_t0: int = 0
+
+
+class Runner:
+    """Drives jobs and chains over any task executor.
+
+    Parameters
+    ----------
+    executor:
+        An :class:`~repro.mapreduce.executors.Executor` instance, an
+        executor name (``"serial"`` / ``"threads"`` / ``"processes"``), or
+        ``None`` for the process default (``$REPRO_EXECUTOR``, else
+        serial).  Named executors are created fresh per :meth:`run` /
+        :meth:`run_chain` and shut down afterwards; an instance is reused
+        across runs and released by :meth:`close` (or leaving the runner's
+        ``with`` block).  A pool is shared across map and reduce phases —
+        and across every job of a chain — so worker spin-up is paid once.
+    num_workers:
+        Pool size for named pool executors (default: CPU count).
+    max_task_retries:
+        Failed tasks are retried up to this many times; every failed
+        attempt is traced and counted, and a task that exhausts its
+        attempts fails the job with all its attempts' errors attached.
+    tracer:
+        Explicit tracer; defaults to the process-wide tracer, late-bound.
+    streaming:
+        Use the incremental :class:`StreamingShuffle` (default).  ``False``
+        restores the barrier shuffle; outputs are identical either way.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | str | None = None,
+        *,
+        num_workers: int | None = None,
+        max_task_retries: int = 0,
+        tracer: Tracer | None = None,
+        streaming: bool = True,
+    ):
         if max_task_retries < 0:
             raise JobConfigError(
                 f"max_task_retries must be >= 0, got {max_task_retries}"
             )
+        if num_workers is not None and num_workers <= 0:
+            raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
         self.max_task_retries = max_task_retries
+        self.num_workers = num_workers
+        self.streaming = streaming
         self._tracer = tracer
+        if isinstance(executor, Executor):
+            self._executor: Executor | None = executor
+            self._executor_name: str | None = executor.name
+        else:
+            self._executor = None
+            self._executor_name = executor
 
     @property
     def tracer(self) -> Tracer:
         """This runner's tracer (late-bound to the process default)."""
         return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def executor_name(self) -> str:
+        """The executor this runner resolves to (for display/metadata)."""
+        if self._executor is not None:
+            return self._executor.name
+        if self._executor_name is not None:
+            return self._executor_name
+        from repro.mapreduce.executors import default_executor_name
+
+        return default_executor_name()
+
+    def close(self) -> None:
+        """Shut down an executor instance held by this runner."""
+        if self._executor is not None:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # -- public API -------------------------------------------------------------
 
@@ -170,69 +194,172 @@ class Runner:
         if input_format is None:
             input_format = SequenceInputFormat(records, job.conf.num_map_tasks)
         splits = input_format.splits()
-        spec = _JobSpec.of(job)
+        with self._lease_executor() as ex:
+            return self._run_job(ex, job, splits)
+
+    def run_chain(
+        self,
+        chain: JobChain,
+        records: Sequence[Pair],
+        *,
+        pipelined: bool | None = None,
+    ) -> ChainResult:
+        """Execute a job chain, feeding each job the previous job's output.
+
+        ``pipelined`` (default: the chain's own flag) overlaps adjacent
+        jobs: job *k+1*'s map task *i* runs over job *k*'s reduce partition
+        *i* as soon as that partition's reducer finishes, instead of
+        waiting for the whole job and re-splitting its concatenated output.
+        Stage builders after the first are called with an empty record list
+        (the data is still in flight), and the downstream job's
+        ``num_map_tasks`` is overridden by the upstream reducer count.
+        """
+        if pipelined is None:
+            pipelined = getattr(chain, "pipelined", False)
+        with self._lease_executor() as ex:
+            if pipelined:
+                return self._run_chain_pipelined(ex, chain, records)
+            current: List[Pair] = list(records)
+            results: List[JobResult] = []
+            with self.tracer.span(
+                chain.name, kind="chain", stages=len(chain), executor=ex.name
+            ):
+                for builder in chain.stages:
+                    job = builder(current)
+                    job.validate()
+                    splits = SequenceInputFormat(
+                        current, job.conf.num_map_tasks
+                    ).splits()
+                    result = self._run_job(ex, job, splits)
+                    results.append(result)
+                    current = list(result.output_pairs())
+            return ChainResult(results=results)
+
+    # -- single-job orchestration -------------------------------------------------
+
+    def _run_job(self, ex: Executor, job: Job, splits: List[InputSplit]) -> JobResult:
+        spec = JobSpec.of(job)
         counters = Counters()
         tracer = self.tracer
+        streaming = (
+            StreamingShuffle(
+                len(splits),
+                job.conf.num_reducers,
+                sort_keys=job.conf.sort_keys,
+                spill_dir=job.conf.spill_dir,
+                spill_threshold_records=job.conf.spill_threshold_records,
+            )
+            if self.streaming
+            else None
+        )
 
         with tracer.span(
             job.name,
             kind="job",
             num_map_tasks=len(splits),
             num_reducers=job.conf.num_reducers,
+            executor=ex.name,
         ) as job_span:
-            with tracer.span("map", kind="phase", phase="map") as map_span:
-                t0 = time.perf_counter_ns()
-                map_results = self._run_map_phase(spec, splits)
-                map_wall = (time.perf_counter_ns() - t0) / 1e9
-                map_span.set_attrs(tasks=len(map_results))
+            try:
+                with tracer.span("map", kind="phase", phase="map") as map_span:
+                    t0 = time.perf_counter_ns()
+                    map_results = self._run_tasks(
+                        ex,
+                        execute_map_task,
+                        spec,
+                        "map",
+                        splits,
+                        on_done=_ingest_into(streaming),
+                    )
+                    map_wall = (time.perf_counter_ns() - t0) / 1e9
+                    map_span.set_attrs(tasks=len(map_results))
 
-            map_stats = PhaseStats(kind=TaskKind.MAP)
-            map_outputs: List[List[List[Pair]]] = []
-            for buffers, task_counters, stats in map_results:
-                map_outputs.append(buffers)
-                counters.merge(task_counters)
-                map_stats.tasks.append(stats)
-                _observe_task(stats)
+                map_stats = PhaseStats(kind=TaskKind.MAP)
+                for _, task_counters, stats in map_results:
+                    counters.merge(task_counters)
+                    map_stats.tasks.append(stats)
+                    _observe_task(stats)
 
-            with tracer.span("shuffle", kind="phase", phase="shuffle") as sh_span:
-                t1 = time.perf_counter_ns()
-                partitions, shuffle_stats = shuffle(
-                    map_outputs,
-                    job.conf.num_reducers,
-                    sort_keys=job.conf.sort_keys,
-                    spill_dir=job.conf.spill_dir,
-                    spill_threshold_records=job.conf.spill_threshold_records,
+                num_reducers = job.conf.num_reducers
+                reduce_pending: _Pending = {}
+                reduce_results: List[Any] = [None] * num_reducers
+                partitions: List[Grouped] = []
+                partition_records: List[int] = []
+                with tracer.span("shuffle", kind="phase", phase="shuffle") as sh_span:
+                    t1 = time.perf_counter_ns()
+                    if streaming is not None:
+                        shuffle_stats = streaming.stats
+                        shuffle_stats.observe(get_metrics())
+                        # With a pool executor, launch each partition's
+                        # reduce as soon as it is merged; the next
+                        # partition's merge overlaps it.  Inline executors
+                        # gain nothing and would mis-parent task spans, so
+                        # they defer submission to the reduce phase.
+                        overlap = not ex.inline
+                        for part in range(num_reducers):
+                            grouped = streaming.finalize(part)
+                            partition_records.append(
+                                sum(len(vs) for _, vs in grouped)
+                            )
+                            if overlap:
+                                future = self._submit_task(
+                                    ex, execute_reduce_task, spec, "reduce",
+                                    part, grouped, 1,
+                                )
+                                reduce_pending[future] = (part, grouped, 1)
+                            else:
+                                partitions.append(grouped)
+                    else:
+                        map_outputs = [buffers for buffers, _, _ in map_results]
+                        partitions, shuffle_stats = shuffle(
+                            map_outputs,
+                            num_reducers,
+                            sort_keys=job.conf.sort_keys,
+                            spill_dir=job.conf.spill_dir,
+                            spill_threshold_records=job.conf.spill_threshold_records,
+                        )
+                        partition_records = [
+                            sum(len(vs) for _, vs in grouped)
+                            for grouped in partitions
+                        ]
+                    shuffle_wall = (time.perf_counter_ns() - t1) / 1e9
+                    sh_span.set_attrs(**shuffle_stats.as_dict())
+
+                # Per-reduce-partition record counts: the skew the paper's
+                # partitioning schemes compete on.
+                observe_partition_skew(get_metrics(), partition_records)
+
+                with tracer.span("reduce", kind="phase", phase="reduce") as red_span:
+                    t2 = time.perf_counter_ns()
+                    if reduce_pending:
+                        self._drain(
+                            ex, execute_reduce_task, spec, "reduce",
+                            reduce_pending, reduce_results,
+                        )
+                    else:
+                        reduce_results = self._run_tasks(
+                            ex, execute_reduce_task, spec, "reduce", partitions
+                        )
+                    reduce_wall = (time.perf_counter_ns() - t2) / 1e9
+                    red_span.set_attrs(tasks=len(reduce_results))
+
+                reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
+                outputs: List[List[Pair]] = []
+                for output, task_counters, stats in reduce_results:
+                    outputs.append(output)
+                    counters.merge(task_counters)
+                    reduce_stats.tasks.append(stats)
+                    _observe_task(stats)
+
+                job_span.set_attrs(
+                    map_wall_s=round(map_wall, 9),
+                    shuffle_wall_s=round(shuffle_wall, 9),
+                    reduce_wall_s=round(reduce_wall, 9),
+                    output_records=sum(len(p) for p in outputs),
                 )
-                shuffle_wall = (time.perf_counter_ns() - t1) / 1e9
-                sh_span.set_attrs(**shuffle_stats.as_dict())
-
-            # Per-reduce-partition record counts: the skew the paper's
-            # partitioning schemes compete on.
-            observe_partition_skew(
-                get_metrics(),
-                [sum(len(vs) for _, vs in grouped) for grouped in partitions],
-            )
-
-            with tracer.span("reduce", kind="phase", phase="reduce") as red_span:
-                t2 = time.perf_counter_ns()
-                reduce_results = self._run_reduce_phase(spec, partitions)
-                reduce_wall = (time.perf_counter_ns() - t2) / 1e9
-                red_span.set_attrs(tasks=len(reduce_results))
-
-            reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
-            outputs: List[List[Pair]] = []
-            for output, task_counters, stats in reduce_results:
-                outputs.append(output)
-                counters.merge(task_counters)
-                reduce_stats.tasks.append(stats)
-                _observe_task(stats)
-
-            job_span.set_attrs(
-                map_wall_s=round(map_wall, 9),
-                shuffle_wall_s=round(shuffle_wall, 9),
-                reduce_wall_s=round(reduce_wall, 9),
-                output_records=sum(len(p) for p in outputs),
-            )
+            finally:
+                if streaming is not None:
+                    streaming.close()
 
         get_metrics().absorb_counters(counters)
         return JobResult(
@@ -245,85 +372,426 @@ class Runner:
             map_wall_s=map_wall,
             shuffle_wall_s=shuffle_wall,
             reduce_wall_s=reduce_wall,
+            executor=ex.name,
         )
 
-    def run_chain(self, chain: JobChain, records: Sequence[Pair]) -> ChainResult:
-        """Execute a job chain, feeding each job the previous job's output."""
-        current: List[Pair] = list(records)
-        results: List[JobResult] = []
-        with self.tracer.span(chain.name, kind="chain", stages=len(chain)):
-            for builder in chain.stages:
-                job = builder(current)
-                result = self.run(job, records=current)
-                results.append(result)
-                current = list(result.output_pairs())
-        return ChainResult(results=results)
+    # -- pipelined chains ---------------------------------------------------------
 
-    # -- strategy hooks -----------------------------------------------------------
+    def _run_chain_pipelined(
+        self, ex: Executor, chain: JobChain, records: Sequence[Pair]
+    ) -> ChainResult:
+        """Overlapped chain execution.
 
-    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
-        raise NotImplementedError
-
-    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
-        raise NotImplementedError
-
-    def _with_retries(self, fn, spec: _JobSpec, index: int, payload):
-        """Serial execution of one task with retries, each attempt traced."""
-        kind = "map" if fn is _execute_map_task else "reduce"
-        task_id = f"{kind}-{index}"
+        Stage *k*'s reduce futures are drained *inside* stage *k+1*'s map
+        phase: each completed reduce partition *i* immediately becomes map
+        task *i* of the next job, so with a pool executor the two jobs'
+        work is in flight together.  Task indices are pinned to partition
+        indices, which keeps outputs deterministic regardless of completion
+        order.  All spans are detached (explicitly parented) because the
+        overlapping phases cannot nest on the tracer's stack.
+        """
         tracer = self.tracer
-        attempts = self.max_task_retries + 1
-        failures: List[TaskError] = []
-        for attempt in range(attempts):
-            try:
-                with tracer.span(task_id, kind="task", attempt=attempt + 1) as span:
-                    result = fn(spec, index, payload)
-                    _, _, stats = result
-                    if attempt > 0:
-                        stats.attempt = attempt + 1
-                    span.set_attrs(**_task_span_attrs(stats))
-                return result
-            except TaskError as exc:
-                # The span closed with status="error"; keep the cause too.
-                failures.append(exc)
-                get_metrics().counter(f"task.{kind}.failures").inc()
-        raise JobFailedError(spec.name, failures)
+        chain_span = tracer.start_span(
+            chain.name,
+            kind="chain",
+            stages=len(chain),
+            executor=ex.name,
+            pipelined=True,
+        )
+        open_spans: List[Any] = [chain_span]
+        results: List[JobResult] = []
+        prev: _StageState | None = None
+        try:
+            for stage_index, builder in enumerate(chain.stages):
+                job = builder(list(records) if stage_index == 0 else [])
+                job.validate()
+                spec = JobSpec.of(job)
+                if stage_index == 0:
+                    splits = SequenceInputFormat(
+                        list(records), job.conf.num_map_tasks
+                    ).splits()
+                    num_maps = len(splits)
+                else:
+                    # One downstream map task per upstream reduce partition.
+                    num_maps = len(prev.reduce_results)
+                state = _StageState(job=job, spec=spec, num_maps=num_maps)
+                state.streaming = StreamingShuffle(
+                    num_maps,
+                    job.conf.num_reducers,
+                    sort_keys=job.conf.sort_keys,
+                    spill_dir=job.conf.spill_dir,
+                    spill_threshold_records=job.conf.spill_threshold_records,
+                )
+                state.job_span = tracer.start_span(
+                    job.name,
+                    kind="job",
+                    parent=chain_span,
+                    num_map_tasks=num_maps,
+                    num_reducers=job.conf.num_reducers,
+                    executor=ex.name,
+                    pipelined=True,
+                )
+                open_spans.append(state.job_span)
+
+                # Map phase — overlaps the previous stage's reduce drain.
+                map_span = tracer.start_span(
+                    "map", kind="phase", parent=state.job_span, phase="map"
+                )
+                open_spans.append(map_span)
+                t0 = time.perf_counter_ns()
+                map_pending: _Pending = {}
+                map_results: List[Any] = [None] * num_maps
+                if stage_index == 0:
+                    for index, split in enumerate(splits):
+                        future = self._submit_task(
+                            ex, execute_map_task, spec, "map",
+                            index, split, 1, map_span,
+                        )
+                        map_pending[future] = (index, split, 1)
+                else:
+
+                    def _feed(part: int, result: Any) -> Any:
+                        output = result[0]
+                        split = InputSplit(index=part, records=list(output))
+                        future = self._submit_task(
+                            ex, execute_map_task, spec, "map",
+                            part, split, 1, map_span,
+                        )
+                        map_pending[future] = (part, split, 1)
+                        return result
+
+                    self._drain(
+                        ex, execute_reduce_task, prev.spec, "reduce",
+                        prev.reduce_pending, prev.reduce_results,
+                        on_done=_feed, parent=prev.reduce_span,
+                    )
+                    self._finish_stage(ex, prev, results, open_spans)
+                self._drain(
+                    ex, execute_map_task, spec, "map",
+                    map_pending, map_results,
+                    on_done=_ingest_into(state.streaming), parent=map_span,
+                )
+                state.map_wall = (time.perf_counter_ns() - t0) / 1e9
+                map_span.set_attrs(tasks=num_maps)
+                tracer.end_span(map_span)
+                open_spans.remove(map_span)
+                for _, task_counters, stats in map_results:
+                    state.counters.merge(task_counters)
+                    state.map_stats.tasks.append(stats)
+                    _observe_task(stats)
+
+                # Shuffle: finalize each partition, launch its reduce at
+                # once.  The reduce span opens alongside the shuffle span —
+                # the two genuinely overlap in pipelined mode.
+                sh_span = tracer.start_span(
+                    "shuffle", kind="phase", parent=state.job_span, phase="shuffle"
+                )
+                open_spans.append(sh_span)
+                state.reduce_span = tracer.start_span(
+                    "reduce", kind="phase", parent=state.job_span, phase="reduce"
+                )
+                open_spans.append(state.reduce_span)
+                state.reduce_t0 = time.perf_counter_ns()
+                t1 = time.perf_counter_ns()
+                state.streaming.stats.observe(get_metrics())
+                state.reduce_results = [None] * job.conf.num_reducers
+                partition_records: List[int] = []
+                for part in range(job.conf.num_reducers):
+                    grouped = state.streaming.finalize(part)
+                    partition_records.append(sum(len(vs) for _, vs in grouped))
+                    future = self._submit_task(
+                        ex, execute_reduce_task, spec, "reduce",
+                        part, grouped, 1, state.reduce_span,
+                    )
+                    state.reduce_pending[future] = (part, grouped, 1)
+                state.shuffle_wall = (time.perf_counter_ns() - t1) / 1e9
+                sh_span.set_attrs(**state.streaming.stats.as_dict())
+                tracer.end_span(sh_span)
+                open_spans.remove(sh_span)
+                observe_partition_skew(get_metrics(), partition_records)
+                prev = state
+
+            self._drain(
+                ex, execute_reduce_task, prev.spec, "reduce",
+                prev.reduce_pending, prev.reduce_results,
+                parent=prev.reduce_span,
+            )
+            self._finish_stage(ex, prev, results, open_spans)
+            tracer.end_span(chain_span)
+            open_spans.remove(chain_span)
+            return ChainResult(results=results)
+        except BaseException:
+            for span in reversed(open_spans):
+                tracer.end_span(span, status="error")
+            raise
+
+    def _finish_stage(
+        self,
+        ex: Executor,
+        state: _StageState,
+        results: List[JobResult],
+        open_spans: List[Any],
+    ) -> None:
+        """Aggregate a pipelined stage whose reduces have fully drained."""
+        tracer = self.tracer
+        reduce_stats = PhaseStats(kind=TaskKind.REDUCE)
+        outputs: List[List[Pair]] = []
+        for output, task_counters, stats in state.reduce_results:
+            outputs.append(output)
+            state.counters.merge(task_counters)
+            reduce_stats.tasks.append(stats)
+            _observe_task(stats)
+        reduce_wall = (time.perf_counter_ns() - state.reduce_t0) / 1e9
+        state.reduce_span.set_attrs(tasks=len(state.reduce_results))
+        tracer.end_span(state.reduce_span)
+        open_spans.remove(state.reduce_span)
+        state.job_span.set_attrs(
+            map_wall_s=round(state.map_wall, 9),
+            shuffle_wall_s=round(state.shuffle_wall, 9),
+            reduce_wall_s=round(reduce_wall, 9),
+            output_records=sum(len(p) for p in outputs),
+        )
+        tracer.end_span(state.job_span)
+        open_spans.remove(state.job_span)
+        state.streaming.close()
+        get_metrics().absorb_counters(state.counters)
+        results.append(
+            JobResult(
+                job_name=state.job.name,
+                outputs=outputs,
+                counters=state.counters,
+                map_stats=state.map_stats,
+                reduce_stats=reduce_stats,
+                shuffle_stats=state.streaming.stats,
+                map_wall_s=state.map_wall,
+                shuffle_wall_s=state.shuffle_wall,
+                reduce_wall_s=reduce_wall,
+                executor=ex.name,
+            )
+        )
+
+    # -- task submission and draining ---------------------------------------------
+
+    @contextmanager
+    def _lease_executor(self) -> Iterator[Executor]:
+        """Yield the runner's executor; named executors live per lease."""
+        if self._executor is not None:
+            yield self._executor
+            return
+        ex = make_executor(self._executor_name, num_workers=self.num_workers)
+        try:
+            yield ex
+        finally:
+            ex.shutdown()
+
+    def _submit_task(
+        self,
+        ex: Executor,
+        fn: Callable[..., Any],
+        spec: JobSpec,
+        kind: str,
+        index: int,
+        payload: Any,
+        attempt: int,
+        parent: Span | None = None,
+    ) -> Future:
+        """Submit one task attempt; inline executors trace it right here."""
+        if ex.inline:
+            return ex.submit(
+                self._run_attempt_inline,
+                fn, spec, kind, index, payload, attempt, ex.name, parent,
+            )
+        return ex.submit(fn, spec, index, payload)
+
+    def _run_attempt_inline(
+        self,
+        fn: Callable[..., Any],
+        spec: JobSpec,
+        kind: str,
+        index: int,
+        payload: Any,
+        attempt: int,
+        executor_name: str,
+        parent: Span | None,
+    ) -> Any:
+        """Execute one attempt in the driver under a real task span."""
+        task_id = f"{kind}-{index}"
+        with self.tracer.span(
+            task_id,
+            kind="task",
+            parent=parent,
+            attempt=attempt,
+            executor=executor_name,
+        ) as span:
+            result = fn(spec, index, payload)
+            _, _, stats = result
+            if attempt > 1:
+                stats.attempt = attempt
+            span.set_attrs(**_task_span_attrs(stats))
+        return result
+
+    def _drain(
+        self,
+        ex: Executor,
+        fn: Callable[..., Any],
+        spec: JobSpec,
+        kind: str,
+        pending: _Pending,
+        results: List[Any],
+        *,
+        on_done: Callable[[int, Any], Any] | None = None,
+        parent: Span | None = None,
+    ) -> None:
+        """Drive pending futures to completion, retrying failed attempts.
+
+        Successful pool tasks are recorded as synthetic spans; every failed
+        attempt is traced, counted, and retried until the retry budget is
+        spent.  ``on_done`` fires once per task on first success (its
+        non-``None`` return replaces the stored result — the streaming
+        shuffle uses this to drop map buffers it has already ingested).
+        Raises :class:`JobFailedError` carrying all exhausted tasks'
+        attempt errors plus the completed tasks' stats.
+        """
+        tracer = self.tracer
+        failures: Dict[int, List[TaskError]] = {}
+        exhausted: set[int] = set()
+        while pending:
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in sorted(done, key=lambda f: pending[f][0]):
+                index, payload, attempt = pending.pop(future)
+                try:
+                    result = future.result()
+                except TaskError as exc:
+                    self._note_failure(ex, kind, index, attempt, exc, failures, parent)
+                    if attempt <= self.max_task_retries:
+                        retry = self._submit_task(
+                            ex, fn, spec, kind, index, payload, attempt + 1, parent
+                        )
+                        pending[retry] = (index, payload, attempt + 1)
+                    else:
+                        exhausted.add(index)
+                    continue
+                except Exception as exc:  # worker crashed outside user code
+                    if ex.inline:
+                        raise
+                    failure = TaskError(f"{kind}-{index}", exc)
+                    self._note_failure(
+                        ex, kind, index, attempt, failure, failures, parent
+                    )
+                    exhausted.add(index)
+                    continue
+                _, _, stats = result
+                if attempt > 1:
+                    stats.attempt = attempt
+                if not ex.inline:
+                    tracer.record_span(
+                        stats.task_id,
+                        kind="task",
+                        parent=parent,
+                        duration_ns=int(stats.duration_s * 1e9),
+                        executor=ex.name,
+                        **_task_span_attrs(stats),
+                    )
+                if on_done is not None:
+                    replaced = on_done(index, result)
+                    if replaced is not None:
+                        result = replaced
+                results[index] = result
+        if exhausted:
+            raise JobFailedError(
+                spec.name,
+                [err for i in sorted(exhausted) for err in failures[i]],
+                completed_stats=[r[2] for r in results if r is not None],
+            )
+
+    def _run_tasks(
+        self,
+        ex: Executor,
+        fn: Callable[..., Any],
+        spec: JobSpec,
+        kind: str,
+        items: Sequence[Any],
+        *,
+        on_done: Callable[[int, Any], Any] | None = None,
+        parent: Span | None = None,
+    ) -> List[Any]:
+        """Submit one task per item and drain them all."""
+        results: List[Any] = [None] * len(items)
+        pending: _Pending = {}
+        for index, item in enumerate(items):
+            future = self._submit_task(ex, fn, spec, kind, index, item, 1, parent)
+            pending[future] = (index, item, 1)
+        self._drain(ex, fn, spec, kind, pending, results, on_done=on_done, parent=parent)
+        return results
+
+    def _note_failure(
+        self,
+        ex: Executor,
+        kind: str,
+        index: int,
+        attempt: int,
+        exc: TaskError,
+        failures: Dict[int, List[TaskError]],
+        parent: Span | None,
+    ) -> None:
+        """Trace/metric footprint of one failed task attempt."""
+        failures.setdefault(index, []).append(exc)
+        get_metrics().counter(f"task.{kind}.failures").inc()
+        if not ex.inline:
+            # Inline attempts traced their own error span as they raised.
+            self.tracer.record_span(
+                exc.task_id,
+                kind="task",
+                status="error",
+                parent=parent,
+                attempt=attempt,
+                task_kind=kind,
+                executor=ex.name,
+                error=str(exc.cause),
+            )
+
+
+def _ingest_into(
+    streaming: StreamingShuffle | None,
+) -> Callable[[int, Any], Any] | None:
+    """Drain callback feeding finished map tasks into a streaming shuffle.
+
+    Ingested buffers are replaced by ``None`` in the stored result, so the
+    runner holds one copy of the intermediate data, not two.
+    """
+    if streaming is None:
+        return None
+
+    def _ingest(index: int, result: Any) -> Any:
+        buffers, task_counters, stats = result
+        streaming.ingest(index, buffers)
+        return (None, task_counters, stats)
+
+    return _ingest
 
 
 class SerialRunner(Runner):
-    """Runs every task in the driver process, one at a time."""
+    """Runs every task inline in the driver, one at a time.
 
-    def _run_serial(self, fn, spec: _JobSpec, items: list):
-        results = []
-        for i, item in enumerate(items):
-            try:
-                results.append(self._with_retries(fn, spec, i, item))
-            except JobFailedError as exc:
-                # Preserve the telemetry of everything that did finish.
-                exc.completed_stats = [stats for _, _, stats in results]
-                raise
-        return results
+    Alias for ``Runner(SerialExecutor())`` — kept because serial execution
+    is the *measurement* configuration (clean per-task timings for the
+    cluster simulator) and must stay pinned even when ``REPRO_EXECUTOR``
+    redirects default runners elsewhere.
+    """
 
-    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
-        return self._run_serial(_execute_map_task, spec, splits)
-
-    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
-        return self._run_serial(_execute_reduce_task, spec, partitions)
+    def __init__(self, max_task_retries: int = 0, tracer: Tracer | None = None):
+        super().__init__(
+            SerialExecutor(), max_task_retries=max_task_retries, tracer=tracer
+        )
 
 
 class MultiprocessRunner(Runner):
-    """Runs tasks in a :class:`ProcessPoolExecutor`.
+    """Runs tasks in a process pool (back-compat alias).
 
-    One pool is created per phase; payloads travel by pickle.  Retries are
-    re-submitted to the pool (a fresh worker may succeed where a poisoned one
-    failed).
-
-    Tasks execute in worker processes, where the driver's tracer does not
-    exist, so the driver records *synthetic* task spans from each task's
-    measured duration as its future completes — including error spans for
-    tasks that exhaust their retries, so a failed job still produces a
-    partial trace and a :class:`JobFailedError` carrying the completed
-    tasks' stats.
+    Equivalent to ``Runner("processes", num_workers=...)``: one pool now
+    serves both phases of a job — and every job of a chain — instead of
+    the former pool-per-phase lifecycle.  Task payloads are pickled to
+    workers, so user mapper/reducer classes must be module-level.
     """
 
     def __init__(
@@ -332,74 +800,14 @@ class MultiprocessRunner(Runner):
         max_task_retries: int = 0,
         tracer: Tracer | None = None,
     ):
-        super().__init__(max_task_retries, tracer)
-        if num_workers <= 0:
+        if num_workers is None or num_workers <= 0:
             raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
-        self.num_workers = num_workers
-
-    def _run_phase(self, fn, spec: _JobSpec, items: list):
-        kind = "map" if fn is _execute_map_task else "reduce"
-        tracer = self.tracer
-        results: list = [None] * len(items)
-        with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
-            pending = {
-                pool.submit(fn, spec, i, item): (i, item, 0)
-                for i, item in enumerate(items)
-            }
-            failures: List[TaskError] = []
-            while pending:
-                finished, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-                for future in finished:
-                    i, item, attempt = pending.pop(future)
-                    try:
-                        results[i] = future.result()
-                        _, _, stats = results[i]
-                        if attempt > 0:
-                            stats.attempt = attempt + 1
-                        tracer.record_span(
-                            stats.task_id,
-                            kind="task",
-                            duration_ns=int(stats.duration_s * 1e9),
-                            **_task_span_attrs(stats),
-                        )
-                    except TaskError as exc:
-                        if attempt < self.max_task_retries:
-                            retry = pool.submit(fn, spec, i, item)
-                            pending[retry] = (i, item, attempt + 1)
-                        else:
-                            failures.append(exc)
-                            self._record_failure(exc, kind, attempt + 1)
-                    except Exception as exc:  # worker crashed outside user code
-                        failure = TaskError(f"{kind}-{i}", exc)
-                        failures.append(failure)
-                        self._record_failure(failure, kind, attempt + 1)
-            if failures:
-                raise JobFailedError(
-                    spec.name,
-                    failures,
-                    completed_stats=[
-                        stats for r in results if r is not None for stats in (r[2],)
-                    ],
-                )
-        return results
-
-    def _record_failure(self, exc: TaskError, kind: str, attempts: int) -> None:
-        """Trace/metric footprint of a terminally-failed worker task."""
-        self.tracer.record_span(
-            exc.task_id,
-            kind="task",
-            status="error",
-            attempt=attempts,
-            task_kind=kind,
-            error=str(exc.cause),
+        super().__init__(
+            "processes",
+            num_workers=num_workers,
+            max_task_retries=max_task_retries,
+            tracer=tracer,
         )
-        get_metrics().counter(f"task.{kind}.failures").inc()
-
-    def _run_map_phase(self, spec: _JobSpec, splits: List[InputSplit]):
-        return self._run_phase(_execute_map_task, spec, splits)
-
-    def _run_reduce_phase(self, spec: _JobSpec, partitions: List[Grouped]):
-        return self._run_phase(_execute_reduce_task, spec, partitions)
 
 
 def run_job(
@@ -409,6 +817,11 @@ def run_job(
     input_format: InputFormat | None = None,
     runner: Runner | None = None,
 ) -> JobResult:
-    """One-call convenience: run ``job`` with the given or default runner."""
-    runner = runner or SerialRunner()
+    """One-call convenience: run ``job`` with the given or default runner.
+
+    The default runner picks its executor from ``$REPRO_EXECUTOR`` (serial
+    when unset), which is how the CI executor matrix exercises every
+    backend without per-test plumbing.
+    """
+    runner = runner or Runner()
     return runner.run(job, records=records, input_format=input_format)

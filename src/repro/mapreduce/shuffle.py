@@ -1,12 +1,27 @@
 """Sort-based shuffle: map outputs → grouped, key-sorted reduce inputs.
 
-The runner hands over each map task's per-partition buffers; the shuffle
-merges them per reduce partition, sorts by key, and groups values, exactly
-like Hadoop's merge phase (minus the on-disk segment merging — an optional
-spill path through framed temp files exists for memory-constrained runs).
+Two shuffle implementations share one ordering and one stats model:
 
-Keys of mixed types are ordered by ``(type name, repr)`` so the sort is total
-even for heterogeneous key sets; homogeneous keys sort naturally.
+* :func:`shuffle` — the batch (barrier) form: the runner hands over *every*
+  map task's per-partition buffers at once; they are merged per reduce
+  partition, sorted by key, and grouped, exactly like Hadoop's merge phase.
+* :class:`StreamingShuffle` — the incremental form: each map task's buffers
+  are ingested (sorted per segment) *as the task finishes*, so the sort work
+  overlaps the map phase; :meth:`StreamingShuffle.finalize` then k-way
+  merges the pre-sorted segments of one partition, letting its reduce task
+  launch without waiting for the other partitions to be merged.  The two
+  forms produce identical grouped output for identical map outputs,
+  regardless of ingestion order (segments are always merged in map-task
+  order, so value order within a key is stable).
+
+Both support an external-sort spill path through framed temp files for
+memory-constrained runs.
+
+Key ordering is total even for heterogeneous or partially-ordered key sets:
+keys compare by type name first, then natural ``<`` within a type, falling
+back to ``repr`` for same-type keys that raise ``TypeError`` (e.g. the
+tuples ``(1, "a")`` and ``("a", 1)``).  Every sort and merge path uses this
+one ordering, so spilled and in-memory runs interleave consistently.
 """
 
 from __future__ import annotations
@@ -15,7 +30,7 @@ import heapq
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import Any, Hashable, List, Tuple
+from typing import Any, Hashable, Iterable, List, Tuple
 
 from repro.mapreduce.serialization import (
     PickleCodec,
@@ -55,17 +70,52 @@ class ShuffleStats:
         registry.counter("shuffle.spilled_segments").inc(self.spilled_segments)
 
 
-def _sort_token(key: Hashable) -> Tuple[str, Any]:
-    """A totally-ordered proxy for arbitrary hashable keys."""
-    return (type(key).__name__, key)
+class _SortKey:
+    """A totally-ordered proxy for one arbitrary hashable key.
+
+    Ordering: type name first (so mixed-type key sets never compare
+    cross-type), then the key's natural ``<`` within a type, and — as the
+    docstring of this module promises — a ``repr`` fallback for same-type
+    keys whose comparison raises ``TypeError`` (mutually incomparable
+    tuples, sets, custom objects).  The repr fallback trades semantic order
+    for totality, which is all the shuffle needs: a deterministic order
+    that groups equal keys adjacently.
+    """
+
+    __slots__ = ("_tname", "_key")
+
+    def __init__(self, key: Hashable):
+        self._tname = type(key).__name__
+        self._key = key
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self._tname != other._tname:
+            return self._tname < other._tname
+        try:
+            return bool(self._key < other._key)
+        except TypeError:
+            return repr(self._key) < repr(other._key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        return self._tname == other._tname and self._key == other._key
+
+
+def _sort_token(key: Hashable) -> _SortKey:
+    """The total-order key used by every shuffle sort and merge path."""
+    return _SortKey(key)
 
 
 def _safe_sort(pairs: List[Pair]) -> List[Pair]:
-    """Sort pairs by key, surviving heterogeneous / partially-ordered keys."""
-    try:
-        return sorted(pairs, key=lambda kv: kv[0])
-    except TypeError:
-        return sorted(pairs, key=lambda kv: (type(kv[0]).__name__, repr(kv[0])))
+    """Stable-sort pairs by the shuffle's total key order.
+
+    Always sorts through :func:`_sort_token` so in-memory sorts, spilled
+    segment sorts, and k-way merges agree on one ordering — a segment sorted
+    by natural ``<`` and merged by a different order would interleave
+    wrongly.
+    """
+    return sorted(pairs, key=lambda kv: _sort_token(kv[0]))
 
 
 def group_sorted(pairs: List[Pair]) -> Grouped:
@@ -136,6 +186,169 @@ def shuffle(
         partitions.append(group_sorted(merged))
     stats.observe(get_metrics())
     return partitions, stats
+
+
+class StreamingShuffle:
+    """Incremental shuffle: ingest map outputs as tasks finish.
+
+    The executor-based runner feeds each finished map task's per-partition
+    buffers into :meth:`ingest`, where they are sorted *segment by segment*
+    — overlapping the sort work with still-running map tasks.  Once every
+    map task has been ingested (:attr:`complete`), :meth:`finalize` k-way
+    merges one partition's pre-sorted segments and groups it, so a reduce
+    task can be launched per partition as soon as that partition is merged,
+    without waiting for the rest.
+
+    Output parity with the batch :func:`shuffle` is exact and ingestion-
+    order independent: segments are merged in *map-task index* order with a
+    stable merge, which reproduces the batch path's stable sort over the
+    map-order concatenation — same key order, same value order within a
+    key, same :class:`ShuffleStats` accounting.
+
+    The spill path mirrors the batch rules: once a partition's cumulative
+    records exceed ``spill_threshold_records`` (and ``sort_keys`` is on),
+    all of its segments — buffered and future — are staged through framed
+    temp files and stream-merged at finalize.
+    """
+
+    def __init__(
+        self,
+        num_map_tasks: int,
+        num_partitions: int,
+        *,
+        sort_keys: bool = True,
+        spill_dir: str | None = None,
+        spill_threshold_records: int = 0,
+    ):
+        if num_map_tasks < 0:
+            raise ValueError(f"num_map_tasks must be >= 0, got {num_map_tasks}")
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_map_tasks = num_map_tasks
+        self.num_partitions = num_partitions
+        self.stats = ShuffleStats()
+        self._sort_keys = sort_keys
+        self._spill_dir = spill_dir
+        self._spill_threshold = spill_threshold_records
+        self._codec = PickleCodec()
+        # Per partition: map-task index → in-memory sorted segment / spill path.
+        self._segments: List[dict[int, List[Pair]]] = [
+            {} for _ in range(num_partitions)
+        ]
+        self._spilled: List[dict[int, str]] = [{} for _ in range(num_partitions)]
+        self._counts = [0] * num_partitions
+        self._ingested: set[int] = set()
+
+    @property
+    def complete(self) -> bool:
+        """True once every map task's buffers have been ingested."""
+        return len(self._ingested) >= self.num_map_tasks
+
+    @property
+    def _spill_enabled(self) -> bool:
+        return (
+            self._spill_dir is not None
+            and self._spill_threshold > 0
+            and self._sort_keys
+        )
+
+    def ingest(self, map_index: int, buffers: List[List[Pair]]) -> None:
+        """Absorb one map task's per-partition buffers (sorting them now)."""
+        if map_index in self._ingested:
+            raise ValueError(f"map task {map_index} already ingested")
+        if len(buffers) != self.num_partitions:
+            raise ValueError(
+                f"map task {map_index} produced {len(buffers)} buffers for "
+                f"{self.num_partitions} partitions"
+            )
+        for part, seg in enumerate(buffers):
+            if not seg:
+                continue
+            self.stats.segments += 1
+            self.stats.records += len(seg)
+            for key, value in seg:
+                self.stats.bytes += estimate_nbytes(key) + estimate_nbytes(value)
+            self._segments[part][map_index] = (
+                _safe_sort(seg) if self._sort_keys else list(seg)
+            )
+            self._counts[part] += len(seg)
+            if self._spill_enabled and self._counts[part] > self._spill_threshold:
+                self._spill_partition(part)
+        self._ingested.add(map_index)
+
+    def finalize(self, part: int) -> Grouped:
+        """Merge + group one partition; legal only once :attr:`complete`.
+
+        Frees the partition's buffered segments and spill files, so each
+        partition can be finalized exactly once.
+        """
+        if not self.complete:
+            raise RuntimeError(
+                f"cannot finalize partition {part}: "
+                f"{self.num_map_tasks - len(self._ingested)} map tasks pending"
+            )
+        segments = self._segments[part]
+        spilled = self._spilled[part]
+        indices = sorted(segments.keys() | spilled.keys())
+        if self._sort_keys:
+            streams: List[Iterable[Pair]] = [
+                self._read_spill(spilled[i]) if i in spilled else segments[i]
+                for i in indices
+            ]
+            merged = list(
+                heapq.merge(*streams, key=lambda kv: _sort_token(kv[0]))
+            )
+        else:
+            merged = [pair for i in indices for pair in segments[i]]
+        self._segments[part] = {}
+        for path in spilled.values():
+            self._unlink(path)
+        self._spilled[part] = {}
+        return group_sorted(merged)
+
+    def finalize_all(self) -> List[Grouped]:
+        """Merge + group every partition, in partition order."""
+        return [self.finalize(part) for part in range(self.num_partitions)]
+
+    def close(self) -> None:
+        """Release buffered segments and delete any remaining spill files."""
+        self._segments = [{} for _ in range(self.num_partitions)]
+        for spilled in self._spilled:
+            for path in spilled.values():
+                self._unlink(path)
+        self._spilled = [{} for _ in range(self.num_partitions)]
+
+    def __enter__(self) -> "StreamingShuffle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _spill_partition(self, part: int) -> None:
+        """Stage all of one partition's in-memory segments to framed files."""
+        assert self._spill_dir is not None
+        os.makedirs(self._spill_dir, exist_ok=True)
+        for map_index, seg in sorted(self._segments[part].items()):
+            fd, path = tempfile.mkstemp(dir=self._spill_dir, suffix=".spill")
+            self._spilled[part][map_index] = path
+            self.stats.spilled_segments += 1
+            with os.fdopen(fd, "wb") as fh:
+                write_frames(fh, (self._codec.encode(p) for p in seg))
+        self._segments[part] = {}
+
+    def _read_spill(self, path: str) -> Iterable[Pair]:
+        with open(path, "rb") as fh:
+            for frame in read_frames(fh):
+                yield self._codec.decode(frame)
+
+    @staticmethod
+    def _unlink(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
 
 
 def _external_merge(

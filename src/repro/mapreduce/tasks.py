@@ -15,10 +15,17 @@ is where the paper's "local skyline computation" middle stage plugs in.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List, Tuple
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.errors import TaskError
+from repro.mapreduce.serialization import estimate_nbytes
+from repro.mapreduce.types import TaskKind, TaskStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (job.py imports us)
+    from repro.mapreduce.inputs import InputSplit
+    from repro.mapreduce.job import Job
 
 Pair = Tuple[Hashable, Any]
 
@@ -260,3 +267,100 @@ def run_reduce_task(
     counters.framework("reduce_input_records", records_in)
     counters.framework("reduce_output_records", len(ctx.output))
     return ctx.output, counters, duration, records_in, len(ctx.output)
+
+
+# ---------------------------------------------------------------------------
+# Executor-facing task units
+# ---------------------------------------------------------------------------
+#
+# Everything below is the *task side* of the engine: a picklable view of a
+# job plus the two module-level task bodies executors actually run.  They
+# live here (not in runner.py) because they are execution-policy-free —
+# the same functions run inline, in a worker thread, or in a worker
+# process reached by pickle.
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """The picklable task-side view of a job.
+
+    A :class:`~repro.mapreduce.job.Job` carries builder conveniences that
+    tasks never need; this spec is the flattened subset that travels to
+    worker processes with each task submission.
+    """
+
+    name: str
+    mapper: type
+    reducer: type
+    combiner: type | None
+    params: Dict[str, Any]
+    num_reducers: int
+    partitioner: Any
+    spill_records: int
+    sort_keys: bool
+
+    @classmethod
+    def of(cls, job: "Job") -> "JobSpec":
+        """Flatten a validated job into its task-side spec."""
+        return cls(
+            name=job.name,
+            mapper=job.mapper,
+            reducer=job.reducer,
+            combiner=job.combiner,
+            params=dict(job.conf.params),
+            num_reducers=job.conf.num_reducers,
+            partitioner=job.conf.partitioner,
+            spill_records=job.conf.spill_records,
+            sort_keys=job.conf.sort_keys,
+        )
+
+
+def execute_map_task(
+    spec: JobSpec, task_index: int, split: "InputSplit"
+) -> Tuple[List[List[Pair]], Counters, TaskStats]:
+    """One complete map task: body + volume accounting, executor-agnostic."""
+    task_id = f"map-{task_index}"
+    buffers, counters, duration, rin, rout = run_map_task(
+        task_id,
+        spec.mapper,
+        split.records,
+        spec.params,
+        spec.num_reducers,
+        spec.partitioner,
+        spec.combiner,
+        spec.spill_records,
+        spec.sort_keys,
+    )
+    bytes_out = sum(
+        estimate_nbytes(k) + estimate_nbytes(v) for buf in buffers for k, v in buf
+    )
+    stats = TaskStats(
+        task_id=task_id,
+        kind=TaskKind.MAP,
+        duration_s=duration,
+        records_in=rin,
+        records_out=rout,
+        bytes_out=bytes_out,
+    )
+    return buffers, counters, stats
+
+
+def execute_reduce_task(
+    spec: JobSpec, part_index: int, grouped: List[Tuple[Hashable, List[Any]]]
+) -> Tuple[List[Pair], Counters, TaskStats]:
+    """One complete reduce task over a pre-grouped partition."""
+    task_id = f"reduce-{part_index}"
+    output, counters, duration, rin, rout = run_reduce_task(
+        task_id, spec.reducer, grouped, spec.params
+    )
+    bytes_out = sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in output)
+    stats = TaskStats(
+        task_id=task_id,
+        kind=TaskKind.REDUCE,
+        duration_s=duration,
+        records_in=rin,
+        records_out=rout,
+        bytes_out=bytes_out,
+        partition=part_index,
+    )
+    return output, counters, stats

@@ -260,15 +260,32 @@ class Tracer:
 
     # -- span lifecycle ---------------------------------------------------------
 
-    def span(self, name: str, kind: str = "span", **attrs: Any):
-        """Context manager opening a child of the currently-open span."""
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Span | None = None,
+        **attrs: Any,
+    ):
+        """Context manager opening a child of the currently-open span.
+
+        ``parent`` overrides the stack-derived parent — used by the
+        executor-based runner when the logical parent (a phase span) is not
+        the innermost open span.
+        """
         if not self.enabled:
             return _NULL_CM
-        return self._live_span(name, kind, attrs)
+        return self._live_span(name, kind, attrs, parent)
 
     @contextmanager
-    def _live_span(self, name: str, kind: str, attrs: Dict[str, Any]):
-        span = self._open(name, kind)
+    def _live_span(
+        self,
+        name: str,
+        kind: str,
+        attrs: Dict[str, Any],
+        parent: Span | None = None,
+    ):
+        span = self._open(name, kind, parent=parent)
         if attrs:
             span.attrs.update(attrs)
         try:
@@ -279,6 +296,38 @@ class Tracer:
         finally:
             self._close(span)
 
+    def start_span(
+        self,
+        name: str,
+        kind: str = "span",
+        *,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span | _NullSpan:
+        """Open a *detached* span: timed from now, but not on the stack.
+
+        Detached spans are for concurrent regions — overlapping phases of a
+        pipelined job chain — where LIFO context managers cannot express the
+        true shape.  The caller holds the handle and must finish it with
+        :meth:`end_span`.  Parentage comes from ``parent`` (or the innermost
+        open stack span when omitted); child spans of concurrent regions
+        must therefore pass their parent explicitly.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        span = self._make(name, kind, parent=parent)
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def end_span(self, span: Span | _NullSpan, status: str = "ok") -> None:
+        """Finish a detached span from :meth:`start_span` and emit it."""
+        if span is _NULL_SPAN or isinstance(span, _NullSpan):
+            return
+        span.end_ns = now_ns()
+        span.status = status
+        self._emit(span)
+
     def record_span(
         self,
         name: str,
@@ -286,26 +335,29 @@ class Tracer:
         *,
         duration_ns: int = 0,
         status: str = "ok",
+        parent: Span | None = None,
         **attrs: Any,
     ) -> Span | _NullSpan:
         """Record an already-elapsed region as a finished span.
 
         Used for work measured elsewhere — e.g. a task that ran in a
-        worker process and only reported its duration back.  The span ends
-        "now" and is back-dated by ``duration_ns``; it is parented under
-        the currently open span and tagged ``synthetic`` (its start may
-        overlap siblings, since the real execution was concurrent).
+        worker process or thread and only reported its duration back.  The
+        span ends "now" and is back-dated by ``duration_ns``; it is
+        parented under ``parent`` (or the currently open span) and tagged
+        ``synthetic`` (its start may overlap siblings, since the real
+        execution was concurrent).
         """
         if not self.enabled:
             return _NULL_SPAN
         end = now_ns()
-        span = self._open(name, kind, start_ns=end - max(int(duration_ns), 0))
+        span = self._make(
+            name, kind, parent=parent, start_ns=end - max(int(duration_ns), 0)
+        )
         span.end_ns = end
         span.status = status
         span.attrs["synthetic"] = True
         if attrs:
             span.attrs.update(attrs)
-        self._stack.pop()
         self._emit(span)
         return span
 
@@ -331,8 +383,16 @@ class Tracer:
 
     # -- internals --------------------------------------------------------------
 
-    def _open(self, name: str, kind: str, start_ns: int | None = None) -> Span:
-        parent = self._stack[-1] if self._stack else None
+    def _make(
+        self,
+        name: str,
+        kind: str,
+        parent: Span | None = None,
+        start_ns: int | None = None,
+    ) -> Span:
+        """Allocate a span (ids + parentage) without touching the stack."""
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
         if parent is None:
             trace_id = f"t{self._next_trace}"
             self._next_trace += 1
@@ -347,6 +407,16 @@ class Tracer:
             start_ns=start_ns if start_ns is not None else now_ns(),
         )
         self._next_span += 1
+        return span
+
+    def _open(
+        self,
+        name: str,
+        kind: str,
+        start_ns: int | None = None,
+        parent: Span | None = None,
+    ) -> Span:
+        span = self._make(name, kind, parent=parent, start_ns=start_ns)
         self._stack.append(span)
         return span
 

@@ -30,6 +30,28 @@ class SumReducer(Reducer):
         ctx.emit(key, sum(values))
 
 
+# Module-level so the jobs below stay picklable under REPRO_EXECUTOR=processes.
+class NoneKeyMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(None, value)
+
+
+class ArrayMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(key, np.asarray(value))
+
+
+class PassReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        for v in values:
+            ctx.emit(key, v)
+
+
+class NullMapper(Mapper):
+    def map(self, key, value, ctx):
+        pass
+
+
 @pytest.fixture
 def fs():
     return BlockFileSystem()
@@ -84,16 +106,7 @@ class TestTextOutput:
         assert fs.ls("/out/wc") == []
 
     def test_none_key_rendered_empty(self, fs):
-        class PassMapper(Mapper):
-            def map(self, key, value, ctx):
-                ctx.emit(None, value)
-
-        class PassReducer(Reducer):
-            def reduce(self, key, values, ctx):
-                for v in values:
-                    ctx.emit(key, v)
-
-        job = Job(name="p", mapper=PassMapper, reducer=PassReducer)
+        job = Job(name="p", mapper=NoneKeyMapper, reducer=PassReducer)
         res = run_job(job, records=[(None, "x")])
         TextOutputFormat(fs, "/out/p").write(res)
         assert read_text_output(fs, "/out/p") == [("", "x")]
@@ -101,15 +114,6 @@ class TestTextOutput:
 
 class TestSequenceOutput:
     def test_preserves_types(self, fs):
-        class ArrayMapper(Mapper):
-            def map(self, key, value, ctx):
-                ctx.emit(key, np.asarray(value))
-
-        class PassReducer(Reducer):
-            def reduce(self, key, values, ctx):
-                for v in values:
-                    ctx.emit(key, v)
-
         job = Job(name="arr", mapper=ArrayMapper, reducer=PassReducer)
         res = run_job(job, records=[(7, [1.0, 2.0])])
         SequenceOutputFormat(fs, "/out/arr").write(res)
@@ -123,10 +127,6 @@ class TestSequenceOutput:
         assert dict(pairs) == {"a": 2, "b": 2, "c": 1}
 
     def test_empty_partitions_ok(self, fs):
-        class NullMapper(Mapper):
-            def map(self, key, value, ctx):
-                pass
-
         job = Job(
             name="empty",
             mapper=NullMapper,

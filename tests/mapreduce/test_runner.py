@@ -40,6 +40,17 @@ class CrashOnXMapper(Mapper):
         ctx.emit(value, 1)
 
 
+# Module-level so the job stays picklable under REPRO_EXECUTOR=processes.
+class ArrayMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(0, np.asarray(value))
+
+
+class StackReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, np.vstack(list(values)).sum())
+
+
 def _wordcount_job(reducers=2, maps=2, combiner=None):
     return Job(
         name="wordcount",
@@ -131,14 +142,6 @@ class TestSerialRunner:
         assert list(result.output_pairs()) == []
 
     def test_numpy_values_flow_through(self):
-        class ArrayMapper(Mapper):
-            def map(self, key, value, ctx):
-                ctx.emit(0, np.asarray(value))
-
-        class StackReducer(Reducer):
-            def reduce(self, key, values, ctx):
-                ctx.emit(key, np.vstack(list(values)).sum())
-
         job = Job(
             name="np",
             mapper=ArrayMapper,

@@ -79,7 +79,10 @@ class TestTracedPipeline:
 
     def test_skew_gauges_and_dominance_histogram_recorded(self):
         set_tracer(Tracer(keep_spans=True))
-        run_mr_skyline(_points(), method="angle", num_workers=4)
+        # Pinned to the serial executor: the per-task dominance histogram is
+        # recorded inside reducer workers, so a pool executor's driver-side
+        # registry never sees it (only the measurement path does).
+        run_mr_skyline(_points(), method="angle", num_workers=4, executor="serial")
         snap = get_metrics().snapshot()
         assert snap["gauges"]["partition.records_max"] > 0
         assert snap["gauges"]["partition.max_min_ratio"] >= 1.0
