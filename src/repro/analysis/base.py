@@ -1,0 +1,101 @@
+"""Rule protocol and registry for the contract checker.
+
+A rule is a class with an ``id``, a default :class:`Severity`, a docstring
+(surfaced by ``repro lint --list-rules``), and a ``check(project)`` hook
+yielding :class:`Finding` objects.  Rules register themselves with the
+:func:`register` decorator at import time; :func:`all_rules` instantiates
+the registry, and :func:`rules_by_id` filters it for ``--rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Module, Project, enclosing_symbol
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for one contract rule."""
+
+    #: Stable kebab-case identifier (used in pragmas and --rules).
+    id: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield findings across the whole project.
+
+        The default drives :meth:`check_module` per module; rules needing a
+        cross-module view (e.g. the UDF registry) override this instead.
+        """
+        for module in sorted(project.modules.values(), key=lambda m: m.path):
+            yield from self.check_module(module, project)
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    # -- helpers for subclasses ---------------------------------------------------
+
+    def finding(
+        self,
+        module: Module,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity | None = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity or self.severity,
+            symbol=enclosing_symbol(module.tree, node),
+        )
+
+    @classmethod
+    def description(cls) -> str:
+        doc = (cls.__doc__ or "").strip().splitlines()
+        return doc[0] if doc else ""
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rule_ids() -> List[str]:
+    _ensure_packs_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    _ensure_packs_loaded()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rules_by_id(rule_ids: Iterable[str]) -> List[Rule]:
+    """Instantiate a subset of the registry; unknown ids raise ValueError."""
+    _ensure_packs_loaded()
+    rules: List[Rule] = []
+    for rule_id in rule_ids:
+        rule_cls = _REGISTRY.get(rule_id)
+        if rule_cls is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule id {rule_id!r} (known: {known})")
+        rules.append(rule_cls())
+    return rules
+
+
+def _ensure_packs_loaded() -> None:
+    """Import the built-in rule packs so their @register calls have run."""
+    import repro.analysis.rules  # noqa: F401  (import-for-side-effect)

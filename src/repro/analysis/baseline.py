@@ -1,0 +1,68 @@
+"""Baseline files: adopt the checker on a tree with pre-existing findings.
+
+A baseline is a JSON list of finding fingerprints (line-number-free, see
+:meth:`~repro.analysis.findings.Finding.fingerprint`).  ``repro lint
+--baseline FILE`` filters out findings whose fingerprint is recorded, so a
+team can gate *new* violations immediately and burn the old ones down over
+time; ``--write-baseline`` records the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, malformed, or wrong-versioned."""
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read a baseline file's fingerprint set."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _VERSION
+        or not isinstance(payload.get("fingerprints"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{_VERSION} fingerprint file"
+        )
+    return {str(fp) for fp in payload["fingerprints"]}
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count."""
+    fingerprints = sorted({f.fingerprint() for f in findings})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"version": _VERSION, "fingerprints": fingerprints},
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+    return len(fingerprints)
+
+
+def split_baselined(
+    findings: Iterable[Finding], fingerprints: Set[str]
+) -> Tuple[List[Finding], int]:
+    """(kept findings, baselined-out count)."""
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in findings:
+        if finding.fingerprint() in fingerprints:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped

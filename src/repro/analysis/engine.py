@@ -1,0 +1,143 @@
+"""Lint engine: paths in, findings out.
+
+:func:`run_lint` parses every Python file under the given paths into one
+:class:`~repro.analysis.project.Project`, runs the selected rules over it,
+applies ``# repro: allow[...]`` suppressions and the optional baseline, and
+folds pragma hygiene (malformed / unknown-id pragmas) and parse failures
+into the result as findings of their own — so nothing the checker could not
+verify disappears silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.base import Rule, all_rule_ids, all_rules, rules_by_id
+from repro.analysis.baseline import load_baseline, split_baselined
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Module, Project
+from repro.analysis.suppressions import PRAGMA_RULE_ID
+
+#: Rule id attached to files the indexer could not parse.
+PARSE_RULE_ID = "parse-error"
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any error-severity finding survived."""
+        return 1 if self.error_count else 0
+
+    def summary(self) -> dict:
+        return {
+            "files": self.checked_files,
+            "findings": len(self.findings),
+            "errors": self.error_count,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "rules": list(self.rule_ids),
+            "exit_code": self.exit_code,
+        }
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    """Run the contract checker over ``paths`` (files or directories)."""
+    project = Project.load(paths)
+    rules: List[Rule] = (
+        rules_by_id(rule_ids) if rule_ids is not None else all_rules()
+    )
+    result = LintResult(
+        checked_files=len(project.modules) + len(project.failures),
+        rule_ids=[rule.id for rule in rules],
+    )
+
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project))
+    raw.extend(_pragma_findings(project))
+    for failure in project.failures:
+        raw.append(
+            Finding(
+                rule_id=PARSE_RULE_ID,
+                path=failure.path,
+                line=failure.line,
+                col=0,
+                message=f"cannot parse file: {failure.message}",
+            )
+        )
+
+    kept: List[Finding] = []
+    for finding in raw:
+        module = _module_for(project, finding.path)
+        if module is not None and module.suppressions.suppresses(
+            finding.rule_id, finding.line
+        ):
+            result.suppressed += 1
+        else:
+            kept.append(finding)
+
+    if baseline_path is not None:
+        fingerprints: Set[str] = load_baseline(baseline_path)
+        kept, result.baselined = split_baselined(kept, fingerprints)
+
+    kept.sort(key=Finding.sort_key)
+    result.findings = kept
+    return result
+
+
+def _pragma_findings(project: Project) -> List[Finding]:
+    """Pragma hygiene: every suppression must carry a known rule id."""
+    known = set(all_rule_ids()) | {PRAGMA_RULE_ID, PARSE_RULE_ID}
+    findings: List[Finding] = []
+    for module in sorted(project.modules.values(), key=lambda m: m.path):
+        sup = module.suppressions
+        for line, col, message in sup.malformed:
+            findings.append(
+                Finding(
+                    rule_id=PRAGMA_RULE_ID,
+                    path=module.path,
+                    line=line,
+                    col=col,
+                    message=f"suppression pragma: {message} "
+                    "(write `# repro: allow[rule-id]`)",
+                )
+            )
+        for line, col, rule_id in sup.named_ids:
+            if rule_id not in known:
+                findings.append(
+                    Finding(
+                        rule_id=PRAGMA_RULE_ID,
+                        path=module.path,
+                        line=line,
+                        col=col,
+                        message=f"suppression pragma names unknown rule "
+                        f"{rule_id!r} (known: {', '.join(sorted(known))})",
+                    )
+                )
+    return findings
+
+
+def _module_for(project: Project, path: str) -> Module | None:
+    for module in project.modules.values():
+        if module.path == path:
+            return module
+    return None

@@ -1,0 +1,63 @@
+"""Findings: what a lint rule reports, and how severe it is.
+
+A :class:`Finding` is one localized contract violation.  Its
+:meth:`Finding.fingerprint` deliberately excludes the line number, so a
+baseline recorded before an unrelated edit still matches after the file
+shifts — only moving the violation to a different symbol (or changing its
+message) invalidates the baseline entry.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit code."""
+
+    #: Advisory: reported, but never fails the run.
+    WARNING = "warning"
+    #: Contract violation: fails the run (exit code 1).
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(slots=True, frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    #: Dotted enclosing symbol (``Class.method`` / function name), "" at
+    #: module level.  Part of the baseline fingerprint.
+    symbol: str = field(default="")
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:12]
+        return f"{self.rule_id}:{self.path}:{self.symbol}:{digest}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (the ``--format json`` record)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id, self.message)

@@ -1,0 +1,278 @@
+"""Project index: parsed modules, import graph, cross-module name resolution.
+
+The rule packs need more than a single file's AST: a mapper class referenced
+at a ``Job(...)`` call site may be *imported* from another module, so the
+checker parses every file under the linted paths once, records each module's
+top-level bindings and imports, and resolves names through the import graph
+(bounded, cycle-safe).  Resolution is best-effort by design — anything it
+cannot trace is simply not flagged; the checker never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.suppressions import SuppressionMap, parse_suppressions
+
+#: Maximum import-graph hops followed when resolving one name.
+_MAX_HOPS = 8
+
+
+@dataclass(slots=True)
+class ParseFailure:
+    """A file the indexer could not parse (reported, never fatal)."""
+
+    path: str
+    line: int
+    message: str
+
+
+@dataclass(slots=True)
+class Binding:
+    """One top-level name binding inside a module."""
+
+    #: "def" (class/function/assignment in this module) or "import".
+    kind: str
+    #: For kind == "def": the AST node bound to the name.
+    node: Optional[ast.AST] = None
+    #: For kind == "import": the source module, and the name there
+    #: ("" means the binding is the module object itself).
+    module: str = ""
+    orig_name: str = ""
+
+
+@dataclass(slots=True)
+class Module:
+    """One parsed source file plus its lint-relevant side tables."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source_lines: List[str]
+    suppressions: SuppressionMap
+    bindings: Dict[str, Binding] = field(default_factory=dict)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+@dataclass(slots=True, frozen=True)
+class Resolved:
+    """A name resolved to its defining module and AST node."""
+
+    module: "Module"
+    node: ast.AST
+    #: Fully-qualified dotted name of the resolved symbol.
+    qualname: str
+
+
+class Project:
+    """Every module under the linted paths, indexed for resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, Module] = {}
+        self.failures: List[ParseFailure] = []
+        self._by_path: Dict[str, Module] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Project":
+        project = cls()
+        for path in _python_files(paths):
+            project._add_file(path)
+        return project
+
+    def _add_file(self, path: str) -> None:
+        real = os.path.realpath(path)
+        if real in self._by_path:
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            self.failures.append(ParseFailure(path, line, str(exc)))
+            return
+        module = Module(
+            name=_module_name(path),
+            path=path,
+            tree=tree,
+            source_lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+        )
+        _index_bindings(module)
+        self.modules[module.name] = module
+        self._by_path[real] = module
+
+    # -- resolution ---------------------------------------------------------------
+
+    def resolve_name(self, module: Module, name: str) -> Optional[Resolved]:
+        """Resolve a bare name in ``module`` to its defining def, if indexed."""
+        seen: set = set()
+        current, target = module, name
+        for _ in range(_MAX_HOPS):
+            key = (current.name, target)
+            if key in seen:
+                return None
+            seen.add(key)
+            binding = current.bindings.get(target)
+            if binding is None:
+                return None
+            if binding.kind == "def":
+                assert binding.node is not None
+                return Resolved(
+                    module=current,
+                    node=binding.node,
+                    qualname=f"{current.name}.{target}",
+                )
+            # import binding
+            if binding.orig_name == "":
+                # bound to a module object; nothing further to chase here
+                return None
+            next_module = self.modules.get(binding.module)
+            if next_module is None:
+                return None
+            current, target = next_module, binding.orig_name
+        return None
+
+    def resolve_expr(self, module: Module, node: ast.AST) -> Optional[Resolved]:
+        """Resolve a ``Name`` or one-level ``module.attr`` expression."""
+        if isinstance(node, ast.Name):
+            return self.resolve_name(module, node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            binding = module.bindings.get(node.value.id)
+            if binding is not None and binding.kind == "import":
+                target = binding.module
+                if binding.orig_name:
+                    target = f"{binding.module}.{binding.orig_name}"
+                defining = self.modules.get(target)
+                if defining is not None:
+                    return self.resolve_name(defining, node.attr)
+        return None
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Flatten ``a.b.c`` attribute chains; "" for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def enclosing_symbol(tree: ast.Module, target: ast.AST) -> str:
+    """Dotted class/function path containing ``target`` ("" at module level).
+
+    Innermost scope wins; resolved by line span, so it also works for nodes
+    reached through cross-module resolution rather than a live parent walk.
+    """
+    line = getattr(target, "lineno", None)
+    if line is None:
+        return ""
+    best: List[str] = []
+
+    def walk(node: ast.AST, trail: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                deeper = trail + (child.name,)
+                if child.lineno <= line <= (child.end_lineno or child.lineno):
+                    if len(deeper) > len(best):
+                        best[:] = deeper
+                walk(child, deeper)
+            else:
+                walk(child, trail)
+
+    walk(tree, ())
+    return ".".join(best)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name derived from the package layout on disk."""
+    abspath = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(abspath))[0]]
+    parent = os.path.dirname(abspath)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    name = ".".join(reversed(parts))
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+def _index_bindings(module: Module) -> None:
+    """Record the module's top-level name bindings (defs and imports)."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.bindings[node.name] = Binding(kind="def", node=node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module.bindings[target.id] = Binding(kind="def", node=node)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                module.bindings[node.target.id] = Binding(kind="def", node=node)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.bindings[bound] = Binding(
+                    kind="import", module=target, orig_name=""
+                )
+        elif isinstance(node, ast.ImportFrom):
+            source = _absolute_import(module.name, node)
+            if source is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                module.bindings[bound] = Binding(
+                    kind="import", module=source, orig_name=alias.name
+                )
+
+
+def _absolute_import(module_name: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute source module of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module_name.split(".")
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None

@@ -1,0 +1,62 @@
+"""Lint output renderers: human text and machine JSON.
+
+The JSON document is the CI artifact format: a versioned envelope with one
+record per finding (including its baseline fingerprint) plus the run
+summary, so a workflow can both gate on ``exit_code`` and diff reports
+across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from repro.analysis.engine import LintResult
+
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult, *, root: str | None = None) -> str:
+    """GCC-style ``path:line:col: severity rule: message`` lines + summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        path = _display_path(finding.path, root)
+        where = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{path}:{finding.line}:{finding.col}: "
+            f"{finding.severity.value} {finding.rule_id}: "
+            f"{finding.message}{where}"
+        )
+    summary = result.summary()
+    lines.append(
+        f"{summary['findings']} finding(s) "
+        f"({summary['errors']} error(s)) in {summary['files']} file(s); "
+        f"{summary['suppressed']} suppressed, "
+        f"{summary['baselined']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, *, root: str | None = None) -> str:
+    """Versioned JSON envelope: findings + summary."""
+    payload = {
+        "version": JSON_VERSION,
+        "findings": [
+            {**f.as_dict(), "path": _display_path(f.path, root)}
+            for f in result.findings
+        ],
+        "summary": result.summary(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _display_path(path: str, root: str | None) -> str:
+    if root:
+        try:
+            rel = os.path.relpath(path, root)
+        except ValueError:  # different drive (Windows)
+            return path
+        if not rel.startswith(".."):
+            return rel
+    return path

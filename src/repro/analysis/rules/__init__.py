@@ -1,0 +1,19 @@
+"""Built-in rule packs.
+
+Importing this package registers every built-in rule with
+:mod:`repro.analysis.base`; third-party rules can do the same with the
+:func:`~repro.analysis.base.register` decorator (see
+``docs/static_analysis.md`` for the recipe).
+"""
+
+from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.udf_purity import UdfPurityRule
+
+__all__ = [
+    "ExceptionHygieneRule",
+    "LockDisciplineRule",
+    "PickleSafetyRule",
+    "UdfPurityRule",
+]

@@ -1,0 +1,173 @@
+"""Shared UDF discovery for the purity and pickle-safety rule packs.
+
+The engine's user-defined functions are *classes* (``Mapper`` / ``Reducer``
+subclasses) attached to ``Job(...)`` at construction time, so the checker
+finds them two ways and unions the results:
+
+* **call-site tracing** — every ``Job(...)`` call's ``mapper=`` /
+  ``reducer=`` / ``combiner=`` argument (positional or keyword), resolved
+  through the project's import graph to its defining ``class`` statement,
+  wherever that module lives;
+* **subclass closure** — any indexed class whose base chain reaches
+  ``Mapper`` / ``Reducer`` / ``Combiner``, so exported UDFs are checked even
+  when their ``Job`` call sites sit outside the linted paths (tests,
+  notebooks, user code).
+
+Call-site arguments that are lambdas or function-local classes cannot be
+resolved to a module-level definition; they are surfaced to the
+pickle-safety pack via :class:`UdfUse` instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.project import Module, Project, Resolved, dotted_name
+
+#: Class names that terminate the UDF base-class closure.
+_UDF_ROOTS = {"Mapper", "Reducer", "Combiner"}
+
+#: Job dataclass field order: name, mapper, reducer, conf, combiner.
+_JOB_POSITIONAL_ROLES = {1: "mapper", 2: "reducer", 4: "combiner"}
+_JOB_KEYWORD_ROLES = ("mapper", "reducer", "combiner")
+
+
+@dataclass(slots=True)
+class UdfUse:
+    """One mapper/reducer/combiner argument at a ``Job(...)`` call site."""
+
+    module: Module
+    call: ast.Call
+    role: str
+    value: ast.expr
+    #: Module-level class the argument resolves to (possibly cross-module).
+    resolved: Optional[Resolved]
+    #: Function-local definition the argument resolves to, when the call
+    #: site sits inside a function whose scope defines the name.
+    local_def: Optional[ast.AST]
+
+
+def iter_job_calls(module: Module) -> Iterator[ast.Call]:
+    """Every ``Job(...)`` construction in a module (matched by name)."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.rsplit(".", 1)[-1] == "Job":
+                yield node
+
+
+def collect_udf_uses(project: Project) -> List[UdfUse]:
+    """All UDF arguments at ``Job(...)`` call sites across the project."""
+    uses: List[UdfUse] = []
+    for module in sorted(project.modules.values(), key=lambda m: m.path):
+        for call in iter_job_calls(module):
+            for role, value in _udf_args(call):
+                resolved = project.resolve_expr(module, value)
+                local_def = None
+                if resolved is None and isinstance(value, ast.Name):
+                    local_def = _resolve_in_local_scopes(module, call, value.id)
+                uses.append(
+                    UdfUse(
+                        module=module,
+                        call=call,
+                        role=role,
+                        value=value,
+                        resolved=resolved,
+                        local_def=local_def,
+                    )
+                )
+    return uses
+
+
+def udf_classes(project: Project) -> Dict[Tuple[str, str], Tuple[Module, ast.ClassDef]]:
+    """UDF classes to analyze, keyed by ``(module, class name)``.
+
+    Union of call-site-resolved classes and the Mapper/Reducer subclass
+    closure over the indexed modules.
+    """
+    found: Dict[Tuple[str, str], Tuple[Module, ast.ClassDef]] = {}
+
+    for use in collect_udf_uses(project):
+        if use.resolved is not None and isinstance(use.resolved.node, ast.ClassDef):
+            key = (use.resolved.module.name, use.resolved.node.name)
+            found[key] = (use.resolved.module, use.resolved.node)
+
+    # Subclass closure: seed on literal Mapper/Reducer/Combiner bases, then
+    # absorb classes whose bases resolve to an already-known UDF class.
+    changed = True
+    while changed:
+        changed = False
+        for module in project.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                key = (module.name, node.name)
+                if key in found:
+                    continue
+                if _is_udf_subclass(project, module, node, found):
+                    found[key] = (module, node)
+                    changed = True
+    return found
+
+
+def _is_udf_subclass(
+    project: Project,
+    module: Module,
+    node: ast.ClassDef,
+    known: Dict[Tuple[str, str], Tuple[Module, ast.ClassDef]],
+) -> bool:
+    for base in node.bases:
+        base_name = dotted_name(base)
+        if base_name.rsplit(".", 1)[-1] in _UDF_ROOTS:
+            return True
+        resolved = project.resolve_expr(module, base)
+        if resolved is not None and isinstance(resolved.node, ast.ClassDef):
+            if (resolved.module.name, resolved.node.name) in known:
+                return True
+    return False
+
+
+def _udf_args(call: ast.Call) -> Iterator[Tuple[str, ast.expr]]:
+    for index, arg in enumerate(call.args):
+        role = _JOB_POSITIONAL_ROLES.get(index)
+        if role is not None:
+            yield role, arg
+    for keyword in call.keywords:
+        if keyword.arg in _JOB_KEYWORD_ROLES:
+            yield keyword.arg, keyword.value
+
+
+def _resolve_in_local_scopes(
+    module: Module, at: ast.AST, name: str
+) -> Optional[ast.AST]:
+    """Find a def/class/lambda binding of ``name`` in the function scopes
+    enclosing ``at`` (innermost first)."""
+    line = getattr(at, "lineno", 0)
+    scopes: List[ast.AST] = []
+
+    def collect(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child.lineno <= line <= (child.end_lineno or child.lineno):
+                    scopes.append(child)
+                collect(child)
+            else:
+                collect(child)
+
+    collect(module.tree)
+    for scope in reversed(scopes):  # innermost first
+        for stmt in ast.walk(scope):
+            if (
+                isinstance(stmt, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == name
+            ):
+                return stmt
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, ast.Lambda
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return stmt.value
+    return None

@@ -1,0 +1,76 @@
+"""exception-hygiene: broad ``except`` must not swallow.
+
+A ``try`` around user map/reduce code legitimately catches ``Exception`` —
+but only to *wrap* it (``raise TaskError(task_id, exc) from exc``) or to
+clean up and *re-raise*.  A broad handler that swallows turns a failing
+task into silently-wrong output: the job "succeeds" with missing
+partitions, and the differential executor suite has nothing to compare
+against.  Narrow handlers (``except OSError:``) are exempt — catching a
+specific type is a statement of intent this rule trusts.
+
+A handler is compliant when its body (a) contains any ``raise``, or
+(b) constructs a :class:`~repro.mapreduce.errors.TaskError`.  Anything
+else needs ``# repro: allow[exception-hygiene]`` plus a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project, dotted_name
+
+_BROAD = {"Exception", "BaseException"}
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Broad ``except`` must re-raise, wrap into TaskError, or be allowed."""
+
+    id = "exception-hygiene"
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_name(node)
+            if caught is None:
+                continue
+            if _handler_complies(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"broad `except {caught}` swallows the error: re-raise, "
+                "wrap into TaskError, or add `# repro: allow"
+                "[exception-hygiene]` with a reason",
+            )
+
+
+def _broad_name(handler: ast.ExceptHandler) -> str | None:
+    """The broad exception name this handler catches, or None if narrow."""
+    if handler.type is None:
+        return "BaseException"  # bare `except:`
+    exprs = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name.rsplit(".", 1)[-1] in _BROAD:
+            return name.rsplit(".", 1)[-1]
+    return None
+
+
+def _handler_complies(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if callee.rsplit(".", 1)[-1] == "TaskError":
+                return True
+    return False

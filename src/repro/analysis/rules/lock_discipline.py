@@ -1,0 +1,200 @@
+"""lock-discipline: state guarded by ``self._lock`` stays guarded.
+
+The streaming shuffle, the thread executor's lazy pool, and the metrics
+registry share mutable state with the thread backend.  The convention the
+engine relies on: a class that owns a lock (``self._lock = Lock()``)
+mutates its shared attributes **only** inside ``with self._lock:`` blocks.
+An attribute written under the lock in one method and bare in another is a
+latent race — exactly the class of bug the differential test suite cannot
+reliably catch, because thread interleavings are not replayable.
+
+Mechanics (a lightweight race detector, not an alias analysis):
+
+* lock attributes = ``self.X`` assigned from a ``*Lock()`` call, plus the
+  conventional name ``_lock``;
+* for every other attribute, collect writes — plain/augmented/subscript
+  assignment to ``self.A...`` and in-place container mutators
+  (``self.A.append(...)``, ...) — and whether each sits inside a
+  ``with self.<lock>:`` block;
+* an attribute with at least one locked write makes every *unlocked* write
+  to it (outside ``__init__`` / ``__new__``) a finding.
+
+``__init__`` is exempt: construction happens before the object is shared.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Set
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project, dotted_name
+
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "clear",
+    "pop",
+    "popitem",
+    "setdefault",
+}
+
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+
+@dataclass(slots=True)
+class _Write:
+    attr: str
+    node: ast.AST
+    method: str
+    locked: bool
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Attributes written under ``self._lock`` must never be written bare."""
+
+    id = "lock-discipline"
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: Module, classdef: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs = _lock_attributes(classdef)
+        if not lock_attrs:
+            return
+        writes: List[_Write] = []
+        for method in classdef.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            _collect_writes(method, lock_attrs, writes)
+        guarded: Set[str] = {
+            w.attr
+            for w in writes
+            if w.locked and w.method not in _CONSTRUCTORS
+        }
+        for write in writes:
+            if (
+                write.attr in guarded
+                and not write.locked
+                and write.method not in _CONSTRUCTORS
+            ):
+                yield self.finding(
+                    module,
+                    write.node,
+                    f"{classdef.name}.{write.attr} is written under "
+                    f"self.{sorted(lock_attrs)[0]} elsewhere but mutated "
+                    f"without the lock in {write.method}(): a thread-backend "
+                    "race",
+                )
+
+
+def _lock_attributes(classdef: ast.ClassDef) -> Set[str]:
+    """Names of ``self.X`` attributes holding a lock."""
+    locks: Set[str] = set()
+    for node in ast.walk(classdef):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if target.attr == "_lock":
+                    locks.add(target.attr)
+                elif isinstance(node.value, ast.Call):
+                    callee = dotted_name(node.value.func)
+                    if callee.rsplit(".", 1)[-1] in ("Lock", "RLock"):
+                        locks.add(target.attr)
+    return locks
+
+
+def _collect_writes(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+    lock_attrs: Set[str],
+    out: List[_Write],
+) -> None:
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            holds = locked or _acquires_lock(node, lock_attrs)
+            for item in node.items:
+                visit(item.context_expr, locked)
+            for stmt in node.body:
+                visit(stmt, holds)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in _flatten_targets(targets):
+                attr = _self_attr_root(target)
+                if attr is not None and attr not in lock_attrs:
+                    out.append(_Write(attr, node, method.name, locked))
+            if node.value is not None:
+                visit(node.value, locked)
+            return
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _MUTATORS
+            ):
+                attr = _self_attr_root(callee.value)
+                if attr is not None and attr not in lock_attrs:
+                    out.append(_Write(attr, node, method.name, locked))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for stmt in method.body:
+        visit(stmt, False)
+
+
+def _flatten_targets(targets: List[ast.AST]) -> Iterator[ast.AST]:
+    """Unpack tuple/list/starred assignment targets to their leaves."""
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(list(target.elts))
+        elif isinstance(target, ast.Starred):
+            yield from _flatten_targets([target.value])
+        else:
+            yield target
+
+
+def _acquires_lock(node: ast.With, lock_attrs: Set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in lock_attrs
+        ):
+            return True
+    return False
+
+
+def _self_attr_root(target: ast.AST) -> str | None:
+    """First-level attribute of a ``self.A...`` store target, else None."""
+    chain: List[ast.AST] = []
+    node: ast.AST = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        chain.append(node)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id != "self" or not chain:
+        return None
+    last = chain[-1]
+    if isinstance(last, ast.Attribute):
+        return last.attr
+    return None

@@ -1,0 +1,126 @@
+"""pickle-safety: everything crossing the process-pool boundary must pickle.
+
+The process executor ships each task as ``(JobSpec, index, payload)`` via
+:mod:`pickle`; the spec carries the mapper/reducer/combiner *classes*, the
+partitioner, and the params dict.  A lambda, a class defined inside a
+function, or a nested function in any of those slots imports fine, passes
+serial and thread runs — and then dies at submission time the first time
+someone sets ``REPRO_EXECUTOR=processes``.  This pack catches those shapes
+statically at the ``Job(...)`` / ``JobConf(...)`` construction site.
+
+Flagged:
+
+* a ``lambda`` passed as ``mapper=`` / ``reducer=`` / ``combiner=``;
+* a UDF argument resolving to a class or function defined inside a
+  function body (pickle serializes classes by module-level qualname);
+* ``JobConf(partitioner=lambda ...)`` and ``lambda``/nested-function
+  values inside ``JobConf(params={...})`` (params travel to every task);
+* a ``lambda`` or locally-defined function submitted straight to an
+  executor (``ex.submit(lambda: ...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project, dotted_name, enclosing_symbol
+from repro.analysis.rules._udf import collect_udf_uses
+
+
+@register
+class PickleSafetyRule(Rule):
+    """No lambdas, local classes, or nested functions on process-pool paths."""
+
+    id = "pickle-safety"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        yield from self._check_udf_uses(project)
+        for module in sorted(project.modules.values(), key=lambda m: m.path):
+            yield from self._check_module_calls(module)
+
+    # -- Job(...) UDF slots -------------------------------------------------------
+
+    def _check_udf_uses(self, project: Project) -> Iterator[Finding]:
+        for use in collect_udf_uses(project):
+            if isinstance(use.value, ast.Lambda):
+                yield self.finding(
+                    use.module,
+                    use.value,
+                    f"lambda passed as {use.role}= is not picklable: the "
+                    "process executor ships UDF classes by module-level "
+                    "qualname",
+                )
+                continue
+            if use.local_def is not None:
+                kind = (
+                    "class"
+                    if isinstance(use.local_def, ast.ClassDef)
+                    else "function"
+                )
+                name = getattr(use.local_def, "name", "<lambda>")
+                yield self.finding(
+                    use.module,
+                    use.value,
+                    f"{use.role}= resolves to {kind} {name!r} defined inside "
+                    f"a function: local {kind}es cannot be pickled to "
+                    "process-pool workers (pickle serializes by "
+                    "module-level qualname)",
+                )
+
+    # -- JobConf / submit call sites ---------------------------------------------
+
+    def _check_module_calls(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            tail = callee.rsplit(".", 1)[-1] if callee else ""
+            if tail == "JobConf":
+                yield from self._check_jobconf(module, node)
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
+                yield from self._check_submit(module, node)
+
+    def _check_jobconf(self, module: Module, call: ast.Call) -> Iterator[Finding]:
+        for keyword in call.keywords:
+            if keyword.arg == "partitioner" and isinstance(
+                keyword.value, ast.Lambda
+            ):
+                yield self.finding(
+                    module,
+                    keyword.value,
+                    "JobConf(partitioner=lambda ...) is not picklable: use a "
+                    "module-level Partitioner subclass",
+                )
+            if keyword.arg == "params" and isinstance(keyword.value, ast.Dict):
+                for key, value in zip(keyword.value.keys, keyword.value.values):
+                    if isinstance(value, ast.Lambda):
+                        label = _dict_key_label(key)
+                        yield self.finding(
+                            module,
+                            value,
+                            f"lambda in JobConf params[{label}] is not "
+                            "picklable: params travel to every task via the "
+                            "JobSpec",
+                        )
+
+    def _check_submit(self, module: Module, call: ast.Call) -> Iterator[Finding]:
+        for arg in call.args:
+            if isinstance(arg, ast.Lambda):
+                symbol = enclosing_symbol(module.tree, call)
+                where = f" in {symbol}" if symbol else ""
+                yield self.finding(
+                    module,
+                    arg,
+                    f"lambda submitted to an executor{where} is not "
+                    "picklable by the process backend; submit a module-level "
+                    "function",
+                )
+
+
+def _dict_key_label(key: ast.expr | None) -> str:
+    if isinstance(key, ast.Constant):
+        return repr(key.value)
+    return "..."

@@ -1,0 +1,109 @@
+"""``# repro: allow[rule-id]`` suppression pragmas.
+
+A pragma suppresses findings of the named rule(s) on its own line and — when
+the comment stands alone on its line — on the next source line, so both
+styles work::
+
+    risky_call()  # repro: allow[udf-purity]  -- metrics are driver-merged
+
+    # repro: allow[udf-purity]
+    risky_call()
+
+Pragmas are parsed from real comment tokens (:mod:`tokenize`), never from
+string literals.  Every pragma must carry at least one *known* rule id;
+malformed or unknown-id pragmas are themselves reported (``lint-pragma``),
+which is what keeps suppressions auditable.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: Rule id reserved for pragma hygiene findings.
+PRAGMA_RULE_ID = "lint-pragma"
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow(?:\[([^\]]*)\])?")
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass(slots=True, frozen=True)
+class Pragma:
+    """One parsed ``repro: allow`` comment."""
+
+    line: int
+    col: int
+    rule_ids: Tuple[str, ...]
+    #: True when the comment is the only content on its line, in which case
+    #: it also covers the following line.
+    standalone: bool
+
+
+@dataclass(slots=True)
+class SuppressionMap:
+    """Per-line suppression lookup for one source file."""
+
+    #: line number -> rule ids suppressed on that line
+    by_line: Dict[int, Set[str]]
+    #: pragmas with no / empty / malformed rule-id list, as (line, col, text)
+    malformed: List[Tuple[int, int, str]]
+    #: every rule id named by any pragma (for unknown-id validation)
+    named_ids: List[Tuple[int, int, str]]
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.by_line.get(line, ())
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract the suppression map from one module's source text."""
+    by_line: Dict[int, Set[str]] = {}
+    malformed: List[Tuple[int, int, str]] = []
+    named: List[Tuple[int, int, str]] = []
+    for pragma in _iter_pragmas(source):
+        if not pragma.rule_ids:
+            malformed.append(
+                (pragma.line, pragma.col, "pragma names no rule id")
+            )
+            continue
+        covered = [pragma.line]
+        if pragma.standalone:
+            covered.append(pragma.line + 1)
+        for rule_id in pragma.rule_ids:
+            if not _RULE_ID_RE.match(rule_id):
+                malformed.append(
+                    (pragma.line, pragma.col, f"malformed rule id {rule_id!r}")
+                )
+                continue
+            named.append((pragma.line, pragma.col, rule_id))
+            for line in covered:
+                by_line.setdefault(line, set()).add(rule_id)
+    return SuppressionMap(by_line=by_line, malformed=malformed, named_ids=named)
+
+
+def _iter_pragmas(source: str) -> Iterator[Pragma]:
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        ids_blob = match.group(1)
+        rule_ids: Tuple[str, ...] = ()
+        if ids_blob is not None:
+            rule_ids = tuple(
+                part.strip() for part in ids_blob.split(",") if part.strip()
+            )
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        yield Pragma(
+            line=tok.start[0],
+            col=tok.start[1],
+            rule_ids=rule_ids,
+            standalone=standalone,
+        )

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli ablations        # design-choice studies
     python -m repro.cli all              # everything above, in order
     python -m repro.cli trace FILE       # summarize a JSONL trace file
+    python -m repro.cli lint [PATHS]     # static contract checker (see
+                                         # docs/static_analysis.md)
 
     --quick     scale cardinalities down ~10x for a fast sanity pass
     --markdown  emit Markdown instead of ASCII (for EXPERIMENTS.md)
@@ -238,13 +240,101 @@ def _run_trace(argv: List[str]) -> int:
     return 0
 
 
+def _run_lint(argv: List[str]) -> int:
+    """``repro lint [paths]`` — the static contract checker.
+
+    Exit status: 0 clean, 1 findings, 2 usage errors.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline lint",
+        description=(
+            "AST-based contract checker: UDF purity, pickle-safety, lock "
+            "discipline, exception hygiene (docs/static_analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is the CI artifact format)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="filter out findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis import (
+        BaselineError,
+        all_rules,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<20} {rule.severity.value:<8} "
+                  f"{type(rule).description()}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        result = run_lint(
+            args.paths, rule_ids=rule_ids, baseline_path=args.baseline
+        )
+    except (ValueError, BaselineError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, result.findings)
+        print(f"lint: wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+    import os
+
+    root = os.getcwd()
+    if args.format == "json":
+        print(render_json(result, root=root))
+    else:
+        print(render_text(result, root=root))
+    return result.exit_code
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # 'trace' reads a file instead of running an experiment, so it takes its
-    # own options and is dispatched before the experiment parser.
+    # 'trace' and 'lint' read files instead of running an experiment, so
+    # they take their own options and dispatch before the experiment parser.
     if argv[:1] == ["trace"]:
         return _run_trace(argv[1:])
+    if argv[:1] == ["lint"]:
+        return _run_lint(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "verify":
         return _run_verify(args)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -165,7 +166,7 @@ def bbs_skyline_progressive(
     *,
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     tree: RTree | None = None,
-):
+) -> Iterator[int]:
     """Yield skyline indices *progressively*, best mindist first.
 
     BBS is naturally progressive (the property the paper's citations [21]

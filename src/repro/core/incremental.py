@@ -48,7 +48,7 @@ class IncrementalSkyline:
         self,
         partitioner: SpacePartitioner,
         initial_points: np.ndarray | None = None,
-    ):
+    ) -> None:
         self._partitioner = partitioner
         self._rows: Dict[int, np.ndarray] = {}
         self._partition_of: Dict[int, int] = {}

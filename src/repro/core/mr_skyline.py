@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.executors import Executor, make_executor
 from repro.mapreduce.job import ChainResult, Job, JobChain, JobConf
 from repro.mapreduce.partitioner import KeyFieldPartitioner, SingleReducerPartitioner
-from repro.mapreduce.runner import Runner, SerialRunner
+from repro.mapreduce.runner import Runner
 from repro.mapreduce.simulation import SimulatedPipeline, simulate_pipeline
 from repro.mapreduce.tasks import MapContext, Mapper, ReduceContext, Reducer
 from repro.mapreduce.types import TaskKind
@@ -99,7 +99,7 @@ class PartitionAssignMapper(Mapper):
     cells).
     """
 
-    def map(self, key, value: Block, ctx: MapContext) -> None:
+    def map(self, key: Any, value: Block, ctx: MapContext) -> None:
         indices, rows = value
         partitioner: SpacePartitioner = self.params["partitioner"]
         pruned: frozenset = self.params.get("pruned", frozenset())
@@ -120,15 +120,19 @@ class LocalSkylineReducer(Reducer):
     Params: optional ``window_size`` for bounded-window BNL.
     """
 
-    def reduce(self, key, values: Sequence[Block], ctx: ReduceContext) -> None:
+    def reduce(self, key: Any, values: Sequence[Block], ctx: ReduceContext) -> None:
         indices = np.concatenate([b[0] for b in values])
         rows = np.vstack([b[1] for b in values])
         result = bnl_skyline(rows, window_size=self.params.get("window_size"))
         ctx.increment(COUNTER_GROUP, "local_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "local_skyline_points", int(result.indices.size))
         ctx.increment(COUNTER_GROUP, "local_input_points", int(rows.shape[0]))
-        # Per-task skew distribution (process-local; the serial runner — the
-        # measurement path — sees every task).
+        # Per-task skew distribution.  Deliberately impure: process-pool
+        # workers observe into a registry copy the driver never merges, so
+        # this histogram is best-effort everywhere but the serial runner —
+        # the measurement path — which sees every task.  Result data is
+        # unaffected (counters travel via ctx and are driver-merged).
+        # repro: allow[udf-purity]
         get_metrics().histogram(
             "skyline.dominance_tests_per_task", DEFAULT_COUNT_BUCKETS
         ).observe(result.dominance_tests)
@@ -144,7 +148,7 @@ class GlobalMergeMapper(Mapper):
     """Re-keys every local skyline block to a single merge key
     (Algorithm 1, lines 12–14: ``output(null, s_i)``)."""
 
-    def map(self, key, value: Block, ctx: MapContext) -> None:
+    def map(self, key: Any, value: Block, ctx: MapContext) -> None:
         ctx.emit(0, value)
 
 
@@ -156,19 +160,21 @@ class TreeMergeMapper(Mapper):
     Rounds repeat until a single group remains.  Params: ``fan_in``.
     """
 
-    def map(self, key, value: Block, ctx: MapContext) -> None:
+    def map(self, key: Any, value: Block, ctx: MapContext) -> None:
         ctx.emit(int(key) // int(self.params["fan_in"]), value)
 
 
 class GlobalMergeReducer(Reducer):
     """BNL merge of all local skylines (Algorithm 1, line 15)."""
 
-    def reduce(self, key, values: Sequence[Block], ctx: ReduceContext) -> None:
+    def reduce(self, key: Any, values: Sequence[Block], ctx: ReduceContext) -> None:
         indices = np.concatenate([b[0] for b in values])
         rows = np.vstack([b[1] for b in values])
         result = bnl_skyline(rows, window_size=self.params.get("window_size"))
         ctx.increment(COUNTER_GROUP, "merge_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "global_skyline_points", int(result.indices.size))
+        # Best-effort skew histogram; see LocalSkylineReducer.reduce.
+        # repro: allow[udf-purity]
         get_metrics().histogram(
             "skyline.dominance_tests_per_task", DEFAULT_COUNT_BUCKETS
         ).observe(result.dominance_tests)
@@ -251,7 +257,7 @@ class MRSkylineResult:
 
 
 @contextmanager
-def _owned_runner(runner: Runner, owned: bool):
+def _owned_runner(runner: Runner, owned: bool) -> Iterator[Runner]:
     """Release a runner (and its executor pool) only if we created it."""
     try:
         yield runner
@@ -661,5 +667,5 @@ def update_mr_skyline(
 class IdentityBlockMapper(Mapper):
     """Passes pre-keyed point blocks through unchanged (update pipeline)."""
 
-    def map(self, key, value: Block, ctx: MapContext) -> None:
+    def map(self, key: Any, value: Block, ctx: MapContext) -> None:
         ctx.emit(int(key), value)

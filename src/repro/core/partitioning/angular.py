@@ -74,7 +74,7 @@ class AngularPartitioner(SpacePartitioner):
         bins: Bins = "quantile",
         allocation: Allocation | Sequence[int] = "first-axis",
         boundaries: Sequence[np.ndarray] | None = None,
-    ):
+    ) -> None:
         super().__init__(num_partitions)
         if bins not in ("equal-width", "quantile"):
             raise ValueError(f"unknown bins mode {bins!r}")

@@ -43,7 +43,7 @@ class SpacePartitioner:
     #: short scheme name used in reports ("dim", "grid", "angle", ...)
     scheme: str = "abstract"
 
-    def __init__(self, num_partitions: int):
+    def __init__(self, num_partitions: int) -> None:
         if num_partitions < 1:
             raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
         self.num_partitions = num_partitions

@@ -43,7 +43,7 @@ class DimensionalPartitioner(SpacePartitioner):
 
     def __init__(
         self, num_partitions: int, dim: int = 0, *, bins: Bins = "equal-width"
-    ):
+    ) -> None:
         super().__init__(num_partitions)
         if dim < 0:
             raise ValueError(f"dim must be >= 0, got {dim}")

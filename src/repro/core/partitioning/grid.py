@@ -77,7 +77,7 @@ class GridPartitioner(SpacePartitioner):
         *,
         cells_per_dim: Sequence[int] | None = None,
         bins: str = "equal-width",
-    ):
+    ) -> None:
         super().__init__(num_partitions)
         self._requested = num_partitions
         if bins not in ("equal-width", "quantile"):

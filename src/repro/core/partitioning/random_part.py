@@ -28,7 +28,7 @@ class RandomPartitioner(SpacePartitioner):
 
     scheme = "random"
 
-    def __init__(self, num_partitions: int, *, seed: int = 0):
+    def __init__(self, num_partitions: int, *, seed: int = 0) -> None:
         super().__init__(num_partitions)
         self.seed = int(seed)
 

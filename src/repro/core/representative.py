@@ -48,7 +48,9 @@ class RepresentativeResult:
         return int(self.indices.size)
 
 
-def _resolve_skyline(points: np.ndarray, skyline_indices) -> np.ndarray:
+def _resolve_skyline(
+    points: np.ndarray, skyline_indices: np.ndarray | None
+) -> np.ndarray:
     if skyline_indices is None:
         return skyline_numpy(points)
     return np.asarray(skyline_indices, dtype=np.intp)

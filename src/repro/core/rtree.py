@@ -63,7 +63,7 @@ class RTree:
         *,
         leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
         fanout: int | None = None,
-    ):
+    ) -> None:
         self.points = validate_points(points)
         if leaf_capacity < 1:
             raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")

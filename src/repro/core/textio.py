@@ -15,7 +15,7 @@ block-based in-memory path remains the fast lane for the benchmark sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, List
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class ParsePointMapper(Mapper):
     Hadoop).  Params: ``partitioner``, optional ``pruned`` cell set.
     """
 
-    def map(self, key, value: str, ctx: MapContext) -> None:
+    def map(self, key: Any, value: str, ctx: MapContext) -> None:
         if not value.strip():
             return
         row = np.array(

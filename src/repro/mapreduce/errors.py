@@ -47,8 +47,13 @@ class TaskError(EngineError):
         if not isinstance(cause, str):
             try:
                 pickle.dumps(cause)
-            except Exception:
-                cause = repr(cause)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                # The narrow trio pickle actually raises for unpicklable
+                # values: PicklingError (protocol refusals), TypeError
+                # (e.g. locks, generators), AttributeError (unimportable
+                # qualnames).  Anything else propagates — a swallow here
+                # would mask the real failure as BrokenProcessPool.
+                cause = f"{cause!r} (unpicklable: {exc})"
         return (type(self), (self.task_id, cause))
 
 

@@ -29,6 +29,9 @@ class SerialExecutor(Executor):
         future: Future = Future()
         try:
             future.set_result(fn(*args))
-        except BaseException as exc:
+        # Not a swallow: the exception is transported through the future
+        # and re-raised by the runner's drain loop, mirroring how a pool
+        # executor surfaces worker failures.
+        except BaseException as exc:  # repro: allow[exception-hygiene]
             future.set_exception(exc)
         return future

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -21,9 +22,16 @@ class ThreadExecutor(Executor):
     back are measured inside the worker threads and may include GIL
     contention; the runner records them as synthetic (back-dated) spans.
 
-    Metrics histograms observed *inside* task code are best-effort under
-    threads: the registry is not locked, so concurrent observations may
-    race.  Counters are immune — each task owns a private
+    The lazily-created pool is guarded by ``self._lock`` (the engine's
+    lock-discipline contract, enforced by ``repro lint``): concurrent
+    first ``submit`` calls — e.g. two pipelined chains sharing one
+    executor instance — must not race the pool into existence twice, and
+    ``shutdown`` must not tear it down under a submitter.
+
+    Metrics *instrument creation* is likewise locked in the registry;
+    histogram observations from inside task code remain best-effort under
+    threads (per-instrument increments are unsynchronized).  Counters are
+    immune — each task owns a private
     :class:`~repro.mapreduce.counters.Counters` merged in the driver.
     """
 
@@ -34,15 +42,20 @@ class ThreadExecutor(Executor):
             raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers or (os.cpu_count() or 1)
         self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
 
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.num_workers, thread_name_prefix="repro-task"
-            )
-        return self._pool.submit(fn, *args)
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-task",
+                )
+            pool = self._pool
+        return pool.submit(fn, *args)
 
     def shutdown(self, wait: bool = True) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)

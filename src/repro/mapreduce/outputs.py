@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, List, Tuple
 
-from repro.mapreduce.errors import FileSystemError
+from repro.mapreduce.errors import FileSystemError, SerializationError
 from repro.mapreduce.fs import BlockFileSystem
 from repro.mapreduce.job import JobResult
 from repro.mapreduce.serialization import PickleCodec, dump_records, load_records
@@ -85,7 +85,12 @@ class _OutputFormatBase:
                 self.fs.rename(src, dst)
                 committed.append(dst)
             self.fs.write(success_path, b"", overwrite=True)
-        except Exception:
+        except (FileSystemError, SerializationError, OSError, ValueError):
+            # Exactly what the encode/write/rename path can raise: engine
+            # filesystem errors, record-encoding failures, and the OS-level
+            # errors a real filesystem backend may surface.  Clean up the
+            # temporary prefix, then re-raise — a partial commit must never
+            # look like a committed result.
             self.abort()
             raise
         return committed

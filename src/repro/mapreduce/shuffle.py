@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import os
 import tempfile
+import threading
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, List, Tuple
 
@@ -209,6 +210,13 @@ class StreamingShuffle:
     records exceed ``spill_threshold_records`` (and ``sort_keys`` is on),
     all of its segments — buffered and future — are staged through framed
     temp files and stream-merged at finalize.
+
+    Shared state (segment buffers, spill paths, counts, stats) mutates only
+    under ``self._lock`` — the engine's lock-discipline contract, enforced
+    statically by ``repro lint`` — so a future runner variant may ingest
+    from executor callbacks on worker threads without re-auditing this
+    class.  The lock is reentrant (spilling happens mid-ingest) and is
+    never held across the k-way merge itself, only across buffer handoff.
     """
 
     def __init__(
@@ -238,6 +246,7 @@ class StreamingShuffle:
         self._spilled: List[dict[int, str]] = [{} for _ in range(num_partitions)]
         self._counts = [0] * num_partitions
         self._ingested: set[int] = set()
+        self._lock = threading.RLock()
 
     @property
     def complete(self) -> bool:
@@ -254,27 +263,33 @@ class StreamingShuffle:
 
     def ingest(self, map_index: int, buffers: List[List[Pair]]) -> None:
         """Absorb one map task's per-partition buffers (sorting them now)."""
-        if map_index in self._ingested:
-            raise ValueError(f"map task {map_index} already ingested")
-        if len(buffers) != self.num_partitions:
-            raise ValueError(
-                f"map task {map_index} produced {len(buffers)} buffers for "
-                f"{self.num_partitions} partitions"
-            )
-        for part, seg in enumerate(buffers):
-            if not seg:
-                continue
-            self.stats.segments += 1
-            self.stats.records += len(seg)
-            for key, value in seg:
-                self.stats.bytes += estimate_nbytes(key) + estimate_nbytes(value)
-            self._segments[part][map_index] = (
-                _safe_sort(seg) if self._sort_keys else list(seg)
-            )
-            self._counts[part] += len(seg)
-            if self._spill_enabled and self._counts[part] > self._spill_threshold:
-                self._spill_partition(part)
-        self._ingested.add(map_index)
+        with self._lock:
+            if map_index in self._ingested:
+                raise ValueError(f"map task {map_index} already ingested")
+            if len(buffers) != self.num_partitions:
+                raise ValueError(
+                    f"map task {map_index} produced {len(buffers)} buffers "
+                    f"for {self.num_partitions} partitions"
+                )
+            for part, seg in enumerate(buffers):
+                if not seg:
+                    continue
+                self.stats.segments += 1
+                self.stats.records += len(seg)
+                for key, value in seg:
+                    self.stats.bytes += (
+                        estimate_nbytes(key) + estimate_nbytes(value)
+                    )
+                self._segments[part][map_index] = (
+                    _safe_sort(seg) if self._sort_keys else list(seg)
+                )
+                self._counts[part] += len(seg)
+                if (
+                    self._spill_enabled
+                    and self._counts[part] > self._spill_threshold
+                ):
+                    self._spill_partition(part)
+            self._ingested.add(map_index)
 
     def finalize(self, part: int) -> Grouped:
         """Merge + group one partition; legal only once :attr:`complete`.
@@ -282,13 +297,19 @@ class StreamingShuffle:
         Frees the partition's buffered segments and spill files, so each
         partition can be finalized exactly once.
         """
-        if not self.complete:
-            raise RuntimeError(
-                f"cannot finalize partition {part}: "
-                f"{self.num_map_tasks - len(self._ingested)} map tasks pending"
-            )
-        segments = self._segments[part]
-        spilled = self._spilled[part]
+        # Detach the partition's buffers under the lock; merge outside it
+        # (the k-way merge is the expensive part and touches nothing shared).
+        with self._lock:
+            if not self.complete:
+                raise RuntimeError(
+                    f"cannot finalize partition {part}: "
+                    f"{self.num_map_tasks - len(self._ingested)} map tasks "
+                    "pending"
+                )
+            segments = self._segments[part]
+            spilled = self._spilled[part]
+            self._segments[part] = {}
+            self._spilled[part] = {}
         indices = sorted(segments.keys() | spilled.keys())
         if self._sort_keys:
             streams: List[Iterable[Pair]] = [
@@ -300,10 +321,8 @@ class StreamingShuffle:
             )
         else:
             merged = [pair for i in indices for pair in segments[i]]
-        self._segments[part] = {}
         for path in spilled.values():
             self._unlink(path)
-        self._spilled[part] = {}
         return group_sorted(merged)
 
     def finalize_all(self) -> List[Grouped]:
@@ -312,11 +331,13 @@ class StreamingShuffle:
 
     def close(self) -> None:
         """Release buffered segments and delete any remaining spill files."""
-        self._segments = [{} for _ in range(self.num_partitions)]
-        for spilled in self._spilled:
+        with self._lock:
+            self._segments = [{} for _ in range(self.num_partitions)]
+            leftover = self._spilled
+            self._spilled = [{} for _ in range(self.num_partitions)]
+        for spilled in leftover:
             for path in spilled.values():
                 self._unlink(path)
-        self._spilled = [{} for _ in range(self.num_partitions)]
 
     def __enter__(self) -> "StreamingShuffle":
         return self
@@ -327,16 +348,21 @@ class StreamingShuffle:
     # -- internals ---------------------------------------------------------------
 
     def _spill_partition(self, part: int) -> None:
-        """Stage all of one partition's in-memory segments to framed files."""
+        """Stage all of one partition's in-memory segments to framed files.
+
+        Reached from :meth:`ingest` with the (reentrant) lock already held;
+        it re-acquires so its mutations are lock-guarded in their own right.
+        """
         assert self._spill_dir is not None
         os.makedirs(self._spill_dir, exist_ok=True)
-        for map_index, seg in sorted(self._segments[part].items()):
-            fd, path = tempfile.mkstemp(dir=self._spill_dir, suffix=".spill")
-            self._spilled[part][map_index] = path
-            self.stats.spilled_segments += 1
-            with os.fdopen(fd, "wb") as fh:
-                write_frames(fh, (self._codec.encode(p) for p in seg))
-        self._segments[part] = {}
+        with self._lock:
+            for map_index, seg in sorted(self._segments[part].items()):
+                fd, path = tempfile.mkstemp(dir=self._spill_dir, suffix=".spill")
+                self._spilled[part][map_index] = path
+                self.stats.spilled_segments += 1
+                with os.fdopen(fd, "wb") as fh:
+                    write_frames(fh, (self._codec.encode(p) for p in seg))
+            self._segments[part] = {}
 
     def _read_spill(self, path: str) -> Iterable[Pair]:
         with open(path, "rb") as fh:

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Any, Dict, Iterable, List, Sequence
+import threading
+from typing import Any, Dict, Iterable, Sequence
 
 __all__ = [
     "Counter",
@@ -172,29 +173,49 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use, snapshotted as one dict."""
+    """Named instruments, created on first use, snapshotted as one dict.
+
+    Instrument *creation* is thread-safe: the instrument maps mutate only
+    under ``self._lock`` (the engine's lock-discipline contract, enforced
+    by ``repro lint``), with a lock-free fast path for the common
+    already-created case.  Mutating a returned instrument is the caller's
+    concern — counters merged via :meth:`absorb_counters` come from
+    per-task :class:`~repro.mapreduce.counters.Counters` and need no
+    synchronization; histogram observations from thread-backend task code
+    are best-effort.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
         if inst is None:
-            inst = self._counters[name] = Counter(name)
+            with self._lock:
+                inst = self._counters.get(name)
+                if inst is None:
+                    inst = self._counters[name] = Counter(name)
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
-            inst = self._gauges[name] = Gauge(name)
+            with self._lock:
+                inst = self._gauges.get(name)
+                if inst is None:
+                    inst = self._gauges[name] = Gauge(name)
         return inst
 
     def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
         inst = self._histograms.get(name)
         if inst is None:
-            inst = self._histograms[name] = Histogram(name, buckets)
+            with self._lock:
+                inst = self._histograms.get(name)
+                if inst is None:
+                    inst = self._histograms[name] = Histogram(name, buckets)
         return inst
 
     def absorb_counters(self, counters: Iterable[tuple], prefix: str = "") -> None:
@@ -213,18 +234,22 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Any]:
         """Deep-copy JSON-ready view of every instrument."""
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.snapshot() for n, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.snapshot() for n, h in sorted(self._histograms.items())
+                },
+            }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 _default_registry = MetricsRegistry()

@@ -1,0 +1,35 @@
+"""Shared helpers for the contract-checker tests.
+
+The violating fixtures mark each offending line with ``# VIOLATION:
+<rule-id>``; :func:`expected_violations` recovers the ``(line, rule_id)``
+pairs so tests assert exact locations without hardcoding line numbers.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MARKER_RE = re.compile(r"#\s*VIOLATION:\s*([a-z-]+)")
+
+
+def fixture_path(name: str) -> str:
+    return str(FIXTURES / name)
+
+
+def expected_violations(name: str) -> set:
+    """``{(line, rule_id)}`` pairs declared by a fixture's markers."""
+    pairs = set()
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER_RE.search(line)
+        if match:
+            pairs.add((lineno, match.group(1)))
+    return pairs
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

@@ -1,0 +1,13 @@
+"""Fixture: pragma-hygiene violations (malformed / unknown rule ids)."""
+
+
+def missing_id():
+    return 1  # repro: allow
+
+
+def unknown_id():
+    return 2  # repro: allow[definitely-not-a-rule]
+
+
+def malformed_id():
+    return 3  # repro: allow[Not_A_Valid_Id!]

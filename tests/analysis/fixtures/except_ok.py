@@ -1,0 +1,29 @@
+"""Clean fixture: broad handlers that wrap or re-raise, and narrow ones."""
+
+
+class TaskError(Exception):
+    def __init__(self, task_id, cause):
+        super().__init__(task_id, cause)
+
+
+def wraps(task_id, fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise TaskError(task_id, exc) from exc
+
+
+def cleans_up(fn, resource):
+    try:
+        return fn()
+    except Exception:
+        resource.close()
+        raise
+
+
+def narrow(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError:
+        return None

@@ -1,0 +1,23 @@
+"""Violating fixture for exception-hygiene (see udf_impure for marker rules)."""
+
+
+def swallows(fn):
+    try:
+        return fn()
+    except Exception:  # VIOLATION: exception-hygiene
+        return None
+
+
+def bare_swallow(fn):
+    try:
+        return fn()
+    except:  # noqa: E722  # VIOLATION: exception-hygiene
+        return None
+
+
+def tuple_swallow(fn, log):
+    try:
+        return fn()
+    except (ValueError, Exception) as exc:  # VIOLATION: exception-hygiene
+        log.append(exc)
+        return None

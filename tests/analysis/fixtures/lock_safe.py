@@ -1,0 +1,22 @@
+"""Clean fixture: every shared-state write sits under ``with self._lock``."""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.count = 0
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+            self.count += 1
+
+    def drain(self):
+        with self._lock:
+            items = self._items
+            self._items = []
+            self.count = 0
+        return items

@@ -1,0 +1,32 @@
+"""Violating fixture for lock-discipline (see udf_impure for the marker rules)."""
+
+import threading
+
+
+class RacyBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # constructor writes are exempt
+        self.count = 0
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+            self.count += 1
+
+    def sneak(self, item):
+        self._items.append(item)  # VIOLATION: lock-discipline
+        self.count = self.count + 1  # VIOLATION: lock-discipline
+
+    def reset(self):
+        self._items, self.count = [], 0  # VIOLATION: lock-discipline
+
+
+class Unshared:
+    """No lock attribute at all: bare writes are fine here."""
+
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        self.items.append(item)

@@ -1,0 +1,37 @@
+"""Clean fixture: every process-pool payload is module-level and picklable."""
+
+
+class Mapper:
+    pass
+
+
+class Partitioner:
+    def partition(self, key, num_partitions):
+        return hash(key) % num_partitions
+
+
+class IdentityMapper(Mapper):
+    def map(self, key, value):
+        yield key, value
+
+
+class Job:
+    def __init__(self, name, mapper, reducer=None):
+        self.name = name
+
+
+class JobConf:
+    def __init__(self, partitioner=None, params=None):
+        self.partitioner = partitioner
+        self.params = params
+
+
+def task():
+    return 1
+
+
+def run(executor):
+    conf = JobConf(partitioner=Partitioner(), params={"factor": 2})
+    job = Job("safe", IdentityMapper)
+    future = executor.submit(task)
+    return conf, job, future

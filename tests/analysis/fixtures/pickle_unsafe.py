@@ -1,0 +1,35 @@
+"""Violating fixture for pickle-safety (see udf_impure for the marker rules)."""
+
+
+class Mapper:
+    pass
+
+
+class Job:
+    def __init__(self, name, mapper=None, reducer=None):
+        self.name = name
+
+
+class JobConf:
+    def __init__(self, partitioner=None, params=None):
+        self.partitioner = partitioner
+        self.params = params
+
+
+JOB = Job("bad", mapper=lambda key, value: [(key, value)])  # VIOLATION: pickle-safety
+
+CONF = JobConf(partitioner=lambda key, n: 0)  # VIOLATION: pickle-safety
+
+PARAMS = JobConf(params={"scale": lambda x: x * 2})  # VIOLATION: pickle-safety
+
+
+def build_local_job():
+    class LocalMapper(Mapper):
+        def map(self, key, value):
+            yield key, value
+
+    return Job("local", LocalMapper)  # VIOLATION: pickle-safety
+
+
+def run(executor):
+    return executor.submit(lambda: 42)  # VIOLATION: pickle-safety

@@ -1,0 +1,16 @@
+"""Fixture: real violations silenced by ``# repro: allow[...]`` pragmas."""
+
+
+def inline_swallow(fn):
+    try:
+        return fn()
+    except Exception:  # repro: allow[exception-hygiene] -- demo suppression
+        return None
+
+
+def standalone_swallow(fn):
+    try:
+        return fn()
+    # repro: allow[exception-hygiene] -- the pragma covers the next line
+    except Exception:
+        return None

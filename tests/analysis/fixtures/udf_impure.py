@@ -1,0 +1,48 @@
+"""Violating fixture for udf-purity.
+
+Each line carrying a ``# VIOLATION: <rule-id>`` marker must produce exactly
+that finding; the test asserts the (rule id, line) pairs match the markers.
+"""
+
+import random
+import time
+
+CACHE = {}
+STATE = []
+
+
+class Mapper:
+    pass
+
+
+class Reducer:
+    pass
+
+
+class NoisyMapper(Mapper):
+    def map(self, key, value):
+        jitter = random.random()  # VIOLATION: udf-purity
+        stamp = time.time()  # VIOLATION: udf-purity
+        print(key)  # VIOLATION: udf-purity
+        CACHE[key] = value  # VIOLATION: udf-purity
+        STATE.append(value)  # VIOLATION: udf-purity
+        yield key, value + jitter + stamp
+
+
+class LeakyReducer(Reducer):
+    def reduce(self, key, values):
+        global STATE  # VIOLATION: udf-purity
+        get_metrics().counter("n").inc()  # VIOLATION: udf-purity
+        yield key, sum(values)
+
+
+def get_metrics():
+    return None
+
+
+class Job:
+    def __init__(self, name, mapper, reducer):
+        self.name = name
+
+
+JOB = Job("dirty", NoisyMapper, LeakyReducer)

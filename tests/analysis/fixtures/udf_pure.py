@@ -1,0 +1,32 @@
+"""Clean fixture: pure UDFs wired into a Job — zero udf-purity findings."""
+
+
+class Mapper:
+    pass
+
+
+class Reducer:
+    pass
+
+
+class PointMapper(Mapper):
+    def map(self, key, value):
+        yield key % 4, value * 2
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values):
+        total = 0
+        for value in values:
+            total += value
+        yield key, total
+
+
+class Job:
+    def __init__(self, name, mapper, reducer):
+        self.name = name
+        self.mapper = mapper
+        self.reducer = reducer
+
+
+JOB = Job("clean", PointMapper, SumReducer)

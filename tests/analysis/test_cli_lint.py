@@ -1,0 +1,86 @@
+"""`repro lint` CLI: formats, exit codes, rule listing, baselines."""
+
+import json
+
+from repro.cli import main
+
+from tests.analysis.conftest import fixture_path
+
+
+class TestLintCli:
+    def test_clean_path_exits_zero(self, capsys):
+        code = main(["lint", fixture_path("udf_pure.py")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_findings_exit_one_text_format(self, capsys):
+        code = main(["lint", fixture_path("except_swallow.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "exception-hygiene" in out
+        assert "except_swallow.py:" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        code = main(
+            ["lint", fixture_path("except_swallow.py"), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["summary"]["errors"] == len(payload["findings"])
+        finding = payload["findings"][0]
+        assert finding["rule"] == "exception-hygiene"
+        assert finding["severity"] == "error"
+        assert finding["path"].endswith("except_swallow.py")
+        assert finding["line"] > 0
+        assert finding["fingerprint"]
+
+    def test_rules_filter(self, capsys):
+        code = main(
+            [
+                "lint",
+                fixture_path("except_swallow.py"),
+                "--rules",
+                "udf-purity,pickle-safety",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0  # swallows are exception-hygiene findings
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        code = main(["lint", fixture_path("udf_pure.py"), "--rules", "nope"])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in (
+            "udf-purity",
+            "pickle-safety",
+            "lock-discipline",
+            "exception-hygiene",
+        ):
+            assert rule_id in out
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert (
+            main(
+                [
+                    "lint",
+                    fixture_path("except_swallow.py"),
+                    "--write-baseline",
+                    baseline,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["lint", fixture_path("except_swallow.py"), "--baseline", baseline]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baselined" in out

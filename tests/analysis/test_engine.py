@@ -1,0 +1,108 @@
+"""Engine behaviour: rule selection, baselines, parse failures, exit codes."""
+
+import pytest
+
+from repro.analysis import (
+    BaselineError,
+    all_rule_ids,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+from tests.analysis.conftest import fixture_path
+
+
+class TestRuleSelection:
+    def test_all_four_packs_are_registered(self):
+        assert {
+            "udf-purity",
+            "pickle-safety",
+            "lock-discipline",
+            "exception-hygiene",
+        } <= set(all_rule_ids())
+
+    def test_rules_filter_runs_only_named_rules(self):
+        result = run_lint(
+            [fixture_path("except_swallow.py")], rule_ids=["udf-purity"]
+        )
+        assert result.rule_ids == ["udf-purity"]
+        assert result.findings == []  # the swallows are exception-hygiene
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            run_lint(
+                [fixture_path("except_ok.py")], rule_ids=["no-such-rule"]
+            )
+
+
+class TestBaseline:
+    def test_round_trip_filters_recorded_findings(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        first = run_lint(
+            [fixture_path("except_swallow.py")],
+            rule_ids=["exception-hygiene"],
+        )
+        assert first.findings
+        count = write_baseline(baseline, first.findings)
+        assert count == len({f.fingerprint() for f in first.findings})
+
+        second = run_lint(
+            [fixture_path("except_swallow.py")],
+            rule_ids=["exception-hygiene"],
+            baseline_path=baseline,
+        )
+        assert second.findings == []
+        assert second.baselined == len(first.findings)
+        assert second.exit_code == 0
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        """Fingerprints are line-free: prepending a comment changes nothing."""
+        original = open(
+            fixture_path("except_swallow.py"), encoding="utf-8"
+        ).read()
+        v1 = tmp_path / "mod.py"
+        v1.write_text(original, encoding="utf-8")
+        baseline = str(tmp_path / "baseline.json")
+        first = run_lint([str(v1)], rule_ids=["exception-hygiene"])
+        write_baseline(baseline, first.findings)
+
+        v1.write_text("# shifted\n# shifted\n" + original, encoding="utf-8")
+        second = run_lint(
+            [str(v1)], rule_ids=["exception-hygiene"], baseline_path=baseline
+        )
+        assert second.findings == []
+        assert second.baselined == len(first.findings)
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(BaselineError):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(str(bad))
+
+
+class TestParseFailures:
+    def test_unparsable_file_becomes_a_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n", encoding="utf-8")
+        result = run_lint([str(broken)])
+        assert [f.rule_id for f in result.findings] == ["parse-error"]
+        assert result.exit_code == 1
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self):
+        result = run_lint([fixture_path("udf_pure.py")])
+        assert result.exit_code == 0
+        assert result.summary()["errors"] == 0
+
+    def test_findings_exit_one(self):
+        result = run_lint(
+            [fixture_path("lock_unsafe.py")], rule_ids=["lock-discipline"]
+        )
+        assert result.exit_code == 1
+        assert result.summary()["findings"] == len(result.findings)

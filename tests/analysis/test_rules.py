@@ -1,0 +1,84 @@
+"""Each rule pack catches its violating fixture and passes its clean one.
+
+The violating fixtures carry ``# VIOLATION: rule-id`` markers on every
+offending line; the tests assert the checker reports exactly the marked
+``(line, rule_id)`` pairs — no misses, no extras.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import run_lint
+
+from tests.analysis.conftest import expected_violations, fixture_path
+
+
+def found_pairs(name: str, rule_id: str) -> set:
+    result = run_lint([fixture_path(name)], rule_ids=[rule_id])
+    return {(f.line, f.rule_id) for f in result.findings}
+
+
+@pytest.mark.parametrize(
+    ("rule_id", "violating", "clean"),
+    [
+        ("udf-purity", "udf_impure.py", "udf_pure.py"),
+        ("pickle-safety", "pickle_unsafe.py", "pickle_safe.py"),
+        ("lock-discipline", "lock_unsafe.py", "lock_safe.py"),
+        ("exception-hygiene", "except_swallow.py", "except_ok.py"),
+    ],
+)
+class TestRulePacks:
+    def test_catches_every_marked_line(self, rule_id, violating, clean):
+        expected = expected_violations(violating)
+        assert expected, f"fixture {violating} declares no VIOLATION markers"
+        assert found_pairs(violating, rule_id) == expected
+
+    def test_clean_fixture_has_no_findings(self, rule_id, violating, clean):
+        result = run_lint([fixture_path(clean)], rule_ids=[rule_id])
+        assert result.findings == []
+        assert result.exit_code == 0
+
+
+class TestFindingShape:
+    def test_findings_carry_symbol_and_fingerprint(self):
+        result = run_lint(
+            [fixture_path("except_swallow.py")],
+            rule_ids=["exception-hygiene"],
+        )
+        assert result.findings
+        for finding in result.findings:
+            assert finding.rule_id == "exception-hygiene"
+            assert finding.symbol  # enclosing function name
+            fingerprint = finding.fingerprint()
+            assert fingerprint.startswith("exception-hygiene:")
+            shifted = dataclasses.replace(finding, line=finding.line + 40)
+            assert shifted.fingerprint() == fingerprint
+
+    def test_lock_findings_name_class_attr_and_method(self):
+        result = run_lint(
+            [fixture_path("lock_unsafe.py")], rule_ids=["lock-discipline"]
+        )
+        messages = "\n".join(f.message for f in result.findings)
+        assert "RacyBuffer._items" in messages
+        assert "sneak()" in messages
+
+    def test_udf_findings_explain_the_contract(self):
+        result = run_lint(
+            [fixture_path("udf_impure.py")], rule_ids=["udf-purity"]
+        )
+        messages = "\n".join(f.message for f in result.findings)
+        assert "random.random" in messages
+        assert "get_metrics" in messages
+        assert "module-level" in messages
+
+    def test_pickle_findings_cover_all_boundary_shapes(self):
+        result = run_lint(
+            [fixture_path("pickle_unsafe.py")], rule_ids=["pickle-safety"]
+        )
+        messages = "\n".join(f.message for f in result.findings)
+        assert "mapper=" in messages
+        assert "partitioner" in messages
+        assert "params" in messages
+        assert "LocalMapper" in messages
+        assert "submit" in messages

@@ -1,0 +1,50 @@
+"""The engine's own tree must lint clean — the PR's standing invariant.
+
+`repro lint src/repro` exiting non-zero means either a real contract
+violation crept in or a suppression lost its rule id; both block CI.
+"""
+
+import os
+
+import repro
+from repro.analysis import run_lint
+from repro.cli import main
+
+
+def _src_repro() -> str:
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestSelfClean:
+    def test_engine_tree_lints_clean(self):
+        result = run_lint([_src_repro()])
+        details = "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id}: {f.message}"
+            for f in result.findings
+        )
+        assert result.findings == [], f"src/repro is not lint-clean:\n{details}"
+        assert result.exit_code == 0
+        assert result.checked_files > 50
+
+    def test_cli_self_lint_exits_zero(self, capsys):
+        assert main(["lint", _src_repro()]) == 0
+        capsys.readouterr()
+
+    def test_suppressions_in_tree_are_documented(self):
+        """Every allow-pragma in the engine names a known rule and carries
+        a human reason beyond the bare pragma."""
+        from repro.analysis.base import all_rule_ids
+        from repro.analysis.suppressions import parse_suppressions
+
+        known = set(all_rule_ids())
+        for dirpath, _, filenames in os.walk(_src_repro()):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+                sup = parse_suppressions(source)
+                assert sup.malformed == [], f"malformed pragma in {path}"
+                for line, _, rule_id in sup.named_ids:
+                    assert rule_id in known, f"{path}:{line}: {rule_id}"

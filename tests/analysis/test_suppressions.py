@@ -1,0 +1,75 @@
+"""Suppression pragmas: they silence findings, and stay auditable."""
+
+from repro.analysis import run_lint
+from repro.analysis.suppressions import parse_suppressions
+
+from tests.analysis.conftest import fixture_path
+
+
+class TestPragmaSuppression:
+    def test_inline_and_standalone_pragmas_suppress(self):
+        result = run_lint(
+            [fixture_path("suppressed.py")], rule_ids=["exception-hygiene"]
+        )
+        assert result.findings == []
+        assert result.suppressed == 2
+        assert result.exit_code == 0
+
+    def test_unsuppressed_twin_still_fires(self):
+        result = run_lint(
+            [fixture_path("except_swallow.py")],
+            rule_ids=["exception-hygiene"],
+        )
+        assert result.findings
+
+
+class TestPragmaHygiene:
+    def test_malformed_and_unknown_pragmas_are_findings(self):
+        result = run_lint([fixture_path("bad_pragma.py")])
+        by_rule = {}
+        for finding in result.findings:
+            by_rule.setdefault(finding.rule_id, []).append(finding)
+        assert set(by_rule) == {"lint-pragma"}
+        messages = "\n".join(f.message for f in by_rule["lint-pragma"])
+        assert "names no rule id" in messages
+        assert "definitely-not-a-rule" in messages
+        assert "malformed rule id" in messages
+        assert result.exit_code == 1
+
+    def test_pragma_lines_match_source(self):
+        source = open(fixture_path("bad_pragma.py"), encoding="utf-8").read()
+        pragma_lines = {
+            lineno
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if "repro: allow" in line
+        }
+        result = run_lint([fixture_path("bad_pragma.py")])
+        assert {f.line for f in result.findings} == pragma_lines
+
+
+class TestParseSuppressions:
+    def test_inline_pragma_covers_its_own_line_only(self):
+        sup = parse_suppressions("x = 1  # repro: allow[udf-purity]\ny = 2\n")
+        assert sup.suppresses("udf-purity", 1)
+        assert not sup.suppresses("udf-purity", 2)
+
+    def test_standalone_pragma_covers_next_line(self):
+        sup = parse_suppressions("# repro: allow[udf-purity]\nx = 1\n")
+        assert sup.suppresses("udf-purity", 1)
+        assert sup.suppresses("udf-purity", 2)
+
+    def test_multiple_ids_in_one_pragma(self):
+        sup = parse_suppressions(
+            "x = 1  # repro: allow[udf-purity, pickle-safety]\n"
+        )
+        assert sup.suppresses("udf-purity", 1)
+        assert sup.suppresses("pickle-safety", 1)
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        sup = parse_suppressions('x = "# repro: allow[udf-purity]"\n')
+        assert not sup.suppresses("udf-purity", 1)
+        assert sup.malformed == []
+
+    def test_other_rules_not_suppressed(self):
+        sup = parse_suppressions("x = 1  # repro: allow[udf-purity]\n")
+        assert not sup.suppresses("lock-discipline", 1)
