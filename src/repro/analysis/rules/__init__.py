@@ -8,6 +8,7 @@ Importing this package registers every built-in rule with
 
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.no_sleep import UdfNoSleepRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
 from repro.analysis.rules.udf_purity import UdfPurityRule
 
@@ -15,5 +16,6 @@ __all__ = [
     "ExceptionHygieneRule",
     "LockDisciplineRule",
     "PickleSafetyRule",
+    "UdfNoSleepRule",
     "UdfPurityRule",
 ]

@@ -1,0 +1,64 @@
+"""udf-no-sleep: map/combine/reduce callables must never sleep.
+
+The fault-tolerance layer (``docs/fault_tolerance.md``) budgets every task
+attempt against ``RetryPolicy.task_timeout_s`` and compares stragglers to
+the *median* completed-task duration when deciding speculative backups.  A
+UDF that sleeps corrupts both signals: a healthy task looks hung (the
+driver abandons it and burns a retry) and the inflated median masks real
+stragglers.  Blocking waits belong in the engine, which accounts for them —
+never in user task code.
+
+``udf-purity`` already bans the dotted ``time.sleep`` as a nondeterminism
+side effect; this rule closes the aliasing holes with a sharper message:
+``from time import sleep`` then ``sleep(...)``, ``asyncio.sleep``, and any
+call whose final attribute is ``sleep`` (e.g. a clock object threaded into
+a UDF).  Suppress a deliberate exception with
+``# repro: allow[udf-no-sleep]`` and say why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.project import Module, Project, dotted_name
+from repro.analysis.rules._udf import udf_classes
+
+
+@register
+class UdfNoSleepRule(Rule):
+    """UDFs must not sleep — it breaks timeout and speculation accounting."""
+
+    id = "udf-no-sleep"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for (_, _), (module, classdef) in sorted(
+            udf_classes(project).items(),
+            key=lambda kv: (kv[1][0].path, kv[1][1].lineno),
+        ):
+            yield from self._check_class(module, classdef)
+
+    def _check_class(
+        self, module: Module, classdef: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in classdef.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            where = f"{classdef.name}.{method.name}"
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if not name:
+                    continue
+                if name.split(".")[-1] == "sleep":
+                    yield self.finding(
+                        module,
+                        node,
+                        f"UDF {where} calls {name}(): a sleeping UDF looks "
+                        "hung to the retry deadline and skews the straggler "
+                        "median that triggers speculation — blocking waits "
+                        "belong in the engine, not in task code",
+                    )

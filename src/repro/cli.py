@@ -22,6 +22,8 @@ Usage::
                 measurement path), threads, or processes
     --workers   pool size for the thread/process executors
     --pipelined overlap the two-job skyline chain (see docs/tuning.md)
+    --faults F  inject deterministic faults from a FaultPlan JSON file
+                (chaos mode; see docs/fault_tolerance.md)
 
 The installed console script ``repro-skyline`` is equivalent.
 """
@@ -139,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="overlap the two-job skyline chain (merge maps start as local-"
         "skyline partitions finish); results are identical",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help="inject deterministic faults from a FaultPlan JSON file into "
+        "every engine job of the run (chaos mode; schema in "
+        "docs/fault_tolerance.md) — results must be identical anyway",
     )
     return parser
 
@@ -351,6 +360,19 @@ def main(argv: List[str] | None = None) -> int:
         executor = make_executor(args.executor, num_workers=args.workers)
     registry = _experiments(args.quick, executor=executor, pipelined=args.pipelined)
     names = list(registry) if args.experiment == "all" else [args.experiment]
+    previous_plan = None
+    if args.faults:
+        # Install the plan process-wide: every Runner the experiments build
+        # (they construct their own, layers below the CLI) picks it up, the
+        # same way $REPRO_EXECUTOR reaches the default executor choice.
+        from repro.mapreduce.faults import FaultPlan, set_default_fault_plan
+
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"--faults: cannot load {args.faults}: {exc}", file=sys.stderr)
+            return 2
+        previous_plan = set_default_fault_plan(plan)
     if args.trace:
         from repro.observability import disable_tracing, enable_tracing
 
@@ -372,6 +394,10 @@ def main(argv: List[str] | None = None) -> int:
         # collected so far.
         if args.trace:
             disable_tracing(write_metrics=True)
+        if args.faults:
+            from repro.mapreduce.faults import set_default_fault_plan
+
+            set_default_fault_plan(previous_plan)
     if args.output:
         with open(args.output, "a") as fh:
             fh.write("\n".join(rendered) + "\n")

@@ -41,7 +41,9 @@ from repro.mapreduce.errors import (
     EngineError,
     JobConfigError,
     JobFailedError,
+    PartitionLostError,
     TaskError,
+    TaskTimeoutError,
 )
 from repro.mapreduce.executors import (
     EXECUTOR_NAMES,
@@ -51,6 +53,14 @@ from repro.mapreduce.executors import (
     ThreadExecutor,
     default_executor_name,
     make_executor,
+)
+from repro.mapreduce.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    get_default_fault_plan,
+    set_default_fault_plan,
 )
 from repro.mapreduce.inputs import (
     InputFormat,
@@ -80,7 +90,7 @@ from repro.mapreduce.runner import (
     run_job,
 )
 from repro.mapreduce.tasks import Combiner, MapContext, Mapper, ReduceContext, Reducer
-from repro.mapreduce.types import KeyValue, TaskKind, TaskStats
+from repro.mapreduce.types import KeyValue, RetryPolicy, TaskKind, TaskStats
 
 __all__ = [
     "Combiner",
@@ -88,7 +98,11 @@ __all__ = [
     "EXECUTOR_NAMES",
     "EngineError",
     "Executor",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "HashPartitioner",
+    "InjectedFault",
     "InputFormat",
     "InputSplit",
     "Job",
@@ -103,10 +117,12 @@ __all__ = [
     "Mapper",
     "MultiprocessRunner",
     "Partitioner",
+    "PartitionLostError",
     "ProcessExecutor",
     "RangePartitioner",
     "ReduceContext",
     "Reducer",
+    "RetryPolicy",
     "Runner",
     "SequenceInputFormat",
     "SequenceOutputFormat",
@@ -117,12 +133,15 @@ __all__ = [
     "TaskError",
     "TaskKind",
     "TaskStats",
+    "TaskTimeoutError",
     "TextInputFormat",
     "TextOutputFormat",
     "default_executor_name",
+    "get_default_fault_plan",
     "make_executor",
     "make_splits",
     "read_sequence_output",
     "read_text_output",
     "run_job",
+    "set_default_fault_plan",
 ]

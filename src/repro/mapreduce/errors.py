@@ -57,6 +57,42 @@ class TaskError(EngineError):
         return (type(self), (self.task_id, cause))
 
 
+class TaskTimeoutError(TaskError):
+    """A task attempt exceeded its wall-clock budget.
+
+    Raised worker-side by cooperative hangs (see
+    :mod:`repro.mapreduce.faults`) and driver-side when the runner abandons
+    a future past its ``RetryPolicy.task_timeout_s`` deadline.  Counts as a
+    retryable failure like any other :class:`TaskError`.
+    """
+
+    def __init__(self, task_id: str, timeout_s: float):
+        self.timeout_s = timeout_s
+        # TaskError.__init__ sets task_id/cause and the formatted message.
+        super().__init__(task_id, f"timed out after {timeout_s:.3f}s")
+
+    def __reduce__(self):
+        # TaskError.__reduce__ replays (task_id, cause), which doesn't match
+        # this signature — rebuild from (task_id, timeout_s) instead so the
+        # exception survives the process-pool result channel intact.
+        return (type(self), (self.task_id, self.timeout_s))
+
+
+class PartitionLostError(EngineError):
+    """A partition's task was terminally lost (retries exhausted).
+
+    Surfaces from :meth:`repro.mapreduce.job.JobResult.require_complete`
+    when a caller demands a complete result from a degraded-mode run.
+    """
+
+    def __init__(self, job_name: str, lost: list[str]):
+        self.job_name = job_name
+        self.lost = list(lost)
+        super().__init__(
+            f"job {job_name!r} lost partitions: {', '.join(self.lost)}"
+        )
+
+
 class JobFailedError(EngineError):
     """A job could not complete because one or more tasks failed terminally.
 

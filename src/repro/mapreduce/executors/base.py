@@ -46,6 +46,18 @@ class Executor(ABC):
     def submit(self, fn: Callable[..., Any], /, *args: Any) -> Future:
         """Schedule ``fn(*args)``; return a future with its result."""
 
+    def cancel(self, future: Future) -> bool:
+        """Best-effort cancellation of one submitted task.
+
+        Returns ``True`` only when the task was prevented from running.
+        Pool executors cannot interrupt an *already running* task body —
+        ``Future.cancel`` fails then, and the runner simply abandons the
+        future (never reads its result) and marks the worker suspect.  The
+        serial executor has nothing to cancel: its futures resolve during
+        ``submit``.
+        """
+        return future.cancel()
+
     def shutdown(self, wait: bool = True) -> None:
         """Release any worker pools; idempotent.  Default: nothing to do."""
 

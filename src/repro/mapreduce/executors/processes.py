@@ -25,6 +25,12 @@ class ProcessExecutor(Executor):
     tasks report their measured durations back and the runner records them
     as synthetic spans (histograms observed inside task code stay in the
     worker and are lost — use the serial executor for measurement runs).
+
+    Timeouts: a queued task can still be cancelled (base ``cancel``), but a
+    task already running in a worker process cannot be interrupted without
+    killing the pool — the runner abandons the future instead and the
+    worker stays suspect (``executor.suspect_workers``) until the body
+    returns.
     """
 
     name = "processes"

@@ -35,3 +35,7 @@ class SerialExecutor(Executor):
         except BaseException as exc:  # repro: allow[exception-hygiene]
             future.set_exception(exc)
         return future
+
+    def cancel(self, future: Future) -> bool:
+        """Serial futures resolve during submit — nothing left to cancel."""
+        return False

@@ -33,6 +33,12 @@ class ThreadExecutor(Executor):
     threads (per-instrument increments are unsynchronized).  Counters are
     immune — each task owns a private
     :class:`~repro.mapreduce.counters.Counters` merged in the driver.
+
+    Timeouts: a running task thread cannot be interrupted, so when the
+    runner's deadline watchdog fires it *abandons* the future (base
+    ``cancel`` succeeds only for not-yet-started tasks) and the hung thread
+    keeps occupying a pool slot until it returns on its own — the
+    ``executor.suspect_workers`` counter tracks how many slots are suspect.
     """
 
     name = "threads"

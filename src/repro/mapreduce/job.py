@@ -116,11 +116,30 @@ class JobResult:
     reduce_wall_s: float = 0.0
     #: Name of the executor the job ran under ("serial" / "threads" / ...).
     executor: str = "serial"
+    #: True when a degraded-mode run lost at least one task terminally: the
+    #: outputs are then a *subset* of the complete answer.
+    partial: bool = False
+    #: Task ids ("map-3", "reduce-0") whose retries were exhausted under
+    #: ``RetryPolicy(on_lost="degrade")``; empty for complete results.
+    lost_partitions: List[str] = field(default_factory=list)
 
     @property
     def wall_s(self) -> float:
         """Total measured wall-clock across the three phases."""
         return self.map_wall_s + self.shuffle_wall_s + self.reduce_wall_s
+
+    def require_complete(self) -> "JobResult":
+        """Return ``self`` unless this result is partial.
+
+        Degraded mode trades a raise at run time for a flag on the result;
+        callers that cannot tolerate a partial skyline call this to get the
+        raise back (:class:`~repro.mapreduce.errors.PartitionLostError`).
+        """
+        if self.partial:
+            from repro.mapreduce.errors import PartitionLostError
+
+            raise PartitionLostError(self.job_name, self.lost_partitions)
+        return self
 
     def output_pairs(self) -> Iterator[Pair]:
         """All output pairs across reduce partitions, partition order."""
@@ -162,6 +181,20 @@ class ChainResult:
     @property
     def wall_s(self) -> float:
         return sum(r.wall_s for r in self.results)
+
+    @property
+    def partial(self) -> bool:
+        """True when any stage ran degraded and lost a task."""
+        return any(r.partial for r in self.results)
+
+    @property
+    def lost_partitions(self) -> List[str]:
+        """Lost task ids across all stages, prefixed with the job name."""
+        return [
+            f"{r.job_name}/{task_id}"
+            for r in self.results
+            for task_id in r.lost_partitions
+        ]
 
     def phase_stats(self, kind: TaskKind) -> PhaseStats:
         """Concatenated task stats of one kind across all chained jobs."""

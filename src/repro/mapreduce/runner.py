@@ -31,10 +31,24 @@ so overlapping phases render truthfully in ``repro trace``.  Spans export
 as they finish — a job that dies mid-phase still leaves a partial trace,
 and the raised :class:`JobFailedError` carries the completed tasks' stats.
 With the default disabled tracer all hooks are no-ops.
+
+Fault tolerance is policy-driven (see ``docs/fault_tolerance.md``): a
+:class:`~repro.mapreduce.types.RetryPolicy` sets the retry budget,
+exponential backoff with seeded jitter, per-attempt wall-clock timeouts
+(cooperative inline; driver-side future abandonment on pools), speculative
+backup attempts for stragglers (first finisher wins, the loser's output is
+discarded before commit), and the degraded mode that swaps a terminal
+:class:`JobFailedError` for a result flagged ``partial=True``.  A
+:class:`~repro.mapreduce.faults.FaultPlan` — passed explicitly, embedded in
+the policy resolution, or installed process-wide by the CLI's ``--faults``
+— injects deterministic chaos into the same machinery; every retry,
+timeout, and speculation decision emits ``decision`` trace spans and
+metrics counters either way.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from contextlib import contextmanager
@@ -42,13 +56,26 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Sequence, Tuple
 
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.errors import JobConfigError, JobFailedError, TaskError
+from repro.mapreduce.errors import (
+    JobConfigError,
+    JobFailedError,
+    TaskError,
+    TaskTimeoutError,
+)
 from repro.mapreduce.executors import Executor, SerialExecutor, make_executor
+from repro.mapreduce.faults import (
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    MonotonicClock,
+    apply_fault,
+    get_default_fault_plan,
+)
 from repro.mapreduce.inputs import InputFormat, InputSplit, SequenceInputFormat
 from repro.mapreduce.job import ChainResult, Job, JobChain, JobResult
 from repro.mapreduce.shuffle import Grouped, StreamingShuffle, shuffle
 from repro.mapreduce.tasks import JobSpec, execute_map_task, execute_reduce_task
-from repro.mapreduce.types import PhaseStats, TaskKind, TaskStats
+from repro.mapreduce.types import PhaseStats, RetryPolicy, TaskKind, TaskStats
 from repro.observability.metrics import get_metrics, observe_partition_skew
 from repro.observability.tracing import Span, Tracer, get_tracer
 
@@ -96,6 +123,8 @@ class _StageState:
     map_wall: float = 0.0
     shuffle_wall: float = 0.0
     reduce_t0: int = 0
+    #: Task ids lost terminally under degraded mode, both phases.
+    lost: List[str] = field(default_factory=list)
 
 
 class Runner:
@@ -115,9 +144,24 @@ class Runner:
     num_workers:
         Pool size for named pool executors (default: CPU count).
     max_task_retries:
-        Failed tasks are retried up to this many times; every failed
-        attempt is traced and counted, and a task that exhausts its
-        attempts fails the job with all its attempts' errors attached.
+        Shorthand alias for ``RetryPolicy(max_retries=...)`` — kept from
+        the pre-policy engine.  Ignored when ``retry_policy`` is given.
+    retry_policy:
+        Full fault-tolerance policy (:class:`RetryPolicy`): retry budget,
+        backoff + jitter, per-attempt timeouts, speculation, and the
+        ``on_lost`` contract.  Defaults to the fault plan's embedded
+        policy (if any), else ``RetryPolicy(max_retries=max_task_retries)``.
+    fault_plan:
+        A :class:`~repro.mapreduce.faults.FaultPlan` (a fresh injector is
+        built per run, so each run replays the same schedule) or a
+        :class:`~repro.mapreduce.faults.FaultInjector` instance (reused
+        across runs so tests can inspect its event log).  ``None`` falls
+        back to the process-wide plan installed by ``--faults`` (see
+        :func:`~repro.mapreduce.faults.set_default_fault_plan`).
+    clock:
+        Time source for backoff scheduling, deadlines, and speculation
+        (``monotonic()`` / ``sleep()``).  Defaults to real monotonic time;
+        tests substitute a fake to assert retry spacing instantly.
     tracer:
         Explicit tracer; defaults to the process-wide tracer, late-bound.
     streaming:
@@ -131,6 +175,9 @@ class Runner:
         *,
         num_workers: int | None = None,
         max_task_retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | FaultInjector | None = None,
+        clock: Any = None,
         tracer: Tracer | None = None,
         streaming: bool = True,
     ):
@@ -140,16 +187,58 @@ class Runner:
             )
         if num_workers is not None and num_workers <= 0:
             raise JobConfigError(f"num_workers must be >= 1, got {num_workers}")
-        self.max_task_retries = max_task_retries
+        if retry_policy is not None:
+            try:
+                retry_policy.validate()
+            except ValueError as exc:
+                raise JobConfigError(str(exc)) from exc
+        self.max_task_retries = (
+            retry_policy.max_retries if retry_policy is not None else max_task_retries
+        )
         self.num_workers = num_workers
         self.streaming = streaming
         self._tracer = tracer
+        self._retry_policy = retry_policy
+        self._fault_plan = fault_plan
+        self._clock = clock if clock is not None else MonotonicClock()
+        # Per-run context, refreshed by each public run()/run_chain() call.
+        self._active_policy: RetryPolicy = retry_policy or RetryPolicy(
+            max_retries=max_task_retries
+        )
+        self._active_injector: FaultInjector | None = None
         if isinstance(executor, Executor):
             self._executor: Executor | None = executor
             self._executor_name: str | None = executor.name
         else:
             self._executor = None
             self._executor_name = executor
+
+    def _begin_run(self) -> None:
+        """Resolve the retry policy and fault injector for one run.
+
+        Precedence: explicit ``retry_policy`` > the fault plan's embedded
+        policy > ``RetryPolicy(max_retries=max_task_retries)``.  The plan
+        itself resolves explicit-plan > process-wide default.  A plan gets
+        a *fresh* injector per run (same schedule every run); an injector
+        instance is reused so its event log accumulates for inspection.
+        """
+        source = self._fault_plan
+        if source is None:
+            source = get_default_fault_plan()
+        injector: FaultInjector | None = None
+        plan: FaultPlan | None = None
+        if isinstance(source, FaultInjector):
+            injector, plan = source, source.plan
+        elif source is not None:
+            plan = source
+            injector = FaultInjector(plan)
+        policy = self._retry_policy
+        if policy is None and plan is not None and plan.policy is not None:
+            policy = plan.policy
+        if policy is None:
+            policy = RetryPolicy(max_retries=self.max_task_retries)
+        self._active_policy = policy
+        self._active_injector = injector
 
     @property
     def tracer(self) -> Tracer:
@@ -194,6 +283,7 @@ class Runner:
         if input_format is None:
             input_format = SequenceInputFormat(records, job.conf.num_map_tasks)
         splits = input_format.splits()
+        self._begin_run()
         with self._lease_executor() as ex:
             return self._run_job(ex, job, splits)
 
@@ -216,6 +306,7 @@ class Runner:
         """
         if pipelined is None:
             pipelined = getattr(chain, "pipelined", False)
+        self._begin_run()
         with self._lease_executor() as ex:
             if pipelined:
                 return self._run_chain_pipelined(ex, chain, records)
@@ -263,13 +354,16 @@ class Runner:
             try:
                 with tracer.span("map", kind="phase", phase="map") as map_span:
                     t0 = time.perf_counter_ns()
-                    map_results = self._run_tasks(
+                    map_results, lost = self._run_tasks(
                         ex,
                         execute_map_task,
                         spec,
                         "map",
                         splits,
-                        on_done=_ingest_into(streaming),
+                        on_done=_ingest_into(
+                            streaming, self._active_policy.speculation
+                        ),
+                        counters=counters,
                     )
                     map_wall = (time.perf_counter_ns() - t0) / 1e9
                     map_span.set_attrs(tasks=len(map_results))
@@ -332,14 +426,19 @@ class Runner:
                 with tracer.span("reduce", kind="phase", phase="reduce") as red_span:
                     t2 = time.perf_counter_ns()
                     if reduce_pending:
-                        self._drain(
-                            ex, execute_reduce_task, spec, "reduce",
-                            reduce_pending, reduce_results,
+                        lost.extend(
+                            self._drain(
+                                ex, execute_reduce_task, spec, "reduce",
+                                reduce_pending, reduce_results,
+                                counters=counters,
+                            )
                         )
                     else:
-                        reduce_results = self._run_tasks(
-                            ex, execute_reduce_task, spec, "reduce", partitions
+                        reduce_results, reduce_lost = self._run_tasks(
+                            ex, execute_reduce_task, spec, "reduce", partitions,
+                            counters=counters,
                         )
+                        lost.extend(reduce_lost)
                     reduce_wall = (time.perf_counter_ns() - t2) / 1e9
                     red_span.set_attrs(tasks=len(reduce_results))
 
@@ -357,6 +456,8 @@ class Runner:
                     reduce_wall_s=round(reduce_wall, 9),
                     output_records=sum(len(p) for p in outputs),
                 )
+                if lost:
+                    job_span.set_attrs(partial=True, lost_partitions=list(lost))
             finally:
                 if streaming is not None:
                     streaming.close()
@@ -373,6 +474,8 @@ class Runner:
             shuffle_wall_s=shuffle_wall,
             reduce_wall_s=reduce_wall,
             executor=ex.name,
+            partial=bool(lost),
+            lost_partitions=list(lost),
         )
 
     # -- pipelined chains ---------------------------------------------------------
@@ -460,16 +563,25 @@ class Runner:
                         map_pending[future] = (part, split, 1)
                         return result
 
-                    self._drain(
-                        ex, execute_reduce_task, prev.spec, "reduce",
-                        prev.reduce_pending, prev.reduce_results,
-                        on_done=_feed, parent=prev.reduce_span,
+                    prev.lost.extend(
+                        self._drain(
+                            ex, execute_reduce_task, prev.spec, "reduce",
+                            prev.reduce_pending, prev.reduce_results,
+                            on_done=_feed, parent=prev.reduce_span,
+                            counters=prev.counters,
+                        )
                     )
                     self._finish_stage(ex, prev, results, open_spans)
-                self._drain(
-                    ex, execute_map_task, spec, "map",
-                    map_pending, map_results,
-                    on_done=_ingest_into(state.streaming), parent=map_span,
+                state.lost.extend(
+                    self._drain(
+                        ex, execute_map_task, spec, "map",
+                        map_pending, map_results,
+                        on_done=_ingest_into(
+                            state.streaming, self._active_policy.speculation
+                        ),
+                        parent=map_span,
+                        counters=state.counters,
+                    )
                 )
                 state.map_wall = (time.perf_counter_ns() - t0) / 1e9
                 map_span.set_attrs(tasks=num_maps)
@@ -511,10 +623,13 @@ class Runner:
                 observe_partition_skew(get_metrics(), partition_records)
                 prev = state
 
-            self._drain(
-                ex, execute_reduce_task, prev.spec, "reduce",
-                prev.reduce_pending, prev.reduce_results,
-                parent=prev.reduce_span,
+            prev.lost.extend(
+                self._drain(
+                    ex, execute_reduce_task, prev.spec, "reduce",
+                    prev.reduce_pending, prev.reduce_results,
+                    parent=prev.reduce_span,
+                    counters=prev.counters,
+                )
             )
             self._finish_stage(ex, prev, results, open_spans)
             tracer.end_span(chain_span)
@@ -551,6 +666,8 @@ class Runner:
             reduce_wall_s=round(reduce_wall, 9),
             output_records=sum(len(p) for p in outputs),
         )
+        if state.lost:
+            state.job_span.set_attrs(partial=True, lost_partitions=list(state.lost))
         tracer.end_span(state.job_span)
         open_spans.remove(state.job_span)
         state.streaming.close()
@@ -567,6 +684,8 @@ class Runner:
                 shuffle_wall_s=state.shuffle_wall,
                 reduce_wall_s=reduce_wall,
                 executor=ex.name,
+                partial=bool(state.lost),
+                lost_partitions=list(state.lost),
             )
         )
 
@@ -595,12 +714,27 @@ class Runner:
         attempt: int,
         parent: Span | None = None,
     ) -> Future:
-        """Submit one task attempt; inline executors trace it right here."""
+        """Submit one task attempt; inline executors trace it right here.
+
+        The fault injector (when armed) is consulted per attempt *in the
+        driver* — where decisions are deterministic — and its verdict rides
+        to the task body through the picklable
+        :func:`~repro.mapreduce.faults.apply_fault` wrapper.
+        """
+        decision: FaultDecision | None = None
+        if self._active_injector is not None:
+            decision = self._active_injector.decide(spec.name, kind, index, attempt)
+            if decision is not None:
+                get_metrics().counter(f"task.{kind}.faults_injected").inc()
+        timeout_s = self._active_policy.task_timeout_s
         if ex.inline:
             return ex.submit(
                 self._run_attempt_inline,
                 fn, spec, kind, index, payload, attempt, ex.name, parent,
+                decision, timeout_s,
             )
+        if decision is not None:
+            return ex.submit(apply_fault, decision, timeout_s, fn, spec, index, payload)
         return ex.submit(fn, spec, index, payload)
 
     def _run_attempt_inline(
@@ -613,6 +747,8 @@ class Runner:
         attempt: int,
         executor_name: str,
         parent: Span | None,
+        decision: FaultDecision | None = None,
+        timeout_s: float | None = None,
     ) -> Any:
         """Execute one attempt in the driver under a real task span."""
         task_id = f"{kind}-{index}"
@@ -623,7 +759,10 @@ class Runner:
             attempt=attempt,
             executor=executor_name,
         ) as span:
-            result = fn(spec, index, payload)
+            if decision is not None:
+                result = apply_fault(decision, timeout_s, fn, spec, index, payload)
+            else:
+                result = fn(spec, index, payload)
             _, _, stats = result
             if attempt > 1:
                 stats.attempt = attempt
@@ -641,35 +780,143 @@ class Runner:
         *,
         on_done: Callable[[int, Any], Any] | None = None,
         parent: Span | None = None,
-    ) -> None:
-        """Drive pending futures to completion, retrying failed attempts.
+        counters: Counters | None = None,
+    ) -> List[str]:
+        """Drive pending futures to completion under the active RetryPolicy.
 
         Successful pool tasks are recorded as synthetic spans; every failed
-        attempt is traced, counted, and retried until the retry budget is
-        spent.  ``on_done`` fires once per task on first success (its
-        non-``None`` return replaces the stored result — the streaming
-        shuffle uses this to drop map buffers it has already ingested).
-        Raises :class:`JobFailedError` carrying all exhausted tasks'
+        attempt is traced, counted, and — within the retry budget —
+        rescheduled after its backoff delay (``decision="retry"`` spans
+        mark each reschedule).  Futures past ``task_timeout_s`` are
+        abandoned (pool executors only; the worker is marked suspect) and
+        retried as timeouts; stragglers get speculative backups whose
+        losing attempt is discarded before commit.  ``on_done`` fires once
+        per task on its first committed result (its non-``None`` return
+        replaces the stored result — the streaming shuffle uses this to
+        drop map buffers it has already ingested).
+
+        Returns the task ids lost terminally under ``on_lost="degrade"``
+        (empty outputs committed in their place); under ``on_lost="fail"``
+        raises :class:`JobFailedError` carrying all exhausted tasks'
         attempt errors plus the completed tasks' stats.
         """
         tracer = self.tracer
+        policy = self._active_policy
+        clock = self._clock
+        metrics = get_metrics()
         failures: Dict[int, List[TaskError]] = {}
         exhausted: set[int] = set()
-        while pending:
-            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+        lost: List[str] = []
+        #: Indices with a committed outcome (result, loss, or exhaustion);
+        #: late twin futures for a settled index are discarded, not read.
+        settled: set[int] = set()
+        #: Backoff queue: (ready_at, index, payload, attempt).
+        delayed: List[Tuple[float, int, Any, int]] = []
+        speculated: set[int] = set()
+        durations: List[float] = []
+        started: Dict[Future, float] = {}
+        entry_now = clock.monotonic()
+        for future in pending:
+            started.setdefault(future, entry_now)
+
+        def in_flight(index: int) -> bool:
+            """A live or queued twin attempt exists for this index."""
+            return any(e[0] == index for e in pending.values()) or any(
+                d[1] == index for d in delayed
+            )
+
+        def commit_lost(index: int, attempt: int) -> None:
+            """Degraded mode: substitute an empty output and move on."""
+            task_id = f"{kind}-{index}"
+            settled.add(index)
+            lost.append(task_id)
+            metrics.counter(f"task.{kind}.lost").inc()
+            if counters is not None:
+                counters.framework("tasks_lost")
+            tracer.record_span(
+                task_id, kind="decision", parent=parent,
+                decision="degrade", attempt=attempt,
+                task_kind=kind, executor=ex.name,
+            )
+            result = _lost_placeholder(spec, kind, index, attempt)
+            if on_done is not None:
+                replaced = on_done(index, result)
+                if replaced is not None:
+                    result = replaced
+            results[index] = result
+
+        def settle_failure(
+            index: int, payload: Any, attempt: int, failure: TaskError
+        ) -> None:
+            """Record one failed attempt; retry, degrade, or exhaust."""
+            self._note_failure(ex, kind, index, attempt, failure, failures, parent)
+            if isinstance(failure, TaskTimeoutError):
+                metrics.counter(f"task.{kind}.timeouts").inc()
+                if counters is not None:
+                    counters.framework("task_timeouts")
+            if in_flight(index):
+                return  # a speculative twin is still running; let it decide
+            task_id = f"{kind}-{index}"
+            if attempt <= policy.max_retries:
+                delay = policy.backoff_s(task_id, attempt + 1)
+                metrics.counter(f"task.{kind}.retries").inc()
+                if counters is not None:
+                    counters.framework("task_retries")
+                tracer.record_span(
+                    task_id, kind="decision", parent=parent,
+                    decision="retry", attempt=attempt + 1,
+                    backoff_s=round(delay, 9),
+                    task_kind=kind, executor=ex.name,
+                )
+                delayed.append((clock.monotonic() + delay, index, payload, attempt + 1))
+            elif policy.on_lost == "degrade":
+                commit_lost(index, attempt)
+            else:
+                exhausted.add(index)
+                settled.add(index)
+
+        while True:
+            now = clock.monotonic()
+            # Launch retries whose backoff has elapsed.
+            waiting: List[Tuple[float, int, Any, int]] = []
+            for ready_at, index, payload, attempt in delayed:
+                if index in settled:
+                    continue
+                if ready_at <= now:
+                    future = self._submit_task(
+                        ex, fn, spec, kind, index, payload, attempt, parent
+                    )
+                    pending[future] = (index, payload, attempt)
+                    started[future] = now
+                else:
+                    waiting.append((ready_at, index, payload, attempt))
+            delayed = waiting
+            live = [f for f, e in pending.items() if e[0] not in settled]
+            if not live:
+                if not delayed:
+                    break  # every index settled (twin leftovers are garbage)
+                # All runnable work is waiting out a backoff delay.
+                next_ready = min(d[0] for d in delayed)
+                clock.sleep(max(0.0, next_ready - clock.monotonic()))
+                continue
+            done, _ = wait(
+                live,
+                timeout=_drain_wait_timeout(
+                    ex, policy, live, started, delayed, durations, now
+                ),
+                return_when=FIRST_COMPLETED,
+            )
             for future in sorted(done, key=lambda f: pending[f][0]):
                 index, payload, attempt = pending.pop(future)
+                started.pop(future, None)
+                if index in settled:
+                    # Losing speculative attempt: discard before commit.
+                    metrics.counter(f"task.{kind}.duplicates_discarded").inc()
+                    continue
                 try:
                     result = future.result()
                 except TaskError as exc:
-                    self._note_failure(ex, kind, index, attempt, exc, failures, parent)
-                    if attempt <= self.max_task_retries:
-                        retry = self._submit_task(
-                            ex, fn, spec, kind, index, payload, attempt + 1, parent
-                        )
-                        pending[retry] = (index, payload, attempt + 1)
-                    else:
-                        exhausted.add(index)
+                    settle_failure(index, payload, attempt, exc)
                     continue
                 except Exception as exc:  # worker crashed outside user code
                     if ex.inline:
@@ -678,18 +925,27 @@ class Runner:
                     self._note_failure(
                         ex, kind, index, attempt, failure, failures, parent
                     )
-                    exhausted.add(index)
+                    if policy.on_lost == "degrade" and not in_flight(index):
+                        commit_lost(index, attempt)
+                    else:
+                        exhausted.add(index)
+                        settled.add(index)
                     continue
                 _, _, stats = result
                 if attempt > 1:
                     stats.attempt = attempt
+                durations.append(stats.duration_s)
                 if not ex.inline:
+                    span_extra = (
+                        {"speculative": True} if index in speculated else {}
+                    )
                     tracer.record_span(
                         stats.task_id,
                         kind="task",
                         parent=parent,
                         duration_ns=int(stats.duration_s * 1e9),
                         executor=ex.name,
+                        **span_extra,
                         **_task_span_attrs(stats),
                     )
                 if on_done is not None:
@@ -697,12 +953,73 @@ class Runner:
                     if replaced is not None:
                         result = replaced
                 results[index] = result
+                settled.add(index)
+
+            now = clock.monotonic()
+            # Deadline watchdog: abandon futures past their wall-clock
+            # budget.  Pool executors only — inline futures resolve during
+            # submit, so a deadline can only be honoured cooperatively.
+            if policy.task_timeout_s is not None and not ex.inline:
+                for future in list(pending):
+                    index, payload, attempt = pending[future]
+                    if index in settled or future.done():
+                        continue
+                    if now - started.get(future, now) >= policy.task_timeout_s:
+                        del pending[future]
+                        started.pop(future, None)
+                        if not ex.cancel(future):
+                            # Still running: the future is abandoned (its
+                            # result will never be read) and its worker
+                            # slot is suspect until the body returns.
+                            metrics.counter("executor.suspect_workers").inc()
+                        tracer.record_span(
+                            f"{kind}-{index}", kind="decision", parent=parent,
+                            decision="timeout", attempt=attempt,
+                            timeout_s=policy.task_timeout_s,
+                            task_kind=kind, executor=ex.name,
+                        )
+                        settle_failure(
+                            index, payload, attempt,
+                            TaskTimeoutError(
+                                f"{kind}-{index}", policy.task_timeout_s
+                            ),
+                        )
+            # Speculation: back up stragglers once enough completions
+            # establish a median to compare against (first finisher wins).
+            if (
+                policy.speculation
+                and not ex.inline
+                and len(durations) >= policy.speculation_min_completed
+            ):
+                threshold = policy.speculation_factor * statistics.median(durations)
+                for future in list(pending):
+                    index, payload, attempt = pending[future]
+                    if index in settled or index in speculated or future.done():
+                        continue
+                    elapsed = now - started.get(future, now)
+                    if elapsed > threshold:
+                        speculated.add(index)
+                        metrics.counter(f"task.{kind}.speculative").inc()
+                        if counters is not None:
+                            counters.framework("speculative_attempts")
+                        tracer.record_span(
+                            f"{kind}-{index}", kind="decision", parent=parent,
+                            decision="speculate", attempt=attempt,
+                            elapsed_s=round(elapsed, 9),
+                            task_kind=kind, executor=ex.name,
+                        )
+                        backup = self._submit_task(
+                            ex, fn, spec, kind, index, payload, attempt, parent
+                        )
+                        pending[backup] = (index, payload, attempt)
+                        started[backup] = now
         if exhausted:
             raise JobFailedError(
                 spec.name,
                 [err for i in sorted(exhausted) for err in failures[i]],
                 completed_stats=[r[2] for r in results if r is not None],
             )
+        return lost
 
     def _run_tasks(
         self,
@@ -714,15 +1031,23 @@ class Runner:
         *,
         on_done: Callable[[int, Any], Any] | None = None,
         parent: Span | None = None,
-    ) -> List[Any]:
-        """Submit one task per item and drain them all."""
+        counters: Counters | None = None,
+    ) -> Tuple[List[Any], List[str]]:
+        """Submit one task per item and drain them all.
+
+        Returns ``(results, lost task ids)`` — the latter non-empty only
+        under ``RetryPolicy(on_lost="degrade")``.
+        """
         results: List[Any] = [None] * len(items)
         pending: _Pending = {}
         for index, item in enumerate(items):
             future = self._submit_task(ex, fn, spec, kind, index, item, 1, parent)
             pending[future] = (index, item, 1)
-        self._drain(ex, fn, spec, kind, pending, results, on_done=on_done, parent=parent)
-        return results
+        lost = self._drain(
+            ex, fn, spec, kind, pending, results,
+            on_done=on_done, parent=parent, counters=counters,
+        )
+        return results, lost
 
     def _note_failure(
         self,
@@ -751,20 +1076,79 @@ class Runner:
             )
 
 
+def _drain_wait_timeout(
+    ex: Executor,
+    policy: RetryPolicy,
+    live: List[Future],
+    started: Dict[Future, float],
+    delayed: List[Tuple[float, int, Any, int]],
+    durations: List[float],
+    now: float,
+) -> float | None:
+    """How long the drain loop may block before its next housekeeping pass.
+
+    ``None`` (block until a future completes) whenever nothing is
+    scheduled: no backoff expiry pending, no deadline to enforce, no armed
+    speculation.  Otherwise the earliest of those three, floored at zero.
+    """
+    candidates: List[float] = []
+    if delayed:
+        candidates.append(max(0.0, min(d[0] for d in delayed) - now))
+    if policy.task_timeout_s is not None and not ex.inline:
+        deadlines = [
+            started[f] + policy.task_timeout_s - now for f in live if f in started
+        ]
+        if deadlines:
+            candidates.append(max(0.0, min(deadlines)))
+    if (
+        policy.speculation
+        and not ex.inline
+        and len(durations) >= policy.speculation_min_completed
+    ):
+        candidates.append(policy.speculation_poll_s)
+    return min(candidates) if candidates else None
+
+
+def _lost_placeholder(spec: JobSpec, kind: str, index: int, attempt: int) -> Any:
+    """The empty committed result of a terminally-lost task.
+
+    Shaped like the real task result so downstream aggregation (counter
+    merge, stats, streaming ingest — whose completeness gate must still be
+    satisfied) runs unchanged: a lost map task contributes an empty buffer
+    per reduce partition, a lost reduce task an empty output list.
+    """
+    task_kind = TaskKind.MAP if kind == "map" else TaskKind.REDUCE
+    stats = TaskStats(
+        task_id=f"{kind}-{index}",
+        kind=task_kind,
+        attempt=attempt,
+        partition=index if kind == "reduce" else -1,
+    )
+    if kind == "map":
+        return ([[] for _ in range(spec.num_reducers)], Counters(), stats)
+    return ([], Counters(), stats)
+
+
 def _ingest_into(
     streaming: StreamingShuffle | None,
+    speculation: bool = False,
 ) -> Callable[[int, Any], Any] | None:
     """Drain callback feeding finished map tasks into a streaming shuffle.
 
     Ingested buffers are replaced by ``None`` in the stored result, so the
-    runner holds one copy of the intermediate data, not two.
+    runner holds one copy of the intermediate data, not two.  Under a
+    speculating policy, duplicate buffers from a losing backup attempt are
+    discarded at the shuffle boundary (the drain loop's ``settled`` index
+    set already prevents this in practice — the shuffle-side discard is
+    the commit-barrier backstop).
     """
     if streaming is None:
         return None
+    on_duplicate = "discard" if speculation else "raise"
 
     def _ingest(index: int, result: Any) -> Any:
         buffers, task_counters, stats = result
-        streaming.ingest(index, buffers)
+        streaming.ingest(index, buffers, on_duplicate=on_duplicate)
         return (None, task_counters, stats)
 
     return _ingest

@@ -53,6 +53,9 @@ class ShuffleStats:
     bytes: int = 0
     segments: int = 0
     spilled_segments: int = 0
+    #: Map outputs offered more than once (late speculative losers) and
+    #: dropped before commit — always 0 in a fault-free run.
+    duplicate_segments: int = 0
 
     def as_dict(self) -> dict:
         """JSON-ready view (attached to the shuffle phase's trace span)."""
@@ -61,6 +64,7 @@ class ShuffleStats:
             "bytes": self.bytes,
             "segments": self.segments,
             "spilled_segments": self.spilled_segments,
+            "duplicate_segments": self.duplicate_segments,
         }
 
     def observe(self, registry) -> None:
@@ -69,6 +73,9 @@ class ShuffleStats:
         registry.counter("shuffle.bytes").inc(self.bytes)
         registry.counter("shuffle.segments").inc(self.segments)
         registry.counter("shuffle.spilled_segments").inc(self.spilled_segments)
+        registry.counter("shuffle.duplicate_segments").inc(
+            self.duplicate_segments
+        )
 
 
 class _SortKey:
@@ -261,10 +268,33 @@ class StreamingShuffle:
             and self._sort_keys
         )
 
-    def ingest(self, map_index: int, buffers: List[List[Pair]]) -> None:
-        """Absorb one map task's per-partition buffers (sorting them now)."""
+    def ingest(
+        self,
+        map_index: int,
+        buffers: List[List[Pair]],
+        *,
+        on_duplicate: str = "raise",
+    ) -> None:
+        """Absorb one map task's per-partition buffers (sorting them now).
+
+        ``on_duplicate`` controls what a second ingest of the same map index
+        does: ``"raise"`` (the default — a duplicate is a runner bug in a
+        fault-free world) or ``"discard"`` — the speculative-execution
+        contract, where a late losing attempt's output must be dropped
+        before commit rather than double-counted.  Discards are tallied in
+        ``stats.duplicate_segments``.
+        """
+        if on_duplicate not in ("raise", "discard"):
+            raise ValueError(
+                f'on_duplicate must be "raise" or "discard", got {on_duplicate!r}'
+            )
         with self._lock:
             if map_index in self._ingested:
+                if on_duplicate == "discard":
+                    self.stats.duplicate_segments += sum(
+                        1 for seg in buffers if seg
+                    )
+                    return
                 raise ValueError(f"map task {map_index} already ingested")
             if len(buffers) != self.num_partitions:
                 raise ValueError(

@@ -1,0 +1,44 @@
+"""Violating fixture for udf-no-sleep.
+
+Each line carrying a ``# VIOLATION: <rule-id>`` marker must produce exactly
+that finding; the test asserts the (rule id, line) pairs match the markers.
+Covers the aliasing holes udf-purity's dotted ``time.sleep`` ban misses:
+a from-import ``sleep``, ``asyncio.sleep``, and an attribute ``.sleep``.
+"""
+
+import asyncio
+import time
+from time import sleep
+
+
+class Mapper:
+    pass
+
+
+class Reducer:
+    pass
+
+
+class DrowsyMapper(Mapper):
+    def __init__(self, clock=None):
+        self.clock = clock
+
+    def map(self, key, value):
+        time.sleep(0.1)  # VIOLATION: udf-no-sleep
+        sleep(0.1)  # VIOLATION: udf-no-sleep
+        self.clock.sleep(0.1)  # VIOLATION: udf-no-sleep
+        yield key, value
+
+
+class NappingReducer(Reducer):
+    async def reduce(self, key, values):
+        await asyncio.sleep(0.1)  # VIOLATION: udf-no-sleep
+        yield key, sum(values)
+
+
+class Job:
+    def __init__(self, name, mapper, reducer):
+        self.name = name
+
+
+JOB = Job("sleepy", DrowsyMapper, NappingReducer)

@@ -1,0 +1,34 @@
+"""Clean fixture for udf-no-sleep: UDFs that wait on nothing.
+
+Names containing "sleep" without being a call's final attribute — a
+variable, a string, a method *defining* sleep semantics elsewhere — must
+not trip the rule; only actual ``...sleep(...)`` call sites do.
+"""
+
+
+class Mapper:
+    pass
+
+
+class Reducer:
+    pass
+
+
+class BriskMapper(Mapper):
+    def map(self, key, value):
+        sleep_budget = 0.0  # a name mentioning sleep is not a call
+        yield key, value + sleep_budget
+
+
+class BriskReducer(Reducer):
+    def reduce(self, key, values):
+        note = "no sleep here"
+        yield key, (sum(values), note)
+
+
+class Job:
+    def __init__(self, name, mapper, reducer):
+        self.name = name
+
+
+JOB = Job("wakeful", BriskMapper, BriskReducer)

@@ -23,6 +23,7 @@ def found_pairs(name: str, rule_id: str) -> set:
     ("rule_id", "violating", "clean"),
     [
         ("udf-purity", "udf_impure.py", "udf_pure.py"),
+        ("udf-no-sleep", "udf_sleepy.py", "udf_wakeful.py"),
         ("pickle-safety", "pickle_unsafe.py", "pickle_safe.py"),
         ("lock-discipline", "lock_unsafe.py", "lock_safe.py"),
         ("exception-hygiene", "except_swallow.py", "except_ok.py"),

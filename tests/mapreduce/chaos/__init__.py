@@ -1,0 +1,12 @@
+"""Chaos suite: fault-injected runs must match fault-free answers exactly.
+
+Three angles on the same invariant:
+
+* ``test_differential`` — canned fault plans x all executors x all skyline
+  methods: recovered runs reproduce the fault-free serial skyline bit for
+  bit, and the framework counters account for every injected fault.
+* ``test_property`` — hypothesis-generated fault plans (with shrinking)
+  never change the answer; backoff arithmetic holds for arbitrary policies.
+* ``test_determinism`` — one seed, one plan: two runs produce the same
+  fault schedule, the same retry counters, and the same span tree.
+"""

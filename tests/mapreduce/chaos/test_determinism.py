@@ -1,0 +1,148 @@
+"""One seed, one plan: two runs are indistinguishable.
+
+The acceptance criterion for the fault plane is replayability — identical
+seed + plan must produce the identical fault schedule, retry spend, and
+decision/span structure on every run.  Serial runs are compared *exactly*
+(span sequence, ids and all); thread-pool runs are compared as canonical
+multisets because completion order may interleave differently even when
+every scheduling decision is the same.
+"""
+
+import pytest
+
+from repro.mapreduce import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    Job,
+    JobConf,
+    Mapper,
+    Reducer,
+    RetryPolicy,
+    Runner,
+)
+from repro.observability.tracing import Tracer
+
+POOL_WORKERS = 2
+
+#: A probabilistic plan, so determinism is earned (seeded draws), not
+#: trivial (times-bounded rules alone would fire identically by counting).
+PLAN = FaultPlan(
+    seed=21,
+    rules=(
+        FaultRule(fault="crash", kind="map", times=2, probability=0.6),
+        FaultRule(fault="crash", kind="reduce", index=0, times=1, probability=0.5),
+    ),
+    policy=RetryPolicy(
+        max_retries=4,
+        backoff_base_s=0.0005,
+        backoff_factor=2.0,
+        backoff_max_s=0.002,
+        jitter=0.5,
+        seed=21,
+    ),
+)
+
+#: Span attributes that must replay; timing attributes must not.
+_STABLE_ATTRS = (
+    "decision",
+    "attempt",
+    "task_kind",
+    "executor",
+    "backoff_s",
+    "timeout_s",
+    "phase",
+    "num_map_tasks",
+    "num_reducers",
+    "tasks",
+    "records_in",
+    "records_out",
+    "partial",
+    "lost_partitions",
+)
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+WORDS = [(None, "a b a"), (None, "b b c"), (None, "c a d")]
+EXPECTED = {"a": 3, "b": 3, "c": 2, "d": 1}
+
+
+def _job():
+    return Job(
+        name="wordcount",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        conf=JobConf(num_reducers=2, num_map_tasks=3),
+    )
+
+
+def _one_run(executor):
+    """One chaos run with a fresh injector and a span-keeping tracer."""
+    tracer = Tracer(keep_spans=True)
+    injector = FaultInjector(PLAN)
+    with Runner(
+        executor,
+        num_workers=POOL_WORKERS,
+        fault_plan=injector,
+        tracer=tracer,
+    ) as runner:
+        result = runner.run(_job(), records=WORDS)
+    return result, injector, tracer.finished
+
+
+def _canonical_span(span):
+    attrs = tuple(
+        (k, tuple(v) if isinstance(v, list) else v)
+        for k, v in sorted(span.attrs.items())
+        if k in _STABLE_ATTRS
+    )
+    return (span.name, span.kind, span.status, attrs)
+
+
+class TestReplayDeterminism:
+    def test_serial_runs_are_exactly_identical(self):
+        (r1, i1, s1), (r2, i2, s2) = _one_run("serial"), _one_run("serial")
+        assert dict(r1.output_pairs()) == EXPECTED
+        assert r1.outputs == r2.outputs
+        # Identical fault schedule, event for event.
+        assert i1.events == i2.events
+        assert i1.injected > 0
+        # Identical retry spend.
+        assert r1.counters == r2.counters
+        # Identical span *sequence*, including the tracer's deterministic
+        # span/parent id assignment — the strongest replay guarantee.
+        assert [
+            (_canonical_span(s), s.span_id, s.parent_id) for s in s1
+        ] == [(_canonical_span(s), s.span_id, s.parent_id) for s in s2]
+
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_pool_runs_replay_schedule_counters_and_span_set(self, executor):
+        (r1, i1, s1), (r2, i2, s2) = _one_run(executor), _one_run(executor)
+        assert dict(r1.output_pairs()) == EXPECTED
+        assert r1.outputs == r2.outputs
+        assert i1.events == i2.events
+        assert i1.injected > 0
+        assert r1.counters == r2.counters
+        # Pool completion order may interleave, so compare the canonical
+        # span multiset rather than the emission sequence.
+        assert sorted(map(_canonical_span, s1)) == sorted(
+            map(_canonical_span, s2)
+        )
+
+    def test_serial_and_pool_schedules_agree(self):
+        """The fault schedule is a property of the plan, not the executor."""
+        (_, i_serial, _), (_, i_threads, _) = (
+            _one_run("serial"),
+            _one_run("threads"),
+        )
+        assert i_serial.events == i_threads.events

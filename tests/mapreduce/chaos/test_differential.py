@@ -1,0 +1,143 @@
+"""Differential chaos: every executor x skyline method x canned fault plan.
+
+The acceptance bar for the fault-tolerance layer: a run that crashes, hangs,
+and slows tasks — then recovers via retries and timeouts — must produce the
+*identical* global skyline (and identical per-partition local skylines) as a
+fault-free serial run.  The injector's event log is the ground truth the
+framework counters are checked against, so a plan that silently stopped
+injecting would fail the suite rather than vacuously pass it.
+
+Each plan embeds the RetryPolicy that survives it, mirroring how a CLI
+chaos run ships both in one ``--faults`` file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mr_skyline import run_mr_skyline
+from repro.mapreduce import (
+    EXECUTOR_NAMES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    Runner,
+)
+
+METHODS = ("dim", "grid", "angle")
+NUM_WORKERS = 2
+#: Small blocks so the partition job has several map tasks to sabotage.
+BLOCK_ROWS = 64
+
+#: Canned recoverable plans.  Every plan's retry budget strictly exceeds the
+#: worst case its rules can inject per task, so no run may degrade or fail.
+PLANS = {
+    "crash-once-maps": FaultPlan(
+        seed=1,
+        rules=(FaultRule(fault="crash", kind="map", times=1),),
+        policy=RetryPolicy(max_retries=2),
+    ),
+    "crash-twice-reduce0-slow-maps": FaultPlan(
+        seed=2,
+        rules=(
+            FaultRule(fault="crash", kind="reduce", index=0, times=2),
+            FaultRule(
+                fault="slow",
+                kind="map",
+                times=None,
+                probability=0.5,
+                slow_s=0.001,
+            ),
+        ),
+        policy=RetryPolicy(max_retries=3),
+    ),
+    "cooperative-hang-map0": FaultPlan(
+        seed=3,
+        rules=(FaultRule(fault="hang", kind="map", index=0, hang_s=5.0, times=1),),
+        policy=RetryPolicy(max_retries=2, task_timeout_s=0.1),
+    ),
+    "mixed-chaos": FaultPlan(
+        seed=4,
+        rules=(
+            FaultRule(fault="crash", kind="map", times=2, probability=0.4),
+            FaultRule(fault="crash", kind="reduce", index=0, times=1),
+        ),
+        policy=RetryPolicy(
+            max_retries=4,
+            backoff_base_s=0.001,
+            backoff_factor=2.0,
+            backoff_max_s=0.01,
+            jitter=0.5,
+            seed=4,
+        ),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(11)
+    return rng.random((300, 3))
+
+
+@pytest.fixture(scope="module")
+def baselines(points):
+    return {
+        method: run_mr_skyline(
+            points,
+            method=method,
+            num_workers=NUM_WORKERS,
+            executor="serial",
+            block_rows=BLOCK_ROWS,
+        )
+        for method in METHODS
+    }
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+class TestChaosDifferential:
+    def test_skyline_survives_unchanged(
+        self, executor, method, plan_name, points, baselines
+    ):
+        plan = PLANS[plan_name]
+        injector = FaultInjector(plan)
+        with Runner(
+            executor, num_workers=NUM_WORKERS, fault_plan=injector
+        ) as runner:
+            result = run_mr_skyline(
+                points,
+                method=method,
+                num_workers=NUM_WORKERS,
+                runner=runner,
+                block_rows=BLOCK_ROWS,
+            )
+        base = baselines[method]
+
+        # The plan actually bit — a schedule that injected nothing would
+        # make the parity assertions below vacuous.
+        assert injector.injected > 0
+
+        # Exact output parity: the global skyline and every partition's
+        # local skyline are identical to the fault-free serial run.
+        assert np.array_equal(result.global_indices, base.global_indices)
+        assert result.local_skylines.keys() == base.local_skylines.keys()
+        for part, indices in base.local_skylines.items():
+            assert np.array_equal(result.local_skylines[part], indices)
+
+        # Fully recovered: nothing degraded, nothing lost.
+        assert not result.chain.partial
+        assert result.chain.lost_partitions == []
+
+        # Counter audit against the injector's event log: every injected
+        # crash costs one retry; every cooperative hang costs one timeout
+        # and one retry; slowdowns cost neither.
+        by_action = injector.injected_by_action()
+        assert result.counters.value("framework", "task_timeouts") == (
+            by_action.get("hang", 0)
+        )
+        assert result.counters.value("framework", "task_retries") == (
+            by_action.get("crash", 0) + by_action.get("hang", 0)
+        )
+        assert result.counters.value("framework", "tasks_lost") == 0

@@ -1,0 +1,137 @@
+"""Property-based chaos: arbitrary recoverable plans never change answers.
+
+Hypothesis generates fault plans (and backoff policies) instead of a human
+curating them; when a generated plan breaks parity, shrinking reports the
+minimal rule set that does it.  Plans are constrained to be *recoverable by
+construction* — total possible injections per task stay below the retry
+budget — so any non-parity is an engine bug, not an impossible plan.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce import (
+    FaultPlan,
+    FaultRule,
+    Job,
+    JobConf,
+    Mapper,
+    Reducer,
+    RetryPolicy,
+    Runner,
+)
+
+#: Per-test budget: every rule may inject at most twice per task, with at
+#: most two rules, so 5 attempts (1 + max_retries) always suffice.
+MAX_TIMES = 2
+MAX_RULES = 2
+POLICY = RetryPolicy(max_retries=4)
+
+
+class TokenMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+WORDS = [(None, "a b a"), (None, "b b c"), (None, "c a d")]
+EXPECTED = {"a": 3, "b": 3, "c": 2, "d": 1}
+
+
+def _wordcount_job():
+    return Job(
+        name="wordcount",
+        mapper=TokenMapper,
+        reducer=SumReducer,
+        conf=JobConf(num_reducers=2, num_map_tasks=3),
+    )
+
+
+#: Only bounded, fast fault kinds: hang would need wall-clock timeouts and
+#: poison is unrecoverable by design (both are covered deterministically in
+#: the differential and runner suites).
+rule_strategy = st.builds(
+    FaultRule,
+    fault=st.sampled_from(["crash", "slow"]),
+    kind=st.sampled_from([None, "map", "reduce"]),
+    index=st.sampled_from([None, 0, 1]),
+    times=st.integers(min_value=1, max_value=MAX_TIMES),
+    probability=st.floats(min_value=0.25, max_value=1.0),
+    slow_s=st.just(0.0005),
+)
+
+plan_strategy = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**16),
+    rules=st.lists(rule_strategy, max_size=MAX_RULES).map(tuple),
+)
+
+
+class TestRandomPlansPreserveTheAnswer:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plan_strategy)
+    def test_wordcount_parity_under_any_recoverable_plan(self, plan):
+        with Runner("serial", retry_policy=POLICY, fault_plan=plan) as runner:
+            result = runner.run(_wordcount_job(), records=WORDS)
+        assert dict(result.output_pairs()) == EXPECTED
+        assert not result.partial
+        assert result.lost_partitions == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(plan=plan_strategy)
+    def test_two_runs_of_one_plan_spend_identical_retries(self, plan):
+        def retries():
+            with Runner(
+                "serial", retry_policy=POLICY, fault_plan=plan
+            ) as runner:
+                result = runner.run(_wordcount_job(), records=WORDS)
+            return result.counters.value("framework", "task_retries")
+
+        assert retries() == retries()
+
+
+class TestBackoffProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        base=st.floats(min_value=0.0, max_value=10.0),
+        factor=st.floats(min_value=1.0, max_value=4.0),
+        cap=st.floats(min_value=0.1, max_value=60.0),
+        attempts=st.integers(min_value=2, max_value=12),
+    )
+    def test_pre_jitter_backoff_is_monotone_and_capped(
+        self, base, factor, cap, attempts
+    ):
+        policy = RetryPolicy(
+            max_retries=attempts,
+            backoff_base_s=base,
+            backoff_factor=factor,
+            backoff_max_s=cap,
+        )
+        curve = [policy.pre_jitter_backoff_s(a) for a in range(2, attempts + 1)]
+        assert all(0.0 <= v <= cap for v in curve)
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        attempt=st.integers(min_value=2, max_value=8),
+        task=st.sampled_from(["map-0", "map-7", "reduce-3"]),
+    )
+    def test_jittered_backoff_is_banded_and_deterministic(
+        self, seed, jitter, attempt, task
+    ):
+        policy = RetryPolicy(
+            max_retries=8,
+            backoff_base_s=1.0,
+            jitter=jitter,
+            seed=seed,
+        )
+        value = policy.backoff_s(task, attempt)
+        base = policy.pre_jitter_backoff_s(attempt)
+        assert base * (1 - jitter) <= value <= base * (1 + jitter)
+        assert value == policy.backoff_s(task, attempt)

@@ -1,0 +1,281 @@
+"""Unit tests for the fault-injection plane and RetryPolicy shapes.
+
+Chaos *behaviour* (does the engine survive?) lives in
+``tests/mapreduce/chaos/``; this module pins the building blocks: plan JSON
+round-trips and schema rejection, first-match/ bounded-count/ probability
+semantics of the injector, the determinism of its seeded draws, and the
+backoff arithmetic the retry scheduler runs on.
+"""
+
+import pickle
+
+import pytest
+
+from repro.mapreduce import RetryPolicy
+from repro.mapreduce.errors import TaskError, TaskTimeoutError
+from repro.mapreduce.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    apply_fault,
+    get_default_fault_plan,
+    set_default_fault_plan,
+    stable_rng,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_fault(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultRule(fault="explode")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="task kind"):
+            FaultRule(fault="crash", kind="shuffle")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(fault="crash", probability=1.5)
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultRule(fault="crash", times=0)
+
+    def test_matching_is_by_kind_index_and_job_substring(self):
+        rule = FaultRule(fault="crash", kind="map", index=2, job="skyline")
+        assert rule.matches("mr-angle-skyline", "map", 2)
+        assert not rule.matches("mr-angle-skyline", "reduce", 2)
+        assert not rule.matches("mr-angle-skyline", "map", 1)
+        assert not rule.matches("wordcount", "map", 2)
+
+    def test_none_fields_match_everything(self):
+        rule = FaultRule(fault="slow", slow_factor=2.0)
+        assert rule.matches("any-job", "map", 0)
+        assert rule.matches("other", "reduce", 9)
+
+
+class TestFaultPlanJson:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=11,
+            rules=(
+                FaultRule(fault="crash", kind="map", times=2),
+                FaultRule(
+                    fault="hang", index=0, hang_s=0.5, cooperative=False
+                ),
+            ),
+            policy=RetryPolicy(max_retries=3, backoff_base_s=0.01, jitter=0.2),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_round_trip_through_file(self, tmp_path):
+        plan = FaultPlan(seed=5, rules=(FaultRule(fault="poison", index=1),))
+        path = tmp_path / "plan.json"
+        plan.dump(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_rejects_unknown_top_level_keys(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_rejects_unknown_rule_keys(self):
+        with pytest.raises(ValueError, match=r"faults\[0\] has unknown keys"):
+            FaultPlan.from_dict({"faults": [{"fault": "crash", "speed": 2}]})
+
+    def test_rejects_unknown_policy_keys(self):
+        with pytest.raises(ValueError, match="policy has unknown keys"):
+            FaultPlan.from_dict({"faults": [], "policy": {"retries": 1}})
+
+    def test_rejects_invalid_embedded_policy(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPlan.from_dict({"policy": {"max_retries": -1}})
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+
+class TestFaultInjector:
+    def test_crash_once_injects_exactly_once_per_task(self):
+        plan = FaultPlan(rules=(FaultRule(fault="crash", kind="map", times=1),))
+        injector = FaultInjector(plan)
+        assert injector.decide("job", "map", 0, 1) is not None
+        assert injector.decide("job", "map", 0, 2) is None
+        # A different task index has its own budget.
+        assert injector.decide("job", "map", 1, 1) is not None
+        # And reduce tasks never matched.
+        assert injector.decide("job", "reduce", 0, 1) is None
+        assert injector.injected == 2
+
+    def test_crash_n_times(self):
+        plan = FaultPlan(rules=(FaultRule(fault="crash", times=2),))
+        injector = FaultInjector(plan)
+        verdicts = [injector.decide("job", "map", 0, a) for a in (1, 2, 3)]
+        assert [v is not None for v in verdicts] == [True, True, False]
+
+    def test_poison_ignores_times(self):
+        plan = FaultPlan(rules=(FaultRule(fault="poison", times=1),))
+        injector = FaultInjector(plan)
+        assert all(
+            injector.decide("job", "reduce", 0, a) is not None
+            for a in range(1, 6)
+        )
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(fault="crash", kind="map", times=1),
+                FaultRule(fault="slow", kind="map", slow_factor=3.0, times=None),
+            )
+        )
+        injector = FaultInjector(plan)
+        first = injector.decide("job", "map", 0, 1)
+        second = injector.decide("job", "map", 0, 2)
+        assert first.action == "crash"
+        # Rule 0's budget is spent; the attempt falls through to rule 1.
+        assert second.action == "slow" and second.slow_factor == 3.0
+
+    def test_probability_draws_are_deterministic(self):
+        plan = FaultPlan(
+            seed=99, rules=(FaultRule(fault="crash", probability=0.5, times=None),)
+        )
+        schedules = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            schedules.append(
+                tuple(
+                    injector.decide("job", "map", i, 1) is not None
+                    for i in range(64)
+                )
+            )
+        assert schedules[0] == schedules[1]
+        # A fair draw hits somewhere strictly between never and always.
+        assert 0 < sum(schedules[0]) < 64
+
+    def test_different_seeds_give_different_schedules(self):
+        def schedule(seed):
+            injector = FaultInjector(
+                FaultPlan(
+                    seed=seed,
+                    rules=(FaultRule(fault="crash", probability=0.5, times=None),),
+                )
+            )
+            return tuple(
+                injector.decide("job", "map", i, 1) is not None
+                for i in range(64)
+            )
+
+        assert schedule(1) != schedule(2)
+
+    def test_event_log_records_schedule(self):
+        plan = FaultPlan(rules=(FaultRule(fault="crash", kind="map", times=1),))
+        injector = FaultInjector(plan)
+        injector.decide("wc", "map", 0, 1)
+        injector.decide("wc", "map", 1, 1)
+        assert [(e.task_id, e.attempt, e.action) for e in injector.events] == [
+            ("map-0", 1, "crash"),
+            ("map-1", 1, "crash"),
+        ]
+        assert injector.injected_by_action() == {"crash": 2}
+
+
+class TestApplyFault:
+    def test_crash_raises_task_error_with_injected_cause(self):
+        decision = FaultInjector(
+            FaultPlan(rules=(FaultRule(fault="crash"),))
+        ).decide("job", "map", 3, 1)
+        with pytest.raises(TaskError) as info:
+            apply_fault(decision, None, lambda: None)
+        assert info.value.task_id == "map-3"
+        assert isinstance(info.value.cause, InjectedFault)
+
+    def test_cooperative_hang_observes_the_deadline(self):
+        decision = FaultInjector(
+            FaultPlan(rules=(FaultRule(fault="hang", hang_s=60.0),))
+        ).decide("job", "map", 0, 1)
+        # hang_s >= timeout: sleeps only the (tiny) timeout, then times out.
+        with pytest.raises(TaskTimeoutError) as info:
+            apply_fault(decision, 0.01, lambda: None)
+        assert info.value.timeout_s == 0.01
+
+    def test_short_hang_runs_the_body(self):
+        decision = FaultInjector(
+            FaultPlan(rules=(FaultRule(fault="hang", hang_s=0.001),))
+        ).decide("job", "map", 0, 1)
+        assert apply_fault(decision, 10.0, lambda x: x + 1, 1) == 2
+
+    def test_slow_returns_the_body_result(self):
+        decision = FaultInjector(
+            FaultPlan(rules=(FaultRule(fault="slow", slow_factor=1.0, slow_s=0.001),))
+        ).decide("job", "map", 0, 1)
+        assert apply_fault(decision, None, lambda: "out") == "out"
+
+    def test_decision_is_picklable(self):
+        decision = FaultInjector(
+            FaultPlan(rules=(FaultRule(fault="crash"),))
+        ).decide("job", "reduce", 1, 2)
+        clone = pickle.loads(pickle.dumps(decision))
+        assert clone == decision
+
+
+class TestStableRng:
+    def test_same_key_same_stream(self):
+        a = stable_rng(7, "job", "map-0", 1)
+        b = stable_rng(7, "job", "map-0", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_any_key_part_changes_the_stream(self):
+        base = stable_rng(7, "job", "map-0", 1).random()
+        assert stable_rng(8, "job", "map-0", 1).random() != base
+        assert stable_rng(7, "other", "map-0", 1).random() != base
+        assert stable_rng(7, "job", "map-1", 1).random() != base
+        assert stable_rng(7, "job", "map-0", 2).random() != base
+
+
+class TestRetryPolicyBackoff:
+    def test_pre_jitter_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_retries=9,
+            backoff_base_s=1.0,
+            backoff_factor=2.0,
+            backoff_max_s=5.0,
+        )
+        assert policy.pre_jitter_backoff_s(2) == 1.0
+        assert policy.pre_jitter_backoff_s(3) == 2.0
+        assert policy.pre_jitter_backoff_s(4) == 4.0
+        assert policy.pre_jitter_backoff_s(5) == 5.0  # capped
+        assert policy.pre_jitter_backoff_s(9) == 5.0
+
+    def test_zero_base_means_immediate_retry(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.backoff_s("map-0", 2) == 0.0
+
+    def test_jitter_stays_within_the_band_and_is_deterministic(self):
+        policy = RetryPolicy(
+            max_retries=4, backoff_base_s=1.0, jitter=0.5, seed=3
+        )
+        for attempt in (2, 3, 4):
+            value = policy.backoff_s("map-0", attempt)
+            base = policy.pre_jitter_backoff_s(attempt)
+            assert base * 0.5 <= value <= base * 1.5
+            assert value == policy.backoff_s("map-0", attempt)
+
+    def test_validate_rejects_shrinking_factor(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5).validate()
+
+    def test_validate_rejects_bad_on_lost(self):
+        with pytest.raises(ValueError, match="on_lost"):
+            RetryPolicy(on_lost="shrug").validate()
+
+
+class TestDefaultPlan:
+    def test_set_returns_previous_and_clears(self):
+        plan = FaultPlan(seed=1)
+        assert set_default_fault_plan(plan) is None
+        try:
+            assert get_default_fault_plan() is plan
+        finally:
+            assert set_default_fault_plan(None) is plan
+        assert get_default_fault_plan() is None
