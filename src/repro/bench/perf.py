@@ -1,0 +1,144 @@
+"""The perf-trajectory suite behind ``repro bench``.
+
+One fixed, fast set of measurements re-run every PR, so the repository
+accumulates a comparable performance record (``BENCH_<pr>.json``) instead
+of an empty trajectory:
+
+* **engine** — one :func:`repro.bench.harness.run_point` cell per
+  partitioning scheme (MR-Dim / MR-Grid / MR-Angle) at a fixed
+  ``(n, d)``: driver wall time, simulated cluster seconds, dominance-test
+  counts, skyline sizes, optimality;
+* **serving** — the online layer's latencies on a fixed store: cold
+  compute, warm cache hit, insert + re-query (the invalidation round
+  trip), and a k-skyband compute, measured with
+  :func:`time.perf_counter` medians over a few repetitions.
+
+The JSON record is schema-versioned and self-describing; ``repro bench
+--json BENCH_5.json`` is how a PR refreshes its point on the trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import asdict
+from typing import Any, Callable, Dict, List
+
+from repro.bench.harness import default_cache, run_point
+from repro.bench.reporting import Table
+
+__all__ = ["perf_trajectory", "render_trajectory"]
+
+#: Record schema version; bump on breaking shape changes.
+SCHEMA_VERSION = 1
+
+_METHODS = ("dim", "grid", "angle")
+
+
+def _median_latency_s(fn: Callable[[], Any], repeats: int) -> float:
+    samples = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(statistics.median(samples))
+
+
+def _engine_points(
+    n: int, d: int, executor: str | None
+) -> List[Dict[str, Any]]:
+    points = []
+    for method in _METHODS:
+        record = run_point(method, n, d, executor=executor)
+        row = asdict(record)
+        row.pop("trace_summary", None)
+        points.append(row)
+    return points
+
+
+def _serving_latencies(n: int, d: int, repeats: int) -> Dict[str, Any]:
+    from repro.serving.queries import QuerySpec
+    from repro.serving.service import ServeConfig, SkylineService
+
+    matrix = default_cache().matrix(n, d)
+    service = SkylineService(ServeConfig(cache_entries=64))
+    service.register("bench", matrix)
+    spec = QuerySpec(dataset="bench")
+    skyband = QuerySpec(dataset="bench", kind="skyband", k=3)
+
+    cold_s = _median_latency_s(lambda: service.query(spec), 1)
+    warm_s = _median_latency_s(lambda: service.query(spec), repeats)
+
+    def _mutate_and_requery() -> None:
+        point_id, _ = service.insert("bench", matrix[0] * 1.01)
+        service.query(spec)
+        service.remove("bench", point_id)
+
+    invalidate_s = _median_latency_s(_mutate_and_requery, repeats)
+    skyband_s = _median_latency_s(lambda: service.query(skyband), 1)
+    skyline_size = len(service.query(spec).ids)
+    return {
+        "n": n,
+        "d": d,
+        "repeats": repeats,
+        "skyline_size": skyline_size,
+        "cold_skyline_s": round(cold_s, 6),
+        "warm_cache_hit_s": round(warm_s, 6),
+        "insert_requery_s": round(invalidate_s, 6),
+        "cold_skyband_s": round(skyband_s, 6),
+        "cache": service.cache_stats(),
+    }
+
+
+def perf_trajectory(
+    *, quick: bool = False, executor: str | None = None
+) -> Dict[str, Any]:
+    """Run the fixed suite; returns the JSON-ready trajectory record."""
+    n, d = (1_500, 4) if quick else (10_000, 6)
+    serving_n = 1_000 if quick else 4_000
+    repeats = 3 if quick else 5
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "repro-bench",
+        "quick": quick,
+        "executor": executor or "serial",
+        "engine": _engine_points(n, d, executor),
+        "serving": _serving_latencies(serving_n, d, repeats),
+    }
+    record["suite_wall_s"] = round(time.perf_counter() - started, 3)
+    return record
+
+
+def render_trajectory(record: Dict[str, Any]) -> str:
+    """Human-readable tables for one trajectory record."""
+    engine = Table(
+        title=f"perf trajectory — engine (quick={record['quick']})",
+        columns=[
+            "method", "n", "d", "driver_wall_s", "sim_total_s",
+            "dominance_tests", "global_skyline", "optimality",
+        ],
+        precision=4,
+    )
+    for row in record["engine"]:
+        engine.add_row(
+            row["method"], row["n"], row["d"], row["driver_wall_s"],
+            row["sim_total_s"], row["dominance_tests"],
+            row["global_skyline"], row["optimality"],
+        )
+    serving = record["serving"]
+    serve = Table(
+        title=f"perf trajectory — serving (n={serving['n']}, d={serving['d']})",
+        columns=["metric", "seconds"],
+        precision=6,
+    )
+    for metric in (
+        "cold_skyline_s", "warm_cache_hit_s", "insert_requery_s",
+        "cold_skyband_s",
+    ):
+        serve.add_row(metric, serving[metric])
+    serve.add_note(
+        f"skyline size {serving['skyline_size']}, "
+        f"median of {serving['repeats']} repeats"
+    )
+    return engine.render() + "\n\n" + serve.render()

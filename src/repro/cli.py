@@ -13,6 +13,10 @@ Usage::
     python -m repro.cli trace FILE       # summarize a JSONL trace file
     python -m repro.cli lint [PATHS]     # static contract checker (see
                                          # docs/static_analysis.md)
+    python -m repro.cli serve            # online query service (JSON lines
+                                         # on stdio or --tcp; docs/serving.md)
+    python -m repro.cli bench            # perf-trajectory suite; --json F
+                                         # writes the machine-readable record
 
     --quick     scale cardinalities down ~10x for a fast sanity pass
     --markdown  emit Markdown instead of ASCII (for EXPERIMENTS.md)
@@ -335,15 +339,175 @@ def _run_lint(argv: List[str]) -> int:
     return result.exit_code
 
 
+def _run_serve(argv: List[str]) -> int:
+    """``repro serve`` — the online skyline query service (docs/serving.md)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline serve",
+        description=(
+            "Long-running skyline query service: JSON-lines protocol on "
+            "stdio (default) or a TCP socket (--tcp HOST:PORT)"
+        ),
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP socket instead of stdio (PORT 0 = pick free)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent computations admitted at once (default 8)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="requests allowed to wait beyond --max-inflight (default 16)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="versioned result-cache capacity in entries (default 256)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="default per-query deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--no-stale",
+        action="store_true",
+        help="reject shed requests outright instead of serving a stale "
+        "cached answer flagged degraded=True",
+    )
+    parser.add_argument(
+        "--mr-threshold", type=int, default=None, metavar="N",
+        help="bulk loads of >= N rows go through the MapReduce pipeline "
+        "(default 50000)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="engine backend for MR bulk loads (default: $REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker count for MR bulk loads (default 2)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write serve-path spans + metrics to FILE as JSON lines",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serving.server import make_tcp_server, serve_stdio
+    from repro.serving.service import ServeConfig, SkylineService
+
+    config = ServeConfig(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        cache_entries=args.cache_size,
+        default_deadline_s=args.deadline_s,
+        stale_on_overload=not args.no_stale,
+        num_workers=args.workers,
+        executor=args.executor,
+    )
+    if args.mr_threshold is not None:
+        config.mr_bulk_threshold = args.mr_threshold
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        from repro.observability import enable_tracing
+
+        try:
+            enable_tracing(args.trace)
+        except OSError as exc:
+            print(f"--trace: cannot write {args.trace}: {exc}", file=sys.stderr)
+            return 1
+    service = SkylineService(config)
+    try:
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            try:
+                server = make_tcp_server(service, host or "127.0.0.1", int(port))
+            except (OSError, ValueError) as exc:
+                print(f"serve: cannot bind {args.tcp}: {exc}", file=sys.stderr)
+                return 2
+            bound = server.server_address
+            print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
+            with server:
+                server.serve_forever()
+        else:
+            serve_stdio(service)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        if args.trace:
+            from repro.observability import disable_tracing
+
+            disable_tracing(write_metrics=True)
+    return 0
+
+
+def _run_bench(argv: List[str]) -> int:
+    """``repro bench`` — the perf-trajectory suite (engine + serving)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline bench",
+        description=(
+            "Run the fixed perf-trajectory suite (MR skyline points per "
+            "partitioning scheme + serving-layer latencies) and optionally "
+            "write the machine-readable JSON record"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the perf-trajectory record to FILE (e.g. BENCH_5.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down cardinalities for a fast pass (the CI setting)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="engine backend for the pipeline runs (default: $REPRO_EXECUTOR)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.perf import perf_trajectory, render_trajectory
+
+    record = perf_trajectory(quick=args.quick, executor=args.executor)
+    print(render_trajectory(record))
+    if args.json:
+        import json as _json
+
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(record, fh, indent=2, default=str)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"--json: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # 'trace' and 'lint' read files instead of running an experiment, so
-    # they take their own options and dispatch before the experiment parser.
+    # 'trace', 'lint', 'serve' and 'bench' are not experiments, so they
+    # take their own options and dispatch before the experiment parser.
     if argv[:1] == ["trace"]:
         return _run_trace(argv[1:])
     if argv[:1] == ["lint"]:
         return _run_lint(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _run_serve(argv[1:])
+    if argv[:1] == ["bench"]:
+        return _run_bench(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "verify":
         return _run_verify(args)

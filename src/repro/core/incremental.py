@@ -16,12 +16,12 @@ Reduce step of the MapReduce pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
 from repro.core.bnl import bnl_skyline
-from repro.core.dominance import dominated_by_any, dominates_any
+from repro.core.dominance import dominated_by_any, dominates_any, validate_points
 from repro.core.partitioning.base import SpacePartitioner
 
 __all__ = ["IncrementalSkyline"]
@@ -68,6 +68,55 @@ class IncrementalSkyline:
                 "partitioner must be fitted when no initial points are given"
             )
 
+    @classmethod
+    def from_batch(
+        cls,
+        partitioner: SpacePartitioner,
+        points: np.ndarray,
+        partition_ids: np.ndarray,
+        local_skylines: Mapping[int, np.ndarray],
+    ) -> "IncrementalSkyline":
+        """Seed from an already-computed batch result (e.g. ``run_mr_skyline``).
+
+        ``partition_ids[i]`` is the partition of ``points[i]`` under the
+        *fitted* ``partitioner``; ``local_skylines`` maps partition id to
+        the ascending point indices of its local skyline.  Point ``i``
+        receives id ``i``, matching the batch result's index space, so a
+        serving layer can bulk-load a large dataset through the MapReduce
+        pipeline instead of ``n`` serial inserts.
+        """
+        pts = validate_points(points)
+        ids = np.asarray(partition_ids)
+        if ids.shape != (pts.shape[0],):
+            raise ValueError(
+                f"partition_ids has shape {ids.shape}, expected ({pts.shape[0]},)"
+            )
+        if not getattr(partitioner, "_fitted", False):
+            raise ValueError("partitioner must be fitted for from_batch")
+        self = cls.__new__(cls)
+        self._partitioner = partitioner
+        self._rows = {i: pts[i] for i in range(pts.shape[0])}
+        self._partition_of = {i: int(p) for i, p in enumerate(ids)}
+        self._members = {}
+        for i, pid in self._partition_of.items():
+            self._members.setdefault(pid, []).append(i)
+        self._local_sky = {
+            int(pid): [int(i) for i in sky]
+            for pid, sky in local_skylines.items()
+            if len(sky)
+        }
+        for pid, sky in self._local_sky.items():
+            member_set = set(self._members.get(pid, []))
+            stray = [i for i in sky if i not in member_set]
+            if stray:
+                raise ValueError(
+                    f"local skyline of partition {pid} references non-member "
+                    f"ids {stray[:5]}"
+                )
+        self._next_id = pts.shape[0]
+        self._global_cache = None
+        return self
+
     # -- queries ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -110,6 +159,18 @@ class IncrementalSkyline:
             return np.empty((0, d))
         return np.vstack([self._rows[i] for i in ids])
 
+    def members(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, rows)`` of every current member, ids ascending.
+
+        The row matrix is a copy: callers may compute over it outside any
+        lock guarding this structure without seeing later mutations.
+        """
+        if not self._rows:
+            return np.empty(0, dtype=np.intp), np.empty((0, 0))
+        ids = np.array(sorted(self._rows), dtype=np.intp)
+        rows = np.vstack([self._rows[int(i)] for i in ids])
+        return ids, rows
+
     # -- mutations ---------------------------------------------------------------
 
     def insert(self, point: np.ndarray) -> int:
@@ -136,6 +197,36 @@ class IncrementalSkyline:
         self._global_cache = None
         return point_id
 
+    def bulk_load(self, points: np.ndarray) -> List[int]:
+        """Insert a batch of services at once; returns their ids.
+
+        Equivalent to repeated :meth:`insert` but vectorised: each affected
+        partition recomputes its local skyline once, over its previous
+        local skyline plus the arrivals (sound because a point dominated
+        before the insertions stays dominated afterwards).
+        """
+        pts = validate_points(points)
+        if pts.shape[0] == 0:
+            return []
+        assigned = self._partitioner.assign(pts)
+        new_ids: List[int] = []
+        touched: Dict[int, List[int]] = {}
+        for row, pid in zip(pts, assigned):
+            point_id = self._next_id
+            self._next_id += 1
+            self._rows[point_id] = np.array(row, dtype=np.float64)
+            self._partition_of[point_id] = int(pid)
+            self._members.setdefault(int(pid), []).append(point_id)
+            touched.setdefault(int(pid), []).append(point_id)
+            new_ids.append(point_id)
+        for pid, arrivals in touched.items():
+            candidates = self._local_sky.get(pid, []) + arrivals
+            rows = np.vstack([self._rows[i] for i in candidates])
+            result = bnl_skyline(rows)
+            self._local_sky[pid] = [candidates[j] for j in result.indices]
+        self._global_cache = None
+        return new_ids
+
     def remove(self, point_id: int) -> None:
         """Drop a service; recomputes only its partition's local skyline
         (and only when the removed point was on it)."""
@@ -155,5 +246,12 @@ class IncrementalSkyline:
                 self._local_sky[pid] = [members[j] for j in result.indices]
             else:
                 self._local_sky[pid] = []
-            self._global_cache = None
-        # A non-skyline member's removal cannot change any skyline.
+        # Invalidate the lazy global cache unconditionally — also for
+        # non-skyline members.  The set of global-skyline *ids* is provably
+        # unchanged in that case (the victim is dominated by a local-skyline
+        # point, transitively by a global one), but downstream consumers —
+        # the serving layer's versioned result cache in particular — treat
+        # a cached array as "derived from the current membership", and
+        # keeping it alive across *any* remove ties correctness to a
+        # subtle transitivity argument instead of an invariant.
+        self._global_cache = None

@@ -1,0 +1,55 @@
+"""Online skyline query serving — the §II scenario made long-running.
+
+The paper motivates MapReduce skyline processing with interactive
+QoS-based service selection over a live UDDI registry.  The batch engine
+(:mod:`repro.core.mr_skyline`) answers one query per pipeline run; this
+package keeps the per-partition skyline state *resident* and serves many
+concurrent queries against it:
+
+* :class:`~repro.serving.store.SkylineStore` — one
+  :class:`~repro.core.incremental.IncrementalSkyline` per registered
+  dataset behind a generation counter; mutations touch one partition and
+  bump the generation.  Large cold loads seed through the pipelined
+  MapReduce job instead of serial inserts.
+* :class:`~repro.serving.cache.ResultCache` — versioned result cache
+  keyed ``(dataset, kind, params, generation)``; mutation invalidates by
+  construction, and stale generations back the degraded answer path.
+* :class:`~repro.serving.service.SkylineService` — the request plane:
+  admission control with bounded queueing and load shedding, request
+  coalescing (identical in-flight queries share one computation),
+  per-query deadlines, four query kinds (skyline, k-skyband, constrained,
+  subspace), full serve-path observability.
+* :mod:`~repro.serving.protocol` / :mod:`~repro.serving.server` /
+  :mod:`~repro.serving.client` — the ``repro serve`` JSON-lines front end
+  (stdio or TCP) and the client helper used by tests and CI.
+
+See ``docs/serving.md``.
+"""
+
+from repro.serving.cache import ResultCache
+from repro.serving.client import ServingClient, ServingConnectionError
+from repro.serving.queries import QUERY_KINDS, QuerySpec, evaluate
+from repro.serving.service import (
+    QueryResponse,
+    ServeConfig,
+    ServiceOverloadedError,
+    SkylineService,
+    UnknownDatasetError,
+)
+from repro.serving.store import SkylineStore, StoreSnapshot
+
+__all__ = [
+    "QUERY_KINDS",
+    "QueryResponse",
+    "QuerySpec",
+    "ResultCache",
+    "ServeConfig",
+    "ServiceOverloadedError",
+    "ServingClient",
+    "ServingConnectionError",
+    "SkylineService",
+    "SkylineStore",
+    "StoreSnapshot",
+    "UnknownDatasetError",
+    "evaluate",
+]

@@ -1,0 +1,88 @@
+"""Versioned result cache for the serving layer.
+
+Entries are keyed by ``(dataset, query-kind, params, generation)`` — the
+:meth:`repro.serving.queries.QuerySpec.cache_key` tuple.  Mutations never
+*delete* from the cache: they bump the store's generation counter, so new
+lookups simply miss and old generations age out of the LRU.  That makes
+stale results addressable on purpose: under overload the service can
+answer from :meth:`ResultCache.latest` — the newest cached generation of
+the same query — flagged ``degraded=True`` (the PR-4 degrade vocabulary),
+instead of shedding the request outright.
+
+Thread-safety: every access to the entry map happens under ``self._lock``
+(the engine's lock-discipline contract, enforced by ``repro lint``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ResultCache"]
+
+Key = Tuple[Any, ...]
+
+
+class ResultCache:
+    """Bounded LRU cache of query results, versioned by generation."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Key, List[int]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Key) -> List[int] | None:
+        """The cached result ids for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Key, value: List[int]) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def latest(
+        self, dataset: str, kind: str, params_key: Tuple[Any, ...]
+    ) -> Tuple[int, List[int]] | None:
+        """Newest cached ``(generation, ids)`` for this query shape.
+
+        The stale-answer path: scans for every cached generation of the
+        ``(dataset, kind, params)`` prefix and returns the most recent one
+        (or ``None`` when the query was never cached).  Linear in the cache
+        size, which is LRU-bounded and small.
+        """
+        prefix = (dataset, kind, params_key)
+        with self._lock:
+            best: Tuple[int, List[int]] | None = None
+            for key, value in self._entries.items():
+                if key[:3] == prefix and (best is None or key[3] > best[0]):
+                    best = (int(key[3]), value)
+            return best
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -1,0 +1,159 @@
+"""Client helper for the JSON-lines serving protocol.
+
+A :class:`ServingClient` speaks the :mod:`repro.serving.protocol` over
+either transport the server offers:
+
+* :meth:`ServingClient.spawn` — start ``repro serve`` as a subprocess and
+  drive it over its stdio pipes (what the tests, the CI smoke job and the
+  demo use: no ports, no races on bind);
+* :meth:`ServingClient.connect` — connect to a running TCP server.
+
+Methods mirror the protocol ops and return the decoded response dict;
+transport failures raise :class:`ServingConnectionError`.  Application
+errors stay data (``response["ok"] is False``) so callers can distinguish
+a 429-style rejection from a broken server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+from typing import IO, Any, Dict, List, Sequence
+
+__all__ = ["ServingClient", "ServingConnectionError"]
+
+
+class ServingConnectionError(RuntimeError):
+    """The transport died (EOF, closed socket, dead subprocess)."""
+
+
+class ServingClient:
+    """Blocking request/response client over stdio pipes or a socket."""
+
+    def __init__(
+        self,
+        reader: IO[str],
+        writer: IO[str],
+        *,
+        proc: subprocess.Popen | None = None,
+        sock: socket.socket | None = None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._proc = proc
+        self._sock = sock
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def spawn(
+        cls,
+        *serve_args: str,
+        python: str = sys.executable,
+        **popen_kwargs: Any,
+    ) -> "ServingClient":
+        """Launch ``repro serve`` as a subprocess and attach to its pipes."""
+        proc = subprocess.Popen(
+            [python, "-m", "repro.cli", "serve", *serve_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            **popen_kwargs,
+        )
+        assert proc.stdin is not None and proc.stdout is not None
+        return cls(proc.stdout, proc.stdin, proc=proc)
+
+    @classmethod
+    def connect(cls, host: str, port: int, *, timeout: float | None = None) -> "ServingClient":
+        """Connect to a running ``repro serve --tcp`` server."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+        return cls(fh, fh, sock=sock)
+
+    # -- transport --------------------------------------------------------------
+
+    def call(self, **request: Any) -> Dict[str, Any]:
+        """Send one request object; return the decoded response."""
+        try:
+            self._writer.write(json.dumps(request) + "\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        except (OSError, ValueError) as exc:
+            raise ServingConnectionError(f"transport failed: {exc}") from exc
+        if not line:
+            raise ServingConnectionError(
+                "server closed the connection (no response)"
+            )
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ServingConnectionError(f"malformed response: {response!r}")
+        return response
+
+    def close(self) -> None:
+        if self._proc is not None:
+            for fh in (self._proc.stdin, self._proc.stdout):
+                if fh is not None:
+                    fh.close()
+            self._proc.wait(timeout=30)
+        if self._sock is not None:
+            self._reader.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def returncode(self) -> int | None:
+        """The subprocess exit code (None while running / for TCP clients)."""
+        return self._proc.poll() if self._proc is not None else None
+
+    # -- protocol ops -----------------------------------------------------------
+
+    def register(
+        self,
+        dataset: str,
+        points: Sequence[Sequence[float]] | None = None,
+        *,
+        generate: Dict[str, int] | None = None,
+        scheme: str = "angle",
+        partitions: int = 8,
+    ) -> Dict[str, Any]:
+        request: Dict[str, Any] = {
+            "op": "register",
+            "dataset": dataset,
+            "scheme": scheme,
+            "partitions": partitions,
+        }
+        if points is not None:
+            request["points"] = [list(map(float, row)) for row in points]
+        if generate is not None:
+            request["generate"] = generate
+        return self.call(**request)
+
+    def query(self, dataset: str, kind: str = "skyline", **params: Any) -> Dict[str, Any]:
+        return self.call(op="query", dataset=dataset, kind=kind, **params)
+
+    def insert(self, dataset: str, point: Sequence[float]) -> Dict[str, Any]:
+        return self.call(op="insert", dataset=dataset, point=list(map(float, point)))
+
+    def remove(self, dataset: str, point_id: int) -> Dict[str, Any]:
+        return self.call(op="remove", dataset=dataset, id=int(point_id))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call(op="stats")
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call(op="ping")
+
+    def shutdown(self) -> Dict[str, Any]:
+        response = self.call(op="shutdown")
+        return response
+
+    def session_ids(self, response: Dict[str, Any]) -> List[int]:
+        """The result ids of a query response (empty on failure)."""
+        return list(response.get("ids", []))

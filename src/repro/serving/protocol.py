@@ -1,0 +1,154 @@
+"""JSON-lines request protocol of ``repro serve``.
+
+One request per line, one response per line.  Every request is an object
+with an ``"op"`` field; every response has ``"ok": true/false``.  The ops:
+
+``register``
+    ``{"op": "register", "dataset": "qws", "points": [[...], ...]}`` or
+    ``{"op": "register", "dataset": "qws", "generate": {"n": 500, "d": 4,
+    "seed": 0}}`` (synthesises a QWS-like sample server-side, so clients
+    don't ship megabytes of literals).  Optional ``scheme`` (default
+    ``"angle"``) and ``partitions``.
+``query``
+    ``{"op": "query", "dataset": "qws", "kind": "skyline"}`` plus the
+    kind-specific parameters (``k`` / ``lower`` + ``upper`` / ``dims``)
+    and an optional ``deadline_s``.  Response carries ``ids``,
+    ``generation``, ``cache_hit``, ``coalesced``, ``degraded``, ``status``.
+``insert`` / ``remove``
+    Point mutations; responses carry the new ``generation`` (and the
+    assigned ``id`` for inserts).
+``stats`` / ``ping`` / ``shutdown``
+    Operational introspection, liveness, and orderly stop.
+
+Failures are responses, not broken connections: an invalid request gets
+``{"ok": false, "status": "error", "error": ...}``; an admission-control
+rejection gets ``{"ok": false, "status": "rejected", "reason": ...}`` —
+the JSON-lines analogue of HTTP 429.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.serving.queries import QuerySpec
+from repro.serving.service import (
+    ServiceOverloadedError,
+    SkylineService,
+    UnknownDatasetError,
+)
+
+__all__ = ["handle_request", "parse_query_spec"]
+
+#: Protocol revision; bump on breaking changes.
+PROTOCOL_VERSION = 1
+
+
+def parse_query_spec(request: Dict[str, Any]) -> QuerySpec:
+    """Build (and validate) the :class:`QuerySpec` of a ``query`` request."""
+    lower = request.get("lower")
+    upper = request.get("upper")
+    dims = request.get("dims")
+    return QuerySpec(
+        dataset=str(request.get("dataset", "")),
+        kind=str(request.get("kind", "skyline")),
+        k=request.get("k"),
+        lower=tuple(lower) if lower is not None else None,
+        upper=tuple(upper) if upper is not None else None,
+        dims=tuple(dims) if dims is not None else None,
+    )
+
+
+def _points_of(request: Dict[str, Any]) -> np.ndarray | None:
+    """Dataset rows of a ``register`` request (inline or generated)."""
+    if request.get("points") is not None:
+        return np.asarray(request["points"], dtype=np.float64)
+    generate = request.get("generate")
+    if generate is not None:
+        from repro.services.qws import generate_qws
+
+        n = int(generate.get("n", 1000))
+        d = int(generate.get("d", 4))
+        seed = int(generate.get("seed", 0))
+        return generate_qws(n, seed=seed).qos_matrix(d)
+    return None
+
+
+def _handle_register(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    dataset = str(request.get("dataset", ""))
+    generation = service.register(
+        dataset,
+        _points_of(request),
+        scheme=str(request.get("scheme", "angle")),
+        num_partitions=int(request.get("partitions", 8)),
+    )
+    return {
+        "ok": True,
+        "dataset": dataset,
+        "generation": generation,
+        "size": len(service.store(dataset)),
+    }
+
+
+def _handle_query(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    spec = parse_query_spec(request)
+    deadline = request.get("deadline_s")
+    response = service.query(
+        spec, deadline_s=float(deadline) if deadline is not None else None
+    )
+    return {"ok": True, **response.to_dict()}
+
+
+def _handle_insert(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    point_id, generation = service.insert(
+        str(request.get("dataset", "")), request["point"]
+    )
+    return {"ok": True, "id": point_id, "generation": generation}
+
+
+def _handle_remove(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    generation = service.remove(
+        str(request.get("dataset", "")), int(request["id"])
+    )
+    return {"ok": True, "generation": generation}
+
+
+def handle_request(
+    service: SkylineService, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one decoded request; always returns a response object."""
+    if not isinstance(request, dict):
+        return {"ok": False, "status": "error", "error": "request must be an object"}
+    op = request.get("op")
+    try:
+        if op == "register":
+            return _handle_register(service, request)
+        if op == "query":
+            return _handle_query(service, request)
+        if op == "insert":
+            return _handle_insert(service, request)
+        if op == "remove":
+            return _handle_remove(service, request)
+        if op == "stats":
+            return {"ok": True, "version": PROTOCOL_VERSION, **service.stats()}
+        if op == "ping":
+            return {"ok": True, "pong": True, "version": PROTOCOL_VERSION}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "status": "error", "error": f"unknown op {op!r}"}
+    except ServiceOverloadedError as exc:
+        return {
+            "ok": False,
+            "status": "rejected",
+            "reason": exc.reason,
+            "error": str(exc),
+        }
+    except UnknownDatasetError as exc:
+        return {
+            "ok": False,
+            "status": "error",
+            "error": f"unknown dataset {exc.args[0]!r}",
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "status": "error", "error": str(exc)}

@@ -1,0 +1,120 @@
+"""Serving front ends: JSON-lines over stdio or a threading TCP socket.
+
+``repro serve`` (see :mod:`repro.cli`) builds a
+:class:`~repro.serving.service.SkylineService` and hands it to one of the
+two loops here:
+
+* :func:`serve_stdio` — one session over stdin/stdout, the default.  A
+  client drives it through a pipe (see
+  :class:`repro.serving.client.ServingClient.spawn`); the CI smoke job and
+  the tests use exactly this path.
+* :func:`make_tcp_server` — a ``ThreadingTCPServer``; every connection is
+  its own session thread, so concurrent clients exercise the service's
+  admission control and coalescing for real.
+
+Both loops speak the protocol of :mod:`repro.serving.protocol` and exit
+cleanly on a successful ``shutdown`` op.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+import threading
+from typing import IO, Any, Dict, Iterable
+
+from repro.serving.protocol import handle_request
+from repro.serving.service import SkylineService
+
+__all__ = ["serve_lines", "serve_stdio", "make_tcp_server"]
+
+
+def _respond(out: IO[str], response: Dict[str, Any]) -> None:
+    out.write(json.dumps(response, default=str) + "\n")
+    out.flush()
+
+
+def serve_lines(
+    service: SkylineService, lines: Iterable[str], out: IO[str]
+) -> bool:
+    """Run one request/response session; True if it ended via ``shutdown``."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _respond(
+                out,
+                {"ok": False, "status": "error", "error": f"bad JSON: {exc}"},
+            )
+            continue
+        response = handle_request(service, request)
+        _respond(out, response)
+        if (
+            isinstance(request, dict)
+            and request.get("op") == "shutdown"
+            and response.get("ok")
+        ):
+            return True
+    return False
+
+
+def serve_stdio(
+    service: SkylineService,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> None:
+    """Serve one session over stdin/stdout (the ``repro serve`` default)."""
+    serve_lines(
+        service,
+        stdin if stdin is not None else sys.stdin,
+        stdout if stdout is not None else sys.stdout,
+    )
+
+
+class _SessionHandler(socketserver.StreamRequestHandler):
+    """One TCP connection = one JSON-lines session."""
+
+    def handle(self) -> None:
+        server: "ServingTCPServer" = self.server  # type: ignore[assignment]
+        reader = (raw.decode("utf-8", "replace") for raw in self.rfile)
+        out = _TextOut(self.wfile)
+        if serve_lines(server.service, reader, out):
+            # A successful shutdown op stops the whole server, not just
+            # this session; shutdown() must come from another thread.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+
+class _TextOut:
+    """Minimal text adapter over the handler's binary write file."""
+
+    def __init__(self, wfile: Any) -> None:
+        self._wfile = wfile
+
+    def write(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._wfile.flush()
+
+
+class ServingTCPServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server bound to one :class:`SkylineService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple, service: SkylineService):
+        super().__init__(address, _SessionHandler)
+        self.service = service
+
+
+def make_tcp_server(
+    service: SkylineService, host: str = "127.0.0.1", port: int = 0
+) -> ServingTCPServer:
+    """Bind a TCP server (``port=0`` picks a free port; see
+    ``server.server_address``); the caller runs ``serve_forever()``."""
+    return ServingTCPServer((host, port), service)

@@ -1,0 +1,494 @@
+"""The online skyline query service: admission, coalescing, cache, compute.
+
+One :class:`SkylineService` holds a :class:`~repro.serving.store.SkylineStore`
+per registered dataset and answers concurrent queries without rerunning
+the batch MapReduce pipeline.  The serve path of every request is::
+
+    request -> admission -> cache -> [coalesce] -> compute
+
+* **Admission control.**  At most ``max_inflight`` requests execute at
+  once (a bounded semaphore); up to ``max_queue`` more may wait.  A
+  request arriving beyond that capacity is *shed*: it gets the newest
+  cached answer for the same query flagged ``degraded=True`` when one
+  exists (the PR-4 degrade vocabulary — stale but never wrong), else a
+  429-style :class:`ServiceOverloadedError`.
+* **Request coalescing.**  Identical in-flight queries (same versioned
+  cache key) share one computation: the first request becomes the leader
+  and computes; followers wait on its flight and reuse the result — one
+  ``serve.compute`` span, many ``serve.request`` spans.
+* **Deadlines.**  Per-query deadlines run on the fault-tolerance clock
+  (:class:`~repro.mapreduce.faults.MonotonicClock`; tests inject a fake),
+  and bound both queue wait and coalesced waits.
+* **Observability.**  Serve-path spans (``serve.request`` →
+  ``serve.admission`` / ``serve.cache`` / ``serve.compute``), the
+  ``serve.*`` counters (requests, cache.hits/misses, shed, coalesced,
+  degraded, computes, mutations, deadline_exceeded) and the
+  ``serve.latency_s`` histogram all land in the PR-1 observability layer.
+
+Thread-safety: the flight table and queue depth mutate only under
+``self._lock``; per-dataset state is guarded by each store's own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapreduce.executors import Executor
+from repro.mapreduce.faults import MonotonicClock
+from repro.observability.metrics import get_metrics
+from repro.observability.tracing import get_tracer
+from repro.serving.cache import ResultCache
+from repro.serving.queries import QuerySpec, evaluate
+from repro.serving.store import DEFAULT_MR_BULK_THRESHOLD, SkylineStore
+
+__all__ = [
+    "ServeConfig",
+    "ServiceOverloadedError",
+    "UnknownDatasetError",
+    "QueryResponse",
+    "SkylineService",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """429-style rejection: over capacity (or past deadline), no stale answer."""
+
+    def __init__(self, message: str, *, reason: str = "overload"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class UnknownDatasetError(KeyError):
+    """The query named a dataset that was never registered."""
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Admission-control and cache knobs of one service instance."""
+
+    #: Concurrent computations admitted at once.
+    max_inflight: int = 8
+    #: Requests allowed to wait for admission beyond ``max_inflight``.
+    max_queue: int = 16
+    #: Versioned result-cache capacity (entries).
+    cache_entries: int = 256
+    #: Deadline applied when a query names none (``None`` = unbounded).
+    default_deadline_s: float | None = None
+    #: Shed path: serve the newest stale cached answer (``degraded=True``)
+    #: instead of rejecting, when one exists.
+    stale_on_overload: bool = True
+    #: Bulk loads at or above this many rows run the MapReduce pipeline.
+    mr_bulk_threshold: int = DEFAULT_MR_BULK_THRESHOLD
+    #: Workers / executor for MR bulk loads of registered datasets.
+    num_workers: int = 2
+    executor: str | Executor | None = None
+
+    def validate(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.cache_entries < 1:
+            raise ValueError(f"cache_entries must be >= 1, got {self.cache_entries}")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+
+
+@dataclass(slots=True)
+class QueryResponse:
+    """One served answer, labelled with the generation it was computed at."""
+
+    dataset: str
+    kind: str
+    ids: List[int]
+    generation: int
+    cache_hit: bool = False
+    coalesced: bool = False
+    degraded: bool = False
+    status: str = "ok"
+    latency_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "ids": list(self.ids),
+            "generation": self.generation,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "degraded": self.degraded,
+            "status": self.status,
+            "latency_s": round(self.latency_s, 9),
+        }
+
+
+class _Flight:
+    """One in-flight computation shared by coalesced requests."""
+
+    __slots__ = ("event", "response", "error", "requests")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: QueryResponse | None = None
+        self.error: BaseException | None = None
+        self.requests = 1
+
+
+@dataclass(slots=True)
+class _Request:
+    """Per-request bookkeeping threaded through the serve path."""
+
+    spec: QuerySpec
+    span: Any
+    start: float
+    deadline_s: float | None = None
+    status: str = "ok"
+    flight: _Flight | None = field(default=None, repr=False)
+
+
+class SkylineService:
+    """Long-running skyline query service over registered datasets."""
+
+    def __init__(
+        self, config: ServeConfig | None = None, *, clock: Any = None
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._lock = threading.RLock()
+        self._stores: Dict[str, SkylineStore] = {}
+        self._cache = ResultCache(self.config.cache_entries)
+        self._flights: Dict[Tuple[Any, ...], _Flight] = {}
+        self._queued = 0
+        self._admission = threading.BoundedSemaphore(self.config.max_inflight)
+
+    # -- dataset management -----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        points: np.ndarray | None = None,
+        *,
+        scheme: str = "angle",
+        num_partitions: int = 8,
+    ) -> int:
+        """Create (or replace) a dataset; returns its generation."""
+        if not name:
+            raise ValueError("dataset name must be non-empty")
+        store = SkylineStore(
+            name,
+            points,
+            scheme=scheme,
+            num_partitions=num_partitions,
+            num_workers=self.config.num_workers,
+            mr_bulk_threshold=self.config.mr_bulk_threshold,
+            executor=self.config.executor,
+        )
+        with self._lock:
+            self._stores[name] = store
+            get_metrics().gauge("serve.datasets").set(len(self._stores))
+        return store.generation
+
+    def datasets(self) -> List[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+    def store(self, name: str) -> SkylineStore:
+        with self._lock:
+            try:
+                return self._stores[name]
+            except KeyError:
+                raise UnknownDatasetError(name) from None
+
+    # -- mutations --------------------------------------------------------------
+
+    def insert(
+        self, dataset: str, point: Sequence[float] | np.ndarray
+    ) -> Tuple[int, int]:
+        """Insert into a dataset; returns ``(point id, new generation)``."""
+        with get_tracer().span("serve.mutation", kind="serve",
+                               dataset=dataset, op="insert"):
+            result = self.store(dataset).insert(point)
+        get_metrics().counter("serve.mutations").inc()
+        return result
+
+    def remove(self, dataset: str, point_id: int) -> int:
+        """Remove from a dataset; returns the new generation."""
+        with get_tracer().span("serve.mutation", kind="serve",
+                               dataset=dataset, op="remove"):
+            generation = self.store(dataset).remove(point_id)
+        get_metrics().counter("serve.mutations").inc()
+        return generation
+
+    def bulk_load(self, dataset: str, points: np.ndarray) -> Tuple[List[int], int]:
+        """Bulk-insert; returns ``(new point ids, new generation)``."""
+        with get_tracer().span("serve.mutation", kind="serve",
+                               dataset=dataset, op="bulk_load"):
+            result = self.store(dataset).bulk_load(points)
+        get_metrics().counter("serve.mutations").inc()
+        return result
+
+    # -- the serve path ---------------------------------------------------------
+
+    def query(
+        self, spec: QuerySpec, *, deadline_s: float | None = None
+    ) -> QueryResponse:
+        """Serve one query; raises :class:`ServiceOverloadedError` on shed
+        without a stale answer, :class:`UnknownDatasetError` on a bad name."""
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("serve.requests").inc()
+        req = _Request(
+            spec=spec,
+            span=tracer.start_span(
+                "serve.request", kind="serve",
+                dataset=spec.dataset, query=spec.kind,
+            ),
+            start=self.clock.monotonic(),
+            deadline_s=(
+                deadline_s if deadline_s is not None
+                else self.config.default_deadline_s
+            ),
+        )
+        try:
+            store = self.store(spec.dataset)
+            response = self._serve(req, store)
+            req.status = response.status
+            response.latency_s = self.clock.monotonic() - req.start
+            return response
+        except BaseException:
+            if req.status == "ok":
+                req.status = "error"
+            raise
+        finally:
+            metrics.histogram("serve.latency_s").observe(
+                self.clock.monotonic() - req.start
+            )
+            req.span.set_attrs(status=req.status)
+            tracer.end_span(
+                req.span,
+                status="ok" if req.status in ("ok", "degraded") else "error",
+            )
+
+    # -- serve-path stages ------------------------------------------------------
+
+    def _remaining_s(self, req: _Request) -> float | None:
+        """Seconds left before the request's deadline (None = unbounded)."""
+        if req.deadline_s is None:
+            return None
+        return req.deadline_s - (self.clock.monotonic() - req.start)
+
+    def _serve(self, req: _Request, store: SkylineStore) -> QueryResponse:
+        if not self._admit(req):
+            remaining = self._remaining_s(req)
+            reason = (
+                "deadline" if remaining is not None and remaining <= 0
+                else "overload"
+            )
+            return self._shed(req, reason)
+        try:
+            cached = self._check_cache(req, store)
+            if cached is not None:
+                return cached
+            return self._coalesced_compute(req, store)
+        finally:
+            self._admission.release()
+
+    def _admit(self, req: _Request) -> bool:
+        """Take an admission permit; False means over capacity or deadline."""
+        tracer = get_tracer()
+        span = tracer.start_span("serve.admission", kind="serve", parent=req.span)
+        admitted = self._admission.acquire(blocking=False)
+        waited = False
+        if not admitted:
+            with self._lock:
+                can_queue = self._queued < self.config.max_queue
+                if can_queue:
+                    self._queued += 1
+            if can_queue:
+                waited = True
+                remaining = self._remaining_s(req)
+                try:
+                    if remaining is None:
+                        admitted = self._admission.acquire()
+                    elif remaining > 0:
+                        admitted = self._admission.acquire(timeout=remaining)
+                finally:
+                    with self._lock:
+                        self._queued -= 1
+        span.set_attrs(admitted=admitted, queued=waited)
+        tracer.end_span(span)
+        return admitted
+
+    def _shed(self, req: _Request, reason: str) -> QueryResponse:
+        """Over-admission: degraded stale answer when possible, else 429."""
+        metrics = get_metrics()
+        metrics.counter("serve.shed").inc()
+        if reason == "deadline":
+            metrics.counter("serve.deadline_exceeded").inc()
+        if self.config.stale_on_overload:
+            stale = self._cache.latest(
+                req.spec.dataset, req.spec.kind, req.spec.params_key()
+            )
+            if stale is not None:
+                generation, ids = stale
+                metrics.counter("serve.degraded").inc()
+                req.span.set_attrs(degraded=True, shed_reason=reason)
+                return QueryResponse(
+                    dataset=req.spec.dataset,
+                    kind=req.spec.kind,
+                    ids=ids,
+                    generation=generation,
+                    cache_hit=True,
+                    degraded=True,
+                    status="degraded",
+                )
+        req.span.set_attrs(shed_reason=reason)
+        raise ServiceOverloadedError(
+            f"query {req.spec.describe()} shed ({reason}): "
+            f"{self.config.max_inflight} in flight, "
+            f"{self.config.max_queue} queued, no stale answer cached",
+            reason=reason,
+        )
+
+    def _check_cache(
+        self, req: _Request, store: SkylineStore
+    ) -> QueryResponse | None:
+        tracer = get_tracer()
+        metrics = get_metrics()
+        generation = store.generation
+        key = req.spec.cache_key(generation)
+        span = tracer.start_span("serve.cache", kind="serve", parent=req.span)
+        ids = self._cache.get(key)
+        hit = ids is not None
+        span.set_attrs(hit=hit, generation=generation)
+        tracer.end_span(span)
+        req.span.set_attrs(cache="hit" if hit else "miss", key=req.spec.describe())
+        metrics.counter("serve.cache.hits" if hit else "serve.cache.misses").inc()
+        if ids is None:
+            return None
+        return QueryResponse(
+            dataset=req.spec.dataset,
+            kind=req.spec.kind,
+            ids=ids,
+            generation=generation,
+            cache_hit=True,
+        )
+
+    def _coalesced_compute(
+        self, req: _Request, store: SkylineStore
+    ) -> QueryResponse:
+        """Compute once per (query, generation); identical requests share it."""
+        key = req.spec.cache_key(store.generation)
+        leader = False
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                flight.requests += 1
+        req.flight = flight
+        if leader:
+            try:
+                response = self._compute(req, store, key)
+                flight.response = response
+                return response
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+        return self._follow(req, flight)
+
+    def _follow(self, req: _Request, flight: _Flight) -> QueryResponse:
+        """Wait for the flight leader's result (bounded by the deadline)."""
+        metrics = get_metrics()
+        metrics.counter("serve.coalesced").inc()
+        req.span.set_attrs(coalesced=True)
+        remaining = self._remaining_s(req)
+        finished = flight.event.wait(timeout=remaining)
+        if not finished:
+            return self._shed(req, "deadline")
+        if flight.error is not None:
+            raise flight.error
+        assert flight.response is not None
+        return replace(flight.response, coalesced=True)
+
+    def _compute(
+        self, req: _Request, store: SkylineStore, key: Tuple[Any, ...]
+    ) -> QueryResponse:
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("serve.computes").inc()
+        span = tracer.start_span(
+            "serve.compute", kind="serve", parent=req.span,
+            dataset=req.spec.dataset, query=req.spec.kind,
+            key=req.spec.describe(),
+        )
+        status = "ok"
+        try:
+            if req.spec.kind == "skyline":
+                # The amortised path: the incremental structure answers from
+                # its per-partition local skylines (one cached BNL merge).
+                generation, ids = store.skyline_snapshot()
+            else:
+                snap = store.snapshot()
+                generation = snap.generation
+                ids = evaluate(req.spec, snap.ids, snap.rows)
+            # The snapshot's generation may be newer than the one the cache
+            # key was derived from (a mutation raced in); the result is
+            # cached and labelled under the generation actually computed.
+            self._cache.put(req.spec.cache_key(generation), ids)
+            span.set_attrs(
+                generation=generation,
+                results=len(ids),
+                requests=req.flight.requests if req.flight is not None else 1,
+            )
+            return QueryResponse(
+                dataset=req.spec.dataset,
+                kind=req.spec.kind,
+                ids=ids,
+                generation=generation,
+            )
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            tracer.end_span(span, status=status)
+
+    # -- introspection ----------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self._cache.stats()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready operational snapshot (the protocol's ``stats`` op)."""
+        snapshot = get_metrics().snapshot()
+        with self._lock:
+            datasets = {
+                name: {"size": len(s), "generation": s.generation}
+                for name, s in sorted(self._stores.items())
+            }
+            queued = self._queued
+            inflight = len(self._flights)
+        return {
+            "datasets": datasets,
+            "cache": self._cache.stats(),
+            "queued": queued,
+            "inflight_computes": inflight,
+            "counters": {
+                name: value
+                for name, value in snapshot["counters"].items()
+                if name.startswith("serve.")
+            },
+        }

@@ -1,0 +1,191 @@
+"""Generation-counted skyline store — one per registered dataset.
+
+A :class:`SkylineStore` wraps a :class:`~repro.core.incremental.IncrementalSkyline`
+behind a lock and a monotonically-increasing **generation counter**: every
+mutation (insert / remove / bulk load) bumps the generation, and every
+query result is labelled with the generation of the membership snapshot it
+was computed from.  The serving layer's result cache keys on that
+generation, so mutation implicitly invalidates all cached answers without
+any explicit cache wiring here.
+
+Large cold loads don't pay ``n`` serial inserts: a bulk load at or above
+``mr_bulk_threshold`` rows runs the full pipelined MapReduce skyline job
+(:func:`repro.core.mr_skyline.run_mr_skyline`) through the executor layer
+and seeds the incremental structure from the job's per-partition local
+skylines (:meth:`IncrementalSkyline.from_batch`).  Smaller loads use the
+in-core vectorised :meth:`IncrementalSkyline.bulk_load`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dominance import validate_points
+from repro.core.incremental import IncrementalSkyline
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.partitioning import make_partitioner
+from repro.mapreduce.executors import Executor
+
+__all__ = ["SkylineStore", "StoreSnapshot"]
+
+#: Bulk loads at or above this many rows go through the MapReduce pipeline.
+DEFAULT_MR_BULK_THRESHOLD = 50_000
+
+
+class StoreSnapshot(NamedTuple):
+    """A consistent membership view: compute over it outside the lock."""
+
+    generation: int
+    ids: np.ndarray
+    rows: np.ndarray
+
+
+class SkylineStore:
+    """Dynamic skyline state for one dataset, behind a generation counter."""
+
+    def __init__(
+        self,
+        name: str,
+        points: np.ndarray | None = None,
+        *,
+        scheme: str = "angle",
+        num_partitions: int = 8,
+        num_workers: int = 2,
+        mr_bulk_threshold: int = DEFAULT_MR_BULK_THRESHOLD,
+        executor: str | Executor | None = None,
+    ):
+        self.name = name
+        self.scheme = scheme
+        self.num_partitions = num_partitions
+        self.num_workers = num_workers
+        self.mr_bulk_threshold = mr_bulk_threshold
+        self.executor = executor
+        self._lock = threading.RLock()
+        self._sky: IncrementalSkyline | None = None
+        self._generation = 0
+        if points is not None:
+            self.bulk_load(points)
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The current mutation generation (0 before any data arrives)."""
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sky) if self._sky is not None else 0
+
+    def __contains__(self, point_id: int) -> bool:
+        with self._lock:
+            return self._sky is not None and point_id in self._sky
+
+    def snapshot(self) -> StoreSnapshot:
+        """Consistent ``(generation, ids, rows)`` copy of the membership."""
+        with self._lock:
+            if self._sky is None:
+                return StoreSnapshot(
+                    self._generation, np.empty(0, dtype=np.intp), np.empty((0, 0))
+                )
+            ids, rows = self._sky.members()
+            return StoreSnapshot(self._generation, ids, rows)
+
+    def skyline_snapshot(self) -> Tuple[int, List[int]]:
+        """``(generation, skyline ids)`` via the amortised incremental path.
+
+        This is where serving beats re-running the batch pipeline: the
+        per-partition local skylines persist across queries, so after a
+        mutation only the affected partition's state was recomputed and the
+        global answer is one lazy BNL merge (cached until the next
+        mutation).
+        """
+        with self._lock:
+            if self._sky is None:
+                return self._generation, []
+            return self._generation, self._sky.global_skyline()
+
+    # -- mutations --------------------------------------------------------------
+
+    def insert(self, point: Sequence[float] | np.ndarray) -> Tuple[int, int]:
+        """Add one service; returns ``(point_id, new generation)``."""
+        row = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        with self._lock:
+            self._ensure_sky(row)
+            assert self._sky is not None
+            point_id = self._sky.insert(row[0])
+            self._generation += 1
+            return point_id, self._generation
+
+    def remove(self, point_id: int) -> int:
+        """Drop a service by id; returns the new generation."""
+        with self._lock:
+            if self._sky is None:
+                raise KeyError(f"unknown point id {point_id}")
+            self._sky.remove(point_id)
+            self._generation += 1
+            return self._generation
+
+    def bulk_load(self, points: np.ndarray) -> Tuple[List[int], int]:
+        """Add a batch; returns ``(new point ids, new generation)``.
+
+        An initial load of ``mr_bulk_threshold`` rows or more is computed
+        by the pipelined MapReduce job (through the executor layer) and
+        seeds the incremental structure from the job's local skylines;
+        everything else takes the in-core vectorised path.
+        """
+        pts = validate_points(points)
+        seed = None
+        if self._use_mr_path(pts):
+            # The MR job runs outside the lock (it can be long); the seed is
+            # only installed if the store is still empty when we take the
+            # lock — a racing insert falls back to the in-core path.
+            partitioner = make_partitioner(self.scheme, self.num_partitions)
+            result = run_mr_skyline(
+                pts,
+                partitioner=partitioner,
+                num_workers=self.num_workers,
+                executor=self.executor,
+                pipelined=True,
+            )
+            seed = (partitioner, result)
+        with self._lock:
+            if self._sky is None and seed is not None:
+                partitioner, result = seed
+                self._sky = IncrementalSkyline.from_batch(
+                    partitioner,
+                    pts,
+                    result.partition_ids,
+                    result.local_skylines,
+                )
+                new_ids = list(range(pts.shape[0]))
+            else:
+                self._ensure_sky(pts)
+                assert self._sky is not None
+                new_ids = self._sky.bulk_load(pts)
+            self._generation += 1
+            return new_ids, self._generation
+
+    # -- internals --------------------------------------------------------------
+
+    def _use_mr_path(self, pts: np.ndarray) -> bool:
+        with self._lock:
+            return self._sky is None and pts.shape[0] >= self.mr_bulk_threshold
+
+    def _ensure_sky(self, first_batch: np.ndarray) -> None:
+        """Fit the partitioner on the first data to arrive.
+
+        Callers already hold ``self._lock``; it is an RLock, so the
+        re-acquisition here is free and keeps every write to ``_sky``
+        lexically inside a ``with self._lock`` block (the lock-discipline
+        contract ``repro lint`` checks).
+        """
+        with self._lock:
+            if self._sky is None:
+                partitioner = make_partitioner(self.scheme, self.num_partitions)
+                partitioner.fit(first_batch)
+                self._sky = IncrementalSkyline(partitioner)

@@ -1,0 +1,63 @@
+"""Clean fixture for lock-discipline over serving-layer shared state.
+
+The same store/cache/queue shapes as ``lock_serving_unsafe.py`` with every
+write to lock-guarded attributes kept lexically under ``with self._lock``
+(re-acquiring an RLock in helpers, as the serving store does).
+"""
+
+import threading
+
+
+class GuardedStore:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._members = {}
+
+    def insert(self, point_id, row):
+        with self._lock:
+            self._members[point_id] = row
+            self._generation += 1
+
+    def remove(self, point_id):
+        with self._lock:
+            self._members.pop(point_id, None)
+            self._bump()
+
+    def _bump(self):
+        # Callers hold the RLock already; re-acquiring keeps the write
+        # lexically guarded.
+        with self._lock:
+            self._generation += 1
+
+
+class GuardedCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, ids):
+        with self._lock:
+            self._entries[key] = ids
+
+    def clear(self):
+        with self._lock:
+            self._entries = {}
+
+    def peek(self, key):
+        # Reads are outside the rule's scope; only writes must be guarded.
+        return self._entries.get(key)
+
+
+class GuardedQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queued = 0
+
+    def enter(self):
+        with self._lock:
+            self._queued += 1
+
+    def leave(self):
+        with self._lock:
+            self._queued -= 1

@@ -1,0 +1,56 @@
+"""Violating fixture for lock-discipline over serving-layer shared state.
+
+Mirrors the serving subsystem's shapes — a generation-counted store, a
+result cache, and an admission queue counter — with bare writes that slip
+out from under the lock.
+"""
+
+import threading
+
+
+class LeakyStore:
+    """Generation-counted store whose mutations dodge the lock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._members = {}
+
+    def insert(self, point_id, row):
+        with self._lock:
+            self._members[point_id] = row
+            self._generation += 1
+
+    def fast_remove(self, point_id):
+        self._members.pop(point_id, None)  # VIOLATION: lock-discipline
+        self._generation += 1  # VIOLATION: lock-discipline
+
+
+class LeakyCache:
+    """Result cache that resets its entry map without the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def put(self, key, ids):
+        with self._lock:
+            self._entries[key] = ids
+
+    def clear(self):
+        self._entries = {}  # VIOLATION: lock-discipline
+
+
+class LeakyQueue:
+    """Admission bookkeeping with an unguarded depth counter."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queued = 0
+
+    def enter(self):
+        with self._lock:
+            self._queued += 1
+
+    def leave(self):
+        self._queued -= 1  # VIOLATION: lock-discipline

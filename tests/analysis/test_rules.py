@@ -26,6 +26,7 @@ def found_pairs(name: str, rule_id: str) -> set:
         ("udf-no-sleep", "udf_sleepy.py", "udf_wakeful.py"),
         ("pickle-safety", "pickle_unsafe.py", "pickle_safe.py"),
         ("lock-discipline", "lock_unsafe.py", "lock_safe.py"),
+        ("lock-discipline", "lock_serving_unsafe.py", "lock_serving_safe.py"),
         ("exception-hygiene", "except_swallow.py", "except_ok.py"),
     ],
 )

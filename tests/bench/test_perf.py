@@ -1,0 +1,52 @@
+"""The perf-trajectory suite behind ``repro bench``."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import SCHEMA_VERSION, perf_trajectory, render_trajectory
+
+
+@pytest.fixture(scope="module")
+def record():
+    return perf_trajectory(quick=True)
+
+
+class TestRecord:
+    def test_schema_and_identity(self, record):
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["suite"] == "repro-bench"
+        assert record["quick"] is True
+        assert record["executor"] == "serial"
+        assert record["suite_wall_s"] > 0
+
+    def test_engine_covers_every_scheme(self, record):
+        methods = [row["method"] for row in record["engine"]]
+        assert methods == ["dim", "grid", "angle"]
+        for row in record["engine"]:
+            assert row["n"] == 1_500 and row["d"] == 4
+            assert row["global_skyline"] > 0
+            assert "trace_summary" not in row
+
+    def test_serving_latencies_present(self, record):
+        serving = record["serving"]
+        for key in (
+            "cold_skyline_s", "warm_cache_hit_s",
+            "insert_requery_s", "cold_skyband_s",
+        ):
+            assert serving[key] >= 0
+        assert serving["skyline_size"] > 0
+        assert serving["cache"]["hits"] >= 1  # the warm repetitions hit
+
+    def test_json_serialisable(self, record):
+        encoded = json.dumps(record)
+        assert json.loads(encoded)["schema_version"] == SCHEMA_VERSION
+
+
+class TestRender:
+    def test_render_mentions_every_metric(self, record):
+        text = render_trajectory(record)
+        assert "perf trajectory" in text
+        for token in ("angle", "cold_skyline_s", "warm_cache_hit_s",
+                      "insert_requery_s", "cold_skyband_s"):
+            assert token in text

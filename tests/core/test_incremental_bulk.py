@@ -1,0 +1,165 @@
+"""Batch seeding and bulk mutation of IncrementalSkyline, plus the
+remove-invalidation regression the serving layer depends on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalSkyline
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.partitioning import AngularPartitioner, make_partitioner
+from repro.core.skyline import skyline_numpy
+
+
+def _fitted_partitioner(partitions=4, d=2, scale=10.0):
+    seed = np.vstack([np.full(d, 0.01), np.full(d, scale)])
+    return AngularPartitioner(partitions, bins="equal-width").fit(seed)
+
+
+def _points(n=200, d=3, seed=0):
+    return np.random.default_rng(seed).random((n, d)) + 0.01
+
+
+class TestFromBatch:
+    def test_seeded_from_mr_result_matches_from_scratch(self):
+        pts = _points()
+        partitioner = make_partitioner("angle", 6)
+        result = run_mr_skyline(pts, partitioner=partitioner, num_workers=2)
+        sky = IncrementalSkyline.from_batch(
+            partitioner, pts, result.partition_ids, result.local_skylines
+        )
+        assert len(sky) == 200
+        assert sky.global_skyline() == skyline_numpy(pts).tolist()
+
+    def test_seeded_structure_stays_mutable(self):
+        pts = _points(100)
+        partitioner = make_partitioner("angle", 4)
+        result = run_mr_skyline(pts, partitioner=partitioner, num_workers=2)
+        sky = IncrementalSkyline.from_batch(
+            partitioner, pts, result.partition_ids, result.local_skylines
+        )
+        new_id = sky.insert(np.full(3, 0.001))
+        assert new_id == 100  # ids continue after the batch
+        assert sky.global_skyline() == [new_id]
+        sky.remove(new_id)
+        assert sky.global_skyline() == skyline_numpy(pts).tolist()
+
+    def test_partition_ids_shape_validated(self):
+        pts = _points(10, 2)
+        partitioner = _fitted_partitioner()
+        with pytest.raises(ValueError, match="partition_ids"):
+            IncrementalSkyline.from_batch(
+                partitioner, pts, np.zeros(9, dtype=int), {}
+            )
+
+    def test_unfitted_partitioner_rejected(self):
+        pts = _points(10, 2)
+        with pytest.raises(ValueError, match="fitted"):
+            IncrementalSkyline.from_batch(
+                AngularPartitioner(4), pts, np.zeros(10, dtype=int), {}
+            )
+
+    def test_stray_local_skyline_ids_rejected(self):
+        pts = _points(10, 2)
+        partitioner = _fitted_partitioner()
+        assigned = partitioner.assign(pts)
+        empty_pid = int(max(assigned)) + 1  # a partition with no members
+        bogus = {empty_pid: np.array([0])}
+        with pytest.raises(ValueError, match="non-member"):
+            IncrementalSkyline.from_batch(partitioner, pts, assigned, bogus)
+
+
+class TestBulkLoad:
+    def test_matches_repeated_insert(self):
+        pts = _points(150, 3, seed=4)
+        serial = IncrementalSkyline(_fitted_partitioner(d=3))
+        batched = IncrementalSkyline(_fitted_partitioner(d=3))
+        for row in pts:
+            serial.insert(row)
+        ids = batched.bulk_load(pts)
+        assert ids == list(range(150))
+        assert batched.global_skyline() == serial.global_skyline()
+
+    def test_bulk_onto_existing_members(self):
+        first, second = _points(80, 2, seed=1)[:, :2], _points(80, 2, seed=2)[:, :2]
+        sky = IncrementalSkyline(_fitted_partitioner())
+        sky.bulk_load(first)
+        sky.bulk_load(second)
+        both = np.vstack([first, second])
+        assert sky.global_skyline() == skyline_numpy(both).tolist()
+
+    def test_empty_batch_is_a_no_op(self):
+        sky = IncrementalSkyline(_fitted_partitioner())
+        assert sky.bulk_load(np.empty((0, 2))) == []
+        assert len(sky) == 0
+
+
+class TestRemoveInvalidation:
+    """Removing a member must invalidate the lazy global cache — even a
+    member that was never on its partition's local skyline.
+
+    The old skip was provably answer-preserving (dominance transitivity),
+    but the serving layer treats the cached array as derived from the
+    current membership; these tests pin the stronger invariant.
+    """
+
+    def test_cache_dropped_for_non_skyline_member(self):
+        sky = IncrementalSkyline(_fitted_partitioner())
+        keeper = sky.insert([1.0, 1.0])
+        victim = sky.insert([2.0, 2.0])  # dominated: member, never skyline
+        assert sky.global_skyline() == [keeper]
+        assert sky._global_cache is not None  # lazy merge is now cached
+        sky.remove(victim)
+        assert sky._global_cache is None, (
+            "remove() must invalidate the cache unconditionally"
+        )
+        assert sky.global_skyline() == [keeper]
+
+    def test_answers_stay_correct_across_non_skyline_removals(self):
+        rng = np.random.default_rng(11)
+        pts = rng.random((120, 3)) + 0.01
+        sky = IncrementalSkyline(_fitted_partitioner(d=3), initial_points=pts)
+        model = {i: pts[i] for i in range(120)}
+        for _ in range(60):
+            current = set(sky.global_skyline())
+            off_skyline = [i for i in model if i not in current]
+            pool = off_skyline if (off_skyline and rng.random() < 0.7) else list(model)
+            victim = int(pool[rng.integers(len(pool))])
+            sky.remove(victim)
+            del model[victim]
+            ids = sorted(model)
+            expected = (
+                sorted(ids[j] for j in skyline_numpy(np.vstack(
+                    [model[i] for i in ids]
+                )))
+                if ids else []
+            )
+            assert sky.global_skyline() == expected
+
+
+coords2 = st.tuples(
+    st.floats(0.01, 10.0, allow_nan=False),
+    st.floats(0.01, 10.0, allow_nan=False),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(coords2, min_size=0, max_size=12), min_size=1, max_size=4
+    )
+)
+def test_bulk_load_property_matches_bruteforce(batches):
+    sky = IncrementalSkyline(_fitted_partitioner())
+    model = []
+    for batch in batches:
+        sky.bulk_load(np.array(batch, dtype=float).reshape(len(batch), 2))
+        model.extend(batch)
+        if not model:
+            assert sky.global_skyline() == []
+            continue
+        rows = np.array(model, dtype=float)
+        assert sky.global_skyline() == sorted(
+            int(i) for i in skyline_numpy(rows)
+        )

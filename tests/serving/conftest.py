@@ -1,0 +1,20 @@
+"""Isolation for the process-wide tracer/metrics singletons.
+
+The serving layer reports into the PR-1 observability globals; every test
+here starts from the disabled tracer and an empty metrics registry so
+counter assertions never see another test's traffic.
+"""
+
+import pytest
+
+from repro.observability.metrics import set_metrics
+from repro.observability.tracing import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    set_tracer(None)
+    set_metrics(None)
+    yield
+    set_tracer(None)
+    set_metrics(None)

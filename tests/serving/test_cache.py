@@ -1,0 +1,78 @@
+"""Versioned result cache: LRU bounds, generation addressing, stats."""
+
+import pytest
+
+from repro.serving.cache import ResultCache
+
+
+def key(gen, dataset="qws", kind="skyline", params=()):
+    return (dataset, kind, params, gen)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get(key(1)) is None
+        cache.put(key(1), [1, 2, 3])
+        assert cache.get(key(1)) == [1, 2, 3]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_len_counts_entries(self):
+        cache = ResultCache(4)
+        cache.put(key(1), [])
+        cache.put(key(2), [])
+        assert len(cache) == 2
+
+
+class TestLru:
+    def test_eviction_drops_oldest(self):
+        cache = ResultCache(2)
+        cache.put(key(1), [1])
+        cache.put(key(2), [2])
+        cache.put(key(3), [3])
+        assert cache.get(key(1)) is None
+        assert cache.get(key(2)) == [2]
+        assert cache.get(key(3)) == [3]
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put(key(1), [1])
+        cache.put(key(2), [2])
+        cache.get(key(1))  # key(1) is now the most recent
+        cache.put(key(3), [3])
+        assert cache.get(key(1)) == [1]
+        assert cache.get(key(2)) is None
+
+
+class TestLatest:
+    def test_latest_picks_newest_generation(self):
+        cache = ResultCache(8)
+        cache.put(key(3), [3])
+        cache.put(key(7), [7])
+        cache.put(key(5), [5])
+        assert cache.latest("qws", "skyline", ()) == (7, [7])
+
+    def test_latest_scopes_to_query_shape(self):
+        cache = ResultCache(8)
+        cache.put(key(9, kind="skyband", params=(2,)), [9])
+        cache.put(key(1), [1])
+        assert cache.latest("qws", "skyline", ()) == (1, [1])
+        assert cache.latest("qws", "skyband", (2,)) == (9, [9])
+        assert cache.latest("qws", "skyband", (3,)) is None
+
+    def test_latest_none_when_never_cached(self):
+        assert ResultCache(4).latest("qws", "skyline", ()) is None
+
+
+class TestStats:
+    def test_counts_hits_misses_evictions(self):
+        cache = ResultCache(1)
+        cache.get(key(1))
+        cache.put(key(1), [1])
+        cache.get(key(1))
+        cache.put(key(2), [2])  # evicts key(1)
+        stats = cache.stats()
+        assert stats == {"entries": 1, "hits": 1, "misses": 1, "evictions": 1}

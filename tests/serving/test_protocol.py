@@ -1,0 +1,142 @@
+"""JSON-lines protocol: request parsing, dispatch, and error shapes."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    handle_request,
+    parse_query_spec,
+)
+from repro.serving.server import serve_lines
+from repro.serving.service import ServeConfig, SkylineService
+
+
+def _service(n=50):
+    service = SkylineService()
+    service.register("qws", np.random.default_rng(0).random((n, 3)) + 0.01)
+    return service
+
+
+class TestParseQuerySpec:
+    def test_defaults_to_skyline(self):
+        spec = parse_query_spec({"dataset": "qws"})
+        assert spec.kind == "skyline"
+
+    def test_parses_every_kind(self):
+        assert parse_query_spec(
+            {"dataset": "qws", "kind": "skyband", "k": 2}
+        ).k == 2
+        constrained = parse_query_spec({
+            "dataset": "qws", "kind": "constrained",
+            "lower": [0.0, 0.0], "upper": [1.0, 1.0],
+        })
+        assert constrained.lower == (0.0, 0.0)
+        assert parse_query_spec(
+            {"dataset": "qws", "kind": "subspace", "dims": [2, 0]}
+        ).dims == (0, 2)
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            parse_query_spec({"dataset": "qws", "kind": "nope"})
+
+
+class TestDispatch:
+    def test_register_inline_points(self):
+        service = SkylineService()
+        response = handle_request(service, {
+            "op": "register", "dataset": "d",
+            "points": [[1.0, 2.0], [2.0, 1.0]],
+        })
+        assert response == {"ok": True, "dataset": "d", "generation": 1, "size": 2}
+
+    def test_register_generated_sample(self):
+        service = SkylineService()
+        response = handle_request(service, {
+            "op": "register", "dataset": "g",
+            "generate": {"n": 40, "d": 4, "seed": 3},
+        })
+        assert response["ok"] and response["size"] == 40
+
+    def test_query_insert_requery(self):
+        service = _service()
+        first = handle_request(service, {"op": "query", "dataset": "qws"})
+        assert first["ok"] and not first["cache_hit"]
+        inserted = handle_request(service, {
+            "op": "insert", "dataset": "qws", "point": [0.001, 0.001, 0.001],
+        })
+        assert inserted["generation"] == 2
+        second = handle_request(service, {"op": "query", "dataset": "qws"})
+        assert second["generation"] == 2 and not second["cache_hit"]
+        assert inserted["id"] in second["ids"]
+        removed = handle_request(service, {
+            "op": "remove", "dataset": "qws", "id": inserted["id"],
+        })
+        assert removed == {"ok": True, "generation": 3}
+
+    def test_stats_and_ping(self):
+        service = _service()
+        stats = handle_request(service, {"op": "stats"})
+        assert stats["ok"] and stats["version"] == PROTOCOL_VERSION
+        assert stats["datasets"]["qws"]["size"] == 50
+        assert handle_request(service, {"op": "ping"})["pong"] is True
+
+    def test_unknown_op_and_non_object(self):
+        service = _service()
+        bad = handle_request(service, {"op": "frobnicate"})
+        assert not bad["ok"] and "unknown op" in bad["error"]
+        assert not handle_request(service, ["not", "an", "object"])["ok"]
+
+    def test_unknown_dataset_is_an_error_response(self):
+        response = handle_request(_service(), {"op": "query", "dataset": "nope"})
+        assert response["ok"] is False
+        assert response["status"] == "error"
+        assert "unknown dataset" in response["error"]
+
+    def test_invalid_params_are_error_responses(self):
+        service = _service()
+        response = handle_request(service, {
+            "op": "query", "dataset": "qws", "kind": "skyband",
+        })
+        assert response["ok"] is False and response["status"] == "error"
+
+    def test_overload_is_a_rejected_response(self):
+        service = SkylineService(
+            ServeConfig(max_inflight=1, max_queue=0, stale_on_overload=False)
+        )
+        service.register("qws", np.random.default_rng(0).random((20, 3)) + 0.01)
+        assert service._admission.acquire(blocking=False)
+        try:
+            response = handle_request(service, {"op": "query", "dataset": "qws"})
+        finally:
+            service._admission.release()
+        assert response["ok"] is False
+        assert response["status"] == "rejected"
+        assert response["reason"] == "overload"
+
+
+class TestServeLines:
+    def test_session_runs_until_shutdown(self):
+        service = _service()
+        out = io.StringIO()
+        lines = [
+            "",  # blank lines are skipped
+            '{"op": "ping"}',
+            "this is not json",
+            '{"op": "query", "dataset": "qws"}',
+            '{"op": "shutdown"}',
+            '{"op": "ping"}',  # never reached
+        ]
+        stopped = serve_lines(service, lines, out)
+        assert stopped is True
+        responses = out.getvalue().strip().splitlines()
+        assert len(responses) == 4  # ping, bad-json error, query, shutdown
+        assert '"pong": true' in responses[0]
+        assert "bad JSON" in responses[1]
+
+    def test_session_without_shutdown_returns_false(self):
+        service = _service()
+        out = io.StringIO()
+        assert serve_lines(service, ['{"op": "ping"}'], out) is False

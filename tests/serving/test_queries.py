@@ -1,0 +1,182 @@
+"""QuerySpec validation/canonicalisation and evaluate() vs brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyband import k_skyband
+from repro.core.skyline import skyline
+from repro.serving.queries import QUERY_KINDS, QuerySpec, evaluate
+
+
+def _snapshot(n=80, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.random((n, d)) + 0.01
+    # Non-contiguous stable ids: the snapshot of a store that saw removals.
+    ids = np.arange(3, 3 + 2 * n, 2, dtype=np.intp)
+    return ids, rows
+
+
+class TestQuerySpecValidation:
+    def test_default_is_skyline(self):
+        spec = QuerySpec(dataset="qws")
+        assert spec.kind == "skyline"
+        assert spec.params_key() == ()
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="dataset"):
+            QuerySpec(dataset="")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            QuerySpec(dataset="qws", kind="top-k")
+
+    @pytest.mark.parametrize("k", [None, 0, -3])
+    def test_skyband_needs_positive_k(self, k):
+        with pytest.raises(ValueError, match="skyband"):
+            QuerySpec(dataset="qws", kind="skyband", k=k)
+
+    def test_skyband_k_coerced_to_int(self):
+        assert QuerySpec(dataset="qws", kind="skyband", k=2.0).k == 2
+
+    def test_constrained_needs_both_bounds(self):
+        with pytest.raises(ValueError, match="lower and upper"):
+            QuerySpec(dataset="qws", kind="constrained", lower=(0.0, 0.0))
+
+    def test_constrained_bound_lengths_must_match(self):
+        with pytest.raises(ValueError, match="equal length"):
+            QuerySpec(
+                dataset="qws", kind="constrained",
+                lower=(0.0,), upper=(1.0, 1.0),
+            )
+
+    def test_constrained_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lower bound"):
+            QuerySpec(
+                dataset="qws", kind="constrained",
+                lower=(0.5, 0.0), upper=(0.1, 1.0),
+            )
+
+    def test_subspace_needs_dims(self):
+        with pytest.raises(ValueError, match="dimension"):
+            QuerySpec(dataset="qws", kind="subspace", dims=())
+
+    def test_subspace_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            QuerySpec(dataset="qws", kind="subspace", dims=(1, 1))
+
+    def test_subspace_dims_canonicalised_sorted(self):
+        spec = QuerySpec(dataset="qws", kind="subspace", dims=(3, 0, 2))
+        assert spec.dims == (0, 2, 3)
+
+
+class TestCacheIdentity:
+    def test_cache_key_includes_generation(self):
+        spec = QuerySpec(dataset="qws")
+        assert spec.cache_key(1) != spec.cache_key(2)
+        assert spec.cache_key(3) == ("qws", "skyline", (), 3)
+
+    def test_equivalent_specs_share_a_key(self):
+        a = QuerySpec(dataset="qws", kind="subspace", dims=(2, 0))
+        b = QuerySpec(dataset="qws", kind="subspace", dims=(0, 2))
+        assert a.cache_key(5) == b.cache_key(5)
+
+    def test_describe_mentions_dataset_and_kind(self):
+        spec = QuerySpec(dataset="qws", kind="skyband", k=3)
+        assert "qws" in spec.describe()
+        assert "skyband" in spec.describe()
+
+    def test_to_dict_round_trips_params(self):
+        spec = QuerySpec(
+            dataset="qws", kind="constrained",
+            lower=(0.0, 0.0), upper=(0.5, 0.5),
+        )
+        record = spec.to_dict()
+        assert record["lower"] == [0.0, 0.0]
+        assert record["upper"] == [0.5, 0.5]
+
+
+class TestEvaluate:
+    def test_empty_snapshot_is_empty(self):
+        for kind, extra in [
+            ("skyline", {}),
+            ("skyband", {"k": 2}),
+            ("subspace", {"dims": (0,)}),
+        ]:
+            spec = QuerySpec(dataset="qws", kind=kind, **extra)
+            assert evaluate(spec, np.empty(0, dtype=np.intp), np.empty((0, 4))) == []
+
+    def test_mismatched_snapshot_rejected(self):
+        ids, rows = _snapshot()
+        with pytest.raises(ValueError, match="snapshot mismatch"):
+            evaluate(QuerySpec(dataset="qws"), ids[:-1], rows)
+
+    def test_skyline_matches_core(self):
+        ids, rows = _snapshot()
+        got = evaluate(QuerySpec(dataset="qws"), ids, rows)
+        assert got == sorted(int(ids[i]) for i in skyline(rows))
+
+    def test_skyband_matches_core(self):
+        ids, rows = _snapshot()
+        spec = QuerySpec(dataset="qws", kind="skyband", k=3)
+        got = evaluate(spec, ids, rows)
+        assert got == sorted(int(ids[i]) for i in k_skyband(rows, 3))
+
+    def test_skyband_k1_is_the_skyline(self):
+        ids, rows = _snapshot()
+        sky = evaluate(QuerySpec(dataset="qws"), ids, rows)
+        band = evaluate(QuerySpec(dataset="qws", kind="skyband", k=1), ids, rows)
+        assert band == sky
+
+    def test_constrained_matches_bruteforce(self):
+        ids, rows = _snapshot()
+        lower = tuple([0.2] * rows.shape[1])
+        upper = tuple([0.9] * rows.shape[1])
+        spec = QuerySpec(dataset="qws", kind="constrained", lower=lower, upper=upper)
+        inside = np.flatnonzero(
+            ((rows >= np.asarray(lower)) & (rows <= np.asarray(upper))).all(axis=1)
+        )
+        expected = sorted(int(ids[inside[j]]) for j in skyline(rows[inside]))
+        assert evaluate(spec, ids, rows) == expected
+
+    def test_constrained_empty_window(self):
+        ids, rows = _snapshot()
+        spec = QuerySpec(
+            dataset="qws", kind="constrained",
+            lower=(50.0,) * rows.shape[1], upper=(60.0,) * rows.shape[1],
+        )
+        assert evaluate(spec, ids, rows) == []
+
+    def test_constrained_bound_arity_checked_against_data(self):
+        ids, rows = _snapshot(d=4)
+        spec = QuerySpec(
+            dataset="qws", kind="constrained", lower=(0.0,), upper=(1.0,)
+        )
+        with pytest.raises(ValueError, match="dims"):
+            evaluate(spec, ids, rows)
+
+    def test_subspace_matches_projection(self):
+        ids, rows = _snapshot()
+        spec = QuerySpec(dataset="qws", kind="subspace", dims=(0, 2))
+        expected = sorted(int(ids[i]) for i in skyline(rows[:, (0, 2)]))
+        assert evaluate(spec, ids, rows) == expected
+
+    def test_subspace_superset_of_fullspace(self):
+        # Every full-space skyline point survives in any containing
+        # superspace answer only for the projection of all dims; instead
+        # check the projection onto all dims equals the full skyline.
+        ids, rows = _snapshot()
+        spec = QuerySpec(
+            dataset="qws", kind="subspace", dims=tuple(range(rows.shape[1]))
+        )
+        assert evaluate(spec, ids, rows) == evaluate(
+            QuerySpec(dataset="qws"), ids, rows
+        )
+
+    def test_subspace_out_of_range_dim_rejected(self):
+        ids, rows = _snapshot(d=3)
+        spec = QuerySpec(dataset="qws", kind="subspace", dims=(0, 9))
+        with pytest.raises(ValueError, match="out of range"):
+            evaluate(spec, ids, rows)
+
+    def test_all_kinds_listed(self):
+        assert set(QUERY_KINDS) == {"skyline", "skyband", "constrained", "subspace"}
