@@ -107,6 +107,13 @@ def perf_trajectory(
         "serving": _serving_latencies(serving_n, d, repeats),
     }
     record["suite_wall_s"] = round(time.perf_counter() - started, 3)
+    # Embed the process-wide metrics the suite itself generated — the
+    # trajectory record then carries the serve/cache/skew series alongside
+    # the wall-clock numbers, in the same JSON-safe snapshot shape the
+    # `metrics` serving verb returns.
+    from repro.observability.export import json_snapshot
+
+    record["metrics"] = json_snapshot()
     return record
 
 

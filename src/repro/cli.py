@@ -15,6 +15,8 @@ Usage::
                                          # docs/static_analysis.md)
     python -m repro.cli serve            # online query service (JSON lines
                                          # on stdio or --tcp; docs/serving.md)
+    python -m repro.cli top --tcp H:P    # live terminal dashboard polling a
+                                         # running server (--once for one frame)
     python -m repro.cli bench            # perf-trajectory suite; --json F
                                          # writes the machine-readable record
 
@@ -395,6 +397,26 @@ def _run_serve(argv: List[str]) -> int:
         metavar="FILE",
         help="write serve-path spans + metrics to FILE as JSON lines",
     )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        help="dump the structured event log to FILE as JSON lines on exit "
+        "(the CI smoke artifact; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slo-latency-s", type=float, default=0.25, metavar="S",
+        help="latency SLO threshold in seconds (default 0.25)",
+    )
+    parser.add_argument(
+        "--slo-latency-target", type=float, default=0.95, metavar="F",
+        help="fraction of requests that must beat --slo-latency-s "
+        "(default 0.95)",
+    )
+    parser.add_argument(
+        "--slo-availability-target", type=float, default=0.999, metavar="F",
+        help="fraction of requests that must be answered at all "
+        "(default 0.999)",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving.server import make_tcp_server, serve_stdio
@@ -408,6 +430,9 @@ def _run_serve(argv: List[str]) -> int:
         stale_on_overload=not args.no_stale,
         num_workers=args.workers,
         executor=args.executor,
+        slo_latency_threshold_s=args.slo_latency_s,
+        slo_latency_target=args.slo_latency_target,
+        slo_availability_target=args.slo_availability_target,
     )
     if args.mr_threshold is not None:
         config.mr_bulk_threshold = args.mr_threshold
@@ -446,7 +471,73 @@ def _run_serve(argv: List[str]) -> int:
             from repro.observability import disable_tracing
 
             disable_tracing(write_metrics=True)
+        if args.events:
+            from repro.observability import get_events
+
+            try:
+                count = get_events().dump(args.events)
+                print(f"wrote {count} event(s) to {args.events}", file=sys.stderr)
+            except OSError as exc:
+                print(f"--events: cannot write {args.events}: {exc}",
+                      file=sys.stderr)
+                return 1
     return 0
+
+
+def _run_top(argv: List[str]) -> int:
+    """``repro top`` — live dashboard over the telemetry verbs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline top",
+        description=(
+            "Refreshing terminal dashboard for a running `repro serve --tcp` "
+            "process: QPS, admission/cache state, latency quantiles, "
+            "per-dataset generations, partition skew, SLO burn, events"
+        ),
+    )
+    parser.add_argument(
+        "--tcp",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the running `repro serve --tcp` server",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between polls (default 2.0)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting / CI mode)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit after N frames (frames append instead of repainting)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=8, metavar="N",
+        help="event-log tail length shown per frame (default 8)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.tcp.rpartition(":")
+    try:
+        port_num = int(port)
+    except ValueError:
+        print(f"top: bad --tcp address {args.tcp!r}", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"top: --interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+
+    from repro.serving.top import run_top
+
+    return run_top(
+        host or "127.0.0.1",
+        port_num,
+        interval_s=args.interval,
+        once=args.once,
+        count=args.count,
+        event_tail=args.events,
+    )
 
 
 def _run_bench(argv: List[str]) -> int:
@@ -506,6 +597,8 @@ def main(argv: List[str] | None = None) -> int:
         return _run_lint(argv[1:])
     if argv[:1] == ["serve"]:
         return _run_serve(argv[1:])
+    if argv[:1] == ["top"]:
+        return _run_top(argv[1:])
     if argv[:1] == ["bench"]:
         return _run_bench(argv[1:])
     args = build_parser().parse_args(argv)

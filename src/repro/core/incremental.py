@@ -136,6 +136,19 @@ class IncrementalSkyline:
         """Current local skyline ids of one partition (sorted)."""
         return sorted(self._local_sky.get(partition_id, []))
 
+    def partition_sizes(self) -> List[int]:
+        """Member count per partition id (0 … num_partitions-1).
+
+        The live load-balance picture of the partitioner's boundaries:
+        the serving layer turns this into ``partition.skew.<dataset>.*``
+        gauges after every mutation, which the skew-threshold watches
+        (and eventually the re-balancer) consume.
+        """
+        return [
+            len(self._members.get(pid, []))
+            for pid in range(self._partitioner.num_partitions)
+        ]
+
     def global_skyline(self) -> List[int]:
         """Ids of the current global skyline (sorted ascending)."""
         if self._global_cache is None:

@@ -76,6 +76,7 @@ from repro.mapreduce.job import ChainResult, Job, JobChain, JobResult
 from repro.mapreduce.shuffle import Grouped, StreamingShuffle, shuffle
 from repro.mapreduce.tasks import JobSpec, execute_map_task, execute_reduce_task
 from repro.mapreduce.types import PhaseStats, RetryPolicy, TaskKind, TaskStats
+from repro.observability.events import get_events
 from repro.observability.metrics import get_metrics, observe_partition_skew
 from repro.observability.tracing import Span, Tracer, get_tracer
 
@@ -838,6 +839,9 @@ class Runner:
                 decision="degrade", attempt=attempt,
                 task_kind=kind, executor=ex.name,
             )
+            get_events().emit(
+                "task.degraded", task=task_id, attempt=attempt, job=spec.name
+            )
             result = _lost_placeholder(spec, kind, index, attempt)
             if on_done is not None:
                 replaced = on_done(index, result)
@@ -867,6 +871,10 @@ class Runner:
                     decision="retry", attempt=attempt + 1,
                     backoff_s=round(delay, 9),
                     task_kind=kind, executor=ex.name,
+                )
+                get_events().emit(
+                    "task.retry", task=task_id, attempt=attempt + 1,
+                    backoff_s=round(delay, 6), job=spec.name,
                 )
                 delayed.append((clock.monotonic() + delay, index, payload, attempt + 1))
             elif policy.on_lost == "degrade":
@@ -978,6 +986,11 @@ class Runner:
                             timeout_s=policy.task_timeout_s,
                             task_kind=kind, executor=ex.name,
                         )
+                        get_events().emit(
+                            "task.timeout", task=f"{kind}-{index}",
+                            attempt=attempt, timeout_s=policy.task_timeout_s,
+                            job=spec.name,
+                        )
                         settle_failure(
                             index, payload, attempt,
                             TaskTimeoutError(
@@ -1007,6 +1020,11 @@ class Runner:
                             decision="speculate", attempt=attempt,
                             elapsed_s=round(elapsed, 9),
                             task_kind=kind, executor=ex.name,
+                        )
+                        get_events().emit(
+                            "task.speculate", task=f"{kind}-{index}",
+                            attempt=attempt, elapsed_s=round(elapsed, 6),
+                            job=spec.name,
                         )
                         backup = self._submit_task(
                             ex, fn, spec, kind, index, payload, attempt, parent

@@ -26,15 +26,34 @@ then ``repro-skyline trace run.jsonl``.  See ``docs/observability.md``.
 
 from __future__ import annotations
 
+from repro.observability.events import (
+    Event,
+    EventLog,
+    get_events,
+    set_events,
+)
+from repro.observability.export import (
+    DeltaSnapshotter,
+    json_snapshot,
+    render_prometheus,
+    sanitize_metric_name,
+    snapshot_delta,
+)
 from repro.observability.metrics import (
     DEFAULT_DURATION_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    ThresholdWatch,
     get_metrics,
     observe_partition_skew,
     set_metrics,
+)
+from repro.observability.slo import (
+    SLObjective,
+    SLOTracker,
+    default_objectives,
 )
 from repro.observability.report import (
     TraceError,
@@ -57,26 +76,39 @@ from repro.observability.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_DURATION_BUCKETS_S",
+    "DeltaSnapshotter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "JsonLinesExporter",
     "MetricsRegistry",
     "NULL_TRACER",
+    "SLOTracker",
+    "SLObjective",
     "Span",
+    "ThresholdWatch",
     "TraceError",
     "Tracer",
+    "default_objectives",
     "disable_tracing",
     "enable_tracing",
+    "get_events",
     "get_metrics",
     "get_tracer",
+    "json_snapshot",
     "load_trace",
     "now_ns",
     "observe_partition_skew",
     "read_trace",
+    "render_prometheus",
     "render_summary",
     "render_tree",
+    "sanitize_metric_name",
+    "set_events",
     "set_metrics",
     "set_tracer",
+    "snapshot_delta",
     "summarize_spans",
 ]
 

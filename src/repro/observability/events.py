@@ -1,0 +1,169 @@
+"""Structured event log: a bounded ring buffer of operational moments.
+
+Metrics say *how much*; spans say *how long*; events say *what happened*.
+The engine and serving layer emit one :class:`Event` per operationally
+interesting moment — a shed request, a degraded (stale) answer, a task
+retry or speculative backup, a dataset generation bump, a cache eviction —
+into a process-wide :class:`EventLog` (:func:`get_events`).  The log is a
+fixed-capacity ring: emission never blocks and never grows without bound;
+old events fall off the tail and are counted in :attr:`EventLog.dropped`.
+
+Each event carries a monotone sequence number, a wall-clock timestamp, a
+dotted ``kind`` (``serve.shed``, ``task.retry``, ``store.generation``,
+``cache.evict``, …) and flat JSON-safe attributes.  Consumers poll with
+:meth:`EventLog.tail` (optionally filtered by kind glob and ``since_seq``
+for gap-free incremental reads) or dump the whole ring as JSON lines —
+the ``events`` verb of the serving protocol and the CI smoke artifact are
+both exactly that.
+
+The timestamp source is injectable (``time_fn``) so tests pin event times
+with a fake clock; everything else is plain dict arithmetic under one
+lock (the engine's lock-discipline contract).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List
+
+__all__ = ["Event", "EventLog", "get_events", "set_events"]
+
+#: Default ring capacity: enough for minutes of busy serving, small enough
+#: that an `events` response or CI artifact stays a few hundred KB.
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured occurrence; immutable once emitted."""
+
+    seq: int
+    ts: float
+    kind: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "ts": round(self.ts, 6), "kind": self.kind,
+                **self.attrs}
+
+
+class EventLog:
+    """Thread-safe bounded ring buffer of :class:`Event` records."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        time_fn: Any = time.time,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._time_fn = time_fn
+        self._lock = threading.Lock()
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self._emitted: Dict[str, int] = {}
+
+    def emit(self, kind: str, **attrs: Any) -> Event:
+        """Append one event; never blocks, never raises on a full ring."""
+        reserved = attrs.keys() & {"seq", "ts", "kind"}
+        if reserved:
+            raise ValueError(
+                f"event attr names {sorted(reserved)} are reserved"
+            )
+        with self._lock:
+            event = Event(self._next_seq, float(self._time_fn()), kind, attrs)
+            self._next_seq += 1
+            self._ring.append(event)
+            self._emitted[kind] = self._emitted.get(kind, 0) + 1
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events that aged off the ring (emitted minus retained)."""
+        with self._lock:
+            return self._next_seq - len(self._ring)
+
+    def counts(self) -> Dict[str, int]:
+        """Cumulative emissions per kind (including dropped events)."""
+        with self._lock:
+            return dict(sorted(self._emitted.items()))
+
+    def tail(
+        self,
+        n: int | None = None,
+        *,
+        kinds: Iterable[str] | None = None,
+        since_seq: int | None = None,
+    ) -> List[Event]:
+        """The newest matching events, oldest first.
+
+        ``kinds`` filters by glob patterns (``["serve.*"]``); ``since_seq``
+        keeps only events with ``seq > since_seq`` so an incremental poller
+        resumes where it left off; ``n`` caps the result (newest win).
+        """
+        with self._lock:
+            events = list(self._ring)
+        if since_seq is not None:
+            events = [e for e in events if e.seq > since_seq]
+        if kinds is not None:
+            patterns = list(kinds)
+            events = [
+                e for e in events
+                if any(fnmatch.fnmatchcase(e.kind, p) for p in patterns)
+            ]
+        if n is not None and n >= 0:
+            events = events[-n:]
+        return events
+
+    def to_jsonl(self, **tail_kwargs: Any) -> str:
+        """The (filtered) tail as JSON lines — the artifact/verb format."""
+        return "\n".join(
+            json.dumps(e.to_dict(), default=str, sort_keys=True)
+            for e in self.tail(**tail_kwargs)
+        )
+
+    def dump(self, path: str, **tail_kwargs: Any) -> int:
+        """Write the (filtered) tail to ``path``; returns the event count."""
+        events = self.tail(**tail_kwargs)
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(
+                    json.dumps(event.to_dict(), default=str, sort_keys=True)
+                    + "\n"
+                )
+        return len(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+_default_log = EventLog()
+
+
+def get_events() -> EventLog:
+    """The process-wide event log every engine/serving hook emits into."""
+    return _default_log
+
+
+def set_events(log: EventLog | None) -> EventLog:
+    """Install (or, with ``None``, reset to a fresh) process-wide log."""
+    global _default_log
+    _default_log = log if log is not None else EventLog()
+    return _default_log

@@ -19,15 +19,17 @@ and first-class metrics end up in one snapshot.
 from __future__ import annotations
 
 import bisect
+import fnmatch
 import math
 import threading
-from typing import Any, Dict, Iterable, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ThresholdWatch",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_DURATION_BUCKETS_S",
     "get_metrics",
@@ -82,16 +84,29 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value: the last write wins."""
+    """A point-in-time value: the last write wins.
 
-    __slots__ = ("name", "value")
+    A gauge created by a :class:`MetricsRegistry` notifies the registry on
+    every write (``_on_set``) so :class:`ThresholdWatch` hooks see each
+    old→new transition; a standalone gauge has no observers.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "_on_set")
+
+    def __init__(
+        self,
+        name: str,
+        on_set: Callable[[str, float, float], None] | None = None,
+    ):
         self.name = name
         self.value: float = 0.0
+        self._on_set = on_set
 
     def set(self, value: float) -> None:
+        previous = self.value
         self.value = float(value)
+        if self._on_set is not None:
+            self._on_set(self.name, previous, self.value)
 
 
 class Histogram:
@@ -159,17 +174,100 @@ class Histogram:
         # Overflow bucket: its lower bound is the best (under)estimate.
         return float(max(self.bounds[-1], self._min))
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(upper_bound, count)`` pairs.
+
+        The final pair is the ``+inf`` overflow bucket, whose count equals
+        the total observation count (the exposition-format invariant).
+        """
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cumulative += n
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, cumulative + self.overflow))
+        return pairs
+
     def snapshot(self) -> Dict[str, Any]:
+        # min/max default to ±inf before the first observation (and a
+        # caller may observe an infinity outright); strict JSON has no
+        # Infinity token, so everything non-finite flattens to 0.0 here —
+        # `count` disambiguates the empty case.
         return {
             "count": self.count,
-            "mean": self.mean,
-            "min": self._min if self.count else 0.0,
-            "max": self._max if self.count else 0.0,
-            "p50": self.quantile(0.5),
-            "p90": self.quantile(0.9),
-            "p99": self.quantile(0.99),
+            "sum": _json_safe(self.total),
+            "mean": _json_safe(self.mean),
+            "min": _json_safe(self._min) if self.count else 0.0,
+            "max": _json_safe(self._max) if self.count else 0.0,
+            "p50": _json_safe(self.quantile(0.5)),
+            "p90": _json_safe(self.quantile(0.9)),
+            "p99": _json_safe(self.quantile(0.99)),
             "overflow": self.overflow,
         }
+
+
+def _json_safe(value: float) -> float:
+    """A strictly JSON-representable float (no inf/-inf/nan)."""
+    return float(value) if math.isfinite(value) else 0.0
+
+
+class ThresholdWatch:
+    """Edge-triggered hook on gauges whose name matches a glob pattern.
+
+    The watch fires its callback **exactly once per crossing**: when a
+    matching gauge's value moves from the armed side of ``threshold`` to
+    the other side (``direction="above"`` fires on ``value >= threshold``,
+    ``"below"`` on ``value <= threshold``).  While the gauge stays beyond
+    the bound the watch holds fire; moving back across re-arms it.  This is
+    the groundwork the skew-aware re-balancer consumes: register a watch on
+    ``partition.skew.*`` and react only to fresh excursions, not to every
+    ``set()`` while a dataset stays skewed.
+
+    Callbacks run synchronously on the thread that set the gauge, with the
+    signature ``callback(gauge_name, value, watch)``; keep them cheap.
+    State is tracked per gauge name, so one watch can monitor a family of
+    gauges independently.
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        threshold: float,
+        callback: Callable[[str, float, "ThresholdWatch"], None],
+        *,
+        direction: str = "above",
+    ):
+        if direction not in ("above", "below"):
+            raise ValueError(f"direction must be 'above' or 'below', got {direction!r}")
+        self.pattern = pattern
+        self.threshold = float(threshold)
+        self.callback = callback
+        self.direction = direction
+        self.fired = 0
+        self._lock = threading.RLock()
+        self._beyond: Dict[str, bool] = {}
+
+    def matches(self, name: str) -> bool:
+        return fnmatch.fnmatchcase(name, self.pattern)
+
+    def _is_beyond(self, value: float) -> bool:
+        if self.direction == "above":
+            return value >= self.threshold
+        return value <= self.threshold
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one gauge write; fires the callback on a fresh crossing."""
+        if not self.matches(name):
+            return
+        with self._lock:
+            beyond = self._is_beyond(value)
+            was_beyond = self._beyond.get(name, False)
+            self._beyond[name] = beyond
+            crossed = beyond and not was_beyond
+            if crossed:
+                self.fired += 1
+        if crossed:
+            self.callback(name, value, self)
 
 
 class MetricsRegistry:
@@ -189,6 +287,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._watches: List[ThresholdWatch] = []
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -206,8 +305,38 @@ class MetricsRegistry:
             with self._lock:
                 inst = self._gauges.get(name)
                 if inst is None:
-                    inst = self._gauges[name] = Gauge(name)
+                    inst = self._gauges[name] = Gauge(name, self._gauge_changed)
         return inst
+
+    def _gauge_changed(self, name: str, old: float, new: float) -> None:
+        with self._lock:
+            watches = list(self._watches)
+        for watch in watches:
+            watch.observe(name, new)
+
+    def watch(
+        self,
+        pattern: str,
+        threshold: float,
+        callback: Callable[[str, float, ThresholdWatch], None],
+        *,
+        direction: str = "above",
+    ) -> ThresholdWatch:
+        """Register an edge-triggered :class:`ThresholdWatch` on gauges
+        matching the glob ``pattern`` (e.g. ``"partition.skew.*"``)."""
+        watch = ThresholdWatch(pattern, threshold, callback, direction=direction)
+        with self._lock:
+            self._watches.append(watch)
+        # Evaluate current values so a gauge already beyond the bound when
+        # the watch arrives counts as its first crossing.
+        for gauge in list(self._gauges.values()):
+            watch.observe(gauge.name, gauge.value)
+        return watch
+
+    def unwatch(self, watch: ThresholdWatch) -> None:
+        with self._lock:
+            if watch in self._watches:
+                self._watches.remove(watch)
 
     def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
         inst = self._histograms.get(name)
@@ -231,6 +360,18 @@ class MetricsRegistry:
                 self.counter(key).inc(value)
             else:  # negative job counters exist (they're allowed); gauge them
                 self.gauge(key).set(value)
+
+    def export_view(
+        self,
+    ) -> Tuple[Dict[str, Counter], Dict[str, Gauge], Dict[str, Histogram]]:
+        """Shallow copies of the instrument maps, taken under the lock.
+
+        The exposition renderer (:mod:`repro.observability.export`) needs
+        the live :class:`Histogram` objects for their bucket detail, which
+        :meth:`snapshot` deliberately flattens away.
+        """
+        with self._lock:
+            return dict(self._counters), dict(self._gauges), dict(self._histograms)
 
     def snapshot(self) -> Dict[str, Any]:
         """Deep-copy JSON-ready view of every instrument."""

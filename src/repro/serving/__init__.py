@@ -21,9 +21,13 @@ concurrent queries against it:
   subspace), full serve-path observability.
 * :mod:`~repro.serving.protocol` / :mod:`~repro.serving.server` /
   :mod:`~repro.serving.client` — the ``repro serve`` JSON-lines front end
-  (stdio or TCP) and the client helper used by tests and CI.
+  (stdio or TCP) and the client helper used by tests and CI; the
+  read-only ``stats`` / ``health`` / ``slo`` / ``events`` / ``metrics``
+  verbs are the live telemetry plane.
+* :mod:`~repro.serving.top` — the ``repro top`` terminal dashboard that
+  polls those verbs against a running server.
 
-See ``docs/serving.md``.
+See ``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from repro.serving.cache import ResultCache
@@ -37,6 +41,7 @@ from repro.serving.service import (
     UnknownDatasetError,
 )
 from repro.serving.store import SkylineStore, StoreSnapshot
+from repro.serving.top import render_frame, run_top
 
 __all__ = [
     "QUERY_KINDS",
@@ -52,4 +57,6 @@ __all__ = [
     "StoreSnapshot",
     "UnknownDatasetError",
     "evaluate",
+    "render_frame",
+    "run_top",
 ]

@@ -19,6 +19,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Tuple
 
+from repro.observability.events import get_events
+
 __all__ = ["ResultCache"]
 
 Key = Tuple[Any, ...]
@@ -53,12 +55,21 @@ class ResultCache:
             return value
 
     def put(self, key: Key, value: List[int]) -> None:
+        evicted: List[Key] = []
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                old_key, _ = self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted.append(old_key)
+        for old_key in evicted:  # emit outside the lock; emission may fan out
+            get_events().emit(
+                "cache.evict",
+                dataset=old_key[0],
+                query=old_key[1],
+                generation=old_key[3] if len(old_key) > 3 else None,
+            )
 
     def latest(
         self, dataset: str, kind: str, params_key: Tuple[Any, ...]

@@ -147,6 +147,31 @@ class ServingClient:
     def stats(self) -> Dict[str, Any]:
         return self.call(op="stats")
 
+    def health(self) -> Dict[str, Any]:
+        return self.call(op="health")
+
+    def slo(self) -> Dict[str, Any]:
+        return self.call(op="slo")
+
+    def events(
+        self,
+        n: int | None = 50,
+        *,
+        kinds: Sequence[str] | None = None,
+        since_seq: int | None = None,
+    ) -> Dict[str, Any]:
+        """Tail of the server's structured event log (newest last)."""
+        request: Dict[str, Any] = {"op": "events", "n": n}
+        if kinds is not None:
+            request["kinds"] = list(kinds)
+        if since_seq is not None:
+            request["since_seq"] = since_seq
+        return self.call(**request)
+
+    def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """The server's metrics registry (``json`` or ``prometheus``)."""
+        return self.call(op="metrics", format=format)
+
     def ping(self) -> Dict[str, Any]:
         return self.call(op="ping")
 

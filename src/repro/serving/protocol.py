@@ -19,6 +19,14 @@ with an ``"op"`` field; every response has ``"ok": true/false``.  The ops:
     assigned ``id`` for inserts).
 ``stats`` / ``ping`` / ``shutdown``
     Operational introspection, liveness, and orderly stop.
+``health`` / ``slo`` / ``events`` / ``metrics``
+    The read-only telemetry plane (``docs/observability.md``):
+    burn-driven health (``healthy`` / ``degraded`` / ``unhealthy``), the
+    full multi-window SLO burn report, the structured event tail
+    (optional ``n``, ``kinds`` glob list, ``since_seq`` for incremental
+    polls), and the metrics registry as JSON (default) or
+    ``"format": "prometheus"`` text exposition.  ``repro top`` is a
+    client of exactly these verbs.
 
 Failures are responses, not broken connections: an invalid request gets
 ``{"ok": false, "status": "error", "error": ...}``; an admission-control
@@ -114,6 +122,39 @@ def _handle_remove(service: SkylineService, request: Dict[str, Any]) -> Dict[str
     return {"ok": True, "generation": generation}
 
 
+def _handle_events(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    n = request.get("n", 50)
+    kinds = request.get("kinds")
+    since_seq = request.get("since_seq")
+    if kinds is not None and (
+        not isinstance(kinds, list)
+        or not all(isinstance(k, str) for k in kinds)
+    ):
+        raise ValueError(f"kinds must be a list of glob strings, got {kinds!r}")
+    events = service.events_tail(
+        int(n) if n is not None else None,
+        kinds=kinds,
+        since_seq=int(since_seq) if since_seq is not None else None,
+    )
+    return {"ok": True, "events": events, "count": len(events)}
+
+
+def _handle_metrics(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.observability.export import json_snapshot, render_prometheus
+
+    fmt = str(request.get("format", "json"))
+    if fmt == "prometheus":
+        return {
+            "ok": True,
+            "format": "prometheus",
+            "content_type": "text/plain; version=0.0.4",
+            "body": render_prometheus(),
+        }
+    if fmt == "json":
+        return {"ok": True, "format": "json", "metrics": json_snapshot()}
+    raise ValueError(f"unknown metrics format {fmt!r} (json or prometheus)")
+
+
 def handle_request(
     service: SkylineService, request: Dict[str, Any]
 ) -> Dict[str, Any]:
@@ -132,6 +173,14 @@ def handle_request(
             return _handle_remove(service, request)
         if op == "stats":
             return {"ok": True, "version": PROTOCOL_VERSION, **service.stats()}
+        if op == "health":
+            return {"ok": True, **service.health()}
+        if op == "slo":
+            return {"ok": True, **service.slo_report()}
+        if op == "events":
+            return _handle_events(service, request)
+        if op == "metrics":
+            return _handle_metrics(service, request)
         if op == "ping":
             return {"ok": True, "pong": True, "version": PROTOCOL_VERSION}
         if op == "shutdown":

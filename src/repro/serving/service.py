@@ -24,6 +24,13 @@ the batch MapReduce pipeline.  The serve path of every request is::
   ``serve.*`` counters (requests, cache.hits/misses, shed, coalesced,
   degraded, computes, mutations, deadline_exceeded) and the
   ``serve.latency_s`` histogram all land in the PR-1 observability layer.
+  On top of those, every shed/degraded answer emits a structured event
+  (:mod:`repro.observability.events`), every finished request feeds the
+  multi-window SLO burn tracker (:mod:`repro.observability.slo`), and an
+  edge-triggered :class:`~repro.observability.metrics.ThresholdWatch` on
+  the per-dataset ``partition.skew.*`` gauges emits ``skew.alert`` events
+  — all served live by the ``stats`` / ``health`` / ``slo`` / ``events``
+  protocol verbs and rendered by ``repro top``.
 
 Thread-safety: the flight table and queue depth mutate only under
 ``self._lock``; per-dataset state is guarded by each store's own lock.
@@ -39,7 +46,9 @@ import numpy as np
 
 from repro.mapreduce.executors import Executor
 from repro.mapreduce.faults import MonotonicClock
-from repro.observability.metrics import get_metrics
+from repro.observability.events import get_events
+from repro.observability.metrics import Histogram, get_metrics
+from repro.observability.slo import SLOTracker, default_objectives
 from repro.observability.tracing import get_tracer
 from repro.serving.cache import ResultCache
 from repro.serving.queries import QuerySpec, evaluate
@@ -86,6 +95,16 @@ class ServeConfig:
     #: Workers / executor for MR bulk loads of registered datasets.
     num_workers: int = 2
     executor: str | Executor | None = None
+    #: Latency SLO: this fraction of answered requests …
+    slo_latency_target: float = 0.95
+    #: … must finish within this many seconds.
+    slo_latency_threshold_s: float = 0.25
+    #: Availability SLO: fraction of requests that must be answered at all
+    #: (shed-without-stale and errors count against it).
+    slo_availability_target: float = 0.999
+    #: A ``partition.skew.*.max_min_ratio`` gauge crossing this bound emits
+    #: a ``skew.alert`` event (the re-balancer trigger signal).
+    skew_alert_ratio: float = 8.0
 
     def validate(self) -> None:
         if self.max_inflight < 1:
@@ -97,6 +116,19 @@ class ServeConfig:
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ValueError(
                 f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+        for name in ("slo_latency_target", "slo_availability_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+        if self.slo_latency_threshold_s <= 0:
+            raise ValueError(
+                f"slo_latency_threshold_s must be > 0, "
+                f"got {self.slo_latency_threshold_s}"
+            )
+        if self.skew_alert_ratio <= 1.0:
+            raise ValueError(
+                f"skew_alert_ratio must be > 1, got {self.skew_alert_ratio}"
             )
 
 
@@ -167,6 +199,31 @@ class SkylineService:
         self._flights: Dict[Tuple[Any, ...], _Flight] = {}
         self._queued = 0
         self._admission = threading.BoundedSemaphore(self.config.max_inflight)
+        self._started_at = self.clock.monotonic()
+        self.slo = SLOTracker(
+            default_objectives(
+                availability_target=self.config.slo_availability_target,
+                latency_threshold_s=self.config.slo_latency_threshold_s,
+                latency_target=self.config.slo_latency_target,
+            ),
+            clock=self.clock,
+        )
+        # Edge-triggered skew alert: the ROADMAP re-balancer's trigger.  The
+        # watch lives on the registry current at construction time; tests
+        # that swap registries build their service after the swap.
+        self._skew_watch = get_metrics().watch(
+            "partition.skew.*.max_min_ratio",
+            self.config.skew_alert_ratio,
+            self._on_skew_alert,
+        )
+
+    def _on_skew_alert(self, gauge: str, value: float, watch: Any) -> None:
+        get_events().emit(
+            "skew.alert",
+            gauge=gauge,
+            value=round(value, 4),
+            threshold=watch.threshold,
+        )
 
     # -- dataset management -----------------------------------------------------
 
@@ -267,9 +324,11 @@ class SkylineService:
                 req.status = "error"
             raise
         finally:
-            metrics.histogram("serve.latency_s").observe(
-                self.clock.monotonic() - req.start
-            )
+            latency_s = self.clock.monotonic() - req.start
+            metrics.histogram("serve.latency_s").observe(latency_s)
+            # SLO accounting: a degraded (stale) answer is still an answer;
+            # errors and shed-without-stale burn the availability budget.
+            self.slo.record(latency_s, ok=req.status in ("ok", "degraded"))
             req.span.set_attrs(status=req.status)
             tracer.end_span(
                 req.span,
@@ -330,6 +389,12 @@ class SkylineService:
         """Over-admission: degraded stale answer when possible, else 429."""
         metrics = get_metrics()
         metrics.counter("serve.shed").inc()
+        get_events().emit(
+            "serve.shed",
+            dataset=req.spec.dataset,
+            query=req.spec.kind,
+            reason=reason,
+        )
         if reason == "deadline":
             metrics.counter("serve.deadline_exceeded").inc()
         if self.config.stale_on_overload:
@@ -339,6 +404,13 @@ class SkylineService:
             if stale is not None:
                 generation, ids = stale
                 metrics.counter("serve.degraded").inc()
+                get_events().emit(
+                    "serve.degraded",
+                    dataset=req.spec.dataset,
+                    query=req.spec.kind,
+                    reason=reason,
+                    stale_generation=generation,
+                )
                 req.span.set_attrs(degraded=True, shed_reason=reason)
                 return QueryResponse(
                     dataset=req.spec.dataset,
@@ -471,8 +543,19 @@ class SkylineService:
     def cache_stats(self) -> Dict[str, int]:
         return self._cache.stats()
 
+    def uptime_s(self) -> float:
+        return self.clock.monotonic() - self._started_at
+
     def stats(self) -> Dict[str, Any]:
-        """JSON-ready operational snapshot (the protocol's ``stats`` op)."""
+        """JSON-ready operational snapshot (the protocol's ``stats`` op).
+
+        Everything ``repro top`` renders in one poll: per-dataset
+        generation/size, cache and admission state, the ``serve.*``
+        counters, the ``serve.*``/``partition.*`` gauges (partition-skew
+        above all), and the serve-latency histogram summary.  Counters are
+        cumulative; pollers rate them with
+        :func:`repro.observability.export.snapshot_delta`.
+        """
         snapshot = get_metrics().snapshot()
         with self._lock:
             datasets = {
@@ -482,6 +565,7 @@ class SkylineService:
             queued = self._queued
             inflight = len(self._flights)
         return {
+            "uptime_s": round(self.uptime_s(), 6),
             "datasets": datasets,
             "cache": self._cache.stats(),
             "queued": queued,
@@ -491,4 +575,55 @@ class SkylineService:
                 for name, value in snapshot["counters"].items()
                 if name.startswith("serve.")
             },
+            "gauges": {
+                name: value
+                for name, value in snapshot["gauges"].items()
+                if name.startswith(("serve.", "partition."))
+            },
+            "latency": snapshot["histograms"].get(
+                "serve.latency_s", Histogram("serve.latency_s").snapshot()
+            ),
+            "events": get_events().counts(),
         }
+
+    def slo_report(self) -> Dict[str, Any]:
+        """Burn-rate evaluation of the service SLOs (the ``slo`` op)."""
+        return self.slo.evaluate()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + burn-driven readiness (the ``health`` op).
+
+        ``healthy`` while every SLO is within budget; a ticket-level burn
+        reports ``degraded`` and a page-level burn ``unhealthy`` — the
+        states a load balancer or the ``repro top`` header needs, without
+        shipping the whole burn report.
+        """
+        slo_state = self.slo.evaluate()["state"]
+        status = {"ok": "healthy", "ticket": "degraded", "page": "unhealthy"}[
+            slo_state
+        ]
+        with self._lock:
+            datasets = len(self._stores)
+            queued = self._queued
+            inflight = len(self._flights)
+        return {
+            "status": status,
+            "slo_state": slo_state,
+            "uptime_s": round(self.uptime_s(), 6),
+            "datasets": datasets,
+            "queued": queued,
+            "inflight_computes": inflight,
+        }
+
+    def events_tail(
+        self,
+        n: int | None = 50,
+        *,
+        kinds: Sequence[str] | None = None,
+        since_seq: int | None = None,
+    ) -> List[Dict[str, Any]]:
+        """Newest structured events as dicts (the ``events`` op)."""
+        return [
+            event.to_dict()
+            for event in get_events().tail(n, kinds=kinds, since_seq=since_seq)
+        ]

@@ -28,6 +28,8 @@ from repro.core.incremental import IncrementalSkyline
 from repro.core.mr_skyline import run_mr_skyline
 from repro.core.partitioning import make_partitioner
 from repro.mapreduce.executors import Executor
+from repro.observability.events import get_events
+from repro.observability.metrics import get_metrics, observe_partition_skew
 
 __all__ = ["SkylineStore", "StoreSnapshot"]
 
@@ -119,7 +121,9 @@ class SkylineStore:
             assert self._sky is not None
             point_id = self._sky.insert(row[0])
             self._generation += 1
-            return point_id, self._generation
+            result = point_id, self._generation
+        self._observe_mutation("insert")
+        return result
 
     def remove(self, point_id: int) -> int:
         """Drop a service by id; returns the new generation."""
@@ -128,7 +132,9 @@ class SkylineStore:
                 raise KeyError(f"unknown point id {point_id}")
             self._sky.remove(point_id)
             self._generation += 1
-            return self._generation
+            generation = self._generation
+        self._observe_mutation("remove")
+        return generation
 
     def bulk_load(self, points: np.ndarray) -> Tuple[List[int], int]:
         """Add a batch; returns ``(new point ids, new generation)``.
@@ -168,7 +174,40 @@ class SkylineStore:
                 assert self._sky is not None
                 new_ids = self._sky.bulk_load(pts)
             self._generation += 1
-            return new_ids, self._generation
+            result = new_ids, self._generation
+        self._observe_mutation("bulk_load", batch=pts.shape[0])
+        return result
+
+    # -- telemetry --------------------------------------------------------------
+
+    def partition_sizes(self) -> List[int]:
+        """Member count per partition (empty before any data arrives)."""
+        with self._lock:
+            return self._sky.partition_sizes() if self._sky is not None else []
+
+    def _observe_mutation(self, op: str, **extra: object) -> None:
+        """Per-dataset telemetry after a generation bump.
+
+        Refreshes the ``partition.skew.<dataset>.*`` gauges (which may fire
+        edge-triggered skew watches) and emits a ``store.generation``
+        event.  Runs *outside* ``self._lock``: watch callbacks are caller
+        code and must not run under the store lock.
+        """
+        with self._lock:
+            generation = self._generation
+            size = len(self._sky) if self._sky is not None else 0
+            sizes = self._sky.partition_sizes() if self._sky is not None else []
+        observe_partition_skew(
+            get_metrics(), sizes, prefix=f"partition.skew.{self.name}"
+        )
+        get_events().emit(
+            "store.generation",
+            dataset=self.name,
+            op=op,
+            generation=generation,
+            size=size,
+            **extra,
+        )
 
     # -- internals --------------------------------------------------------------
 

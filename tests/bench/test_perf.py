@@ -38,8 +38,16 @@ class TestRecord:
         assert serving["skyline_size"] > 0
         assert serving["cache"]["hits"] >= 1  # the warm repetitions hit
 
+    def test_embedded_metrics_snapshot(self, record):
+        metrics = record["metrics"]
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+        # The serving phase of the suite itself generates serve traffic.
+        assert metrics["counters"]["serve.requests"] >= 1
+        assert metrics["counters"]["serve.cache.hits"] >= 1
+        assert metrics["histograms"]["serve.latency_s"]["count"] >= 1
+
     def test_json_serialisable(self, record):
-        encoded = json.dumps(record)
+        encoded = json.dumps(record, allow_nan=False)
         assert json.loads(encoded)["schema_version"] == SCHEMA_VERSION
 
 

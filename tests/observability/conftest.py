@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.observability.events import set_events
 from repro.observability.metrics import set_metrics
 from repro.observability.tracing import set_tracer
 
@@ -11,6 +12,8 @@ def _fresh_observability():
     """Each test starts from the disabled tracer and an empty registry."""
     set_tracer(None)
     set_metrics(None)
+    set_events(None)
     yield
     set_tracer(None)
     set_metrics(None)
+    set_events(None)

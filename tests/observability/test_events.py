@@ -1,0 +1,157 @@
+"""Tests for the bounded structured event log."""
+
+import json
+
+import pytest
+
+from repro.observability.events import (
+    DEFAULT_CAPACITY,
+    EventLog,
+    get_events,
+    set_events,
+)
+
+
+class _Ticker:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestEmitTail:
+    def test_sequence_numbers_are_monotonic(self):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        seqs = [log.emit("serve.shed", dataset="d").seq for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_tail_returns_newest_last(self):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        for i in range(5):
+            log.emit("task.retry", task=f"t{i}")
+        tail = log.tail(2)
+        assert [e.attrs["task"] for e in tail] == ["t3", "t4"]
+
+    def test_to_dict_flattens_attrs(self):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        log.emit("serve.degraded", dataset="qws", staleness=3)
+        record = log.tail(1)[0].to_dict()
+        assert record["kind"] == "serve.degraded"
+        assert record["dataset"] == "qws"
+        assert record["staleness"] == 3
+        assert record["seq"] == 0
+        assert record["ts"] == pytest.approx(101.0)
+
+    def test_reserved_attr_names_rejected(self):
+        log = EventLog(capacity=8)
+        with pytest.raises(ValueError, match="reserved"):
+            log.emit("x", seq=9)
+        with pytest.raises(ValueError, match="reserved"):
+            log.emit("x", ts=0.0, dataset="d")
+
+
+class TestRingBound:
+    def test_capacity_bounds_memory(self):
+        log = EventLog(capacity=4, time_fn=_Ticker())
+        for i in range(10):
+            log.emit("cache.evict", n=i)
+        tail = log.tail(100)
+        assert len(tail) == 4
+        assert [e.attrs["n"] for e in tail] == [6, 7, 8, 9]
+        assert log.dropped == 6
+        assert log.total_emitted == 10
+        assert len(log) == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_default_capacity(self):
+        assert EventLog().capacity == DEFAULT_CAPACITY
+
+
+class TestFilters:
+    def _log(self):
+        log = EventLog(capacity=32, time_fn=_Ticker())
+        log.emit("serve.shed", dataset="a")
+        log.emit("task.retry", task="m-0")
+        log.emit("serve.degraded", dataset="a")
+        log.emit("task.speculate", task="m-1")
+        return log
+
+    def test_kind_glob_filter(self):
+        log = self._log()
+        kinds = [e.kind for e in log.tail(10, kinds=["serve.*"])]
+        assert kinds == ["serve.shed", "serve.degraded"]
+
+    def test_multiple_globs_union(self):
+        log = self._log()
+        kinds = [e.kind for e in log.tail(10, kinds=["task.retry", "serve.shed"])]
+        assert kinds == ["serve.shed", "task.retry"]
+
+    def test_since_seq_incremental_poll(self):
+        log = self._log()
+        cursor = log.tail(10)[-1].seq
+        log.emit("serve.shed", dataset="b")
+        fresh = log.tail(10, since_seq=cursor)
+        assert len(fresh) == 1
+        assert fresh[0].attrs["dataset"] == "b"
+        assert log.tail(10, since_seq=fresh[0].seq) == []
+
+    def test_counts_by_kind(self):
+        log = self._log()
+        assert log.counts() == {
+            "serve.degraded": 1,
+            "serve.shed": 1,
+            "task.retry": 1,
+            "task.speculate": 1,
+        }
+
+    def test_counts_include_dropped_events(self):
+        log = EventLog(capacity=2, time_fn=_Ticker())
+        for _ in range(5):
+            log.emit("cache.evict")
+        assert log.counts() == {"cache.evict": 5}
+
+
+class TestSerialization:
+    def test_jsonl_and_dump_round_trip(self, tmp_path):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        log.emit("store.generation", dataset="qws", generation=2)
+        log.emit("serve.shed", dataset="qws", reason="queue_full")
+        path = tmp_path / "events.jsonl"
+        written = log.dump(str(path))
+        lines = path.read_text().splitlines()
+        assert written == 2 and len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "store.generation"
+        assert records[1]["reason"] == "queue_full"
+        assert log.to_jsonl() == path.read_text().rstrip("\n")
+
+    def test_dump_honours_tail_filters(self, tmp_path):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        log.emit("serve.shed")
+        log.emit("task.retry")
+        path = tmp_path / "shed.jsonl"
+        assert log.dump(str(path), kinds=["serve.*"]) == 1
+        assert json.loads(path.read_text())["kind"] == "serve.shed"
+
+    def test_clear_empties_ring_but_keeps_seq_climbing(self):
+        log = EventLog(capacity=8, time_fn=_Ticker())
+        log.emit("a")
+        log.clear()
+        assert log.tail(10) == []
+        assert log.emit("b").seq == 1
+
+
+class TestSingleton:
+    def test_get_is_process_wide_and_swappable(self):
+        default = get_events()
+        assert get_events() is default
+        custom = EventLog(capacity=4)
+        assert set_events(custom) is custom
+        assert get_events() is custom
+        fresh = set_events(None)
+        assert fresh is not custom

@@ -7,6 +7,7 @@ from repro.observability.metrics import (
     DEFAULT_COUNT_BUCKETS,
     Histogram,
     MetricsRegistry,
+    ThresholdWatch,
     get_metrics,
     observe_partition_skew,
     set_metrics,
@@ -130,6 +131,7 @@ class TestRegistry:
         assert set(snap) == {"counters", "gauges", "histograms"}
         assert set(snap["histograms"]["h"]) == {
             "count",
+            "sum",
             "mean",
             "min",
             "max",
@@ -183,3 +185,75 @@ class TestPartitionSkew:
         reg = MetricsRegistry()
         observe_partition_skew(reg, [1, 2], prefix="sim.map")
         assert "sim.map.records_max" in reg.snapshot()["gauges"]
+
+
+class TestThresholdWatch:
+    def test_fires_exactly_once_per_crossing(self):
+        reg = MetricsRegistry()
+        fired = []
+        watch = reg.watch(
+            "partition.skew.*", 8.0, lambda name, value, w: fired.append((name, value))
+        )
+        gauge = reg.gauge("partition.skew.qws.max_min_ratio")
+        gauge.set(2.0)      # below: armed, no fire
+        gauge.set(9.0)      # crossing: fire
+        gauge.set(12.0)     # still beyond: hold fire
+        gauge.set(50.0)     # still beyond: hold fire
+        assert fired == [("partition.skew.qws.max_min_ratio", 9.0)]
+        assert watch.fired == 1
+
+    def test_rearms_after_recrossing(self):
+        reg = MetricsRegistry()
+        fired = []
+        reg.watch("g", 10.0, lambda name, value, w: fired.append(value))
+        gauge = reg.gauge("g")
+        gauge.set(11.0)     # fire 1
+        gauge.set(3.0)      # re-arm
+        gauge.set(10.0)     # fire 2 (>= threshold counts)
+        assert fired == [11.0, 10.0]
+
+    def test_direction_below(self):
+        reg = MetricsRegistry()
+        fired = []
+        reg.watch("free.*", 5.0, lambda n, v, w: fired.append(v), direction="below")
+        gauge = reg.gauge("free.slots")
+        gauge.set(20.0)
+        gauge.set(4.0)
+        gauge.set(1.0)
+        assert fired == [4.0]
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            ThresholdWatch("g", 1.0, lambda n, v, w: None, direction="sideways")
+
+    def test_non_matching_gauges_ignored(self):
+        reg = MetricsRegistry()
+        fired = []
+        reg.watch("partition.skew.*", 1.0, lambda n, v, w: fired.append(n))
+        reg.gauge("serve.queued").set(99.0)
+        assert fired == []
+
+    def test_per_gauge_state_is_independent(self):
+        reg = MetricsRegistry()
+        fired = []
+        reg.watch("skew.*", 5.0, lambda n, v, w: fired.append(n))
+        reg.gauge("skew.a").set(7.0)
+        reg.gauge("skew.b").set(8.0)  # its own first crossing
+        reg.gauge("skew.a").set(9.0)  # a still beyond: no refire
+        assert fired == ["skew.a", "skew.b"]
+
+    def test_registration_sees_existing_gauge_beyond_bound(self):
+        reg = MetricsRegistry()
+        reg.gauge("skew.a").set(100.0)
+        fired = []
+        watch = reg.watch("skew.*", 5.0, lambda n, v, w: fired.append(v))
+        assert fired == [100.0]  # already beyond counts as first crossing
+        assert watch.fired == 1
+
+    def test_unwatch_stops_delivery(self):
+        reg = MetricsRegistry()
+        fired = []
+        watch = reg.watch("g", 1.0, lambda n, v, w: fired.append(v))
+        reg.unwatch(watch)
+        reg.gauge("g").set(5.0)
+        assert fired == []

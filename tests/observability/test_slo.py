@@ -1,0 +1,215 @@
+"""SLO burn-rate math on a fake clock: exact numbers, rollover, idle."""
+
+import json
+
+import pytest
+
+from repro.observability.slo import (
+    DEFAULT_WINDOWS_S,
+    PAGE_BURN,
+    TICKET_BURN,
+    SLObjective,
+    SLOTracker,
+    default_objectives,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _tracker(**kwargs):
+    clock = FakeClock()
+    tracker = SLOTracker(clock=clock, **kwargs)
+    return tracker, clock
+
+
+def _objective(report, name):
+    for obj in report["objectives"]:
+        if obj["name"] == name:
+            return obj
+    raise AssertionError(f"no objective {name!r} in {report}")
+
+
+class TestObjective:
+    def test_target_must_be_open_interval(self):
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("a", 1.0)
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("a", 0.0)
+
+    def test_latency_threshold_positive(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLObjective("lat", 0.95, latency_threshold_s=0.0)
+
+    def test_goodness_rules(self):
+        avail = SLObjective("availability", 0.999)
+        lat = SLObjective("latency", 0.95, latency_threshold_s=0.25)
+        assert avail.is_good(10.0, True)        # slow but answered
+        assert not avail.is_good(0.001, False)  # fast but failed
+        assert lat.is_good(0.25, True)          # at threshold counts
+        assert not lat.is_good(0.26, True)
+        assert not lat.is_good(0.01, False)
+
+    def test_default_objectives_pair(self):
+        objectives = default_objectives()
+        assert [o.name for o in objectives] == ["availability", "latency"]
+        assert objectives[1].latency_threshold_s == 0.25
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOTracker([SLObjective("x", 0.9), SLObjective("x", 0.99)])
+
+
+class TestBurnMath:
+    def test_no_traffic_is_ok_with_zero_burn(self):
+        tracker, _ = _tracker()
+        report = tracker.evaluate()
+        assert report["state"] == "ok"
+        for obj in report["objectives"]:
+            for window in obj["windows"].values():
+                assert window == {
+                    "total": 0, "good": 0, "error_rate": 0.0, "burn_rate": 0.0,
+                }
+
+    def test_exact_burn_numbers(self):
+        # 10% errors against a 99.9% availability target: burn = 0.1 / 0.001
+        # = 100x in every window that saw the traffic.
+        tracker, _ = _tracker(
+            objectives=[SLObjective("availability", 0.999)]
+        )
+        for i in range(10):
+            tracker.record(0.01, ok=(i != 0))
+        windows = _objective(tracker.evaluate(), "availability")["windows"]
+        for name in DEFAULT_WINDOWS_S:
+            assert windows[name]["total"] == 10
+            assert windows[name]["good"] == 9
+            assert windows[name]["error_rate"] == pytest.approx(0.1)
+            assert windows[name]["burn_rate"] == pytest.approx(100.0)
+
+    def test_latency_objective_burns_on_slow_answers(self):
+        tracker, _ = _tracker(
+            objectives=[SLObjective("latency", 0.95, latency_threshold_s=0.25)]
+        )
+        for _ in range(8):
+            tracker.record(0.01, ok=True)
+        for _ in range(2):
+            tracker.record(1.5, ok=True)  # answered, but slow
+        windows = _objective(tracker.evaluate(), "latency")["windows"]
+        # 20% slow against a 5% budget: burn 4x.
+        assert windows["5m"]["burn_rate"] == pytest.approx(4.0)
+
+    def test_page_requires_fast_pair(self):
+        # Full-outage burst now: 5m and 1h both burn at cap => page.
+        tracker, _ = _tracker(
+            objectives=[SLObjective("availability", 0.999)]
+        )
+        for _ in range(20):
+            tracker.record(0.01, ok=False)
+        report = tracker.evaluate()
+        assert report["state"] == "page"
+        assert _objective(report, "availability")["state"] == "page"
+
+    def test_page_clears_when_short_window_recovers(self):
+        # An old burst still inside 1h but outside 5m must NOT page: the
+        # fast window has reset.
+        tracker, clock = _tracker(
+            objectives=[SLObjective("availability", 0.999)]
+        )
+        for _ in range(20):
+            tracker.record(0.01, ok=False)
+        clock.advance(600.0)  # burst leaves the 5m window, stays in 1h
+        for _ in range(5):
+            tracker.record(0.01, ok=True)
+        report = tracker.evaluate()
+        obj = _objective(report, "availability")
+        assert obj["windows"]["5m"]["burn_rate"] == 0.0
+        assert obj["windows"]["1h"]["burn_rate"] >= PAGE_BURN
+        assert obj["state"] != "page"
+
+    def test_slow_leak_tickets_without_paging(self):
+        # ~0.4% errors against a 0.1% budget: burn 4x on the slow pair but
+        # nowhere near 14.4x — a ticket, not a page.
+        tracker, clock = _tracker(
+            objectives=[SLObjective("availability", 0.999)],
+        )
+        for _ in range(240):
+            for _ in range(249):
+                tracker.record(0.01, ok=True)
+            tracker.record(0.01, ok=False)
+            clock.advance(300.0)  # spread over 20h
+        report = tracker.evaluate()
+        obj = _objective(report, "availability")
+        assert obj["state"] == "ticket"
+        assert obj["windows"]["3d"]["burn_rate"] >= TICKET_BURN
+        assert obj["windows"]["5m"]["burn_rate"] < PAGE_BURN
+        assert report["state"] == "ticket"
+
+    def test_window_rollover_forgets_old_errors(self):
+        tracker, clock = _tracker(
+            objectives=[SLObjective("availability", 0.999)]
+        )
+        for _ in range(10):
+            tracker.record(0.01, ok=False)
+        clock.advance(DEFAULT_WINDOWS_S["3d"] + tracker.bucket_s * 2)
+        tracker.record(0.01, ok=True)  # triggers trim
+        windows = _objective(tracker.evaluate(), "availability")["windows"]
+        for name in DEFAULT_WINDOWS_S:
+            assert windows[name]["total"] == 1
+            assert windows[name]["burn_rate"] == 0.0
+
+    def test_report_is_json_safe(self):
+        tracker, _ = _tracker()
+        tracker.record(0.01, ok=False)
+        json.dumps(tracker.evaluate(), allow_nan=False)
+
+    def test_overall_state_is_worst_objective(self):
+        tracker, _ = _tracker(
+            objectives=[
+                SLObjective("availability", 0.999),
+                SLObjective("latency", 0.95, latency_threshold_s=10.0),
+            ]
+        )
+        for _ in range(20):
+            tracker.record(0.01, ok=False)
+        report = tracker.evaluate()
+        assert report["state"] == "page"
+
+
+class TestBucketing:
+    def test_requests_in_same_slice_share_a_bucket(self):
+        tracker, _ = _tracker(bucket_s=10.0)
+        tracker.record(0.01)
+        tracker.record(0.02)
+        assert len(tracker._buckets) == 1
+        assert tracker._buckets[0].total == 2
+
+    def test_trim_keeps_memory_bounded(self):
+        tracker, clock = _tracker(
+            bucket_s=10.0, windows_s={"5m": 300.0}
+        )
+        for _ in range(200):
+            tracker.record(0.01)
+            clock.advance(10.0)
+        # horizon 300s / 10s buckets = ~30 live + 1 straddling slice
+        assert len(tracker._buckets) <= 32
+
+    def test_bucket_s_validated(self):
+        with pytest.raises(ValueError, match="bucket_s"):
+            SLOTracker(bucket_s=0)
+
+    def test_windows_required(self):
+        with pytest.raises(ValueError, match="window"):
+            SLOTracker(windows_s={})

@@ -7,6 +7,7 @@ counter assertions never see another test's traffic.
 
 import pytest
 
+from repro.observability.events import set_events
 from repro.observability.metrics import set_metrics
 from repro.observability.tracing import set_tracer
 
@@ -15,6 +16,8 @@ from repro.observability.tracing import set_tracer
 def _fresh_observability():
     set_tracer(None)
     set_metrics(None)
+    set_events(None)
     yield
     set_tracer(None)
     set_metrics(None)
+    set_events(None)

@@ -1,0 +1,166 @@
+"""Acceptance e2e: drive mixed traffic (with induced shedding) and observe
+the service purely through the telemetry plane — stats / events / slo /
+``repro top`` — asserting the three views agree with each other."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability.events import get_events
+from repro.observability.metrics import get_metrics
+from repro.serving.protocol import handle_request
+from repro.serving.queries import QuerySpec
+from repro.serving.service import (
+    ServeConfig,
+    ServiceOverloadedError,
+    SkylineService,
+)
+from repro.serving.top import Sample, render_frame
+
+
+def _points(n=60, d=3, seed=0):
+    return np.random.default_rng(seed).random((n, d)) + 0.01
+
+
+def _drive_mixed_traffic(service):
+    """Cache traffic, a mutation, then deterministic overload.
+
+    A reader thread blocks inside the one admitted compute, so every
+    query issued while it holds the permit is genuinely shed: the warm
+    ``qws`` spec degrades to its stale answer, the never-cached ``aux``
+    spec is rejected outright.  Returns (degraded, rejected) counts.
+    """
+    spec = QuerySpec(dataset="qws")
+    service.query(spec)                       # cold: compute + cache fill
+    service.query(spec)                       # warm: cache hit
+    store = service.store("qws")
+    store.insert(np.array([0.001, 0.001, 0.001]))  # bump: cache now stale
+
+    original_snapshot = store.skyline_snapshot
+    entered, release = threading.Event(), threading.Event()
+
+    def blocking_snapshot():
+        entered.set()
+        assert release.wait(30), "e2e driver never released the compute"
+        return original_snapshot()
+
+    store.skyline_snapshot = blocking_snapshot
+    blocked = {}
+
+    def blocked_reader():
+        blocked["response"] = service.query(spec)
+
+    thread = threading.Thread(target=blocked_reader)
+    thread.start()
+    assert entered.wait(30), "blocked reader never reached the compute"
+
+    degraded = [service.query(spec) for _ in range(2)]  # shed -> stale
+    assert all(r.status == "degraded" for r in degraded)
+    with pytest.raises(ServiceOverloadedError) as shed_info:
+        service.query(QuerySpec(dataset="aux"))          # shed -> no stale
+    assert shed_info.value.reason == "overload"
+
+    release.set()
+    thread.join(timeout=30)
+    store.skyline_snapshot = original_snapshot
+    assert blocked["response"].status == "ok"
+    return len(degraded), 1
+
+
+class TestTelemetryEndToEnd:
+    def test_stats_events_slo_and_top_agree(self):
+        service = SkylineService(
+            ServeConfig(max_inflight=1, max_queue=0, stale_on_overload=True)
+        )
+        service.register("qws", _points())
+        service.register("aux", _points(seed=9))
+        degraded_n, rejected_n = _drive_mixed_traffic(service)
+        requests_n = 3 + degraded_n + rejected_n  # 2 warm + 1 blocked + shed
+
+        # --- stats: cache activity, shedding, and latency all visible ----
+        stats = handle_request(service, {"op": "stats"})
+        counters = stats["counters"]
+        assert counters["serve.requests"] == requests_n
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.shed"] == degraded_n + rejected_n
+        assert counters["serve.degraded"] == degraded_n
+        assert stats["latency"]["count"] == requests_n
+        assert stats["datasets"]["qws"]["generation"] == 2
+        assert stats["queued"] == 0 and stats["inflight_computes"] == 0
+
+        # --- events: shed records present and consistent with counters ---
+        events = service.events_tail(None, kinds=["serve.*"])
+        shed_events = [e for e in events if e["kind"] == "serve.shed"]
+        degraded_events = [e for e in events if e["kind"] == "serve.degraded"]
+        assert len(shed_events) == counters["serve.shed"]
+        assert len(degraded_events) == degraded_n
+        assert {e["dataset"] for e in shed_events} == {"qws", "aux"}
+        assert all(e["reason"] == "overload" for e in shed_events)
+        assert all(e["stale_generation"] == 1 for e in degraded_events)
+        # stats carries the same per-kind tallies the log reports
+        assert stats["events"]["serve.shed"] == len(shed_events)
+        # generation bumps were evented too: two registers + one insert
+        gen_events = get_events().tail(None, kinds=["store.generation"])
+        assert len(gen_events) == 3
+
+        # --- slo: burn accounting consistent with the request stream -----
+        slo = handle_request(service, {"op": "slo"})
+        availability = next(
+            o for o in slo["objectives"] if o["name"] == "availability"
+        )
+        window = availability["windows"]["5m"]
+        assert window["total"] == requests_n
+        # good = everything except the shed-without-stale rejection
+        assert window["total"] - window["good"] == rejected_n
+        assert window["burn_rate"] > 0.0
+        health = handle_request(service, {"op": "health"})
+        assert health["slo_state"] == slo["state"]
+
+        # --- top: one frame renders the whole picture without error ------
+        sample = Sample(
+            stats=stats,
+            health=health,
+            slo=slo,
+            events=service.events_tail(8),
+            polled_at=1.0,
+        )
+        frame = render_frame(sample, target="e2e")
+        assert f"shed {counters['serve.shed']}" in frame
+        assert "qws" in frame and "availability" in frame
+
+    def test_shed_metric_event_parity_under_deadline(self):
+        # Deadline-driven shedding flows through the same telemetry path:
+        # the one permit is held by a blocked compute, and the follow-up
+        # query's deadline is already spent when it tries to queue.
+        service = SkylineService(
+            ServeConfig(max_inflight=1, max_queue=1, stale_on_overload=False)
+        )
+        service.register("qws", _points())
+        store = service.store("qws")
+        original_snapshot = store.skyline_snapshot
+        entered, release = threading.Event(), threading.Event()
+
+        def blocking_snapshot():
+            entered.set()
+            assert release.wait(30)
+            return original_snapshot()
+
+        store.skyline_snapshot = blocking_snapshot
+        thread = threading.Thread(
+            target=service.query, args=(QuerySpec(dataset="qws"),)
+        )
+        thread.start()
+        assert entered.wait(30)
+        try:
+            with pytest.raises(ServiceOverloadedError) as info:
+                service.query(QuerySpec(dataset="qws"), deadline_s=0.0)
+        finally:
+            release.set()
+            thread.join(timeout=30)
+            store.skyline_snapshot = original_snapshot
+        assert info.value.reason == "deadline"
+        events = get_events().tail(None, kinds=["serve.shed"])
+        assert len(events) == 1
+        assert events[0].attrs["reason"] == "deadline"
+        assert get_metrics().counter("serve.deadline_exceeded").value == 1
