@@ -7,6 +7,7 @@ Importing this package registers every built-in rule with
 """
 
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
+from repro.analysis.rules.kernel_seam import KernelSeamRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.no_sleep import UdfNoSleepRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
@@ -14,6 +15,7 @@ from repro.analysis.rules.udf_purity import UdfPurityRule
 
 __all__ = [
     "ExceptionHygieneRule",
+    "KernelSeamRule",
     "LockDisciplineRule",
     "PickleSafetyRule",
     "UdfNoSleepRule",

@@ -126,6 +126,9 @@ class PointRecord:
     #: Engine execution policy the cell ran under.
     executor: str = "serial"
     pipelined: bool = False
+    #: Dominance backend ("scalar" / "block") and broadcast filter-set size.
+    kernel: str = "scalar"
+    filter_points: int = 0
 
     @classmethod
     def from_result(
@@ -159,6 +162,8 @@ class PointRecord:
             trace_summary=trace_summary,
             executor=result.executor,
             pipelined=result.pipelined,
+            kernel=result.kernel,
+            filter_points=result.filter_points,
         )
 
 

@@ -24,13 +24,17 @@ import time
 from dataclasses import asdict
 from typing import Any, Callable, Dict, List
 
+import numpy as np
+
 from repro.bench.harness import default_cache, run_point
 from repro.bench.reporting import Table
+from repro.core.kernels import get_kernel
+from repro.core.mr_skyline import run_mr_skyline
 
 __all__ = ["perf_trajectory", "render_trajectory"]
 
 #: Record schema version; bump on breaking shape changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _METHODS = ("dim", "grid", "angle")
 
@@ -45,23 +49,66 @@ def _median_latency_s(fn: Callable[[], Any], repeats: int) -> float:
 
 
 def _engine_points(
-    n: int, d: int, executor: str | None
+    n: int, d: int, executor: str | None, kernel: str | None
 ) -> List[Dict[str, Any]]:
     points = []
     for method in _METHODS:
-        record = run_point(method, n, d, executor=executor)
+        record = run_point(method, n, d, executor=executor, kernel=kernel)
         row = asdict(record)
         row.pop("trace_summary", None)
         points.append(row)
     return points
 
 
-def _serving_latencies(n: int, d: int, repeats: int) -> Dict[str, Any]:
+def _kernel_showdown(n: int, d: int, *, method: str = "angle") -> Dict[str, Any]:
+    """Scalar-vs-block head-to-head at one ``(n, d)`` cell.
+
+    Both runs go through the identical MR pipeline; the scalar side runs
+    the reference backend with pruning off (the historical configuration),
+    the block side gets the full columnar + filter-pruning treatment.  The
+    skylines must match index for index — the speedup is only meaningful
+    on identical answers.
+    """
+    matrix = default_cache().matrix(n, d)
+    runs: Dict[str, Any] = {}
+    indices: Dict[str, np.ndarray] = {}
+    for kernel, filter_k in (("scalar", 0), ("block", None)):
+        result = run_mr_skyline(
+            matrix, method=method, kernel=kernel, prune_filter_k=filter_k
+        )
+        indices[kernel] = result.global_indices
+        runs[kernel] = {
+            "driver_wall_s": round(result.processing_time_s, 6),
+            "dominance_tests": result.dominance_tests,
+            "points_pruned": result.points_pruned,
+            "filter_points": result.filter_points,
+            "global_skyline": int(result.global_indices.size),
+        }
+    return {
+        "n": n,
+        "d": d,
+        "method": method,
+        "identical_skyline": bool(
+            np.array_equal(indices["scalar"], indices["block"])
+        ),
+        "speedup": round(
+            runs["scalar"]["driver_wall_s"]
+            / max(runs["block"]["driver_wall_s"], 1e-9),
+            3,
+        ),
+        "scalar": runs["scalar"],
+        "block": runs["block"],
+    }
+
+
+def _serving_latencies(
+    n: int, d: int, repeats: int, kernel: str | None = None
+) -> Dict[str, Any]:
     from repro.serving.queries import QuerySpec
     from repro.serving.service import ServeConfig, SkylineService
 
     matrix = default_cache().matrix(n, d)
-    service = SkylineService(ServeConfig(cache_entries=64))
+    service = SkylineService(ServeConfig(cache_entries=64, kernel=kernel))
     service.register("bench", matrix)
     spec = QuerySpec(dataset="bench")
     skyband = QuerySpec(dataset="bench", kind="skyband", k=3)
@@ -91,20 +138,29 @@ def _serving_latencies(n: int, d: int, repeats: int) -> Dict[str, Any]:
 
 
 def perf_trajectory(
-    *, quick: bool = False, executor: str | None = None
+    *, quick: bool = False, executor: str | None = None, kernel: str | None = None
 ) -> Dict[str, Any]:
-    """Run the fixed suite; returns the JSON-ready trajectory record."""
+    """Run the fixed suite; returns the JSON-ready trajectory record.
+
+    ``kernel`` selects the dominance backend of the engine and serving
+    sections (``None`` resolves the process default).  The ``kernels``
+    section always runs both backends head to head — at the paper's full
+    scale (100 k × 10) in the full suite, at a small cell in quick mode.
+    """
     n, d = (1_500, 4) if quick else (10_000, 6)
     serving_n = 1_000 if quick else 4_000
     repeats = 3 if quick else 5
+    showdown_n, showdown_d = (4_000, 6) if quick else (100_000, 10)
     started = time.perf_counter()
     record: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "suite": "repro-bench",
         "quick": quick,
         "executor": executor or "serial",
-        "engine": _engine_points(n, d, executor),
-        "serving": _serving_latencies(serving_n, d, repeats),
+        "kernel": get_kernel(kernel).name,
+        "engine": _engine_points(n, d, executor, kernel),
+        "serving": _serving_latencies(serving_n, d, repeats, kernel),
+        "kernels": _kernel_showdown(showdown_n, showdown_d),
     }
     record["suite_wall_s"] = round(time.perf_counter() - started, 3)
     # Embed the process-wide metrics the suite itself generated — the
@@ -122,16 +178,17 @@ def render_trajectory(record: Dict[str, Any]) -> str:
     engine = Table(
         title=f"perf trajectory — engine (quick={record['quick']})",
         columns=[
-            "method", "n", "d", "driver_wall_s", "sim_total_s",
-            "dominance_tests", "global_skyline", "optimality",
+            "method", "n", "d", "kernel", "driver_wall_s", "sim_total_s",
+            "dominance_tests", "points_pruned", "global_skyline", "optimality",
         ],
         precision=4,
     )
     for row in record["engine"]:
         engine.add_row(
-            row["method"], row["n"], row["d"], row["driver_wall_s"],
-            row["sim_total_s"], row["dominance_tests"],
-            row["global_skyline"], row["optimality"],
+            row["method"], row["n"], row["d"], row.get("kernel", "scalar"),
+            row["driver_wall_s"], row["sim_total_s"], row["dominance_tests"],
+            row.get("points_pruned", 0), row["global_skyline"],
+            row["optimality"],
         )
     serving = record["serving"]
     serve = Table(
@@ -148,4 +205,31 @@ def render_trajectory(record: Dict[str, Any]) -> str:
         f"skyline size {serving['skyline_size']}, "
         f"median of {serving['repeats']} repeats"
     )
-    return engine.render() + "\n\n" + serve.render()
+    sections = [engine.render(), serve.render()]
+    showdown = record.get("kernels")
+    if showdown:
+        kernels = Table(
+            title=(
+                f"perf trajectory — kernels "
+                f"(n={showdown['n']}, d={showdown['d']}, "
+                f"method={showdown['method']})"
+            ),
+            columns=[
+                "kernel", "driver_wall_s", "dominance_tests",
+                "points_pruned", "filter_points", "global_skyline",
+            ],
+            precision=4,
+        )
+        for name in ("scalar", "block"):
+            run = showdown[name]
+            kernels.add_row(
+                name, run["driver_wall_s"], run["dominance_tests"],
+                run["points_pruned"], run["filter_points"],
+                run["global_skyline"],
+            )
+        kernels.add_note(
+            f"block speedup {showdown['speedup']:g}x, identical skyline: "
+            f"{showdown['identical_skyline']}"
+        )
+        sections.append(kernels.render())
+    return "\n\n".join(sections)

@@ -28,6 +28,8 @@ Usage::
                 measurement path), threads, or processes
     --workers   pool size for the thread/process executors
     --pipelined overlap the two-job skyline chain (see docs/tuning.md)
+    --kernel    dominance backend: scalar (default; the reference) or
+                block (columnar + filter pruning; see docs/kernels.md)
     --faults F  inject deterministic faults from a FaultPlan JSON file
                 (chaos mode; see docs/fault_tolerance.md)
 
@@ -147,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="overlap the two-job skyline chain (merge maps start as local-"
         "skyline partitions finish); results are identical",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["scalar", "block"],
+        default=None,
+        help="dominance backend for every algorithm of the run (default: "
+        "$REPRO_KERNEL or scalar — the reference path; block enables the "
+        "columnar kernels + filter pruning, results are identical)",
     )
     parser.add_argument(
         "--faults",
@@ -393,6 +403,13 @@ def _run_serve(argv: List[str]) -> int:
         help="worker count for MR bulk loads (default 2)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["scalar", "block"],
+        default=None,
+        help="dominance backend for every dataset (default: $REPRO_KERNEL "
+        "or scalar; block enables columnar kernels + filter pruning)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="FILE",
         help="write serve-path spans + metrics to FILE as JSON lines",
@@ -430,6 +447,7 @@ def _run_serve(argv: List[str]) -> int:
         stale_on_overload=not args.no_stale,
         num_workers=args.workers,
         executor=args.executor,
+        kernel=args.kernel,
         slo_latency_threshold_s=args.slo_latency_s,
         slo_latency_target=args.slo_latency_target,
         slo_availability_target=args.slo_availability_target,
@@ -566,11 +584,20 @@ def _run_bench(argv: List[str]) -> int:
         default=None,
         help="engine backend for the pipeline runs (default: $REPRO_EXECUTOR)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=["scalar", "block"],
+        default=None,
+        help="dominance backend for the engine/serving sections (default: "
+        "$REPRO_KERNEL or scalar); the kernels section always runs both",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.perf import perf_trajectory, render_trajectory
 
-    record = perf_trajectory(quick=args.quick, executor=args.executor)
+    record = perf_trajectory(
+        quick=args.quick, executor=args.executor, kernel=args.kernel
+    )
     print(render_trajectory(record))
     if args.json:
         import json as _json
@@ -617,6 +644,14 @@ def main(argv: List[str] | None = None) -> int:
         executor = make_executor(args.executor, num_workers=args.workers)
     registry = _experiments(args.quick, executor=executor, pipelined=args.pipelined)
     names = list(registry) if args.experiment == "all" else [args.experiment]
+    previous_kernel = None
+    if args.kernel:
+        # Same pattern as --faults: the experiments build their own
+        # algorithm calls layers below the CLI, so the flag installs the
+        # process-default kernel the way $REPRO_KERNEL would.
+        from repro.core.kernels import set_default_kernel
+
+        previous_kernel = set_default_kernel(args.kernel)
     previous_plan = None
     if args.faults:
         # Install the plan process-wide: every Runner the experiments build
@@ -651,6 +686,10 @@ def main(argv: List[str] | None = None) -> int:
         # collected so far.
         if args.trace:
             disable_tracing(write_metrics=True)
+        if args.kernel:
+            from repro.core.kernels import set_default_kernel
+
+            set_default_kernel(previous_kernel)
         if args.faults:
             from repro.mapreduce.faults import set_default_fault_plan
 

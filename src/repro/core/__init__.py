@@ -2,7 +2,11 @@
 
 Layout:
 
-* :mod:`repro.core.dominance` — Pareto-dominance kernels (minimisation)
+* :mod:`repro.core.dominance` — Pareto-dominance primitives (minimisation)
+* :mod:`repro.core.blocks` — columnar :class:`PointBlock` batches
+* :mod:`repro.core.kernels` — pluggable dominance backends
+  (``scalar`` reference / ``block`` columnar)
+* :mod:`repro.core.filtering` — Ciaccia–Martinenghi filter-point selection
 * :mod:`repro.core.bnl` / :mod:`repro.core.sfs` / :mod:`repro.core.dnc` —
   single-machine skyline algorithms
 * :mod:`repro.core.skyline` — unified single-machine API
@@ -17,6 +21,7 @@ Layout:
 """
 
 from repro.core.bbs import BBSResult, bbs_skyline, bbs_skyline_progressive
+from repro.core.blocks import PointBlock, concat_blocks
 from repro.core.bnl import BNLResult, bnl_merge, bnl_skyline
 from repro.core.dnc import DNCResult, dnc_skyline
 from repro.core.dominance import (
@@ -41,7 +46,23 @@ from repro.core.hyperspherical import (
     from_hyperspherical,
     to_hyperspherical,
 )
+from repro.core.filtering import (
+    DEFAULT_FILTER_K,
+    DEFAULT_FILTER_SAMPLE,
+    compute_filter_points,
+)
 from repro.core.incremental import IncrementalSkyline
+from repro.core.kernels import (
+    KERNEL_NAMES,
+    BlockKernel,
+    DominanceKernel,
+    ScalarKernel,
+    default_kernel_name,
+    get_kernel,
+    make_kernel,
+    set_default_kernel,
+    sort_first_order,
+)
 from repro.core.mr_skyline import (
     MRSkylineResult,
     default_partition_count,
@@ -78,11 +99,18 @@ __all__ = [
     "AngularPartitioner",
     "BBSResult",
     "BNLResult",
+    "BlockKernel",
+    "DEFAULT_FILTER_K",
+    "DEFAULT_FILTER_SAMPLE",
     "DimensionalPartitioner",
     "DNCResult",
     "DominanceCounter",
+    "DominanceKernel",
     "GridPartitioner",
     "IncrementalSkyline",
+    "KERNEL_NAMES",
+    "PointBlock",
+    "ScalarKernel",
     "MAX_ANGLE",
     "MRSkylineResult",
     "OptimalityReport",
@@ -96,6 +124,9 @@ __all__ = [
     "bbs_skyline_progressive",
     "bnl_merge",
     "bnl_skyline",
+    "compute_filter_points",
+    "concat_blocks",
+    "default_kernel_name",
     "default_partition_count",
     "delta_dominance",
     "delta_lower_bound",
@@ -110,9 +141,11 @@ __all__ = [
     "dominator_counts",
     "empirical_dominance_ability",
     "from_hyperspherical",
+    "get_kernel",
     "incomparable",
     "is_skyline",
     "k_skyband",
+    "make_kernel",
     "load_imbalance",
     "local_skyline_optimality",
     "make_partitioner",
@@ -122,8 +155,10 @@ __all__ = [
     "partition_sizes",
     "per_partition_optimality",
     "run_mr_skyline",
+    "set_default_kernel",
     "sfs_skyline",
     "skyline",
+    "sort_first_order",
     "skyline_numpy",
     "skyline_points",
     "to_hyperspherical",

@@ -21,6 +21,13 @@ window-size ablation benchmark.
 The inner comparison is vectorised: one broadcast test of the candidate
 against the whole window (see :mod:`repro.core.dominance`), which is what
 makes 100 k-point runs tractable in Python.
+
+Dominance work routes through the :mod:`repro.core.kernels` seam: under the
+``block`` kernel an *unbounded-window* run takes the columnar sort-first
+sweep (identical result — the skyline is unique — with passes pinned at 1,
+which is also what an unbounded window guarantees here); the bounded-window
+ablation and the ``scalar`` kernel keep the classic candidate-at-a-time
+loop below, which is itself the scalar reference semantics.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.dominance import DominanceCounter, validate_points
+from repro.core.kernels import DominanceKernel, get_kernel
 
 __all__ = ["BNLResult", "bnl_skyline", "bnl_merge"]
 
@@ -52,6 +60,7 @@ def bnl_skyline(
     window_size: int | None = None,
     counter: DominanceCounter | None = None,
     stage: str = "bnl",
+    kernel: str | DominanceKernel | None = None,
 ) -> BNLResult:
     """Compute the skyline of ``points`` with BNL.
 
@@ -64,12 +73,30 @@ def bnl_skyline(
     counter:
         Optional shared :class:`DominanceCounter` to accumulate test counts
         across stages (the paper's "redundant computation" metric).
+    kernel:
+        Dominance backend name or instance; ``None`` resolves the process
+        default (``--kernel`` / ``$REPRO_KERNEL``, else ``scalar``).  The
+        ``block`` kernel vectorises the unbounded-window case; results are
+        identical either way.
 
     Returns
     -------
     :class:`BNLResult` with ascending input indices of the skyline.
     """
     pts = validate_points(points)
+    knl = get_kernel(kernel)
+    if window_size is None and knl.batch:
+        # Columnar fast path: sort-first sweep over whole chunks.  The
+        # skyline is unique, so indices match the loop below exactly; an
+        # unbounded window means one pass in both worlds.
+        local = DominanceCounter()
+        indices = knl.skyline(pts, counter=local, stage=stage)
+        if counter is not None:
+            counter.merge(local)
+        return BNLResult(
+            indices=indices, passes=1 if pts.shape[0] else 0,
+            dominance_tests=local.tests,
+        )
     n = pts.shape[0]
     if window_size is not None and window_size < 1:
         raise ValueError(f"window_size must be >= 1, got {window_size}")
@@ -158,6 +185,7 @@ def bnl_merge(
     local_skylines: list[np.ndarray],
     *,
     counter: DominanceCounter | None = None,
+    kernel: str | DominanceKernel | None = None,
 ) -> BNLResult:
     """Merge local skylines into a global skyline (the Reduce-stage BNL).
 
@@ -169,4 +197,4 @@ def bnl_merge(
             indices=np.empty(0, dtype=np.intp), passes=0, dominance_tests=0
         )
     stacked = np.vstack([validate_points(s) for s in local_skylines])
-    return bnl_skyline(stacked, counter=counter, stage="merge")
+    return bnl_skyline(stacked, counter=counter, stage="merge", kernel=kernel)

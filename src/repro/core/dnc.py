@@ -68,6 +68,8 @@ def dnc_skyline(
         size = hi - lo
         if size <= _BASE_CASE:
             chunk = sorted_pts[lo:hi]
+            # D&C is a kernel-independent cross-check algorithm; its base
+            # case is the brute-force matrix.  # repro: allow[kernel-seam]
             mask = ~dominated_mask(chunk)
             tests[0] += size * size
             return np.arange(lo, hi, dtype=np.intp)[mask]

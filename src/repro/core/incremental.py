@@ -21,7 +21,8 @@ from typing import Dict, List, Mapping, Tuple
 import numpy as np
 
 from repro.core.bnl import bnl_skyline
-from repro.core.dominance import dominated_by_any, dominates_any, validate_points
+from repro.core.dominance import validate_points
+from repro.core.kernels import DominanceKernel, get_kernel
 from repro.core.partitioning.base import SpacePartitioner
 
 __all__ = ["IncrementalSkyline"]
@@ -39,6 +40,10 @@ class IncrementalSkyline:
         pipeline).
     initial_points:
         Optional ``(n, d)`` seed data.
+    kernel:
+        Dominance backend used for every maintenance comparison (insert
+        checks, partition recomputes, the lazy global merge); ``None``
+        resolves the process default at construction time.
 
     Every point receives a stable integer id (its insertion order); removed
     ids are never reused.
@@ -48,8 +53,11 @@ class IncrementalSkyline:
         self,
         partitioner: SpacePartitioner,
         initial_points: np.ndarray | None = None,
+        *,
+        kernel: str | DominanceKernel | None = None,
     ) -> None:
         self._partitioner = partitioner
+        self._kernel = get_kernel(kernel)
         self._rows: Dict[int, np.ndarray] = {}
         self._partition_of: Dict[int, int] = {}
         self._members: Dict[int, List[int]] = {}
@@ -75,6 +83,8 @@ class IncrementalSkyline:
         points: np.ndarray,
         partition_ids: np.ndarray,
         local_skylines: Mapping[int, np.ndarray],
+        *,
+        kernel: str | DominanceKernel | None = None,
     ) -> "IncrementalSkyline":
         """Seed from an already-computed batch result (e.g. ``run_mr_skyline``).
 
@@ -95,6 +105,7 @@ class IncrementalSkyline:
             raise ValueError("partitioner must be fitted for from_batch")
         self = cls.__new__(cls)
         self._partitioner = partitioner
+        self._kernel = get_kernel(kernel)
         self._rows = {i: pts[i] for i in range(pts.shape[0])}
         self._partition_of = {i: int(p) for i, p in enumerate(ids)}
         self._members = {}
@@ -129,6 +140,11 @@ class IncrementalSkyline:
     def num_partitions(self) -> int:
         return self._partitioner.num_partitions
 
+    @property
+    def kernel_name(self) -> str:
+        """Name of the dominance backend this structure was built with."""
+        return self._kernel.name
+
     def point(self, point_id: int) -> np.ndarray:
         return self._rows[point_id].copy()
 
@@ -159,7 +175,7 @@ class IncrementalSkyline:
                 self._global_cache = np.empty(0, dtype=np.intp)
             else:
                 rows = np.vstack([self._rows[i] for i in ids])
-                result = bnl_skyline(rows)
+                result = bnl_skyline(rows, kernel=self._kernel)
                 self._global_cache = np.array(
                     sorted(ids[j] for j in result.indices), dtype=np.intp
                 )
@@ -199,9 +215,9 @@ class IncrementalSkyline:
         sky = self._local_sky.setdefault(pid, [])
         if sky:
             sky_rows = np.vstack([self._rows[i] for i in sky])
-            if dominates_any(sky_rows, row):
+            if self._kernel.any_dominates(sky_rows, row):
                 return point_id  # dominated locally: member, not skyline
-            evict = dominated_by_any(sky_rows, row)
+            evict = self._kernel.dominated_in(sky_rows, row)
             if evict.any():
                 self._local_sky[pid] = [
                     i for i, dead in zip(sky, evict) if not dead
@@ -235,7 +251,7 @@ class IncrementalSkyline:
         for pid, arrivals in touched.items():
             candidates = self._local_sky.get(pid, []) + arrivals
             rows = np.vstack([self._rows[i] for i in candidates])
-            result = bnl_skyline(rows)
+            result = bnl_skyline(rows, kernel=self._kernel)
             self._local_sky[pid] = [candidates[j] for j in result.indices]
         self._global_cache = None
         return new_ids
@@ -255,7 +271,7 @@ class IncrementalSkyline:
             members = self._members[pid]
             if members:
                 rows = np.vstack([self._rows[i] for i in members])
-                result = bnl_skyline(rows)
+                result = bnl_skyline(rows, kernel=self._kernel)
                 self._local_sky[pid] = [members[j] for j in result.indices]
             else:
                 self._local_sky[pid] = []

@@ -1,0 +1,599 @@
+"""Pluggable dominance kernels — *how* dominance work executes.
+
+The algorithms in :mod:`repro.core` all reduce to the same handful of
+dominance operations: "does anything in this window dominate the point",
+"which window rows does the point evict", "which of these rows survive a
+filter set", "the skyline of this batch".  This module isolates those
+operations behind the :class:`DominanceKernel` seam — the dominance
+analogue of the PR-2 executor seam — with two backends:
+
+* :class:`ScalarKernel` (``"scalar"``) — the **reference**: point-at-a-time
+  processing exactly as the algorithms have always done it (one candidate
+  against the window per step).  Ground truth for the parity suite and the
+  counting semantics behind every BENCH_* record so far.
+* :class:`BlockKernel` (``"block"``) — columnar batches: candidates flow
+  through in chunks, each chunk is filtered against the accumulated
+  skyline with two broadcast comparisons, and intra-chunk dominance is one
+  pairwise matrix.  Same results bit for bit (the skyline is unique);
+  orders of magnitude fewer interpreter transitions.
+
+The block backend's :meth:`~DominanceKernel.skyline` applies the
+Ciaccia–Martinenghi *sort-first* ordering (monotone entropy score with a
+full lexicographic tiebreak, the SFS invariant) before sweeping, so no
+point is ever evicted and one pass always suffices; the broadcast
+*filter-point* stage of the same paper lives in
+:mod:`repro.core.filtering` and calls :meth:`~DominanceKernel.filter_survivors`.
+
+Selection mirrors the executor seam: every entry point takes an optional
+``kernel`` argument (a name or a ready instance), ``None`` resolves through
+the process default — ``set_default_kernel`` (the CLI's ``--kernel``), then
+``$REPRO_KERNEL``, then ``"scalar"`` — so exporting ``REPRO_KERNEL=block``
+flips every default-configured algorithm in the process without touching
+call sites.
+
+Every kernel op counts the pairwise dominance tests it performs into the
+caller's :class:`~repro.core.dominance.DominanceCounter`, so the paper's
+"redundant computation" metric stays comparable across backends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.dominance import (
+    DominanceCounter,
+    dominated_by_any,
+    dominates,
+    dominates_any,
+    validate_points,
+)
+
+__all__ = [
+    "ENV_KERNEL",
+    "KERNEL_NAMES",
+    "BlockKernel",
+    "DominanceKernel",
+    "ScalarKernel",
+    "default_kernel_name",
+    "get_kernel",
+    "make_kernel",
+    "set_default_kernel",
+    "sort_first_order",
+]
+
+#: Recognised kernel names, in documentation order.
+KERNEL_NAMES: Tuple[str, ...] = ("scalar", "block")
+
+#: Environment variable naming the default kernel.
+ENV_KERNEL = "REPRO_KERNEL"
+
+#: Process-global override installed by the CLI's ``--kernel`` (mirrors the
+#: fault-plan default: layers below the CLI build their own algorithm calls,
+#: so the flag has to reach them the way ``$REPRO_KERNEL`` would).
+_DEFAULT_KERNEL: str | None = None
+
+#: Candidate-chunk rows per block-kernel step.  Bounds the intra-chunk
+#: pairwise matrix at ``(1024, 1024, d)`` bools and keeps every broadcast
+#: well inside cache-friendly territory.
+BLOCK_CHUNK = 1024
+
+#: Window-side chunk rows when filtering a candidate chunk against a large
+#: accumulated skyline (memory stays O(BLOCK_CHUNK · WINDOW_CHUNK · d)).
+WINDOW_CHUNK = 1024
+
+#: Rows of the accumulated skyline tried before any full-width window pass.
+#: Sort-first order front-loads the strongest dominators, so this short
+#: prefix kills most of a candidate chunk at a fraction of the broadcast.
+_PRESCREEN = 32
+
+
+def default_kernel_name() -> str:
+    """The kernel used when none is requested.
+
+    Resolution order: :func:`set_default_kernel` (CLI ``--kernel``), then
+    ``$REPRO_KERNEL``, then ``"scalar"`` — the reference path, keeping
+    measurements comparable with every earlier BENCH record unless a run
+    opts in to the block backend.
+    """
+    if _DEFAULT_KERNEL is not None:
+        return _DEFAULT_KERNEL
+    return os.environ.get(ENV_KERNEL, "").strip().lower() or "scalar"
+
+
+def set_default_kernel(name: str | None) -> str | None:
+    """Install (or with ``None`` clear) the process-default kernel name.
+
+    Returns the previous override so callers can restore it; the CLI wraps
+    experiment runs in exactly that save/restore pair.
+    """
+    global _DEFAULT_KERNEL
+    if name is not None:
+        name = name.strip().lower()
+        if name not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {name!r}; expected one of {', '.join(KERNEL_NAMES)}"
+            )
+    previous = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = name
+    return previous
+
+
+def sort_first_order(rows: np.ndarray) -> np.ndarray:
+    """The Ciaccia–Martinenghi sort-first permutation of ``rows``.
+
+    Monotone entropy score (``Σ ln(1 + v_i - min_i)``) with a full
+    lexicographic tiebreak.  The tiebreak is a correctness requirement, not
+    cosmetics: floating-point rounding can collapse the scores of ``a`` and
+    ``b`` even when ``a`` dominates ``b``, and dominance implies
+    lexicographic order, so ties resolved lexicographically preserve the
+    SFS invariant that no later point dominates an earlier one.
+    """
+    pts = validate_points(rows)
+    d = pts.shape[1]
+    shifted = pts - pts.min(axis=0, keepdims=True)
+    scores = np.log1p(shifted).sum(axis=1)
+    keys = tuple(pts[:, j] for j in range(d - 1, -1, -1)) + (scores,)
+    return np.lexsort(keys)
+
+
+class DominanceKernel:
+    """One backend for the dominance operations of every hot path.
+
+    Subclasses fix *how* the comparisons run (point-at-a-time vs columnar
+    batches); results are identical by construction — the skyline of a
+    point set is unique, and every op here is a pure function of its
+    inputs.  ``batch`` advertises whether the backend wants whole blocks
+    (algorithms use it to pick their vectorised fast paths).
+    """
+
+    #: Stable backend name used by ``--kernel``, params, and reports.
+    name: str = "abstract"
+    #: True when ``skyline``/``sweep_sorted`` are vectorised batch ops.
+    batch: bool = False
+
+    # -- single-point ops (shared: already one broadcast per call) -------------
+
+    def dominates(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Ground-truth pair predicate (delegates to the scalar reference)."""
+        # The one sanctioned direct use of the scalar primitives: the
+        # kernels ARE the seam the lint rule points everything else at.
+        return dominates(a, b)  # repro: allow[kernel-seam]
+
+    def any_dominates(
+        self,
+        window: np.ndarray,
+        point: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "kernel",
+    ) -> bool:
+        """True iff any ``window`` row dominates ``point``."""
+        if counter is not None:
+            counter.add(int(window.shape[0]), stage)
+        return dominates_any(window, point)  # repro: allow[kernel-seam]
+
+    def dominated_in(
+        self,
+        window: np.ndarray,
+        point: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "kernel",
+    ) -> np.ndarray:
+        """Boolean mask over ``window`` rows dominated *by* ``point``."""
+        if counter is not None:
+            counter.add(int(window.shape[0]), stage)
+        return dominated_by_any(window, point)  # repro: allow[kernel-seam]
+
+    # -- counting ops (shared: exact integer results either way) ---------------
+
+    def dominator_counts(
+        self,
+        rows: np.ndarray,
+        *,
+        block: int = 2048,
+        counter: DominanceCounter | None = None,
+        stage: str = "skyband",
+    ) -> np.ndarray:
+        """Per row: how many other rows dominate it (0 ⟺ skyline member)."""
+        pts = validate_points(rows)
+        n = pts.shape[0]
+        counts = np.zeros(n, dtype=np.int64)
+        for start in range(0, n, block):
+            chunk = pts[start : start + block]
+            le = (pts[:, None, :] <= chunk[None, :, :]).all(axis=2)
+            lt = (pts[:, None, :] < chunk[None, :, :]).any(axis=2)
+            counts[start : start + chunk.shape[0]] = (le & lt).sum(axis=0)
+            if counter is not None:
+                counter.add(n * chunk.shape[0], stage)
+        return counts
+
+    def dominated_counts(
+        self,
+        rows: np.ndarray,
+        *,
+        block: int = 2048,
+        counter: DominanceCounter | None = None,
+        stage: str = "top-k-dominating",
+    ) -> np.ndarray:
+        """Per row: how many other rows it dominates (the ranking flavour)."""
+        pts = validate_points(rows)
+        n = pts.shape[0]
+        counts = np.zeros(n, dtype=np.int64)
+        for start in range(0, n, block):
+            chunk = pts[start : start + block]
+            le = (chunk[:, None, :] <= pts[None, :, :]).all(axis=2)
+            lt = (chunk[:, None, :] < pts[None, :, :]).any(axis=2)
+            counts[start : start + chunk.shape[0]] = (le & lt).sum(axis=1)
+            if counter is not None:
+                counter.add(n * chunk.shape[0], stage)
+        return counts
+
+    # -- batch ops (backend-specific) ------------------------------------------
+
+    def filter_survivors(
+        self,
+        filters: np.ndarray,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "prune",
+    ) -> np.ndarray:
+        """Mask over ``rows``: True where no ``filters`` row dominates it.
+
+        The broadcast-filter primitive of the Ciaccia–Martinenghi pruning
+        pipeline: ``filters`` is the small k-point filter set shipped to
+        every partition, ``rows`` an incoming block.
+        """
+        raise NotImplementedError
+
+    def sweep_sorted(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "sweep",
+    ) -> np.ndarray:
+        """Skyline mask of ``rows`` **already in a monotone-score order**.
+
+        Precondition (the SFS invariant): no row dominates an earlier row.
+        Violating it produces wrong masks — callers sort via
+        :func:`sort_first_order` or an equivalent monotone score first.
+        """
+        raise NotImplementedError
+
+    def skyline(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "skyline",
+    ) -> np.ndarray:
+        """Ascending row indices of the skyline of ``rows`` (any order)."""
+        raise NotImplementedError
+
+
+class ScalarKernel(DominanceKernel):
+    """Point-at-a-time reference backend — the pre-seam semantics.
+
+    Each candidate is one Python-level step: one broadcast comparison
+    against whatever window/filter it faces, counting ``len(window)``
+    tests, exactly like the classic BNL/SFS inner loops these ops were
+    extracted from.  Kept as ground truth for the differential parity
+    suite; never the fast path.
+    """
+
+    name = "scalar"
+    batch = False
+
+    def filter_survivors(
+        self,
+        filters: np.ndarray,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "prune",
+    ) -> np.ndarray:
+        flt = validate_points(filters, name="filters")
+        pts = validate_points(rows)
+        alive = np.ones(pts.shape[0], dtype=bool)
+        if flt.shape[0] == 0:
+            return alive
+        for i in range(pts.shape[0]):
+            # One candidate against the whole filter set per step — the
+            # reference shape of the op.
+            alive[i] = not dominates_any(flt, pts[i])  # repro: allow[kernel-seam]
+        if counter is not None:
+            counter.add(int(flt.shape[0]) * int(pts.shape[0]), stage)
+        return alive
+
+    def sweep_sorted(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "sweep",
+    ) -> np.ndarray:
+        pts = validate_points(rows)
+        n, d = pts.shape
+        keep = np.zeros(n, dtype=bool)
+        window: list[int] = []
+        window_buf = np.empty((64, d))
+        tests = 0
+        for idx in range(n):
+            w = len(window)
+            if w:
+                tests += w
+                if dominates_any(window_buf[:w], pts[idx]):  # repro: allow[kernel-seam]
+                    continue
+            if w == window_buf.shape[0]:
+                grown = np.empty((window_buf.shape[0] * 2, d))
+                grown[:w] = window_buf[:w]
+                window_buf = grown
+            window_buf[w] = pts[idx]
+            window.append(idx)
+            keep[idx] = True
+        if counter is not None:
+            counter.add(tests, stage)
+        return keep
+
+    def skyline(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "skyline",
+    ) -> np.ndarray:
+        # The classic unbounded-window BNL loop, one candidate per step —
+        # identical tests and identical result to bnl_skyline(points).
+        pts = validate_points(rows)
+        n, d = pts.shape
+        window: list[int] = []
+        window_buf = np.empty((64, d))
+        tests = 0
+        for idx in range(n):
+            w = len(window)
+            if w:
+                view = window_buf[:w]
+                tests += w
+                le = view <= pts[idx]
+                le_all = le.all(axis=1)
+                lt_any = (view < pts[idx]).any(axis=1)
+                if bool(np.any(le_all & lt_any)):
+                    continue
+                evict = ~lt_any & ~le_all
+                if evict.any():
+                    keep_mask = ~evict
+                    window = [wi for wi, k in zip(window, keep_mask) if k]
+                    w = len(window)
+                    window_buf[:w] = view[keep_mask]
+            if w == window_buf.shape[0]:
+                grown = np.empty((window_buf.shape[0] * 2, d))
+                grown[:w] = window_buf[:w]
+                window_buf = grown
+            window_buf[w] = pts[idx]
+            window.append(idx)
+        if counter is not None:
+            counter.add(tests, stage)
+        return np.array(sorted(window), dtype=np.intp)
+
+
+class BlockKernel(DominanceKernel):
+    """Columnar batch backend — whole chunks per step.
+
+    Candidates advance ``BLOCK_CHUNK`` rows at a time: the chunk is
+    filtered against the accumulated skyline with two chunked broadcast
+    comparisons, then intra-chunk dominance resolves in one pairwise
+    matrix.  With the sort-first precondition nothing is ever evicted, so
+    the accumulated skyline only grows — append-only, no rescans.
+    """
+
+    name = "block"
+    batch = True
+
+    def filter_survivors(
+        self,
+        filters: np.ndarray,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "prune",
+    ) -> np.ndarray:
+        flt = validate_points(filters, name="filters")
+        pts = validate_points(rows)
+        n = pts.shape[0]
+        alive = np.ones(n, dtype=bool)
+        if flt.shape[0] == 0 or n == 0:
+            return alive
+        fsum = flt.sum(axis=1)
+        psum = pts.sum(axis=1)
+        # The filter set arrives ranked strongest-first (the pruning-score
+        # order), so an 8-filter prescreen pass kills most rows before the
+        # full-width filter broadcast sees the survivors.
+        head = min(8, flt.shape[0])
+        for start in range(0, n, BLOCK_CHUNK):
+            stop = min(start + BLOCK_CHUNK, n)
+            chunk = pts[start:stop]
+            csum = psum[start:stop]
+            live = ~_any_dominates_block(
+                flt[:head], chunk, fsum[:head], csum
+            )
+            if head < flt.shape[0] and live.any():
+                idx = np.flatnonzero(live)
+                live[idx] = ~_any_dominates_block(
+                    flt[head:], chunk[idx], fsum[head:], csum[idx]
+                )
+            alive[start:stop] = live
+        if counter is not None:
+            counter.add(int(flt.shape[0]) * n, stage)
+        return alive
+
+    def sweep_sorted(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "sweep",
+    ) -> np.ndarray:
+        pts = validate_points(rows)
+        n, d = pts.shape
+        keep = np.zeros(n, dtype=bool)
+        if n == 0:
+            return keep
+        sums = pts.sum(axis=1)
+        sky_buf = np.empty((min(n, 1024), d))
+        sky_sums = np.empty(sky_buf.shape[0])
+        sky_len = 0
+        tests = 0
+        for start in range(0, n, BLOCK_CHUNK):
+            stop = min(start + BLOCK_CHUNK, n)
+            chunk = pts[start:stop]
+            survivors = np.arange(chunk.shape[0])
+            surv = chunk
+            surv_sums = sums[start:stop]
+            # Established skyline first: transitivity makes the intra-chunk
+            # resolution below exact over survivors only (a chunk row
+            # dominated by a dead chunk row is dominated by whatever killed
+            # the dead row — a skyline point — so it is already dead here).
+            # Candidates compact out of the working set as soon as they die:
+            # the sort-first order puts the strongest dominators at the
+            # front of the accumulated skyline, so the first window chunk
+            # kills most of a chunk and later broadcasts shrink to almost
+            # nothing — the difference between O(n·|sky|) elementwise work
+            # and what actually runs.
+            # The first window pass runs over a short prefix of the
+            # accumulated skyline: sort-first order concentrates the
+            # strongest dominators there, so a cheap prescreen pass kills
+            # the bulk of the chunk before any full-width broadcast runs.
+            wstart = 0
+            while wstart < sky_len:
+                if survivors.size == 0:
+                    break
+                width = _PRESCREEN if wstart == 0 else WINDOW_CHUNK
+                wstop = min(wstart + width, sky_len)
+                dead = _any_dominates_block(
+                    sky_buf[wstart:wstop],
+                    surv,
+                    sky_sums[wstart:wstop],
+                    surv_sums,
+                )
+                tests += (wstop - wstart) * surv.shape[0]
+                if dead.any():
+                    alive_mask = ~dead
+                    survivors = survivors[alive_mask]
+                    surv = surv[alive_mask]
+                    surv_sums = surv_sums[alive_mask]
+                wstart = wstop
+            if survivors.size:
+                m = surv.shape[0]
+                if m > 1:
+                    # Pairwise over survivors: the sort order already
+                    # forbids j < i wins, but duplicates make the full
+                    # both-sides pass the safe shape.
+                    intra_alive = ~_any_dominates_block(
+                        surv, surv, surv_sums, surv_sums
+                    )
+                    tests += m * m
+                    survivors = survivors[intra_alive]
+                    surv = surv[intra_alive]
+                    surv_sums = surv_sums[intra_alive]
+                    m = surv.shape[0]
+                keep[start + survivors] = True
+                if sky_len + m > sky_buf.shape[0]:
+                    grown = np.empty(
+                        (max(sky_buf.shape[0] * 2, sky_len + m), d)
+                    )
+                    grown[:sky_len] = sky_buf[:sky_len]
+                    sky_buf = grown
+                    grown_sums = np.empty(sky_buf.shape[0])
+                    grown_sums[:sky_len] = sky_sums[:sky_len]
+                    sky_sums = grown_sums
+                sky_buf[sky_len : sky_len + m] = surv
+                sky_sums[sky_len : sky_len + m] = surv_sums
+                sky_len += m
+        if counter is not None:
+            counter.add(tests, stage)
+        return keep
+
+    def skyline(
+        self,
+        rows: np.ndarray,
+        *,
+        counter: DominanceCounter | None = None,
+        stage: str = "skyline",
+    ) -> np.ndarray:
+        pts = validate_points(rows)
+        if pts.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        order = sort_first_order(pts)
+        mask = self.sweep_sorted(pts[order], counter=counter, stage=stage)
+        return np.sort(order[mask]).astype(np.intp)
+
+
+def _any_dominates_block(
+    window: np.ndarray,
+    chunk: np.ndarray,
+    wsum: np.ndarray | None = None,
+    csum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mask over ``chunk`` rows dominated by at least one ``window`` row.
+
+    The ``≤ on every dimension`` part accumulates dimension by dimension
+    on 2-D ``(w, c)`` slices — same elementwise work as the obvious
+    ``(w, c, d)`` broadcast, but the temporaries fit in cache instead of
+    blowing it, which is most of the wall-clock difference.  Strictness
+    then rides on row sums: with ``w ≤ c`` elementwise, float summation
+    is monotone, so ``sum(w) < sum(c)`` proves a strict dimension and
+    ``sum(w) = sum(c)`` leaves only ties — pairs that dominate iff the
+    rows differ, resolved exactly on just those (rare) columns.  Callers
+    may pass precomputed row sums to amortise them across chunks.
+    """
+    le = window[:, 0, None] <= chunk[None, :, 0]
+    for k in range(1, window.shape[1]):
+        le &= window[:, k, None] <= chunk[None, :, k]
+        if k == 2 and not le.any():
+            return np.zeros(chunk.shape[0], dtype=bool)
+    if wsum is None:
+        wsum = window.sum(axis=1)
+    if csum is None:
+        csum = chunk.sum(axis=1)
+    dom = le & (wsum[:, None] < csum[None, :])
+    dominated = dom.any(axis=0)
+    ties = le & ~dom
+    pending = ties.any(axis=0) & ~dominated
+    if pending.any():
+        cols = np.flatnonzero(pending)
+        differs = (window[:, None, :] != chunk[cols][None, :, :]).any(axis=2)
+        dominated[cols] = (ties[:, cols] & differs).any(axis=0)
+    return dominated
+
+
+_KERNELS: dict[str, DominanceKernel] = {
+    "scalar": ScalarKernel(),
+    "block": BlockKernel(),
+}
+
+
+def make_kernel(name: str | DominanceKernel | None = None) -> DominanceKernel:
+    """Resolve a kernel from a name (or pass an instance through).
+
+    ``None`` resolves via :func:`default_kernel_name`.  Kernels are
+    stateless, so the two built-ins are shared singletons — cheap to
+    resolve per call and safe to ship through job params.
+    """
+    if isinstance(name, DominanceKernel):
+        return name
+    resolved = (name or default_kernel_name()).strip().lower()
+    kernel = _KERNELS.get(resolved)
+    if kernel is None:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {', '.join(KERNEL_NAMES)}"
+        )
+    return kernel
+
+
+#: Alias that reads better at call sites resolving the process default.
+get_kernel = make_kernel

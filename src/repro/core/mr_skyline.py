@@ -35,8 +35,16 @@ from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.blocks import PointBlock, concat_blocks
 from repro.core.bnl import bnl_skyline
-from repro.core.dominance import validate_points
+from repro.core.dominance import DominanceCounter, validate_points
+from repro.core.filtering import (
+    DEFAULT_FILTER_K,
+    DEFAULT_FILTER_SAMPLE,
+    FilterScore,
+    compute_filter_points,
+)
+from repro.core.kernels import DominanceKernel, get_kernel
 from repro.core.partitioning import (
     GridPartitioner,
     SpacePartitioner,
@@ -68,10 +76,17 @@ __all__ = [
     "GlobalMergeMapper",
     "GlobalMergeReducer",
     "COUNTER_GROUP",
+    "PRUNE_GROUP",
 ]
 
 #: Counter group used by the skyline jobs.
 COUNTER_GROUP = "skyline"
+
+#: Counter group of the filter-pruning stage (the ``prune.*`` family):
+#: ``points_pruned`` — rows dropped map-side by the broadcast filter set,
+#: ``filter_tests`` — dominance tests the filter stage spent to drop them,
+#: ``filter_points`` — size of the broadcast filter set.
+PRUNE_GROUP = "prune"
 
 #: Rows per block record flowing through the engine.
 DEFAULT_BLOCK_ROWS = 4096
@@ -96,34 +111,58 @@ class PartitionAssignMapper(Mapper):
 
     Params: ``partitioner`` (fitted :class:`SpacePartitioner`), optional
     ``pruned`` (frozenset of partition ids to drop — MR-Grid's dominated
-    cells).
+    cells), optional ``filters`` (``(k, d)`` broadcast filter rows — the
+    Ciaccia–Martinenghi map-side pruning set) and ``kernel`` (dominance
+    backend name).
+
+    Filter pruning runs *before* partition assignment: a point dominated
+    by any filter row can never reach the skyline, so it never enters the
+    shuffle at all.  Pruning is exact — every filter row is an actual data
+    row, so the global skyline is unchanged.
     """
 
     def map(self, key: Any, value: Block, ctx: MapContext) -> None:
-        indices, rows = value
+        block = PointBlock.from_tuple(value)
         partitioner: SpacePartitioner = self.params["partitioner"]
         pruned: frozenset = self.params.get("pruned", frozenset())
-        ids = partitioner.assign(rows)
-        ctx.increment(COUNTER_GROUP, "points_mapped", int(rows.shape[0]))
+        filters = self.params.get("filters")
+        ctx.increment(COUNTER_GROUP, "points_mapped", len(block))
+        if filters is not None and filters.shape[0] and len(block):
+            knl = get_kernel(self.params.get("kernel"))
+            local = DominanceCounter()
+            alive = knl.filter_survivors(
+                filters, block.rows, counter=local, stage="prune"
+            )
+            ctx.increment(PRUNE_GROUP, "filter_tests", local.tests)
+            dead = int(alive.size) - int(alive.sum())
+            if dead:
+                ctx.increment(COUNTER_GROUP, "points_pruned", dead)
+                ctx.increment(PRUNE_GROUP, "points_pruned", dead)
+                block = block.take(alive)
+        ids = partitioner.assign_block(block)
         for pid in np.unique(ids):
+            mask = ids == pid
             if int(pid) in pruned:
-                mask = ids == pid
                 ctx.increment(COUNTER_GROUP, "points_pruned", int(mask.sum()))
                 continue
-            mask = ids == pid
-            ctx.emit(int(pid), (indices[mask], rows[mask]))
+            ctx.emit(int(pid), block.take(mask).to_tuple())
 
 
 class LocalSkylineReducer(Reducer):
     """BNL over one data-space partition (Algorithm 1, lines 7–10).
 
-    Params: optional ``window_size`` for bounded-window BNL.
+    Params: optional ``window_size`` for bounded-window BNL, optional
+    ``kernel`` (dominance backend name).
     """
 
     def reduce(self, key: Any, values: Sequence[Block], ctx: ReduceContext) -> None:
-        indices = np.concatenate([b[0] for b in values])
-        rows = np.vstack([b[1] for b in values])
-        result = bnl_skyline(rows, window_size=self.params.get("window_size"))
+        block = concat_blocks([PointBlock.from_tuple(b) for b in values])
+        indices, rows = block.ids, block.rows
+        result = bnl_skyline(
+            rows,
+            window_size=self.params.get("window_size"),
+            kernel=self.params.get("kernel"),
+        )
         ctx.increment(COUNTER_GROUP, "local_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "local_skyline_points", int(result.indices.size))
         ctx.increment(COUNTER_GROUP, "local_input_points", int(rows.shape[0]))
@@ -168,9 +207,13 @@ class GlobalMergeReducer(Reducer):
     """BNL merge of all local skylines (Algorithm 1, line 15)."""
 
     def reduce(self, key: Any, values: Sequence[Block], ctx: ReduceContext) -> None:
-        indices = np.concatenate([b[0] for b in values])
-        rows = np.vstack([b[1] for b in values])
-        result = bnl_skyline(rows, window_size=self.params.get("window_size"))
+        block = concat_blocks([PointBlock.from_tuple(b) for b in values])
+        indices, rows = block.ids, block.rows
+        result = bnl_skyline(
+            rows,
+            window_size=self.params.get("window_size"),
+            kernel=self.params.get("kernel"),
+        )
         ctx.increment(COUNTER_GROUP, "merge_dominance_tests", result.dominance_tests)
         ctx.increment(COUNTER_GROUP, "global_skyline_points", int(result.indices.size))
         # Best-effort skew histogram; see LocalSkylineReducer.reduce.
@@ -204,6 +247,10 @@ class MRSkylineResult:
     executor: str = "serial"
     #: Whether the two-job chain ran in pipelined (overlapped) mode.
     pipelined: bool = False
+    #: Dominance backend every UDF ran with ("scalar" / "block").
+    kernel: str = "scalar"
+    #: Size of the broadcast filter set (0 — filter pruning disabled).
+    filter_points: int = 0
 
     @property
     def processing_time_s(self) -> float:
@@ -244,6 +291,8 @@ class MRSkylineResult:
             "method": self.method,
             "executor": self.executor,
             "pipelined": self.pipelined,
+            "kernel": self.kernel,
+            "filter_points": self.filter_points,
             "partitions": self.num_partitions,
             "workers": self.num_workers,
             "global_skyline": int(self.global_indices.size),
@@ -294,6 +343,11 @@ def run_mr_skyline(
     merge_fan_in: int = 8,
     executor: str | Executor | None = None,
     pipelined: bool = False,
+    kernel: str | DominanceKernel | None = None,
+    prune_filter_k: int | None = None,
+    filter_sample: int = DEFAULT_FILTER_SAMPLE,
+    filter_score: FilterScore = "volume",
+    filter_seed: int = 0,
 ) -> MRSkylineResult:
     """Run one of the MapReduce skyline algorithms end to end.
 
@@ -342,12 +396,31 @@ def run_mr_skyline(
         waiting for the whole partitioning job.  Requires
         ``merge_strategy="single"`` (tree rounds are sized from the data,
         which is still in flight while pipelining).  Results are identical.
+    kernel:
+        Dominance backend for every UDF (name or instance); ``None``
+        resolves the process default (``--kernel`` / ``$REPRO_KERNEL``,
+        else ``scalar``).  Results are identical across backends.
+    prune_filter_k:
+        Size of the Ciaccia–Martinenghi filter set broadcast to map tasks
+        (0 disables pruning).  ``None`` picks a kernel-dependent default:
+        :data:`~repro.core.filtering.DEFAULT_FILTER_K` under a batch
+        kernel, 0 under the scalar reference — so scalar runs stay
+        bit-comparable with every earlier BENCH record.
+    filter_sample / filter_score / filter_seed:
+        Sample size, ranking criterion (``"volume"`` / ``"entropy"``) and
+        RNG seed for :func:`repro.core.filtering.compute_filter_points`.
 
     Returns
     -------
     :class:`MRSkylineResult`
     """
     pts = validate_points(points)
+    knl = get_kernel(kernel)
+    if prune_filter_k is None:
+        # Kernel-dependent default: the scalar reference stays exactly the
+        # historical pipeline (no pruning stage at all); batch kernels get
+        # the full Ciaccia–Martinenghi treatment out of the box.
+        prune_filter_k = DEFAULT_FILTER_K if knl.batch else 0
     if num_partitions is None:
         num_partitions = default_partition_count(num_workers)
     if merge_strategy not in ("single", "tree"):
@@ -375,6 +448,7 @@ def run_mr_skyline(
         merge_strategy=merge_strategy,
         executor=runner.executor_name,
         pipelined=pipelined,
+        kernel=knl.name,
     ) as pipeline_span:
         if partitioner is None:
             partitioner = make_partitioner(
@@ -387,10 +461,27 @@ def run_mr_skyline(
         if prune_grid_cells and isinstance(partitioner, GridPartitioner):
             pruned = frozenset(int(c) for c in partitioner.pruned_cells())
 
+        # Driver-side filter selection (the Hadoop analogue: compute the
+        # broadcast set once, ship it through the distributed cache).
+        filters: np.ndarray | None = None
+        filter_count = 0
+        if prune_filter_k:
+            filters = compute_filter_points(
+                pts,
+                k=prune_filter_k,
+                sample=filter_sample,
+                seed=filter_seed,
+                score=filter_score,
+                kernel=knl,
+            )
+            filter_count = int(filters.shape[0])
+
         params = {
             "partitioner": partitioner,
             "pruned": pruned,
             "window_size": window_size,
+            "kernel": knl.name,
+            "filters": filters,
         }
         records = _block_records(pts, block_rows)
 
@@ -415,7 +506,7 @@ def run_mr_skyline(
                     num_reducers=1,
                     num_map_tasks=max(1, min(num_workers, max(len(recs), 1))),
                     partitioner=SingleReducerPartitioner(),
-                    params={"window_size": window_size},
+                    params={"window_size": window_size, "kernel": knl.name},
                 ),
             )
 
@@ -455,7 +546,11 @@ def run_mr_skyline(
                             num_reducers=groups,
                             num_map_tasks=max(1, min(num_workers, len(intermediate))),
                             partitioner=KeyFieldPartitioner(),
-                            params={"window_size": window_size, "fan_in": merge_fan_in},
+                            params={
+                                "window_size": window_size,
+                                "fan_in": merge_fan_in,
+                                "kernel": knl.name,
+                            },
                         ),
                     )
                     result = runner.run(job, records=intermediate)
@@ -488,12 +583,16 @@ def run_mr_skyline(
             get_metrics(),
             np.bincount(partition_ids, minlength=effective_partitions),
         )
+        if filter_count:
+            counters.increment(PRUNE_GROUP, "filter_points", filter_count)
         pipeline_span.set_attrs(
             scheme=partitioner.scheme,
             partitions=effective_partitions,
             global_skyline=int(global_indices.size),
             dominance_tests=counters.value(COUNTER_GROUP, "local_dominance_tests")
             + counters.value(COUNTER_GROUP, "merge_dominance_tests"),
+            filter_points=filter_count,
+            points_pruned=counters.value(COUNTER_GROUP, "points_pruned"),
             **{f"skew_{k}": v for k, v in skew.items()},
         )
 
@@ -510,6 +609,8 @@ def run_mr_skyline(
         partitioner=partitioner,
         executor=result2.executor,
         pipelined=pipelined,
+        kernel=knl.name,
+        filter_points=filter_count,
     )
 
 
@@ -521,6 +622,7 @@ def update_mr_skyline(
     runner: Runner | None = None,
     window_size: int | None = None,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    kernel: str | DominanceKernel | None = None,
 ) -> MRSkylineResult:
     """Absorb a batch of new services without recomputing from scratch (§II).
 
@@ -553,7 +655,9 @@ def update_mr_skyline(
     :class:`repro.core.incremental.IncrementalSkyline` keeps.
 
     The default runner resolves its executor from ``$REPRO_EXECUTOR``
-    (serial when unset), like :func:`run_mr_skyline`.
+    (serial when unset), like :func:`run_mr_skyline`.  ``kernel`` defaults
+    to the backend ``previous`` ran with, keeping an update chain on one
+    backend unless explicitly switched.
     """
     pts = validate_points(points)
     fresh = validate_points(new_points)
@@ -570,6 +674,7 @@ def update_mr_skyline(
         )
     runner = runner or Runner()
     partitioner = previous.partitioner
+    knl = get_kernel(kernel if kernel is not None else previous.kernel)
     offset = pts.shape[0]
 
     new_ids = partitioner.assign(fresh)
@@ -611,7 +716,7 @@ def update_mr_skyline(
                 num_reducers=max(affected) + 1,
                 num_map_tasks=max(1, min(previous.num_workers, len(records))),
                 partitioner=KeyFieldPartitioner(),
-                params={"window_size": window_size},
+                params={"window_size": window_size, "kernel": knl.name},
             ),
         )
         update_result = runner.run(update_job, records=records)
@@ -634,7 +739,7 @@ def update_mr_skyline(
             num_reducers=1,
             num_map_tasks=max(1, min(previous.num_workers, max(len(merge_records), 1))),
             partitioner=SingleReducerPartitioner(),
-            params={"window_size": window_size},
+            params={"window_size": window_size, "kernel": knl.name},
         ),
     )
     merge_result = runner.run(merge_job, records=merge_records)
@@ -661,6 +766,8 @@ def update_mr_skyline(
         points_pruned=previous.points_pruned + n_pruned,
         partitioner=partitioner,
         executor=merge_result.executor,
+        kernel=knl.name,
+        filter_points=previous.filter_points,
     )
 
 

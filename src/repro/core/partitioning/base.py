@@ -18,6 +18,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.blocks import PointBlock
 from repro.core.dominance import validate_points
 from repro.observability.tracing import get_tracer
 
@@ -75,6 +76,29 @@ class SpacePartitioner:
         pts = validate_points(points)
         ids = np.asarray(self._assign(pts))
         if ids.shape != (pts.shape[0],):
+            raise AssertionError(
+                f"{type(self).__name__}._assign returned shape {ids.shape}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_partitions):
+            raise AssertionError(
+                f"{type(self).__name__} produced ids outside "
+                f"[0, {self.num_partitions}): [{ids.min()}, {ids.max()}]"
+            )
+        return ids.astype(np.int64)
+
+    def assign_block(self, block: PointBlock) -> np.ndarray:
+        """Partition id per :class:`~repro.core.blocks.PointBlock` row.
+
+        The columnar entry point: a block's row matrix is already a
+        contiguous float64 ``(n, d)`` array, so assignment is one
+        vectorised pass with no copy or re-validation of the rows.
+        """
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.assign_block() called before fit()"
+            )
+        ids = np.asarray(self._assign(block.rows))
+        if ids.shape != (len(block),):
             raise AssertionError(
                 f"{type(self).__name__}._assign returned shape {ids.shape}"
             )

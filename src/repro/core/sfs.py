@@ -18,7 +18,8 @@ from typing import Callable, Literal
 
 import numpy as np
 
-from repro.core.dominance import DominanceCounter, dominates_any, validate_points
+from repro.core.dominance import DominanceCounter, validate_points
+from repro.core.kernels import DominanceKernel, get_kernel
 
 __all__ = ["SFSResult", "sfs_skyline", "monotone_score"]
 
@@ -52,12 +53,19 @@ def sfs_skyline(
     *,
     score: ScoreName | Callable[[np.ndarray], np.ndarray] = "sum",
     counter: DominanceCounter | None = None,
+    kernel: str | DominanceKernel | None = None,
 ) -> SFSResult:
     """Compute the skyline with sort-filter-skyline.
 
     ``score`` may be one of the named monotone scores or a callable mapping
     the ``(n, d)`` array to per-point scores.  A non-monotone callable will
     produce wrong results; prefer the named scores unless you know better.
+
+    The presorted scan runs through the kernel seam
+    (:meth:`~repro.core.kernels.DominanceKernel.sweep_sorted`): the
+    ``scalar`` backend is the classic one-candidate-per-step filter loop,
+    the ``block`` backend sweeps whole chunks — identical indices either
+    way.
     """
     pts = validate_points(points)
     n, d = pts.shape
@@ -74,26 +82,11 @@ def sfs_skyline(
     # invariant that no later point dominates an earlier one.
     keys = tuple(pts[:, j] for j in range(d - 1, -1, -1)) + (scores,)
     order = np.lexsort(keys)
-    tests = 0
-    window: list[int] = []
-    capacity = 64
-    window_buf = np.empty((capacity, d))
-
-    for idx in order:
-        w = len(window)
-        if w:
-            tests += w
-            if dominates_any(window_buf[:w], pts[idx]):
-                continue
-        if w == window_buf.shape[0]:
-            grown = np.empty((window_buf.shape[0] * 2, d))
-            grown[:w] = window_buf[:w]
-            window_buf = grown
-        window_buf[w] = pts[idx]
-        window.append(int(idx))
-
+    local = DominanceCounter()
+    mask = get_kernel(kernel).sweep_sorted(pts[order], counter=local, stage="sfs")
     if counter is not None:
-        counter.add(tests, "sfs")
+        counter.merge(local)
     return SFSResult(
-        indices=np.array(sorted(window), dtype=np.intp), dominance_tests=tests
+        indices=np.sort(order[mask]).astype(np.intp),
+        dominance_tests=local.tests,
     )

@@ -11,14 +11,18 @@ paper builds on (Papadias et al. define both alongside BBS):
   other points — a ranking flavour of dominance (not restricted to skyline
   members, though the top dominator always is one).
 
-Both are vectorised blockwise like :func:`repro.core.dominance.dominated_mask`.
+The pairwise counting runs through the :mod:`repro.core.kernels` seam
+(:meth:`~repro.core.kernels.DominanceKernel.dominator_counts` /
+:meth:`~repro.core.kernels.DominanceKernel.dominated_counts`) — counts are
+exact integers, so every backend returns the same answers.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.dominance import DominanceCounter, validate_points
+from repro.core.dominance import DominanceCounter
+from repro.core.kernels import DominanceKernel, get_kernel
 
 __all__ = ["dominator_counts", "k_skyband", "top_k_dominating"]
 
@@ -28,19 +32,12 @@ def dominator_counts(
     *,
     block: int = 2048,
     counter: DominanceCounter | None = None,
+    kernel: str | DominanceKernel | None = None,
 ) -> np.ndarray:
     """Number of points dominating each point (0 for skyline members)."""
-    pts = validate_points(points)
-    n = pts.shape[0]
-    counts = np.zeros(n, dtype=np.int64)
-    for start in range(0, n, block):
-        chunk = pts[start : start + block]
-        le = (pts[:, None, :] <= chunk[None, :, :]).all(axis=2)
-        lt = (pts[:, None, :] < chunk[None, :, :]).any(axis=2)
-        counts[start : start + chunk.shape[0]] = (le & lt).sum(axis=0)
-        if counter is not None:
-            counter.add(n * chunk.shape[0], "skyband")
-    return counts
+    return get_kernel(kernel).dominator_counts(
+        points, block=block, counter=counter, stage="skyband"
+    )
 
 
 def k_skyband(
@@ -49,6 +46,7 @@ def k_skyband(
     *,
     block: int = 2048,
     counter: DominanceCounter | None = None,
+    kernel: str | DominanceKernel | None = None,
 ) -> np.ndarray:
     """Ascending indices of points dominated by fewer than ``k`` others.
 
@@ -57,7 +55,7 @@ def k_skyband(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    counts = dominator_counts(points, block=block, counter=counter)
+    counts = dominator_counts(points, block=block, counter=counter, kernel=kernel)
     return np.flatnonzero(counts < k).astype(np.intp)
 
 
@@ -67,6 +65,7 @@ def top_k_dominating(
     *,
     block: int = 2048,
     counter: DominanceCounter | None = None,
+    kernel: str | DominanceKernel | None = None,
 ) -> np.ndarray:
     """Indices of the ``k`` points dominating the most others (best first).
 
@@ -74,17 +73,10 @@ def top_k_dominating(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    pts = validate_points(points)
-    n = pts.shape[0]
-    dominated = np.zeros(n, dtype=np.int64)
-    for start in range(0, n, block):
-        chunk = pts[start : start + block]
-        # chunk[i] dominates pts[j]
-        le = (chunk[:, None, :] <= pts[None, :, :]).all(axis=2)
-        lt = (chunk[:, None, :] < pts[None, :, :]).any(axis=2)
-        dominated[start : start + chunk.shape[0]] = (le & lt).sum(axis=1)
-        if counter is not None:
-            counter.add(n * chunk.shape[0], "top-k-dominating")
+    dominated = get_kernel(kernel).dominated_counts(
+        points, block=block, counter=counter, stage="top-k-dominating"
+    )
+    n = dominated.shape[0]
     # Stable sort on (-count, index): numpy's stable argsort on -count keeps
     # input order among ties.
     order = np.argsort(-dominated, kind="stable")

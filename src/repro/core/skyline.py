@@ -38,6 +38,8 @@ def skyline_numpy(
 ) -> np.ndarray:
     """Brute-force reference: indices of points dominated by nobody."""
     pts = validate_points(points)
+    # The oracle the parity suite checks kernels *against* — it must stay
+    # kernel-independent.  # repro: allow[kernel-seam]
     mask = ~dominated_mask(pts, counter=counter)
     return np.flatnonzero(mask).astype(np.intp)
 
@@ -52,7 +54,8 @@ def skyline(
     """Ascending input indices of the skyline of ``points``.
 
     Extra keyword arguments are forwarded to the chosen algorithm (e.g.
-    ``window_size`` for BNL, ``score`` for SFS).
+    ``window_size`` for BNL, ``score`` for SFS, ``kernel`` for either —
+    the :mod:`repro.core.kernels` backend selector).
     """
     if algorithm == "bnl":
         return bnl_skyline(points, counter=counter, **kwargs).indices

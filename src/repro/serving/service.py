@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.kernels import KERNEL_NAMES, get_kernel
 from repro.mapreduce.executors import Executor
 from repro.mapreduce.faults import MonotonicClock
 from repro.observability.events import get_events
@@ -95,6 +96,10 @@ class ServeConfig:
     #: Workers / executor for MR bulk loads of registered datasets.
     num_workers: int = 2
     executor: str | Executor | None = None
+    #: Dominance backend for every registered dataset (``"scalar"`` /
+    #: ``"block"``); ``None`` resolves the process default
+    #: (``--kernel`` / ``$REPRO_KERNEL``, else ``scalar``).
+    kernel: str | None = None
     #: Latency SLO: this fraction of answered requests …
     slo_latency_target: float = 0.95
     #: … must finish within this many seconds.
@@ -129,6 +134,11 @@ class ServeConfig:
         if self.skew_alert_ratio <= 1.0:
             raise ValueError(
                 f"skew_alert_ratio must be > 1, got {self.skew_alert_ratio}"
+            )
+        if self.kernel is not None and self.kernel not in KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {', '.join(KERNEL_NAMES)}"
             )
 
 
@@ -246,6 +256,7 @@ class SkylineService:
             num_workers=self.config.num_workers,
             mr_bulk_threshold=self.config.mr_bulk_threshold,
             executor=self.config.executor,
+            kernel=self.config.kernel,
         )
         with self._lock:
             self._stores[name] = store
@@ -559,13 +570,18 @@ class SkylineService:
         snapshot = get_metrics().snapshot()
         with self._lock:
             datasets = {
-                name: {"size": len(s), "generation": s.generation}
+                name: {
+                    "size": len(s),
+                    "generation": s.generation,
+                    "kernel": s.kernel_name,
+                }
                 for name, s in sorted(self._stores.items())
             }
             queued = self._queued
             inflight = len(self._flights)
         return {
             "uptime_s": round(self.uptime_s(), 6),
+            "kernel": get_kernel(self.config.kernel).name,
             "datasets": datasets,
             "cache": self._cache.stats(),
             "queued": queued,
@@ -573,7 +589,7 @@ class SkylineService:
             "counters": {
                 name: value
                 for name, value in snapshot["counters"].items()
-                if name.startswith("serve.")
+                if name.startswith(("serve.", "prune."))
             },
             "gauges": {
                 name: value

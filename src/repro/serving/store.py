@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.core.dominance import validate_points
 from repro.core.incremental import IncrementalSkyline
-from repro.core.mr_skyline import run_mr_skyline
+from repro.core.kernels import DominanceKernel, get_kernel
+from repro.core.mr_skyline import COUNTER_GROUP, PRUNE_GROUP, run_mr_skyline
 from repro.core.partitioning import make_partitioner
 from repro.mapreduce.executors import Executor
 from repro.observability.events import get_events
@@ -58,6 +59,7 @@ class SkylineStore:
         num_workers: int = 2,
         mr_bulk_threshold: int = DEFAULT_MR_BULK_THRESHOLD,
         executor: str | Executor | None = None,
+        kernel: str | DominanceKernel | None = None,
     ):
         self.name = name
         self.scheme = scheme
@@ -65,6 +67,9 @@ class SkylineStore:
         self.num_workers = num_workers
         self.mr_bulk_threshold = mr_bulk_threshold
         self.executor = executor
+        # Resolve once at construction: every maintenance comparison and MR
+        # bulk load of this dataset runs one consistent backend.
+        self._kernel = get_kernel(kernel)
         self._lock = threading.RLock()
         self._sky: IncrementalSkyline | None = None
         self._generation = 0
@@ -78,6 +83,11 @@ class SkylineStore:
         """The current mutation generation (0 before any data arrives)."""
         with self._lock:
             return self._generation
+
+    @property
+    def kernel_name(self) -> str:
+        """Name of the dominance backend this store runs on."""
+        return self._kernel.name
 
     def __len__(self) -> int:
         with self._lock:
@@ -157,7 +167,20 @@ class SkylineStore:
                 num_workers=self.num_workers,
                 executor=self.executor,
                 pipelined=True,
+                kernel=self._kernel,
             )
+            # Cumulative per-dataset pruning telemetry: how much shuffle
+            # work the broadcast filter stage saved this store so far.
+            pruned = result.counters.value(COUNTER_GROUP, "points_pruned")
+            if pruned:
+                get_metrics().counter(
+                    f"{PRUNE_GROUP}.points_pruned.{self.name}"
+                ).inc(pruned)
+            filter_tests = result.counters.value(PRUNE_GROUP, "filter_tests")
+            if filter_tests:
+                get_metrics().counter(
+                    f"{PRUNE_GROUP}.filter_tests.{self.name}"
+                ).inc(filter_tests)
             seed = (partitioner, result)
         with self._lock:
             if self._sky is None and seed is not None:
@@ -167,6 +190,7 @@ class SkylineStore:
                     pts,
                     result.partition_ids,
                     result.local_skylines,
+                    kernel=self._kernel,
                 )
                 new_ids = list(range(pts.shape[0]))
             else:
@@ -227,4 +251,4 @@ class SkylineStore:
             if self._sky is None:
                 partitioner = make_partitioner(self.scheme, self.num_partitions)
                 partitioner.fit(first_batch)
-                self._sky = IncrementalSkyline(partitioner)
+                self._sky = IncrementalSkyline(partitioner, kernel=self._kernel)

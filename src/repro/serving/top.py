@@ -106,6 +106,9 @@ def render_frame(
     lines: List[str] = []
     head = f"repro top — {target or 'server'}   [{tag}]"
     head += f"   up {float(stats.get('uptime_s', 0.0)):.0f}s"
+    kernel = stats.get("kernel")
+    if kernel:
+        head += f"   kernel {kernel}"
     if interval_s:
         head += f"   every {interval_s:g}s"
     lines.append(head)
@@ -133,6 +136,14 @@ def render_frame(
         f"   inflight {stats.get('inflight_computes', 0)}"
         f"   queued {stats.get('queued', 0)}"
     )
+    pruned = sum(
+        v for k, v in counters.items() if k.startswith("prune.points_pruned.")
+    )
+    if pruned:
+        tests = sum(
+            v for k, v in counters.items() if k.startswith("prune.filter_tests.")
+        )
+        lines.append(f"pruned {pruned} points map-side ({tests} filter tests)")
 
     latency = stats.get("latency", {})
     if latency.get("count"):

@@ -1,0 +1,22 @@
+"""Clean fixture: dominance comparisons routed through the kernel seam."""
+
+import numpy as np
+
+from repro.core.dominance import DominanceCounter, dominates, validate_points
+from repro.core.kernels import get_kernel
+
+
+def local_skyline(points: np.ndarray, kernel: str | None = None) -> np.ndarray:
+    pts = validate_points(points)
+    counter = DominanceCounter()
+    return get_kernel(kernel).skyline(pts, counter=counter)
+
+
+def merge(window: np.ndarray, point: np.ndarray, kernel=None) -> bool:
+    knl = get_kernel(kernel)
+    return not knl.any_dominates(window, point)
+
+
+def reference_check(a: np.ndarray, b: np.ndarray) -> bool:
+    # Deliberate raw-primitive use, justified on the line.
+    return dominates(a, b)  # repro: allow[kernel-seam] -- test oracle

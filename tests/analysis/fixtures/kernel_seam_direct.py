@@ -1,0 +1,25 @@
+"""Violating fixture: hot-path code calling raw dominance primitives."""
+
+import numpy as np
+
+import repro.core.dominance as dom
+from repro.core import dominance
+from repro.core.dominance import dominated_by_any, dominated_mask
+from repro.core.dominance import dominates as dominates_fast
+
+
+def local_skyline(points: np.ndarray) -> np.ndarray:
+    mask = ~dominated_mask(points)  # VIOLATION: kernel-seam
+    return np.flatnonzero(mask)
+
+
+def merge(window: np.ndarray, point: np.ndarray) -> bool:
+    if dominates_fast(window[0], point):  # VIOLATION: kernel-seam
+        return False
+    hits = dominance.dominated_by_any(window, point)  # VIOLATION: kernel-seam
+    evicted = dominated_by_any(window, point)  # VIOLATION: kernel-seam
+    return bool(hits.any() or evicted.any())
+
+
+def pairwise(points: np.ndarray) -> np.ndarray:
+    return dom.dominance_matrix(points)  # VIOLATION: kernel-seam

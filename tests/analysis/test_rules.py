@@ -28,6 +28,7 @@ def found_pairs(name: str, rule_id: str) -> set:
         ("lock-discipline", "lock_unsafe.py", "lock_safe.py"),
         ("lock-discipline", "lock_serving_unsafe.py", "lock_serving_safe.py"),
         ("exception-hygiene", "except_swallow.py", "except_ok.py"),
+        ("kernel-seam", "kernel_seam_direct.py", "kernel_seam_clean.py"),
     ],
 )
 class TestRulePacks:

@@ -1,0 +1,191 @@
+"""Differential parity: every algorithm returns identical skyline ids under
+the scalar and block kernels.
+
+The skyline of a point set is unique, so any divergence between backends is
+a kernel bug, never a legitimate tie-break difference.  The suite drives
+every re-routed algorithm (BNL, SFS, skyband, incremental, the MapReduce
+pipeline under all three paper partitioners, with and without filter
+pruning) over adversarial inputs — duplicates, degenerate single-point
+clouds, anti-correlated simplices, d ∈ {2, 4, 10} — and Hypothesis searches
+for counterexamples the curated sets miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bnl import bnl_skyline
+from repro.core.incremental import IncrementalSkyline
+from repro.core.kernels import KERNEL_NAMES
+from repro.core.mr_skyline import run_mr_skyline
+from repro.core.partitioning import make_partitioner
+from repro.core.sfs import sfs_skyline
+from repro.core.skyband import k_skyband, top_k_dominating
+from repro.core.skyline import skyline_numpy
+
+DIMS = (2, 4, 10)
+METHODS = ("dim", "grid", "angle")
+
+
+def _datasets(d, seed=0):
+    rng = np.random.default_rng(seed)
+    yield "random", rng.random((240, d))
+    yield "duplicates", rng.integers(0, 3, size=(180, d)).astype(float)
+    yield "degenerate", np.tile(rng.random((1, d)), (25, 1))
+    anti = rng.random((120, d))
+    anti[:, -1] = d - anti[:, :-1].sum(axis=1)
+    yield "anti-correlated", anti
+
+
+def _ids(x):
+    return np.sort(np.asarray(x, dtype=np.intp))
+
+
+class TestSingleMachineParity:
+    @pytest.mark.parametrize("d", DIMS)
+    def test_bnl(self, d):
+        for name, pts in _datasets(d):
+            expected = skyline_numpy(pts)
+            for kernel in KERNEL_NAMES:
+                got = bnl_skyline(pts, kernel=kernel).indices
+                assert np.array_equal(_ids(got), expected), (name, kernel)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_bnl_windowed(self, d):
+        for name, pts in _datasets(d):
+            expected = skyline_numpy(pts)
+            for kernel in KERNEL_NAMES:
+                got = bnl_skyline(pts, window_size=16, kernel=kernel).indices
+                assert np.array_equal(_ids(got), expected), (name, kernel)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_sfs(self, d):
+        for name, pts in _datasets(d):
+            expected = skyline_numpy(pts)
+            for kernel in KERNEL_NAMES:
+                got = sfs_skyline(pts, kernel=kernel).indices
+                assert np.array_equal(_ids(got), expected), (name, kernel)
+
+    @pytest.mark.parametrize("d", DIMS)
+    def test_skyband(self, d):
+        for name, pts in _datasets(d):
+            for k in (1, 3):
+                bands = {
+                    kernel: k_skyband(pts, k, kernel=kernel)
+                    for kernel in KERNEL_NAMES
+                }
+                assert np.array_equal(bands["scalar"], bands["block"]), name
+            tops = {
+                kernel: top_k_dominating(pts, 5, kernel=kernel)
+                for kernel in KERNEL_NAMES
+            }
+            assert np.array_equal(tops["scalar"], tops["block"]), name
+
+    @pytest.mark.parametrize("scheme", ("dim", "grid", "angle", "random"))
+    def test_incremental_inserts_and_removals(self, scheme):
+        rng = np.random.default_rng(17)
+        pts = rng.random((150, 4))
+        extra = rng.random((20, 4))
+        results = {}
+        for kernel in KERNEL_NAMES:
+            part = make_partitioner(scheme, 4)
+            sky = IncrementalSkyline(part, pts, kernel=kernel)
+            for row in extra:
+                sky.insert(row)
+            for victim in (3, 60, 149, 151):
+                sky.remove(victim)
+            results[kernel] = sorted(sky.global_skyline())
+            assert sky.kernel_name == kernel
+        assert results["scalar"] == results["block"]
+
+
+class TestMapReduceParity:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("d", DIMS)
+    def test_global_skyline_identical(self, method, d):
+        pts = np.random.default_rng(d).random((600, d))
+        expected = skyline_numpy(pts)
+        for kernel in KERNEL_NAMES:
+            for filter_k in (0, 8):
+                result = run_mr_skyline(
+                    pts, method=method, kernel=kernel, prune_filter_k=filter_k
+                )
+                assert np.array_equal(
+                    _ids(result.global_indices), expected
+                ), (method, kernel, filter_k)
+                assert result.kernel == kernel
+                if filter_k:
+                    assert result.filter_points > 0
+                else:
+                    # points_pruned may still be non-zero: MR-Grid's cell
+                    # pruning predates (and composes with) filter pruning.
+                    assert result.filter_points == 0
+
+    def test_duplicates_through_the_pipeline(self):
+        pts = np.random.default_rng(5).integers(0, 3, size=(300, 4)).astype(float)
+        expected = skyline_numpy(pts)
+        for kernel in KERNEL_NAMES:
+            result = run_mr_skyline(
+                pts, method="angle", kernel=kernel, prune_filter_k=8
+            )
+            assert np.array_equal(_ids(result.global_indices), expected), kernel
+
+    def test_block_defaults_enable_pruning_scalar_does_not(self):
+        pts = np.random.default_rng(11).random((800, 4))
+        scalar = run_mr_skyline(pts, method="angle", kernel="scalar")
+        block = run_mr_skyline(pts, method="angle", kernel="block")
+        assert scalar.points_pruned == 0 and scalar.filter_points == 0
+        assert block.filter_points > 0 and block.points_pruned > 0
+        assert np.array_equal(
+            _ids(scalar.global_indices), _ids(block.global_indices)
+        )
+
+
+# -- Hypothesis: adversarial search beyond the curated sets -------------------
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=48))
+    d = draw(st.integers(min_value=2, max_value=5))
+    base = draw(
+        st.lists(
+            st.lists(finite, min_size=d, max_size=d),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    pts = np.array(base, dtype=np.float64)
+    if draw(st.booleans()) and n > 1:
+        # Inject duplicate rows: copy a prefix over a suffix.
+        k = draw(st.integers(min_value=1, max_value=n - 1))
+        pts[-k:] = pts[:k]
+    return pts
+
+
+@given(matrices())
+@settings(max_examples=80, deadline=None)
+def test_hypothesis_backends_match_oracle(pts):
+    expected = skyline_numpy(pts)
+    for kernel in KERNEL_NAMES:
+        assert np.array_equal(
+            bnl_skyline(pts, kernel=kernel).indices, expected
+        )
+        assert np.array_equal(
+            _ids(sfs_skyline(pts, kernel=kernel).indices), expected
+        )
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_mr_pipeline_matches_oracle(pts):
+    expected = skyline_numpy(pts)
+    for kernel in KERNEL_NAMES:
+        result = run_mr_skyline(
+            pts, method="grid", num_workers=2, kernel=kernel, prune_filter_k=4
+        )
+        assert np.array_equal(_ids(result.global_indices), expected)

@@ -1,0 +1,206 @@
+"""Dominance kernels: selection plumbing, sort-first invariant, backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import DominanceCounter
+from repro.core.filtering import compute_filter_points
+from repro.core.kernels import (
+    BLOCK_CHUNK,
+    ENV_KERNEL,
+    KERNEL_NAMES,
+    BlockKernel,
+    ScalarKernel,
+    default_kernel_name,
+    get_kernel,
+    make_kernel,
+    set_default_kernel,
+    sort_first_order,
+)
+from repro.core.skyline import skyline_numpy
+
+
+@pytest.fixture(autouse=True)
+def _clean_kernel_state(monkeypatch):
+    monkeypatch.delenv(ENV_KERNEL, raising=False)
+    previous = set_default_kernel(None)
+    yield
+    set_default_kernel(previous)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSelection:
+    def test_registry_names(self):
+        assert KERNEL_NAMES == ("scalar", "block")
+        assert isinstance(get_kernel("scalar"), ScalarKernel)
+        assert isinstance(get_kernel("block"), BlockKernel)
+
+    def test_default_is_scalar(self):
+        assert default_kernel_name() == "scalar"
+        assert get_kernel(None).name == "scalar"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "block")
+        assert default_kernel_name() == "block"
+        assert get_kernel(None).name == "block"
+
+    def test_set_default_beats_env_and_restores(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "scalar")
+        previous = set_default_kernel("block")
+        assert default_kernel_name() == "block"
+        set_default_kernel(previous)
+        assert default_kernel_name() == "scalar"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("simd")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            set_default_kernel("simd")
+
+    def test_instance_passthrough(self):
+        knl = get_kernel("block")
+        assert make_kernel(knl) is knl
+        assert get_kernel(knl) is knl
+
+    def test_singletons(self):
+        assert get_kernel("scalar") is get_kernel("scalar")
+        assert get_kernel("block") is get_kernel("block")
+
+
+class TestSortFirstOrder:
+    @pytest.mark.parametrize("d", [2, 4, 10])
+    def test_no_later_point_dominates_an_earlier_one(self, d):
+        knl = get_kernel("scalar")
+        pts = _rng(d).random((120, d))
+        pts[10:20] = pts[0]  # duplicate run
+        order = sort_first_order(pts)
+        ordered = pts[order]
+        for i in range(1, len(ordered)):
+            assert not knl.any_dominates(ordered[i:], ordered[i - 1])
+
+    def test_deterministic_permutation(self):
+        pts = _rng(3).random((50, 4))
+        assert np.array_equal(sort_first_order(pts), sort_first_order(pts))
+
+
+def _datasets(d, seed=0):
+    rng = _rng(seed)
+    yield "random", rng.random((300, d))
+    yield "duplicates", rng.integers(0, 3, size=(200, d)).astype(float)
+    yield "degenerate", np.tile(rng.random((1, d)), (40, 1))
+    anti = rng.random((150, d))
+    anti[:, -1] = d - anti[:, :-1].sum(axis=1)  # all on a simplex: all skyline
+    yield "anti-correlated", anti
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("d", [2, 4, 10])
+    def test_skyline_matches_oracle_and_each_other(self, d):
+        for name, pts in _datasets(d):
+            oracle = skyline_numpy(pts)
+            scalar = get_kernel("scalar").skyline(pts)
+            block = get_kernel("block").skyline(pts)
+            assert np.array_equal(scalar, oracle), name
+            assert np.array_equal(block, oracle), name
+
+    def test_block_chunk_boundaries(self):
+        # Sizes straddling the candidate-chunk width exercise the chunked
+        # sweep's window bookkeeping.
+        for n in (BLOCK_CHUNK - 1, BLOCK_CHUNK, BLOCK_CHUNK + 37):
+            pts = _rng(n).random((n, 3))
+            assert np.array_equal(
+                get_kernel("block").skyline(pts), skyline_numpy(pts)
+            )
+
+    def test_single_point_ops_agree(self):
+        window = _rng(1).random((64, 5))
+        point = window.mean(axis=0)
+        scalar, block = get_kernel("scalar"), get_kernel("block")
+        assert scalar.dominates(window[0], point) == block.dominates(
+            window[0], point
+        )
+        assert scalar.any_dominates(window, point) == block.any_dominates(
+            window, point
+        )
+        assert np.array_equal(
+            scalar.dominated_in(window, point), block.dominated_in(window, point)
+        )
+
+    def test_counting_ops_agree(self):
+        pts = _rng(2).random((180, 4))
+        scalar, block = get_kernel("scalar"), get_kernel("block")
+        assert np.array_equal(
+            scalar.dominator_counts(pts), block.dominator_counts(pts)
+        )
+        assert np.array_equal(
+            scalar.dominated_counts(pts), block.dominated_counts(pts)
+        )
+
+    def test_dominance_tests_counted(self):
+        pts = _rng(5).random((256, 4))
+        for name in KERNEL_NAMES:
+            counter = DominanceCounter()
+            get_kernel(name).skyline(pts, counter=counter)
+            assert counter.tests > 0, name
+
+
+class TestFilterSurvivors:
+    @pytest.mark.parametrize("kernel", list(KERNEL_NAMES))
+    def test_pruning_is_exact(self, kernel):
+        pts = _rng(6).random((500, 4))
+        filters = compute_filter_points(pts, k=16, sample=128)
+        assert filters.shape[0] <= 16
+        alive = get_kernel(kernel).filter_survivors(filters, pts)
+        # No skyline member may be pruned, and pruning must bite.
+        assert alive[skyline_numpy(pts)].all()
+        assert not alive.all()
+
+    def test_backends_agree_and_count(self):
+        pts = _rng(7).random((400, 5))
+        filters = compute_filter_points(pts, k=8, sample=200)
+        masks = {}
+        for name in KERNEL_NAMES:
+            counter = DominanceCounter()
+            masks[name] = get_kernel(name).filter_survivors(
+                filters, pts, counter=counter
+            )
+            assert counter.tests == filters.shape[0] * pts.shape[0]
+        assert np.array_equal(masks["scalar"], masks["block"])
+
+    def test_empty_filter_set_prunes_nothing(self):
+        pts = _rng(8).random((30, 3))
+        filters = compute_filter_points(pts, k=0)
+        for name in KERNEL_NAMES:
+            assert get_kernel(name).filter_survivors(filters, pts).all()
+
+
+class TestFilterSelection:
+    def test_deterministic_and_ranked(self):
+        pts = _rng(9).random((1000, 4))
+        a = compute_filter_points(pts, k=12, sample=256, seed=3)
+        b = compute_filter_points(pts, k=12, sample=256, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_filters_are_actual_data_rows(self):
+        pts = _rng(10).random((600, 3))
+        filters = compute_filter_points(pts, k=8, sample=100)
+        for row in filters:
+            assert (pts == row).all(axis=1).any()
+
+    @pytest.mark.parametrize("score", ["volume", "entropy"])
+    def test_scores_accepted(self, score):
+        pts = _rng(11).random((200, 3))
+        filters = compute_filter_points(pts, k=4, score=score)
+        assert 0 < filters.shape[0] <= 4
+
+    def test_validation(self):
+        pts = _rng(12).random((10, 2))
+        with pytest.raises(ValueError):
+            compute_filter_points(pts, k=-1)
+        with pytest.raises(ValueError):
+            compute_filter_points(pts, k=4, sample=0)
+        with pytest.raises(ValueError):
+            compute_filter_points(pts, k=4, score="mass")
