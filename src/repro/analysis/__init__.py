@@ -22,10 +22,15 @@ rule.
 
 from repro.analysis.base import Rule, all_rule_ids, all_rules, register, rules_by_id
 from repro.analysis.baseline import BaselineError, load_baseline, write_baseline
-from repro.analysis.engine import PARSE_RULE_ID, LintResult, run_lint
+from repro.analysis.engine import (
+    PARSE_RULE_ID,
+    LintResult,
+    changed_python_files,
+    run_lint,
+)
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import Module, Project
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.suppressions import PRAGMA_RULE_ID, parse_suppressions
 
 __all__ = [
@@ -42,6 +47,8 @@ __all__ = [
     "run_lint",
     "render_text",
     "render_json",
+    "render_sarif",
+    "changed_python_files",
     "load_baseline",
     "write_baseline",
     "BaselineError",

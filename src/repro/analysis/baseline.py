@@ -1,10 +1,15 @@
 """Baseline files: adopt the checker on a tree with pre-existing findings.
 
-A baseline is a JSON list of finding fingerprints (line-number-free, see
-:meth:`~repro.analysis.findings.Finding.fingerprint`).  ``repro lint
---baseline FILE`` filters out findings whose fingerprint is recorded, so a
-team can gate *new* violations immediately and burn the old ones down over
-time; ``--write-baseline`` records the current findings.
+A baseline is a JSON list of finding fingerprints (path- and
+line-number-free, see :meth:`~repro.analysis.findings.Finding.fingerprint`).
+``repro lint --baseline FILE`` filters out findings whose fingerprint is
+recorded, so a team can gate *new* violations immediately and burn the old
+ones down over time; ``--write-baseline`` records the current findings.
+
+Version 2 dropped the file path from the fingerprint: v1 baselines keyed
+on absolute paths, which broke on any rename *and* on every other
+checkout of the repository.  Old files are rejected with a pointer to
+``--write-baseline`` rather than silently matching nothing.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Iterable, List, Set, Tuple
 
 from repro.analysis.findings import Finding
 
-_VERSION = 1
+_VERSION = 2
 
 
 class BaselineError(ValueError):
@@ -30,6 +35,11 @@ def load_baseline(path: str) -> Set[str]:
         raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise BaselineError(f"malformed baseline {path}: {exc}") from exc
+    if isinstance(payload, dict) and payload.get("version") == 1:
+        raise BaselineError(
+            f"baseline {path} uses the retired version-1 (path-keyed) "
+            "fingerprints; regenerate it with --write-baseline"
+        )
     if (
         not isinstance(payload, dict)
         or payload.get("version") != _VERSION

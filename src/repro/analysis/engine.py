@@ -10,8 +10,11 @@ verify disappears silently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+import ast
+import os
+import subprocess
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.base import Rule, all_rule_ids, all_rules, rules_by_id
 from repro.analysis.baseline import load_baseline, split_baselined
@@ -73,6 +76,16 @@ def run_lint(
     raw: List[Finding] = []
     for rule in rules:
         raw.extend(rule.check(project))
+    # Rule findings anchor on AST nodes, which for a multi-line statement
+    # may sit on a continuation line where no pragma can live.  Normalize
+    # each to its statement's first line so an allow-pragma placed on the
+    # statement works regardless of how the expression wraps.  (Pragma and
+    # parse findings below locate real source lines; they are left alone.)
+    span_cache: Dict[str, _SpanIndex] = {}
+    raw = [
+        _normalize_to_statement(project, finding, span_cache)
+        for finding in raw
+    ]
     raw.extend(_pragma_findings(project))
     for failure in project.failures:
         raw.append(
@@ -141,3 +154,78 @@ def _module_for(project: Project, path: str) -> Module | None:
         if module.path == path:
             return module
     return None
+
+
+#: Statement spans of one module: (first line, last line, column).
+_SpanIndex = List[Tuple[int, int, int]]
+
+
+def _statement_spans(module: Module) -> _SpanIndex:
+    spans: _SpanIndex = []
+    for node in ast.walk(module.tree):
+        # excepthandler rides along: `except Exception:` is a real line a
+        # pragma can sit on, and must not re-anchor to the `try:` above.
+        if isinstance(node, (ast.stmt, ast.excepthandler)):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            spans.append((node.lineno, end, node.col_offset))
+    return spans
+
+
+def _normalize_to_statement(
+    project: Project, finding: Finding, cache: Dict[str, _SpanIndex]
+) -> Finding:
+    """Re-anchor a finding to the first line of its enclosing statement.
+
+    The innermost statement wins (the one starting latest, then the
+    tighter span), so only continuation lines move — a finding already on
+    a statement's first line is returned unchanged.
+    """
+    module = _module_for(project, finding.path)
+    if module is None or finding.line <= 0:
+        return finding
+    spans = cache.get(finding.path)
+    if spans is None:
+        spans = cache[finding.path] = _statement_spans(module)
+    best: Optional[Tuple[int, int, int]] = None
+    for start, end, col in spans:
+        if not start <= finding.line <= end:
+            continue
+        if best is None or (start, -end) > (best[0], -best[1]):
+            best = (start, end, col)
+    if best is None or best[0] == finding.line:
+        return finding
+    return replace(finding, line=best[0], col=best[2])
+
+
+def changed_python_files(
+    base: str = "HEAD", *, cwd: Optional[str] = None
+) -> List[str]:
+    """Absolute paths of ``*.py`` files changed since ``base``.
+
+    The change set is ``git diff base`` (deletions excluded — there is
+    nothing left to lint) plus untracked-but-not-ignored files, so a
+    freshly added module is linted before its first commit.  Raises
+    :class:`ValueError` when ``base`` does not resolve or the working
+    directory is not inside a git checkout.
+    """
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"git exited {proc.returncode}"
+            raise ValueError(f"cannot compute changed files: {detail}")
+        return proc.stdout
+
+    root = git("rev-parse", "--show-toplevel").strip()
+    listed = git("diff", "--name-only", "--diff-filter=d", base, "--")
+    listed += git("ls-files", "--others", "--exclude-standard")
+    return sorted(
+        os.path.join(root, line)
+        for line in set(listed.splitlines())
+        if line.endswith(".py")
+    )

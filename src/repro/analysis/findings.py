@@ -1,10 +1,15 @@
 """Findings: what a lint rule reports, and how severe it is.
 
 A :class:`Finding` is one localized contract violation.  Its
-:meth:`Finding.fingerprint` deliberately excludes the line number, so a
-baseline recorded before an unrelated edit still matches after the file
-shifts — only moving the violation to a different symbol (or changing its
-message) invalidates the baseline entry.
+:meth:`Finding.fingerprint` (v2) deliberately excludes both the line
+number and the file path: a baseline recorded before an unrelated edit
+still matches after the file shifts, and renaming or moving a file keeps
+its baselined findings baselined.  Only moving the violation to a
+different symbol (or changing its message) invalidates the entry.  The
+trade-off is explicit: two identical findings on the same symbol name in
+*different* files share a fingerprint, so baselining one baselines both —
+acceptable for a burn-down list, and what makes baselines portable across
+checkouts and renames.
 """
 
 from __future__ import annotations
@@ -42,9 +47,9 @@ class Finding:
     symbol: str = field(default="")
 
     def fingerprint(self) -> str:
-        """Line-number-free identity used by the baseline file."""
+        """Path- and line-free identity used by the baseline file (v2)."""
         digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:12]
-        return f"{self.rule_id}:{self.path}:{self.symbol}:{digest}"
+        return f"{self.rule_id}:{self.symbol}:{digest}"
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready view (the ``--format json`` record)."""

@@ -1,0 +1,58 @@
+"""Flow analysis: CFG, call graph, and interprocedural lock dataflow.
+
+This package is the whole-program layer under the concurrency rule packs
+(``lock-order-cycle``, ``blocking-under-lock``, ``escape-analysis``).  It
+builds, per :class:`~repro.analysis.project.Project`:
+
+* a :class:`~repro.analysis.flow.cfg.CFG` per function — basic blocks with
+  ``with``-region enter/exit pseudo-events and a forward may-analysis
+  driver (:func:`~repro.analysis.flow.cfg.dataflow_forward`);
+* a :class:`~repro.analysis.flow.callgraph.CallGraph` — every class and
+  function indexed with a best-effort type lattice (constructor
+  assignments, annotations, return-annotation chaining, property getters,
+  container element types) and a callback registry that tracks bound
+  methods stored by constructors and invoked later;
+* a :class:`~repro.analysis.flow.locks.LockAnalysis` — per-function lock
+  summaries (which locks are acquired / which calls and blocking
+  operations happen while they are held), closed over the call graph into
+  a whole-program **lock acquisition graph** plus transitive blocking
+  reachability.
+
+Everything here is *may*-analysis and best-effort by the checker's
+standing philosophy: a receiver the type lattice cannot resolve produces
+no edge and no finding — the checker never guesses.
+
+The analyses are cached per project (one build serves all three rules in
+a single ``repro lint`` run): use :func:`flow_for_project`.
+"""
+
+from __future__ import annotations
+
+from weakref import WeakKeyDictionary
+
+from repro.analysis.flow.callgraph import CallGraph, ClassInfo, FunctionInfo
+from repro.analysis.flow.cfg import CFG, dataflow_forward
+from repro.analysis.flow.locks import LockAnalysis, LockId
+from repro.analysis.project import Project
+
+__all__ = [
+    "CFG",
+    "dataflow_forward",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockAnalysis",
+    "LockId",
+    "flow_for_project",
+]
+
+_CACHE: "WeakKeyDictionary[Project, LockAnalysis]" = WeakKeyDictionary()
+
+
+def flow_for_project(project: Project) -> LockAnalysis:
+    """The (cached) whole-program lock analysis for one project."""
+    analysis = _CACHE.get(project)
+    if analysis is None:
+        analysis = LockAnalysis.build(project)
+        _CACHE[project] = analysis
+    return analysis

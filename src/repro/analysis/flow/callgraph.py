@@ -1,0 +1,842 @@
+"""Whole-program call graph with a best-effort type lattice.
+
+Resolution strategies, in the order the lock rules need them:
+
+* ``self.m(...)`` — method lookup through the class hierarchy (bases
+  resolved through the import graph, cycle-safe, bounded depth);
+* ``name(...)`` / ``mod.name(...)`` — the project resolver; a resolved
+  ``class`` call targets its ``__init__``;
+* ``expr.m(...)`` — the receiver's type is inferred from constructor
+  assignments (``x = ClassName(...)``), parameter / attribute / variable
+  annotations (``Dict[str, Store]`` container *value* types included),
+  return annotations of resolved callees (so ``get_metrics().gauge(n)``
+  chains), and transparent wrappers (``sorted`` / ``list`` / ``tuple`` /
+  ``reversed``);
+* property *reads* on typed receivers resolve to the getter, and
+  ``len(x)`` / ``x in y`` resolve to ``__len__`` / ``__contains__`` —
+  lock-holding dunders are exactly how the serving store publishes its
+  size;
+* **callbacks**: a bound method passed as an argument is tracked to the
+  parameter it binds, through one-level parameter pass-through, into
+  ``self.attr = param`` stores — so ``registry.watch(p, t, self._on_x)``
+  makes ``ThresholdWatch.observe``'s ``self.callback(...)`` resolve to
+  ``_on_x``.  Deferred callbacks are how the observability plane wires
+  itself together; without this the lock graph would miss its real edges.
+
+Anything unresolvable resolves to nothing: no guess, no edge, no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.project import Module, Project, dotted_name
+
+__all__ = ["CallGraph", "ClassInfo", "FunctionInfo", "ResolvedCall", "TypeRef"]
+
+#: Class-hierarchy walks are bounded (cycle-safe belt and braces).
+_MAX_MRO = 12
+
+#: Calls that return their first argument's element type unchanged.
+_TRANSPARENT_WRAPPERS = {"sorted", "list", "tuple", "reversed", "iter"}
+
+#: Container generics whose subscript carries an element type at index -1
+#: (``Dict[K, V]`` iteration yields keys, but ``.items()``/values() and the
+#: common ``for _, v in x.items()`` unpack want the *value* type).
+_CONTAINER_GENERICS = {
+    "list",
+    "List",
+    "set",
+    "Set",
+    "frozenset",
+    "FrozenSet",
+    "tuple",
+    "Tuple",
+    "Sequence",
+    "Iterable",
+    "Iterator",
+    "Deque",
+    "deque",
+    "dict",
+    "Dict",
+    "Mapping",
+    "MutableMapping",
+}
+
+#: Thread/executor hand-off points: a callable argument here runs on
+#: another thread — locks held at the call site are NOT held there, and
+#: mutable state reachable from the callable has escaped this thread.
+ASYNC_SINK_ATTRS = {"submit", "start_new_thread", "run_in_executor"}
+ASYNC_SINK_NAMES = {"Thread", "Timer", "start_new_thread"}
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved type: a project class, optionally a container of one."""
+
+    cls: Optional[str] = None  # class qualname ("module.Class")
+    elem: Optional["TypeRef"] = None  # element/value type for containers
+
+    @property
+    def is_container(self) -> bool:
+        return self.elem is not None
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qualname: str
+    module: Module
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_info: Optional["ClassInfo"] = None
+    #: Parameter names, positional order (no self).
+    params: List[str] = field(default_factory=list)
+    #: Parameters invoked directly in the body (``param(...)``).
+    called_params: Set[str] = field(default_factory=set)
+    #: Concrete callbacks known to flow into each parameter.
+    param_callbacks: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class with its lint-relevant side tables."""
+
+    qualname: str
+    module: Module
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_qualnames: List[str] = field(default_factory=list)
+    properties: Set[str] = field(default_factory=set)
+    #: ``self.X`` attribute → inferred TypeRef.
+    attr_types: Dict[str, TypeRef] = field(default_factory=dict)
+    #: lock-holding attribute → "lock" | "rlock" | "unknown".
+    lock_attrs: Dict[str, str] = field(default_factory=dict)
+    #: ``__init__`` parameter name → ``self.attr`` it is stored into.
+    stored_params: Dict[str, str] = field(default_factory=dict)
+    #: attribute → callbacks known to be stored there (whole-program).
+    callback_attrs: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class ResolvedCall:
+    """One call site with everything the lock analysis needs."""
+
+    node: ast.AST
+    callees: Tuple[FunctionInfo, ...]
+    #: Dotted name of an *external* callee ("time.sleep"), "" if unknown.
+    external: str = ""
+    #: True when the call hands callables to another thread (Thread/submit).
+    async_sink: bool = False
+    #: Callables escaping through an async sink (bound methods/functions).
+    escaping: Tuple[FunctionInfo, ...] = ()
+
+
+class CallGraph:
+    """Class/function index plus call resolution over one project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module-level lock bindings: (module, name) → "lock"|"rlock"
+        self.module_locks: Dict[Tuple[str, str], str] = {}
+        #: In-progress (fn, name) local inferences — the recursion guard
+        #: must survive re-entry through resolve_call, so it lives here.
+        self._busy: Set[Tuple[str, str]] = set()
+        self._call_cache: Dict[Tuple[str, int], ResolvedCall] = {}
+        self._local_cache: Dict[Tuple[str, str], Optional[TypeRef]] = {}
+        self._mro_cache: Dict[str, List[ClassInfo]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls(project)
+        for module in sorted(project.modules.values(), key=lambda m: m.name):
+            graph._index_module(module)
+        # Attribute tables resolve annotations against the *full* class
+        # index — a second pass, or ``Dict[str, SkylineStore]`` in a module
+        # indexed before its import target silently loses its element type.
+        for qualname in sorted(graph.classes):
+            graph._index_class_attrs(graph.classes[qualname])
+        graph._propagate_callbacks()
+        return graph
+
+    def _index_module(self, module: Module) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._index_function(module, stmt, None)
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+            elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                kind = _lock_call_kind(stmt.value)
+                if kind is not None:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.module_locks[(module.name, target.id)] = kind
+
+    def _index_class(self, module: Module, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{module.name}.{node.name}", module=module, node=node
+        )
+        self.classes[info.qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._index_function(module, stmt, info)
+                info.methods[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+                if any(
+                    isinstance(dec, ast.Name) and dec.id == "property"
+                    or isinstance(dec, ast.Attribute) and dec.attr in ("setter", "getter")
+                    for dec in stmt.decorator_list
+                ):
+                    info.properties.add(stmt.name)
+
+    def _index_function(
+        self,
+        module: Module,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_info: Optional[ClassInfo],
+    ) -> FunctionInfo:
+        owner = class_info.qualname if class_info else module.name
+        info = FunctionInfo(
+            qualname=f"{owner}.{node.name}",
+            module=module,
+            node=node,
+            class_info=class_info,
+        )
+        args = node.args
+        names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        if class_info is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        info.params = names
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id in names
+            ):
+                info.called_params.add(inner.func.id)
+        return info
+
+    def _index_class_attrs(self, info: ClassInfo) -> None:
+        """Record ``self.X`` types, lock attributes, and param stores."""
+        for method in info.methods.values():
+            in_init = method.name in ("__init__", "__new__", "__post_init__")
+            for stmt in ast.walk(method.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                annotation: Optional[ast.expr] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, annotation = stmt.target, stmt.value, stmt.annotation
+                if (
+                    target is None
+                    or not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                ):
+                    continue
+                attr = target.attr
+                if isinstance(value, ast.Call):
+                    kind = _lock_call_kind(value)
+                    if kind is not None:
+                        info.lock_attrs[attr] = kind
+                if attr == "_lock" and attr not in info.lock_attrs:
+                    info.lock_attrs.setdefault(attr, "unknown")
+                if annotation is not None and attr not in info.attr_types:
+                    ref = self._annotation_type(info.module, annotation)
+                    if ref is not None:
+                        info.attr_types[attr] = ref
+                if attr not in info.attr_types and isinstance(value, ast.Call):
+                    ref = self._constructed_type(info.module, value)
+                    if ref is not None:
+                        info.attr_types[attr] = ref
+                if (
+                    in_init
+                    and isinstance(value, ast.Name)
+                    and value.id in method.params
+                ):
+                    info.stored_params[value.id] = attr
+                    # ``self.x = x`` with an annotated parameter types the
+                    # attribute too (the dependency-injection idiom).
+                    if attr not in info.attr_types:
+                        ref = self._param_annotation_type(method, value.id)
+                        if ref is not None:
+                            info.attr_types[attr] = ref
+
+    def _param_annotation_type(
+        self, method: FunctionInfo, param: str
+    ) -> Optional[TypeRef]:
+        args = method.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == param and arg.annotation is not None:
+                return self._annotation_type(method.module, arg.annotation)
+        return None
+
+    # -- hierarchy ----------------------------------------------------------------
+
+    def resolve_class(self, module: Module, name_node: ast.expr) -> Optional[ClassInfo]:
+        resolved = self.project.resolve_expr(module, name_node)
+        if resolved is None or not isinstance(resolved.node, ast.ClassDef):
+            return None
+        return self.classes.get(resolved.qualname)
+
+    def mro(self, info: ClassInfo) -> List[ClassInfo]:
+        """The class plus its resolvable bases, nearest first (cycle-safe)."""
+        cached = self._mro_cache.get(info.qualname)
+        if cached is not None:
+            return cached
+        chain: List[ClassInfo] = []
+        seen: Set[str] = set()
+        frontier = [info]
+        while frontier and len(chain) < _MAX_MRO:
+            current = frontier.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            chain.append(current)
+            for base in current.node.bases:
+                base_info = self.resolve_class(current.module, base)
+                if base_info is not None:
+                    frontier.append(base_info)
+        self._mro_cache[info.qualname] = chain
+        return chain
+
+    def lookup_method(self, info: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        for cls in self.mro(info):
+            method = cls.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def lookup_lock_attr(self, info: ClassInfo, attr: str) -> Optional[str]:
+        """Lock kind for ``self.attr`` through the hierarchy, else None."""
+        for cls in self.mro(info):
+            kind = cls.lock_attrs.get(attr)
+            if kind is not None:
+                return kind
+        return None
+
+    # -- type inference -----------------------------------------------------------
+
+    def _annotation_type(
+        self, module: Module, ann: ast.expr
+    ) -> Optional[TypeRef]:
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            info = self.resolve_class(module, ann)
+            return TypeRef(cls=info.qualname) if info else None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            # X | None — prefer whichever side resolves.
+            return self._annotation_type(module, ann.left) or self._annotation_type(
+                module, ann.right
+            )
+        if isinstance(ann, ast.Subscript):
+            head = dotted_name(ann.value).rsplit(".", 1)[-1]
+            inner = ann.slice
+            parts = list(inner.elts) if isinstance(inner, ast.Tuple) else [inner]
+            if head in ("Optional", "Union"):
+                for part in parts:
+                    ref = self._annotation_type(module, part)
+                    if ref is not None:
+                        return ref
+                return None
+            if head in _CONTAINER_GENERICS and parts:
+                elem = self._annotation_type(module, parts[-1])
+                return TypeRef(elem=elem) if elem is not None else None
+        return None
+
+    def _constructed_type(self, module: Module, call: ast.Call) -> Optional[TypeRef]:
+        info = self.resolve_class(module, call.func)
+        return TypeRef(cls=info.qualname) if info else None
+
+    def infer_type(self, fn: FunctionInfo, expr: ast.expr) -> Optional[TypeRef]:
+        return self._infer(fn, expr)
+
+    def _infer(self, fn: FunctionInfo, expr: ast.expr) -> Optional[TypeRef]:
+        if isinstance(expr, ast.Name):
+            return self._infer_local(fn, expr.id)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if fn.class_info is not None:
+                    for cls in self.mro(fn.class_info):
+                        ref = cls.attr_types.get(expr.attr)
+                        if ref is not None:
+                            return ref
+                    getter = self._property_getter(fn.class_info, expr.attr)
+                    if getter is not None:
+                        return self._return_type(getter)
+                return None
+            receiver = self._infer(fn, expr.value)
+            if receiver is not None and receiver.cls is not None:
+                cls_info = self.classes.get(receiver.cls)
+                if cls_info is not None:
+                    getter = self._property_getter(cls_info, expr.attr)
+                    if getter is not None:
+                        return self._return_type(getter)
+                    ref = cls_info.attr_types.get(expr.attr)
+                    if ref is not None:
+                        return ref
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _TRANSPARENT_WRAPPERS
+                and expr.args
+            ):
+                return self._infer(fn, expr.args[0])
+            if isinstance(func, ast.Attribute) and func.attr in ("items", "values"):
+                receiver = self._infer(fn, func.value)
+                if receiver is not None and receiver.is_container:
+                    return receiver  # container of the same value type
+            callees = self.resolve_call(fn, expr).callees
+            for callee in callees:
+                if callee.name == "__init__" and callee.class_info is not None:
+                    return TypeRef(cls=callee.class_info.qualname)
+                ref = self._return_type(callee)
+                if ref is not None:
+                    return ref
+            ctor = None
+            if isinstance(func, (ast.Name, ast.Attribute)):
+                ctor = self.resolve_class(fn.module, func)
+            return TypeRef(cls=ctor.qualname) if ctor else None
+        if isinstance(expr, ast.Subscript):
+            receiver = self._infer(fn, expr.value)
+            if receiver is not None and receiver.is_container:
+                return receiver.elem
+            return None
+        if isinstance(expr, ast.Starred):
+            return self._infer(fn, expr.value)
+        return None
+
+    def _infer_local(self, fn: FunctionInfo, name: str) -> Optional[TypeRef]:
+        key = (fn.qualname, name)
+        if key in self._local_cache:
+            return self._local_cache[key]
+        if key in self._busy:
+            return None
+        self._busy.add(key)
+        try:
+            ref = self._infer_local_uncached(fn, name)
+            # A None computed under an in-progress outer inference may be a
+            # recursion cut, not a real miss — only cache it at top level.
+            if ref is not None or len(self._busy) == 1:
+                self._local_cache[key] = ref
+            return ref
+        finally:
+            self._busy.discard(key)
+
+    def _infer_local_uncached(self, fn: FunctionInfo, name: str) -> Optional[TypeRef]:
+        if True:
+            args = fn.node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.arg == name and arg.annotation is not None:
+                    return self._annotation_type(fn.module, arg.annotation)
+            for stmt in ast.walk(fn.node):
+                if isinstance(stmt, ast.AnnAssign):
+                    if (
+                        isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == name
+                    ):
+                        return self._annotation_type(fn.module, stmt.annotation)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            ref = self._infer(fn, stmt.value)
+                            if ref is not None:
+                                return ref
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    ref = self._target_elem_type(fn, stmt.target, stmt.iter, name)
+                    if ref is not None:
+                        return ref
+                elif isinstance(
+                    stmt, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                ):
+                    for gen in stmt.generators:
+                        ref = self._target_elem_type(fn, gen.target, gen.iter, name)
+                        if ref is not None:
+                            return ref
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if (
+                            isinstance(item.optional_vars, ast.Name)
+                            and item.optional_vars.id == name
+                        ):
+                            return self._infer(fn, item.context_expr)
+            binding = self.project.resolve_name(fn.module, name)
+            if binding is not None and isinstance(
+                binding.node, ast.Assign
+            ) and isinstance(binding.node.value, ast.Call):
+                info = self.resolve_class(binding.module, binding.node.value.func)
+                if info is not None:
+                    return TypeRef(cls=info.qualname)
+            return None
+
+    def _target_elem_type(
+        self, fn: FunctionInfo, target: ast.expr, iterable: ast.expr, name: str
+    ) -> Optional[TypeRef]:
+        """``for x in xs`` / ``for k, v in d.items()`` element types (loop
+        statements and comprehension generators alike)."""
+        iter_ref = self._infer(fn, iterable)
+        if iter_ref is None or not iter_ref.is_container:
+            return None
+        if isinstance(target, ast.Name) and target.id == name:
+            return iter_ref.elem
+        if isinstance(target, ast.Tuple) and target.elts:
+            last = target.elts[-1]
+            # ``for key, value in mapping.items()``: the value slot carries
+            # the container's element type (keys are out of scope here).
+            if isinstance(last, ast.Name) and last.id == name:
+                return iter_ref.elem
+        return None
+
+    def _return_type(self, fn: FunctionInfo) -> Optional[TypeRef]:
+        if fn.node.returns is None:
+            return None
+        return self._annotation_type(fn.module, fn.node.returns)
+
+    def _property_getter(
+        self, info: ClassInfo, attr: str
+    ) -> Optional[FunctionInfo]:
+        for cls in self.mro(info):
+            if attr in cls.properties:
+                return cls.methods.get(attr)
+        return None
+
+    # -- call resolution ----------------------------------------------------------
+
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call) -> ResolvedCall:
+        key = (fn.qualname, id(call))
+        cached = self._call_cache.get(key)
+        if cached is not None:
+            return cached
+        resolved = self._resolve_call(fn, call)
+        self._call_cache[key] = resolved
+        return resolved
+
+    def _resolve_call(self, fn: FunctionInfo, call: ast.Call) -> ResolvedCall:
+        func = call.func
+        callees: List[FunctionInfo] = []
+        external = ""
+        async_sink = False
+        escaping: List[FunctionInfo] = []
+
+        if isinstance(func, ast.Name):
+            if func.id in ASYNC_SINK_NAMES:
+                async_sink = True
+            resolved = self.project.resolve_name(fn.module, func.id)
+            if resolved is not None:
+                if isinstance(
+                    resolved.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    callees.append(self.functions[resolved.qualname])
+                elif isinstance(resolved.node, ast.ClassDef):
+                    cls_info = self.classes.get(resolved.qualname)
+                    if cls_info is not None:
+                        init = self.lookup_method(cls_info, "__init__")
+                        if init is not None:
+                            callees.append(init)
+            else:
+                external = self._external_name(fn.module, func)
+            if func.id == "len" and len(call.args) == 1:
+                callees.extend(self._dunder(fn, call.args[0], "__len__"))
+        elif isinstance(func, ast.Attribute):
+            if func.attr in ASYNC_SINK_ATTRS:
+                async_sink = True
+            if dotted_name(func).rsplit(".", 1)[-1] in ASYNC_SINK_NAMES:
+                async_sink = True
+            callees.extend(self._resolve_method(fn, func))
+            if not callees:
+                external = self._external_name(fn.module, func)
+
+        if async_sink:
+            escaping = self._escaping_callables(fn, call)
+        return ResolvedCall(
+            node=call,
+            callees=tuple(callees),
+            external=external,
+            async_sink=async_sink,
+            escaping=tuple(escaping),
+        )
+
+    def _resolve_method(
+        self, fn: FunctionInfo, func: ast.Attribute
+    ) -> List[FunctionInfo]:
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            if fn.class_info is None:
+                return []
+            stored = self._stored_callbacks(fn.class_info, func.attr)
+            if stored:
+                return stored
+            method = self.lookup_method(fn.class_info, func.attr)
+            return [method] if method is not None else []
+        # ClassName.method(...) — an unbound call through the class object.
+        if isinstance(receiver, (ast.Name, ast.Attribute)):
+            cls_info = self.resolve_class(fn.module, receiver)
+            if cls_info is not None:
+                method = self.lookup_method(cls_info, func.attr)
+                if method is not None:
+                    return [method]
+        ref = self.infer_type(fn, receiver)
+        if ref is not None and ref.cls is not None:
+            cls_info = self.classes.get(ref.cls)
+            if cls_info is not None:
+                stored = self._stored_callbacks(cls_info, func.attr)
+                if stored:
+                    return stored
+                method = self.lookup_method(cls_info, func.attr)
+                if method is not None:
+                    return [method]
+        return []
+
+    def _stored_callbacks(
+        self, info: ClassInfo, attr: str
+    ) -> List[FunctionInfo]:
+        names: Set[str] = set()
+        for cls in self.mro(info):
+            names |= cls.callback_attrs.get(attr, set())
+        return [self.functions[n] for n in sorted(names) if n in self.functions]
+
+    def _dunder(
+        self, fn: FunctionInfo, receiver: ast.expr, name: str
+    ) -> List[FunctionInfo]:
+        ref = self.infer_type(fn, receiver)
+        if ref is None or ref.cls is None:
+            return []
+        cls_info = self.classes.get(ref.cls)
+        if cls_info is None:
+            return []
+        method = self.lookup_method(cls_info, name)
+        return [method] if method is not None else []
+
+    def property_reads(
+        self, fn: FunctionInfo, root: ast.AST
+    ) -> Iterator[Tuple[ast.Attribute, FunctionInfo]]:
+        """Attribute loads under ``root`` that resolve to property getters."""
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Attribute) or not isinstance(
+                node.ctx, ast.Load
+            ):
+                continue
+            receiver_ref: Optional[TypeRef] = None
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if fn.class_info is not None:
+                    receiver_ref = TypeRef(cls=fn.class_info.qualname)
+            else:
+                receiver_ref = self.infer_type(fn, node.value)
+            if receiver_ref is None or receiver_ref.cls is None:
+                continue
+            cls_info = self.classes.get(receiver_ref.cls)
+            if cls_info is None:
+                continue
+            getter = self._property_getter(cls_info, node.attr)
+            if getter is not None:
+                yield node, getter
+
+    def contains_checks(
+        self, fn: FunctionInfo, root: ast.AST
+    ) -> Iterator[Tuple[ast.Compare, FunctionInfo]]:
+        """``x in y`` where y's type defines ``__contains__``."""
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Compare):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    for method in self._dunder(fn, comparator, "__contains__"):
+                        yield node, method
+
+    def _external_name(self, module: Module, func: ast.expr) -> str:
+        """Dotted name of an out-of-project callee ("time.sleep"), best-effort."""
+        dotted = dotted_name(func)
+        if not dotted:
+            return ""
+        root, _, rest = dotted.partition(".")
+        binding = module.bindings.get(root)
+        if binding is None or binding.kind != "import":
+            return dotted
+        base = binding.module
+        if binding.orig_name:
+            base = f"{binding.module}.{binding.orig_name}"
+        return f"{base}.{rest}" if rest else base
+
+    def _escaping_callables(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> List[FunctionInfo]:
+        """Bound methods / project functions handed to a thread sink."""
+        out: List[FunctionInfo] = []
+        candidates: List[ast.expr] = list(call.args)
+        candidates.extend(kw.value for kw in call.keywords if kw.arg is not None)
+        for arg in candidates:
+            target = self._callable_ref(fn, arg)
+            if target is not None:
+                out.append(target)
+        return out
+
+    def _callable_ref(
+        self, fn: FunctionInfo, expr: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """A function/bound-method reference (not a call) — else None."""
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if fn.class_info is not None:
+                    return self.lookup_method(fn.class_info, expr.attr)
+                return None
+            ref = self.infer_type(fn, expr.value)
+            if ref is not None and ref.cls is not None:
+                cls_info = self.classes.get(ref.cls)
+                if cls_info is not None:
+                    return self.lookup_method(cls_info, expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            resolved = self.project.resolve_name(fn.module, expr.id)
+            if resolved is not None and isinstance(
+                resolved.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return self.functions.get(resolved.qualname)
+            # A locally-defined closure: indexed under the enclosing scope?
+            # Local defs are not in the module index; resolve within fn.
+            for stmt in ast.walk(fn.node):
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt is not fn.node
+                    and stmt.name == expr.id
+                ):
+                    return FunctionInfo(
+                        qualname=f"{fn.qualname}.<local>.{stmt.name}",
+                        module=fn.module,
+                        node=stmt,
+                        class_info=fn.class_info,
+                    )
+        return None
+
+    # -- callback propagation -----------------------------------------------------
+
+    def _propagate_callbacks(self) -> None:
+        """Flow concrete callables through parameters into attribute stores.
+
+        Seeds: every call site passing a bound method / resolved function
+        as an argument.  Propagation: (a) one function's parameter passed
+        as an argument to another call re-seeds the callee's parameter;
+        (b) ``self.X = param`` in ``__init__`` lands the callbacks in the
+        class's ``callback_attrs``, where :meth:`_resolve_method` picks
+        them up for ``self.X(...)`` sites.  Iterated to a (bounded)
+        fixpoint — the chains in this codebase are two hops deep.
+        """
+        pending: List[Tuple[FunctionInfo, str, str]] = []  # (fn, param, callback)
+
+        def seed(callee: FunctionInfo, param: str, callback: FunctionInfo) -> None:
+            bucket = callee.param_callbacks.setdefault(param, set())
+            if callback.qualname not in bucket:
+                bucket.add(callback.qualname)
+                pending.append((callee, param, callback.qualname))
+
+        for fn in list(self.functions.values()):
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self.resolve_call(fn, node)
+                if resolved.async_sink:
+                    continue  # another thread: not a synchronous invoke
+                for callee in resolved.callees:
+                    for param, arg in _bind_args(callee, node):
+                        target = self._callable_ref(fn, arg)
+                        if target is not None:
+                            seed(callee, param, target)
+
+        passes = 0
+        while pending and passes < 10_000:
+            passes += 1
+            callee, param, callback_name = pending.pop()
+            callback = self.functions.get(callback_name)
+            if callback is None:
+                continue
+            # (b) stored into self.attr by a constructor.
+            if (
+                callee.name == "__init__"
+                and callee.class_info is not None
+                and param in callee.class_info.stored_params
+            ):
+                attr = callee.class_info.stored_params[param]
+                bucket = callee.class_info.callback_attrs.setdefault(attr, set())
+                if callback_name not in bucket:
+                    bucket.add(callback_name)
+                    # A cached `self.attr(...)` miss predates this
+                    # registration — drop the memos (rare: once per stored
+                    # callback, not per call).
+                    self._call_cache.clear()
+                    self._local_cache.clear()
+            # (a) passed through to further calls.
+            for node in ast.walk(callee.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self.resolve_call(callee, node)
+                if resolved.async_sink:
+                    continue
+                for inner in resolved.callees:
+                    for inner_param, arg in _bind_args(inner, node):
+                        if isinstance(arg, ast.Name) and arg.id == param:
+                            seed(inner, inner_param, callback)
+
+    def invoked_callbacks(
+        self, fn: FunctionInfo, call: ast.Call, resolved: ResolvedCall
+    ) -> List[FunctionInfo]:
+        """Callbacks a synchronous callee may invoke on this call's args.
+
+        Only parameters the callee *calls directly* count — storing a
+        callback (the ``Gauge.__init__`` pattern) defers its invocation to
+        the method that calls the attribute, which :meth:`_resolve_method`
+        handles separately with the *stored* callbacks.
+        """
+        if resolved.async_sink:
+            return []
+        out: List[FunctionInfo] = []
+        for callee in resolved.callees:
+            if not callee.called_params:
+                continue
+            for param, arg in _bind_args(callee, call):
+                if param in callee.called_params:
+                    target = self._callable_ref(fn, arg)
+                    if target is not None:
+                        out.append(target)
+        return out
+
+
+def _bind_args(
+    callee: FunctionInfo, call: ast.Call
+) -> Iterator[Tuple[str, ast.expr]]:
+    """Best-effort (parameter name, argument expr) binding for one call."""
+    params: Sequence[str] = callee.params
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            yield params[index], arg
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in params:
+            yield kw.arg, kw.value
+
+
+def _lock_call_kind(call: ast.Call) -> Optional[str]:
+    """"lock"/"rlock" when the call constructs a threading lock."""
+    tail = dotted_name(call.func).rsplit(".", 1)[-1]
+    if tail == "Lock":
+        return "lock"
+    if tail == "RLock":
+        return "rlock"
+    return None

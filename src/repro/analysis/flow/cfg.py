@@ -1,0 +1,284 @@
+"""Per-function control-flow graphs and a forward dataflow driver.
+
+The CFG decomposes a function body into basic blocks of *events*.  An
+event is either a plain statement or a ``with``-region boundary::
+
+    ("stmt", <ast.stmt>)          one simple statement (or compound header)
+    ("with_enter", <ast.With>)    control entered the with-region
+    ("with_exit", <ast.With>)     control left it (any path)
+
+``with`` regions get explicit enter/exit pseudo-events because the lock
+analysis interprets them as acquire/release of the context locks; every
+structured early exit (``return`` / ``raise`` / ``break`` / ``continue``)
+routes through the exits of the with-regions it unwinds, so a lock never
+appears held past its region on any CFG path.
+
+Branching is modelled for ``if``/``while``/``for``/``try``/``match``;
+``try`` handlers are reachable from the start *and* the end of the guarded
+body (an exception may fire anywhere inside it — the may-analysis
+over-approximation), and ``finally`` joins every path.
+
+:func:`dataflow_forward` runs any monotone forward analysis to a fixpoint
+over the block graph and returns the input state of every event — which
+is all the lock rules need ("what is held *when* this happens").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
+
+__all__ = ["CFG", "BasicBlock", "Event", "dataflow_forward"]
+
+#: ("stmt" | "with_enter" | "with_exit", node)
+Event = Tuple[str, ast.AST]
+
+#: Safety valve: dataflow iterations before declaring non-convergence.
+_MAX_PASSES = 64
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A straight-line run of events plus its successor block ids."""
+
+    block_id: int
+    events: List[Event] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def link(self, other: int) -> None:
+        if other not in self.successors:
+            self.successors.append(other)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry = self._new_block().block_id
+        self.exit = self._new_block().block_id
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_function(cls, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> "CFG":
+        cfg = cls()
+        builder = _Builder(cfg)
+        last = builder.build_body(fn.body, cfg.entry)
+        cfg.blocks[last].link(cfg.exit)
+        return cfg
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def events(self) -> Iterator[Event]:
+        """Every event, in block-id order (deterministic, not execution order)."""
+        for block_id in sorted(self.blocks):
+            yield from self.blocks[block_id].events
+
+
+@dataclass(slots=True)
+class _LoopFrame:
+    """Targets for ``break``/``continue`` plus the with-regions to unwind."""
+
+    header: int
+    after: int
+    with_depth: int
+
+
+class _Builder:
+    """Structured-statement walk producing blocks and edges."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.loops: List[_LoopFrame] = []
+        #: Stack of (With node, exit-emitting) regions currently open —
+        #: early exits emit a "with_exit" for each one they unwind.
+        self.withs: List[ast.With | ast.AsyncWith] = []
+
+    # Every build_* method takes the current block id and returns the block
+    # id where control continues (a block that may already be terminated —
+    # terminated blocks simply collect no further successors' events).
+
+    def build_body(self, body: List[ast.stmt], current: int) -> int:
+        for stmt in body:
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: int) -> int:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._block(current).events.append(("stmt", stmt))
+            self._unwind_withs(current, 0)
+            self._block(current).link(self.cfg.exit)
+            return self._dead_block()
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            self._block(current).events.append(("stmt", stmt))
+            if self.loops:
+                frame = self.loops[-1]
+                self._unwind_withs(current, frame.with_depth)
+                target = (
+                    frame.after if isinstance(stmt, ast.Break) else frame.header
+                )
+                self._block(current).link(target)
+            else:  # malformed code; degrade to fall-through
+                self._block(current).link(self.cfg.exit)
+            return self._dead_block()
+        # Nested defs are opaque statements here: their bodies get CFGs of
+        # their own when (and if) the analysis reaches them via calls.
+        self._block(current).events.append(("stmt", stmt))
+        return current
+
+    # -- compound statements ------------------------------------------------------
+
+    def _build_if(self, stmt: ast.If, current: int) -> int:
+        self._block(current).events.append(("stmt", stmt))
+        then_entry = self._new_linked(current)
+        then_end = self.build_body(stmt.body, then_entry)
+        join = self.cfg._new_block().block_id
+        self._block(then_end).link(join)
+        if stmt.orelse:
+            else_entry = self._new_linked(current)
+            else_end = self.build_body(stmt.orelse, else_entry)
+            self._block(else_end).link(join)
+        else:
+            self._block(current).link(join)
+        return join
+
+    def _build_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int:
+        header = self._new_linked(current)
+        self._block(header).events.append(("stmt", stmt))
+        after = self.cfg._new_block().block_id
+        self.loops.append(_LoopFrame(header, after, len(self.withs)))
+        body_entry = self._new_linked(header)
+        body_end = self.build_body(stmt.body, body_entry)
+        self._block(body_end).link(header)  # back edge
+        self.loops.pop()
+        if stmt.orelse:
+            else_entry = self._new_linked(header)
+            else_end = self.build_body(stmt.orelse, else_entry)
+            self._block(else_end).link(after)
+        else:
+            self._block(header).link(after)
+        return after
+
+    def _build_with(self, stmt: ast.With | ast.AsyncWith, current: int) -> int:
+        self._block(current).events.append(("with_enter", stmt))
+        self.withs.append(stmt)
+        body_end = self.build_body(stmt.body, current)
+        self.withs.pop()
+        self._block(body_end).events.append(("with_exit", stmt))
+        return body_end
+
+    def _build_try(self, stmt: ast.Try, current: int) -> int:
+        body_entry = self._new_linked(current)
+        body_end = self.build_body(stmt.body, body_entry)
+        join = self.cfg._new_block().block_id
+        else_end = (
+            self.build_body(stmt.orelse, self._new_linked(body_end))
+            if stmt.orelse
+            else body_end
+        )
+        self._block(else_end).link(join)
+        for handler in stmt.handlers:
+            handler_entry = self.cfg._new_block().block_id
+            # An exception may fire before or after any statement of the
+            # guarded body: the handler joins both boundary states.
+            self._block(body_entry).link(handler_entry)
+            self._block(body_end).link(handler_entry)
+            handler_end = self.build_body(handler.body, handler_entry)
+            self._block(handler_end).link(join)
+        if stmt.finalbody:
+            final_entry = self._new_linked(join)
+            return self.build_body(stmt.finalbody, final_entry)
+        return join
+
+    def _build_match(self, stmt: ast.Match, current: int) -> int:
+        self._block(current).events.append(("stmt", stmt))
+        join = self.cfg._new_block().block_id
+        self._block(current).link(join)  # no case may match
+        for case in stmt.cases:
+            case_entry = self._new_linked(current)
+            case_end = self.build_body(case.body, case_entry)
+            self._block(case_end).link(join)
+        return join
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _block(self, block_id: int) -> BasicBlock:
+        return self.cfg.blocks[block_id]
+
+    def _new_linked(self, from_id: int) -> int:
+        block = self.cfg._new_block()
+        self.cfg.blocks[from_id].link(block.block_id)
+        return block.block_id
+
+    def _dead_block(self) -> int:
+        """A fresh unreachable block: code after a terminator lands here."""
+        return self.cfg._new_block().block_id
+
+    def _unwind_withs(self, block_id: int, down_to: int) -> None:
+        """Emit with_exit events for regions an early exit unwinds."""
+        for region in reversed(self.withs[down_to:]):
+            self._block(block_id).events.append(("with_exit", region))
+
+
+S = TypeVar("S")
+
+
+def dataflow_forward(
+    cfg: CFG,
+    init: S,
+    bottom: S,
+    transfer: Callable[[S, Event], S],
+    join: Callable[[S, S], S],
+) -> Dict[int, List[Tuple[Event, S]]]:
+    """Run a forward analysis to fixpoint; returns per-event input states.
+
+    ``init`` seeds the entry block; unreached blocks start at ``bottom``.
+    The result maps block id → ``[(event, state-before-event), ...]`` in
+    event order, computed from the post-fixpoint block-input states.
+    """
+    in_states: Dict[int, S] = {bid: bottom for bid in cfg.blocks}
+    in_states[cfg.entry] = init
+    worklist: List[int] = sorted(cfg.blocks)
+    passes = 0
+    while worklist:
+        passes += 1
+        if passes > _MAX_PASSES * max(1, len(cfg.blocks)):
+            break  # non-convergence safety valve; result stays sound-ish
+        block_id = worklist.pop(0)
+        block = cfg.blocks[block_id]
+        state = in_states[block_id]
+        for event in block.events:
+            state = transfer(state, event)
+        for succ in block.successors:
+            merged = join(in_states[succ], state)
+            if merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    result: Dict[int, List[Tuple[Event, S]]] = {}
+    for block_id in sorted(cfg.blocks):
+        block = cfg.blocks[block_id]
+        state = in_states[block_id]
+        rows: List[Tuple[Event, S]] = []
+        for event in block.events:
+            rows.append((event, state))
+            state = transfer(state, event)
+        result[block_id] = rows
+    return result

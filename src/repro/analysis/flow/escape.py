@@ -1,0 +1,207 @@
+"""Escape analysis: mutable state handed to another thread unguarded.
+
+A callable that reaches a thread hand-off point (``Thread(target=...)``,
+``Timer``, ``executor.submit``, ``loop.run_in_executor``) executes
+concurrently with its creator.  Two escape shapes are checked:
+
+* **bound method** — the method (class-hierarchy resolved) mutates
+  ``self.X`` with no lock held, and *no* method of the class ever writes
+  ``X`` under a lock.  The attribute is shared across threads with no
+  guard at all.  (One locked write elsewhere is the ``lock-discipline``
+  rule's territory — the split keeps the two rules disjoint.)
+* **closure** — a locally-defined function mutates a free variable of the
+  enclosing scope (``results.append(...)``, ``acc[k] = v``) outside any
+  ``with <lock>:`` region in the closure body.
+
+Constructor writes don't count as guards (construction precedes sharing),
+and an attribute that *is* a lock is obviously exempt.  Like everything in
+this package, unresolvable callables produce no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import FunctionInfo
+from repro.analysis.flow.locks import (
+    _CONSTRUCTORS,
+    _MUTATORS,
+    CallSiteInfo,
+    FunctionSummary,
+    LockAnalysis,
+)
+from repro.analysis.project import Module
+
+__all__ = ["EscapeFinding", "find_escapes"]
+
+
+@dataclass(slots=True)
+class EscapeFinding:
+    """One unguarded escape, anchored at the hand-off site."""
+
+    module: Module
+    node: ast.AST
+    fn_qualname: str
+    target_qualname: str
+    #: Attribute / variable name being mutated without a guard.
+    state_name: str
+    #: "attribute" (bound method) or "closure" (free variable).
+    shape: str
+
+
+def find_escapes(analysis: LockAnalysis) -> List[EscapeFinding]:
+    """All unguarded escapes across the project, deterministic order."""
+    locked_attrs = _locked_attr_index(analysis)
+    out: List[EscapeFinding] = []
+    for qualname in sorted(analysis.summaries):
+        summary = analysis.summaries[qualname]
+        for site in summary.call_sites:
+            if not site.async_sink:
+                continue
+            for target in site.escaping:
+                out.extend(
+                    _check_target(analysis, summary, site, target, locked_attrs)
+                )
+    return out
+
+
+def _locked_attr_index(analysis: LockAnalysis) -> Set[Tuple[str, str]]:
+    """(class qualname, attr) pairs with at least one locked write."""
+    locked: Set[Tuple[str, str]] = set()
+    for summary in analysis.summaries.values():
+        info = summary.fn.class_info
+        if info is None or summary.fn.name in _CONSTRUCTORS:
+            continue
+        for attr, guarded, _node in summary.attr_writes:
+            if guarded:
+                locked.add((info.qualname, attr))
+    return locked
+
+
+def _check_target(
+    analysis: LockAnalysis,
+    summary: FunctionSummary,
+    site: CallSiteInfo,
+    target: FunctionInfo,
+    locked_attrs: Set[Tuple[str, str]],
+) -> Iterator[EscapeFinding]:
+    if "<local>" in target.qualname:
+        yield from _check_closure(analysis, summary, site, target)
+        return
+    target_summary = analysis.summaries.get(target.qualname)
+    if target_summary is None or target.class_info is None:
+        return
+    if target.name in _CONSTRUCTORS:
+        return
+    info = target.class_info
+    reported: Set[str] = set()
+    for attr, guarded, _node in target_summary.attr_writes:
+        if guarded or attr in reported:
+            continue
+        if analysis.graph.lookup_lock_attr(info, attr) is not None:
+            continue
+        # Any locked write to this attr anywhere in the hierarchy makes it
+        # lock-discipline's problem, not an escape.
+        hierarchy = analysis.graph.mro(info)
+        if any((cls.qualname, attr) in locked_attrs for cls in hierarchy):
+            continue
+        reported.add(attr)
+        yield EscapeFinding(
+            module=summary.fn.module,
+            node=site.node,
+            fn_qualname=summary.fn.qualname,
+            target_qualname=target.qualname,
+            state_name=f"{info.node.name}.{attr}",
+            shape="attribute",
+        )
+
+
+def _check_closure(
+    analysis: LockAnalysis,
+    summary: FunctionSummary,
+    site: CallSiteInfo,
+    target: FunctionInfo,
+) -> Iterator[EscapeFinding]:
+    bound = _bound_names(target.node)
+    reported: Set[str] = set()
+
+    def visit(node: ast.AST, guarded: bool) -> Iterator[str]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            holds = guarded or any(
+                analysis.lock_ids_in(summary.fn, item.context_expr)
+                for item in node.items
+            )
+            for stmt in node.body:
+                yield from visit(stmt, holds)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # deeper nesting: out of scope for the heuristic
+        if not guarded:
+            name = _free_mutation(node, bound)
+            if name is not None:
+                yield name
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    for stmt in target.node.body:
+        for name in visit(stmt, False):
+            if name not in reported:
+                reported.add(name)
+                yield EscapeFinding(
+                    module=summary.fn.module,
+                    node=site.node,
+                    fn_qualname=summary.fn.qualname,
+                    target_qualname=target.qualname,
+                    state_name=name,
+                    shape="closure",
+                )
+
+
+def _bound_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Set[str]:
+    """Names the closure binds itself (params + local assignments)."""
+    args = fn.args
+    bound = {
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for leaf in ast.walk(node.target):
+                if isinstance(leaf, ast.Name):
+                    bound.add(leaf.id)
+    return bound
+
+
+def _free_mutation(node: ast.AST, bound: Set[str]) -> Optional[str]:
+    """Name of a free variable this node mutates, if any."""
+    if isinstance(node, ast.Call):
+        callee = node.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr in _MUTATORS
+            and isinstance(callee.value, ast.Name)
+            and callee.value.id not in bound
+        ):
+            return callee.value.id
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id not in bound:
+                    return target.value.id
+    return None

@@ -1,0 +1,771 @@
+"""Whole-program lock analysis: acquisition graph, cycles, blocking reach.
+
+Per function, a forward may-analysis over the :class:`~repro.analysis.flow.
+cfg.CFG` computes the set of locks held before every event (``with
+self._lock`` regions plus bare ``.acquire()`` / ``.release()`` expression
+statements).  That yields a :class:`FunctionSummary`: locks acquired,
+direct lock→lock ordering edges, every call site with its held-set, direct
+blocking operations, and ``self.X`` mutations with their guard state.
+
+Two interprocedural fixpoints close the summaries over the call graph
+(callbacks included, thread hand-offs excluded — locks do not follow a
+callable onto another thread):
+
+* **transitive acquires** — every lock a call to ``f`` may end up taking,
+  with a witness chain of ``qualname:line`` frames;
+* **transitive blocking** — whether a call to ``f`` may reach a blocking
+  operation (sleep / socket / queue / future / subprocess), with the same
+  kind of chain.
+
+The lock graph then has an edge ``A → B`` wherever some path acquires B
+while holding A.  A cycle (or a non-reentrant self-edge) is a potential
+deadlock; a held-set call site whose callee may block is the classic
+serving-latency killer.  Precision notes: summaries are context-
+insensitive (a callee's acquisitions are flattened to "may acquire", so
+intra-callee release-before-call ordering is kept but caller-specific
+paths are not), and same-lock nesting inside one function under-counts —
+both directions only ever *drop* edges, never invent them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo, _lock_call_kind
+from repro.analysis.flow.cfg import CFG, Event, dataflow_forward
+from repro.analysis.project import Module, Project
+
+__all__ = [
+    "LockAnalysis",
+    "LockId",
+    "LockCycle",
+    "EdgeWitness",
+    "HeldBlocking",
+    "FunctionSummary",
+    "CallSiteInfo",
+]
+
+#: Witness chains are truncated to this many frames.
+_MAX_CHAIN = 8
+
+#: Fixpoint passes over the function set (call-graph diameter bound).
+_MAX_ROUNDS = 24
+
+#: Resolved out-of-project callees that block the calling thread.
+_BLOCKING_EXTERNAL = {
+    "time.sleep",
+    "select.select",
+    "selectors.BaseSelector.select",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "os.wait",
+    "os.waitpid",
+}
+
+#: Method names that block regardless of arguments (socket/future/event/
+#: process idioms).  Deliberately excludes ambiguous names like ``send``.
+_BLOCKING_ATTRS = {
+    "sleep",
+    "recv",
+    "recv_into",
+    "sendall",
+    "accept",
+    "serve_forever",
+    "result",
+    "wait",
+    "communicate",
+    "connect",
+}
+
+#: Method names that block only in their zero-positional-arg form:
+#: ``q.join()`` / ``q.get()`` block, ``sep.join(parts)`` / ``d.get(k)``
+#: do not.
+_BLOCKING_ZERO_ARG_ATTRS = {"join", "get"}
+
+#: In-place container mutators (mirrors the lock-discipline rule).
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "clear",
+    "pop",
+    "popitem",
+    "setdefault",
+}
+
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+
+@dataclass(slots=True, frozen=True, order=True)
+class LockId:
+    """One lock identity: (owning class-or-module qualname, attribute)."""
+
+    owner: str
+    attr: str
+
+    def label(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+@dataclass(slots=True)
+class CallSiteInfo:
+    """One call (or property read / dunder dispatch) with its held-set."""
+
+    node: ast.AST
+    line: int
+    held: FrozenSet[LockId]
+    callees: Tuple[FunctionInfo, ...]
+    #: Blocking description when the call itself blocks ("time.sleep").
+    blocking: str = ""
+    async_sink: bool = False
+    escaping: Tuple[FunctionInfo, ...] = ()
+
+
+@dataclass(slots=True)
+class FunctionSummary:
+    """Everything the interprocedural passes need about one function."""
+
+    fn: FunctionInfo
+    #: Lock → line of its first acquisition in this function.
+    acquires: Dict[LockId, int] = field(default_factory=dict)
+    #: (held, acquired, acquisition node) ordering edges within the body.
+    direct_edges: List[Tuple[LockId, LockId, ast.AST]] = field(default_factory=list)
+    #: Non-reentrant locks re-acquired while already held.
+    self_deadlocks: List[Tuple[LockId, ast.AST]] = field(default_factory=list)
+    call_sites: List[CallSiteInfo] = field(default_factory=list)
+    #: (attr, some-lock-held, node) for each ``self.X`` mutation.
+    attr_writes: List[Tuple[str, bool, ast.AST]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class EdgeWitness:
+    """Why edge src → dst exists: the acquiring path's top frame."""
+
+    src: LockId
+    dst: LockId
+    module: Module
+    node: ast.AST
+    fn_qualname: str
+    #: ``qualname:line`` frames from the held site down to the acquisition.
+    chain: Tuple[str, ...]
+
+
+@dataclass(slots=True)
+class LockCycle:
+    """One strongly-connected component of the lock graph."""
+
+    locks: Tuple[LockId, ...]
+    edges: Tuple[EdgeWitness, ...]
+
+
+@dataclass(slots=True)
+class HeldBlocking:
+    """A blocking operation reachable while at least one lock is held."""
+
+    module: Module
+    node: ast.AST
+    fn_qualname: str
+    held: Tuple[LockId, ...]
+    description: str
+    chain: Tuple[str, ...]
+
+
+class LockAnalysis:
+    """Summaries + fixpoints + the lock acquisition graph for one project."""
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.lock_kinds: Dict[LockId, str] = {}
+        #: fn qualname → lock → witness chain for its (transitive) acquires.
+        self.trans_acquires: Dict[str, Dict[LockId, Tuple[str, ...]]] = {}
+        #: fn qualname → (description, chain) when the function may block.
+        self.trans_blocking: Dict[str, Optional[Tuple[str, Tuple[str, ...]]]] = {}
+        self.edges: Dict[Tuple[LockId, LockId], EdgeWitness] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project) -> "LockAnalysis":
+        graph = CallGraph.build(project)
+        analysis = cls(project, graph)
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            analysis.summaries[qualname] = analysis._summarize(fn)
+        analysis._run_fixpoints()
+        analysis._build_edges()
+        return analysis
+
+    # -- lock identification ------------------------------------------------------
+
+    def lock_ids_in(self, fn: FunctionInfo, expr: ast.expr) -> List[LockId]:
+        """Lock identities a with-item / acquire receiver refers to."""
+        if isinstance(expr, ast.Name):
+            kind = self.graph.module_locks.get((fn.module.name, expr.id))
+            if kind is not None:
+                lock = LockId(fn.module.name, expr.id)
+                self.lock_kinds.setdefault(lock, kind)
+                return [lock]
+            local = self._local_lock(fn, expr.id)
+            if local is not None:
+                return [local]
+            binding = self.graph.project.resolve_name(fn.module, expr.id)
+            if binding is not None:
+                kind = self.graph.module_locks.get(
+                    (binding.module.name, binding.qualname.rsplit(".", 1)[-1])
+                )
+                if kind is not None:
+                    lock = LockId(
+                        binding.module.name, binding.qualname.rsplit(".", 1)[-1]
+                    )
+                    self.lock_kinds.setdefault(lock, kind)
+                    return [lock]
+            return []
+        if not isinstance(expr, ast.Attribute):
+            return []
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            if fn.class_info is None:
+                return []
+            return self._class_lock(fn.class_info.qualname, expr.attr)
+        ref = self.graph.infer_type(fn, expr.value)
+        if ref is not None and ref.cls is not None:
+            return self._class_lock(ref.cls, expr.attr)
+        return []
+
+    def _local_lock(self, fn: FunctionInfo, name: str) -> Optional[LockId]:
+        """A function-local ``lock = threading.Lock()`` binding."""
+        for stmt in ast.walk(fn.node):
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            kind = _lock_call_kind(stmt.value)
+            if kind is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    lock = LockId(fn.qualname, name)
+                    self.lock_kinds.setdefault(lock, kind)
+                    return lock
+        return None
+
+    def _class_lock(self, class_qualname: str, attr: str) -> List[LockId]:
+        info = self.graph.classes.get(class_qualname)
+        if info is None:
+            return []
+        for cls in self.graph.mro(info):
+            kind = cls.lock_attrs.get(attr)
+            if kind is not None:
+                lock = LockId(cls.qualname, attr)
+                self.lock_kinds.setdefault(lock, kind)
+                return [lock]
+        return []
+
+    def _reentrant(self, lock: LockId) -> bool:
+        """Reacquiring while held is safe only for a known RLock; the
+        name-convention-only "unknown" kind gets the benefit of the doubt
+        (no self-deadlock report without seeing the constructor)."""
+        return self.lock_kinds.get(lock, "unknown") != "lock"
+
+    # -- per-function summaries ---------------------------------------------------
+
+    def _summarize(self, fn: FunctionInfo) -> FunctionSummary:
+        summary = FunctionSummary(fn=fn)
+        cfg = CFG.from_function(fn.node)
+        empty: FrozenSet[LockId] = frozenset()
+
+        def transfer(state: FrozenSet[LockId], event: Event) -> FrozenSet[LockId]:
+            kind, node = event
+            if kind == "with_enter":
+                assert isinstance(node, (ast.With, ast.AsyncWith))
+                for item in node.items:
+                    for lock in self.lock_ids_in(fn, item.context_expr):
+                        state = state | {lock}
+                return state
+            if kind == "with_exit":
+                assert isinstance(node, (ast.With, ast.AsyncWith))
+                for item in node.items:
+                    for lock in self.lock_ids_in(fn, item.context_expr):
+                        state = state - {lock}
+                return state
+            acquired = self._acquire_stmt_lock(fn, node)
+            if acquired is not None:
+                lock, releasing = acquired
+                state = (state - {lock}) if releasing else (state | {lock})
+            return state
+
+        def join(a: FrozenSet[LockId], b: FrozenSet[LockId]) -> FrozenSet[LockId]:
+            return a | b
+
+        states = dataflow_forward(cfg, empty, empty, transfer, join)
+        for block_id in sorted(states):
+            for event, held in states[block_id]:
+                self._scan_event(fn, summary, event, held)
+        return summary
+
+    def _acquire_stmt_lock(
+        self, fn: FunctionInfo, node: ast.AST
+    ) -> Optional[Tuple[LockId, bool]]:
+        """(lock, is_release) for a bare ``x.acquire()``/``x.release()``."""
+        if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+            return None
+        call = node.value
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        if call.func.attr not in ("acquire", "release"):
+            return None
+        if call.func.attr == "acquire" and _kw_false(call, ("blocking",)):
+            return None  # try-lock: may not be held afterwards
+        locks = self.lock_ids_in(fn, call.func.value)
+        if not locks:
+            return None
+        return locks[0], call.func.attr == "release"
+
+    def _scan_event(
+        self,
+        fn: FunctionInfo,
+        summary: FunctionSummary,
+        event: Event,
+        held: FrozenSet[LockId],
+    ) -> None:
+        kind, node = event
+        if kind == "with_exit":
+            return
+        if kind == "with_enter":
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items:
+                for lock in self.lock_ids_in(fn, item.context_expr):
+                    self._record_acquisition(summary, lock, node, held)
+                self._scan_calls(fn, summary, item.context_expr, held)
+            return
+        acquired = self._acquire_stmt_lock(fn, node)
+        if acquired is not None and not acquired[1]:
+            self._record_acquisition(summary, acquired[0], node, held)
+        for root in _stmt_scan_roots(node):
+            self._scan_calls(fn, summary, root, held)
+            self._scan_writes(fn, summary, root, held)
+
+    def _record_acquisition(
+        self,
+        summary: FunctionSummary,
+        lock: LockId,
+        node: ast.AST,
+        held: FrozenSet[LockId],
+    ) -> None:
+        summary.acquires.setdefault(lock, getattr(node, "lineno", 0))
+        for prior in sorted(held):
+            if prior == lock:
+                if not self._reentrant(lock):
+                    summary.self_deadlocks.append((lock, node))
+            else:
+                summary.direct_edges.append((prior, lock, node))
+
+    def _scan_calls(
+        self,
+        fn: FunctionInfo,
+        summary: FunctionSummary,
+        root: ast.AST,
+        held: FrozenSet[LockId],
+    ) -> None:
+        for call in _calls_under(root):
+            # Lock acquire/release primitives are ordering events, not calls.
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("acquire", "release")
+                and self.lock_ids_in(fn, call.func.value)
+            ):
+                continue
+            resolved = self.graph.resolve_call(fn, call)
+            callees = list(resolved.callees)
+            callees.extend(self.graph.invoked_callbacks(fn, call, resolved))
+            blocking = self._blocking_description(fn, call, resolved.external)
+            if callees or blocking or resolved.async_sink:
+                summary.call_sites.append(
+                    CallSiteInfo(
+                        node=call,
+                        line=getattr(call, "lineno", 0),
+                        held=held,
+                        callees=tuple(callees),
+                        blocking=blocking,
+                        async_sink=resolved.async_sink,
+                        escaping=resolved.escaping,
+                    )
+                )
+        for prop_node, getter in self.graph.property_reads(fn, root):
+            summary.call_sites.append(
+                CallSiteInfo(
+                    node=prop_node,
+                    line=getattr(prop_node, "lineno", 0),
+                    held=held,
+                    callees=(getter,),
+                )
+            )
+        for cmp_node, method in self.graph.contains_checks(fn, root):
+            summary.call_sites.append(
+                CallSiteInfo(
+                    node=cmp_node,
+                    line=getattr(cmp_node, "lineno", 0),
+                    held=held,
+                    callees=(method,),
+                )
+            )
+
+    def _blocking_description(
+        self, fn: FunctionInfo, call: ast.Call, external: str
+    ) -> str:
+        if external in _BLOCKING_EXTERNAL:
+            return external
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return ""
+        attr = func.attr
+        if attr in _BLOCKING_ATTRS:
+            if _kw_false(call, ("blocking", "block", "wait")):
+                return ""
+            return f".{attr}()"
+        if attr in _BLOCKING_ZERO_ARG_ATTRS and not call.args:
+            if _kw_false(call, ("blocking", "block")):
+                return ""
+            return f".{attr}()"
+        if attr == "acquire" and not self.lock_ids_in(fn, func.value):
+            # Semaphore/condition acquire — blocking unless blocking=False.
+            if _kw_false(call, ("blocking",)):
+                return ""
+            return ".acquire()"
+        return ""
+
+    def _scan_writes(
+        self,
+        fn: FunctionInfo,
+        summary: FunctionSummary,
+        root: ast.AST,
+        held: FrozenSet[LockId],
+    ) -> None:
+        if fn.class_info is None:
+            return
+        locked = bool(held)
+        for node in _nodes_under(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in _flatten_targets(targets):
+                    attr = _self_attr_root(target)
+                    if attr is not None:
+                        summary.attr_writes.append((attr, locked, node))
+            elif isinstance(node, ast.Call):
+                callee = node.func
+                if isinstance(callee, ast.Attribute) and callee.attr in _MUTATORS:
+                    attr = _self_attr_root(callee.value)
+                    if attr is not None:
+                        summary.attr_writes.append((attr, locked, node))
+
+    # -- interprocedural fixpoints ------------------------------------------------
+
+    def _run_fixpoints(self) -> None:
+        for qualname, summary in self.summaries.items():
+            acquires: Dict[LockId, Tuple[str, ...]] = {}
+            for lock in sorted(summary.acquires):
+                acquires[lock] = (f"{qualname}:{summary.acquires[lock]}",)
+            self.trans_acquires[qualname] = acquires
+            blocking: Optional[Tuple[str, Tuple[str, ...]]] = None
+            for site in sorted(summary.call_sites, key=lambda s: s.line):
+                if site.blocking:
+                    blocking = (site.blocking, (f"{qualname}:{site.line}",))
+                    break
+            self.trans_blocking[qualname] = blocking
+
+        for _ in range(_MAX_ROUNDS):
+            changed = False
+            for qualname in sorted(self.summaries):
+                summary = self.summaries[qualname]
+                mine = self.trans_acquires[qualname]
+                for site in summary.call_sites:
+                    if site.async_sink:
+                        continue  # runs on another thread, not in this frame
+                    frame = f"{qualname}:{site.line}"
+                    for callee in site.callees:
+                        sub = self.trans_acquires.get(callee.qualname)
+                        if sub:
+                            for lock, chain in sub.items():
+                                if lock not in mine:
+                                    mine[lock] = (frame, *chain)[:_MAX_CHAIN]
+                                    changed = True
+                        if self.trans_blocking[qualname] is None:
+                            deeper = self.trans_blocking.get(callee.qualname)
+                            if deeper is not None:
+                                desc, chain = deeper
+                                self.trans_blocking[qualname] = (
+                                    desc,
+                                    (frame, *chain)[:_MAX_CHAIN],
+                                )
+                                changed = True
+            if not changed:
+                break
+
+    # -- the lock graph -----------------------------------------------------------
+
+    def _build_edges(self) -> None:
+        for qualname in sorted(self.summaries):
+            summary = self.summaries[qualname]
+            module = summary.fn.module
+            for src, dst, node in summary.direct_edges:
+                self._add_edge(
+                    src, dst, module, node, qualname,
+                    (f"{qualname}:{getattr(node, 'lineno', 0)}",),
+                )
+            for lock, node in summary.self_deadlocks:
+                self._add_edge(
+                    lock, lock, module, node, qualname,
+                    (f"{qualname}:{getattr(node, 'lineno', 0)}",),
+                )
+            for site in summary.call_sites:
+                if site.async_sink or not site.held:
+                    continue
+                frame = f"{qualname}:{site.line}"
+                for callee in site.callees:
+                    sub = self.trans_acquires.get(callee.qualname)
+                    if not sub:
+                        continue
+                    for lock in sorted(sub):
+                        chain = (frame, *sub[lock])[:_MAX_CHAIN]
+                        for held in sorted(site.held):
+                            if held == lock:
+                                if not self._reentrant(lock):
+                                    self._add_edge(
+                                        lock, lock, module, site.node,
+                                        qualname, chain,
+                                    )
+                            else:
+                                self._add_edge(
+                                    held, lock, module, site.node, qualname, chain
+                                )
+
+    def _add_edge(
+        self,
+        src: LockId,
+        dst: LockId,
+        module: Module,
+        node: ast.AST,
+        fn_qualname: str,
+        chain: Tuple[str, ...],
+    ) -> None:
+        key = (src, dst)
+        if key not in self.edges:
+            self.edges[key] = EdgeWitness(
+                src=src,
+                dst=dst,
+                module=module,
+                node=node,
+                fn_qualname=fn_qualname,
+                chain=chain,
+            )
+
+    # -- rule-facing queries ------------------------------------------------------
+
+    def edge_pairs(self) -> Set[Tuple[str, str]]:
+        """Owner-level edge labels — the sanitizer subgraph contract."""
+        return {(src.label(), dst.label()) for (src, dst) in self.edges}
+
+    def cycles(self) -> List[LockCycle]:
+        """Strongly-connected lock-graph components (incl. self-loops)."""
+        nodes: Set[LockId] = set()
+        adjacency: Dict[LockId, List[LockId]] = {}
+        for src, dst in sorted(self.edges):
+            nodes.add(src)
+            nodes.add(dst)
+            adjacency.setdefault(src, []).append(dst)
+
+        index: Dict[LockId, int] = {}
+        low: Dict[LockId, int] = {}
+        on_stack: Set[LockId] = set()
+        stack: List[LockId] = []
+        sccs: List[List[LockId]] = []
+        counter = [0]
+
+        def strongconnect(root: LockId) -> None:
+            work: List[Tuple[LockId, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = adjacency.get(node, [])
+                advanced = False
+                for position in range(child_index, len(children)):
+                    child = children[position]
+                    if child not in index:
+                        work.append((node, position + 1))
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                if low[node] == index[node]:
+                    component: List[LockId] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for node in sorted(nodes):
+            if node not in index:
+                strongconnect(node)
+
+        out: List[LockCycle] = []
+        for component in sccs:
+            members = set(component)
+            cyclic = len(component) > 1 or any(
+                (lock, lock) in self.edges for lock in component
+            )
+            if not cyclic:
+                continue
+            witnesses = [
+                self.edges[key]
+                for key in sorted(self.edges)
+                if key[0] in members and key[1] in members
+            ]
+            out.append(
+                LockCycle(
+                    locks=tuple(sorted(members)), edges=tuple(witnesses)
+                )
+            )
+        out.sort(key=lambda cycle: cycle.locks)
+        return out
+
+    def blocking_under_lock(self) -> List[HeldBlocking]:
+        """Every blocking operation reachable with at least one lock held."""
+        out: List[HeldBlocking] = []
+        seen: Set[Tuple[str, int, str]] = set()
+
+        def add(
+            summary: FunctionSummary,
+            site: CallSiteInfo,
+            description: str,
+            chain: Tuple[str, ...],
+        ) -> None:
+            key = (summary.fn.qualname, site.line, description)
+            if key in seen:
+                return
+            seen.add(key)
+            out.append(
+                HeldBlocking(
+                    module=summary.fn.module,
+                    node=site.node,
+                    fn_qualname=summary.fn.qualname,
+                    held=tuple(sorted(site.held)),
+                    description=description,
+                    chain=chain,
+                )
+            )
+
+        for qualname in sorted(self.summaries):
+            summary = self.summaries[qualname]
+            for site in summary.call_sites:
+                if not site.held or site.async_sink:
+                    continue
+                frame = f"{qualname}:{site.line}"
+                if site.blocking:
+                    add(summary, site, site.blocking, (frame,))
+                for callee in site.callees:
+                    deeper = self.trans_blocking.get(callee.qualname)
+                    if deeper is not None:
+                        desc, chain = deeper
+                        add(summary, site, desc, (frame, *chain)[:_MAX_CHAIN])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _stmt_scan_roots(node: ast.AST) -> List[ast.AST]:
+    """The parts of a statement event executed *at* the event.
+
+    Compound statements appear in the CFG as header events — their bodies
+    become separate events — so only the header expression is scanned here
+    (scanning the whole node would double-count the body).
+    """
+    if isinstance(node, (ast.If, ast.While)):
+        return [node.test]
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter]
+    if isinstance(node, ast.Match):
+        return [node.subject]
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [node]
+
+
+def _nodes_under(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk without descending into nested defs/lambdas (deferred code)."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _calls_under(root: ast.AST) -> Iterator[ast.Call]:
+    for node in _nodes_under(root):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _kw_false(call: ast.Call, names: Tuple[str, ...]) -> bool:
+    """True when a keyword like ``blocking=False`` disarms the call."""
+    for kw in call.keywords:
+        if kw.arg in names and isinstance(kw.value, ast.Constant):
+            if kw.value.value is False:
+                return True
+    return False
+
+
+def _flatten_targets(targets: List[ast.expr]) -> Iterator[ast.AST]:
+    for target in targets:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            yield from _flatten_targets(list(target.elts))
+        elif isinstance(target, ast.Starred):
+            yield from _flatten_targets([target.value])
+        else:
+            yield target
+
+
+def _self_attr_root(target: ast.AST) -> Optional[str]:
+    """First-level attribute of a ``self.A...`` store target, else None."""
+    chain: List[ast.AST] = []
+    node: ast.AST = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        chain.append(node)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id != "self" or not chain:
+        return None
+    last = chain[-1]
+    if isinstance(last, ast.Attribute):
+        return last.attr
+    return None

@@ -1,20 +1,37 @@
-"""Lint output renderers: human text and machine JSON.
+"""Lint output renderers: human text, machine JSON, and SARIF.
 
 The JSON document is the CI artifact format: a versioned envelope with one
 record per finding (including its baseline fingerprint) plus the run
 summary, so a workflow can both gate on ``exit_code`` and diff reports
-across commits.
+across commits.  The SARIF 2.1.0 document is for code-scanning UIs
+(GitHub's ``upload-sarif`` action and friends): full rule metadata in the
+tool descriptor, and the baseline fingerprint exposed through
+``partialFingerprints`` so the platform can track a finding across
+commits the same way ``--baseline`` does.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List
+from typing import Any, Dict, List
 
-from repro.analysis.engine import LintResult
+from repro.analysis.engine import PARSE_RULE_ID, LintResult
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import PRAGMA_RULE_ID
 
 JSON_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Descriptions for the engine's synthetic rule ids (no Rule class).
+_SYNTHETIC_RULES = {
+    PRAGMA_RULE_ID: "Suppression pragma is malformed or names an unknown rule.",
+    PARSE_RULE_ID: "File could not be parsed; nothing in it was checked.",
+}
 
 
 def render_text(result: LintResult, *, root: str | None = None) -> str:
@@ -49,6 +66,86 @@ def render_json(result: LintResult, *, root: str | None = None) -> str:
         "summary": result.summary(),
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(result: LintResult, *, root: str | None = None) -> str:
+    """SARIF 2.1.0 document: one run, full rule metadata, fingerprints."""
+    from repro import __version__
+    from repro.analysis.base import all_rules
+
+    descriptions = dict(_SYNTHETIC_RULES)
+    severities: Dict[str, str] = {}
+    for rule in all_rules():
+        descriptions[rule.id] = type(rule).description()
+        severities[rule.id] = rule.severity.value
+    # Every id the run was configured with, plus any synthetic id that
+    # actually produced a finding, in one stable order.
+    rule_ids = sorted(
+        set(result.rule_ids) | {f.rule_id for f in result.findings}
+    )
+    rule_index = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    driver: Dict[str, Any] = {
+        "name": "repro-lint",
+        "version": __version__,
+        "informationUri": "docs/static_analysis.md",
+        "rules": [
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": descriptions.get(rule_id, rule_id)
+                },
+                "defaultConfiguration": {
+                    "level": severities.get(rule_id, "error"),
+                },
+            }
+            for rule_id in rule_ids
+        ],
+    }
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [
+                    _sarif_result(f, rule_index, root)
+                    for f in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _sarif_result(
+    finding: Finding, rule_index: Dict[str, int], root: str | None
+) -> Dict[str, Any]:
+    uri = _display_path(finding.path, root).replace(os.sep, "/")
+    return {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+                "logicalLocations": (
+                    [{"fullyQualifiedName": finding.symbol}]
+                    if finding.symbol
+                    else []
+                ),
+            }
+        ],
+        "partialFingerprints": {
+            "reproFingerprint/v2": finding.fingerprint(),
+        },
+    }
 
 
 def _display_path(path: str, root: str | None) -> str:

@@ -6,17 +6,23 @@ Importing this package registers every built-in rule with
 ``docs/static_analysis.md`` for the recipe).
 """
 
+from repro.analysis.rules.blocking_under_lock import BlockingUnderLockRule
+from repro.analysis.rules.escape_analysis import EscapeAnalysisRule
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.kernel_seam import KernelSeamRule
 from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_order import LockOrderCycleRule
 from repro.analysis.rules.no_sleep import UdfNoSleepRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
 from repro.analysis.rules.udf_purity import UdfPurityRule
 
 __all__ = [
+    "BlockingUnderLockRule",
+    "EscapeAnalysisRule",
     "ExceptionHygieneRule",
     "KernelSeamRule",
     "LockDisciplineRule",
+    "LockOrderCycleRule",
     "PickleSafetyRule",
     "UdfNoSleepRule",
     "UdfPurityRule",

@@ -1,0 +1,45 @@
+"""blocking-under-lock: blocking operations reachable while a lock is held.
+
+A thread that sleeps, waits on a socket / queue / future / subprocess, or
+parks on a semaphore while holding a lock stalls every other thread that
+needs that lock — the classic serving-latency killer, and invisible to
+single-file inspection when the blocking call sits three frames below the
+``with self._lock:`` region.  This rule reports every call site where the
+flow layer's may-held set is non-empty and either the call itself blocks
+(``time.sleep``, ``.recv()``, ``.result()``, ``.get()`` / ``.join()``
+zero-arg forms, non-lock ``.acquire()``, ...) or a resolved callee's
+transitive-blocking summary says the callee may block, with the frame
+chain in the message.
+
+``blocking=False`` / ``block=False`` try-forms are exempt; lock
+``.acquire()`` itself is an ordering event handled by
+``lock-order-cycle``, not a blocking finding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow import flow_for_project
+from repro.analysis.project import Project
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """Holding a lock across a blocking call stalls every contender."""
+
+    id = "blocking-under-lock"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_for_project(project)
+        for site in analysis.blocking_under_lock():
+            held = ", ".join(lock.label() for lock in site.held)
+            via = " -> ".join(site.chain)
+            yield self.finding(
+                site.module,
+                site.node,
+                f"blocking operation {site.description} may run while "
+                f"holding {held}; path: {via}",
+            )

@@ -1,0 +1,58 @@
+"""escape-analysis: mutable state escapes to another thread unguarded.
+
+``lock-discipline`` (single class, single file) catches the *partially*
+guarded attribute — written under ``self._lock`` in one method, bare in
+another.  This rule catches what it deliberately leaves out: state with
+**no** guard at all that nevertheless becomes shared, because a callable
+touching it is handed to ``Thread`` / ``Timer`` / ``executor.submit`` /
+``run_in_executor``.  Two shapes, both resolved through the flow layer's
+call graph:
+
+* a bound method escaping to a thread sink mutates ``self.X`` while the
+  class never writes ``X`` under any lock — every write is a potential
+  race with the spawning thread;
+* a local closure escaping to a sink mutates a free variable of the
+  enclosing scope (``results.append(...)``) outside any ``with <lock>:``
+  region.
+
+Findings anchor at the hand-off call site — that is where the sharing
+decision is made and where a lock (or a queue) belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow import flow_for_project
+from repro.analysis.flow.escape import find_escapes
+from repro.analysis.project import Project
+
+
+@register
+class EscapeAnalysisRule(Rule):
+    """State crossing a thread boundary needs a lock (or a queue)."""
+
+    id = "escape-analysis"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_for_project(project)
+        for escape in find_escapes(analysis):
+            if escape.shape == "attribute":
+                detail = (
+                    f"{escape.target_qualname} mutates {escape.state_name} "
+                    "which is never written under a lock"
+                )
+            else:
+                detail = (
+                    f"{escape.target_qualname} mutates free variable "
+                    f"{escape.state_name!r} of the enclosing scope with no "
+                    "lock held"
+                )
+            yield self.finding(
+                escape.module,
+                escape.node,
+                f"mutable state escapes to another thread: {detail} "
+                "(guard it with a lock or hand off through a queue)",
+            )

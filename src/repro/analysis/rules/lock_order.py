@@ -1,0 +1,68 @@
+"""lock-order-cycle: inconsistent lock acquisition order across the program.
+
+Two locks taken in opposite orders on two code paths deadlock the moment
+two threads interleave those paths — and with the serving plane calling
+through metrics callbacks into stores and caches, the paths span modules
+no single-file rule can see.  This rule asks the flow layer
+(:mod:`repro.analysis.flow`) for the whole-program lock acquisition graph
+— an edge ``A → B`` wherever B is acquired (possibly through a chain of
+calls, property getters, dunders, and registered callbacks) while A is
+held — and reports every strongly-connected component as one finding,
+anchored at the earliest witness acquisition with the full call chain in
+the message.
+
+A non-reentrant ``threading.Lock`` re-acquired while already held is the
+degenerate single-lock cycle (guaranteed self-deadlock) and is reported
+the same way; re-acquiring an ``RLock`` is reentrant and exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import Rule, register
+from repro.analysis.findings import Finding
+from repro.analysis.flow import flow_for_project
+from repro.analysis.flow.locks import EdgeWitness, LockCycle
+from repro.analysis.project import Project
+
+
+@register
+class LockOrderCycleRule(Rule):
+    """Lock acquisition cycles across call / callback chains deadlock."""
+
+    id = "lock-order-cycle"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_for_project(project)
+        for cycle in analysis.cycles():
+            witness = _anchor(cycle)
+            if witness is None:
+                continue
+            yield self.finding(witness.module, witness.node, _message(cycle, witness))
+
+
+def _anchor(cycle: LockCycle) -> EdgeWitness | None:
+    """Earliest witness edge (path, line) — the finding's stable anchor."""
+    best: EdgeWitness | None = None
+    for edge in cycle.edges:
+        key = (edge.module.path, getattr(edge.node, "lineno", 0))
+        if best is None or key < (best.module.path, getattr(best.node, "lineno", 0)):
+            best = edge
+    return best
+
+
+def _message(cycle: LockCycle, witness: EdgeWitness) -> str:
+    labels = [lock.label() for lock in cycle.locks]
+    via = " -> ".join(witness.chain)
+    if len(cycle.locks) == 1:
+        return (
+            f"non-reentrant lock {labels[0]} may be re-acquired while "
+            f"already held (self-deadlock); witness path: {via}"
+        )
+    ring = " -> ".join([*labels, labels[0]])
+    return (
+        f"potential deadlock: locks acquired in conflicting orders "
+        f"forming cycle {ring}; witness path for "
+        f"{witness.src.label()} -> {witness.dst.label()}: {via}"
+    )

@@ -285,9 +285,22 @@ def _run_lint(argv: List[str]) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (json is the CI artifact format)",
+        help="report format (json is the CI artifact format; sarif is "
+        "SARIF 2.1.0 for code-scanning uploads)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only python files changed relative to --base "
+        "(git diff plus untracked files), intersected with the paths",
+    )
+    parser.add_argument(
+        "--base",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
     )
     parser.add_argument(
         "--rules",
@@ -314,7 +327,9 @@ def _run_lint(argv: List[str]) -> int:
     from repro.analysis import (
         BaselineError,
         all_rules,
+        changed_python_files,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         write_baseline,
@@ -329,9 +344,30 @@ def _run_lint(argv: List[str]) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    import os
+
+    paths = list(args.paths)
+    if args.changed_only:
+        try:
+            changed = changed_python_files(args.base)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        requested = [os.path.abspath(p) for p in paths]
+        paths = [
+            f
+            for f in changed
+            if any(
+                f == p or f.startswith(p.rstrip(os.sep) + os.sep)
+                for p in requested
+            )
+        ]
+        if not paths:
+            print(f"lint: no python files changed vs {args.base}")
+            return 0
     try:
         result = run_lint(
-            args.paths, rule_ids=rule_ids, baseline_path=args.baseline
+            paths, rule_ids=rule_ids, baseline_path=args.baseline
         )
     except (ValueError, BaselineError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
@@ -341,11 +377,11 @@ def _run_lint(argv: List[str]) -> int:
         count = write_baseline(args.write_baseline, result.findings)
         print(f"lint: wrote {count} fingerprint(s) to {args.write_baseline}")
         return 0
-    import os
-
     root = os.getcwd()
     if args.format == "json":
         print(render_json(result, root=root))
+    elif args.format == "sarif":
+        print(render_sarif(result, root=root))
     else:
         print(render_text(result, root=root))
     return result.exit_code
@@ -616,6 +652,11 @@ def _run_bench(argv: List[str]) -> int:
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    # Opt-in runtime lock-order sanitizer (REPRO_SANITIZE=locks) must be
+    # installed before any command constructs serving/executor state.
+    from repro.observability.sanitizer import install_from_env
+
+    install_from_env()
     # 'trace', 'lint', 'serve' and 'bench' are not experiments, so they
     # take their own options and dispatch before the experiment parser.
     if argv[:1] == ["trace"]:

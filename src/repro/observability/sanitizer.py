@@ -1,0 +1,414 @@
+"""Runtime lock-order sanitizer for the repro namespace.
+
+The static flow layer (:mod:`repro.analysis.flow`) predicts which lock
+orderings *can* happen; this module observes which orderings *do* happen.
+When installed (``REPRO_SANITIZE=locks`` or an explicit :func:`install`),
+``threading.Lock`` and ``threading.RLock`` constructors called from repro
+code hand back instrumented proxies.  Every successful acquisition is
+recorded against a per-thread held-stack, and the sanitizer maintains a
+process-wide *observed acquisition graph* whose labels use the exact
+``module.Class.attr`` identity the static :class:`~repro.analysis.flow.locks.LockId`
+uses — so an integration test can assert the observed graph is a subgraph
+of the statically predicted one.
+
+Three things are reported, each as a structured event (``sanitizer.*``)
+plus a counter plus a persistent record on the sanitizer object:
+
+* **inversions** — lock B acquired while holding A after A-while-holding-B
+  was already observed (the runtime shadow of ``lock-order-cycle``),
+* **long holds** — a lock held longer than ``hold_threshold`` seconds on
+  the injectable clock (the runtime shadow of ``blocking-under-lock``),
+* the **edge set** itself, dumped via :meth:`LockOrderSanitizer.report`
+  (and to ``$REPRO_SANITIZE_REPORT`` at process exit).
+
+Persistent records survive :func:`~repro.observability.events.set_events`
+and :func:`~repro.observability.metrics.set_metrics` swaps: tests rotate
+the sinks freely, the sanitizer's own history does not rotate with them.
+
+The proxies only wrap locks whose *creating frame* belongs to a watched
+module prefix (``repro`` by default), so third-party and stdlib locks stay
+untouched.  Hook processing sets a thread-local guard: acquisitions made
+while emitting the sanitizer's own telemetry (the event log's ring lock,
+the metrics registry lock) are passed through unrecorded, which breaks
+the otherwise-infinite recursion and keeps the sanitizer's sinks out of
+its own graph.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "Inversion",
+    "LockOrderSanitizer",
+    "LongHold",
+    "active",
+    "install",
+    "install_from_env",
+    "uninstall",
+]
+
+# Captured before anything can patch them.
+_ORIG_LOCK = threading.Lock
+_ORIG_RLOCK = threading.RLock
+
+DEFAULT_HOLD_THRESHOLD = 0.25  # seconds on the sanitizer clock
+_THIS_FILE = __file__
+
+
+@dataclass(frozen=True, slots=True)
+class Inversion:
+    """Locks taken in both orders: ``second`` acquired under ``first``
+    after the opposite nesting was already observed."""
+
+    first: str
+    second: str
+    witness: str  # "site -> site" for this (first, second) occurrence
+    prior: str  # witness for the previously seen (second, first) edge
+    thread: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"first": self.first, "second": self.second,
+                "witness": self.witness, "prior": self.prior,
+                "thread": self.thread}
+
+
+@dataclass(frozen=True, slots=True)
+class LongHold:
+    """One lock held past the threshold."""
+
+    label: str
+    duration: float
+    site: str
+    thread: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "duration": round(self.duration, 6),
+                "site": self.site, "thread": self.thread}
+
+
+@dataclass(slots=True)
+class _Held:
+    lock: "_SanitizedLock"
+    label: str
+    since: float
+    site: str
+    depth: int
+
+
+def _caller_site() -> str:
+    """``qualname:line`` of the nearest frame outside this module."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - only if called at top level
+        return "<unknown>"
+    return f"{_code_qualname(frame.f_code)}:{frame.f_lineno}"
+
+
+def _code_qualname(code: Any) -> str:
+    # co_qualname arrived in 3.11; co_name is the 3.10 fallback.
+    return str(getattr(code, "co_qualname", code.co_name))
+
+
+class _SanitizedLock:
+    """Proxy around one ``_thread.lock`` / ``_thread.RLock``.
+
+    Identity resolution is lazy: at creation the assignment target does
+    not exist yet (``self._lock = threading.Lock()`` runs the call before
+    the store), so the owning attribute is discovered on first use by
+    scanning the owner instance (or owning module) for this object.
+    """
+
+    __slots__ = ("_san", "_real", "kind", "_module", "_qual",
+                 "_owner_ref", "_label", "__weakref__")
+
+    def __init__(self, san: "LockOrderSanitizer", real: Any, kind: str,
+                 module: str, qual: str, owner: Any):
+        self._san = san
+        self._real = real
+        self.kind = kind
+        self._module = module
+        self._qual = qual  # creating code object's qualname
+        self._label: Optional[str] = None
+        if owner is not None:
+            try:
+                self._owner_ref: Optional[weakref.ref] = weakref.ref(owner)
+            except TypeError:
+                self._owner_ref = None
+        else:
+            self._owner_ref = None
+
+    def label(self) -> str:
+        if self._label is not None:
+            return self._label
+        owner = self._owner_ref() if self._owner_ref is not None else None
+        if owner is not None:
+            for attr, value in vars(owner).items():
+                if value is self:
+                    cls = type(owner)
+                    self._label = f"{cls.__module__}.{cls.__qualname__}.{attr}"
+                    return self._label
+        if self._qual == "<module>":
+            module = sys.modules.get(self._module)
+            if module is not None:
+                for attr, value in vars(module).items():
+                    if value is self:
+                        self._label = f"{self._module}.{attr}"
+                        return self._label
+            # Not assigned to a module global we can see yet; don't cache.
+            return f"{self._module}.<unbound>"
+        # Function-local lock: the static LockId for locals is (fn
+        # qualname, variable) — the variable name is unrecoverable at
+        # runtime, so the whole function scope is the identity.  Left
+        # uncached while an owner candidate exists: a ``self`` in the
+        # creating frame may still receive the assignment.
+        fallback = f"{self._module}.{self._qual}.<local>"
+        if owner is None and self._owner_ref is None:
+            self._label = fallback
+        return fallback
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got: bool = self._real.acquire(blocking, timeout)
+        if got:
+            self._san._on_acquire(self, _caller_site())
+        return got
+
+    def release(self) -> None:
+        self._san._on_release(self)
+        self._real.release()
+
+    def locked(self) -> bool:
+        return bool(self._real.locked())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._real, name)
+
+    def __repr__(self) -> str:
+        return f"<sanitized {self.kind} {self.label()!r} wrapping {self._real!r}>"
+
+
+class LockOrderSanitizer:
+    """Process-wide observer of lock acquisition order.
+
+    One instance is installed at a time (module-level :func:`install`);
+    the class itself is plain enough to unit-test unattached.
+    """
+
+    def __init__(
+        self,
+        *,
+        time_fn: Callable[[], float] = time.monotonic,
+        hold_threshold: float = DEFAULT_HOLD_THRESHOLD,
+        prefixes: Tuple[str, ...] = ("repro",),
+    ):
+        self._time_fn = time_fn
+        self.hold_threshold = hold_threshold
+        self._prefixes = prefixes
+        self._state_lock = _ORIG_LOCK()
+        self._tls = threading.local()
+        self._installed = False
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.inversions: List[Inversion] = []
+        self.long_holds: List[LongHold] = []
+        self.locks_created = 0
+
+    # -- constructor patching -------------------------------------------
+
+    def _watched(self, module: str) -> bool:
+        return any(module == p or module.startswith(p + ".")
+                   for p in self._prefixes)
+
+    def _factory(self, kind: str) -> Callable[..., Any]:
+        orig = _ORIG_LOCK if kind == "lock" else _ORIG_RLOCK
+
+        def make(*args: Any, **kwargs: Any) -> Any:
+            real = orig(*args, **kwargs)
+            frame = sys._getframe(1)
+            module = frame.f_globals.get("__name__", "")
+            if not self._watched(module):
+                return real
+            with self._state_lock:
+                self.locks_created += 1
+            return _SanitizedLock(self, real, kind, module,
+                                  _code_qualname(frame.f_code),
+                                  frame.f_locals.get("self"))
+
+        make.__name__ = f"sanitized_{kind}_factory"
+        return make
+
+    def install(self) -> "LockOrderSanitizer":
+        if not self._installed:
+            threading.Lock = self._factory("lock")  # type: ignore[misc]
+            threading.RLock = self._factory("rlock")  # type: ignore[misc]
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            threading.Lock = _ORIG_LOCK  # type: ignore[misc]
+            threading.RLock = _ORIG_RLOCK  # type: ignore[misc]
+            self._installed = False
+
+    # -- acquisition hooks ----------------------------------------------
+
+    def _stack(self) -> List[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _on_acquire(self, lock: _SanitizedLock, site: str) -> None:
+        if getattr(self._tls, "guard", False):
+            return
+        stack = self._stack()
+        for held in stack:
+            if held.lock is lock:  # reentrant re-acquire (RLock)
+                held.depth += 1
+                return
+        self._tls.guard = True
+        try:
+            label = lock.label()
+            found: List[Inversion] = []
+            with self._state_lock:
+                for held in stack:
+                    if held.label == label:
+                        continue
+                    edge = (held.label, label)
+                    if edge in self.edges:
+                        continue
+                    reverse = (label, held.label)
+                    if reverse in self.edges:
+                        found.append(Inversion(
+                            first=held.label, second=label,
+                            witness=f"{held.site} -> {site}",
+                            prior=self.edges[reverse],
+                            thread=threading.current_thread().name,
+                        ))
+                    self.edges[edge] = f"{held.site} -> {site}"
+                self.inversions.extend(found)
+            for inv in found:
+                self._emit("sanitizer.inversion", "sanitizer.inversions",
+                           **inv.to_dict())
+        finally:
+            self._tls.guard = False
+        stack.append(_Held(lock, label, self._time_fn(), site, 1))
+
+    def _on_release(self, lock: _SanitizedLock) -> None:
+        if getattr(self._tls, "guard", False):
+            return
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.lock is not lock:
+                continue
+            held.depth -= 1
+            if held.depth > 0:
+                return
+            del stack[index]
+            duration = self._time_fn() - held.since
+            if duration >= self.hold_threshold:
+                record = LongHold(label=held.label, duration=duration,
+                                  site=held.site,
+                                  thread=threading.current_thread().name)
+                self._tls.guard = True
+                try:
+                    with self._state_lock:
+                        self.long_holds.append(record)
+                    self._emit("sanitizer.long_hold", "sanitizer.long_holds",
+                               **record.to_dict())
+                finally:
+                    self._tls.guard = False
+            return
+        # Released a lock this thread never recorded (acquired before
+        # install, or under the guard): nothing to unwind.
+
+    def _emit(self, kind: str, counter: str, **attrs: Any) -> None:
+        # Late imports keep module import free of circularity; sinks are
+        # looked up per call so set_events()/set_metrics() swaps apply.
+        from repro.observability.events import get_events
+        from repro.observability.metrics import get_metrics
+
+        get_metrics().counter(counter).inc()
+        get_events().emit(kind, **attrs)
+
+    # -- reporting -------------------------------------------------------
+
+    def observed_edges(self) -> Set[Tuple[str, str]]:
+        with self._state_lock:
+            return set(self.edges)
+
+    def report(self) -> Dict[str, Any]:
+        with self._state_lock:
+            return {
+                "locks_created": self.locks_created,
+                "edges": [
+                    {"first": a, "second": b, "witness": w}
+                    for (a, b), w in sorted(self.edges.items())
+                ],
+                "inversions": [inv.to_dict() for inv in self.inversions],
+                "long_holds": [hold.to_dict() for hold in self.long_holds],
+            }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+_active: Optional[LockOrderSanitizer] = None
+
+
+def active() -> Optional[LockOrderSanitizer]:
+    """The currently installed sanitizer, if any."""
+    return _active
+
+
+def install(**kwargs: Any) -> LockOrderSanitizer:
+    """Install a sanitizer (idempotent: returns the active one if present)."""
+    global _active
+    if _active is None:
+        _active = LockOrderSanitizer(**kwargs).install()
+    return _active
+
+
+def uninstall() -> Optional[LockOrderSanitizer]:
+    """Restore the real lock constructors; returns the removed sanitizer."""
+    global _active
+    sanitizer, _active = _active, None
+    if sanitizer is not None:
+        sanitizer.uninstall()
+    return sanitizer
+
+
+def install_from_env(environ: Any = None) -> Optional[LockOrderSanitizer]:
+    """Install when ``REPRO_SANITIZE`` asks for ``locks``.
+
+    ``REPRO_SANITIZE`` is a comma-separated feature list (today only
+    ``locks`` exists); ``REPRO_SANITIZE_REPORT=<path>`` additionally dumps
+    the JSON report at interpreter exit.
+    """
+    env = os.environ if environ is None else environ
+    features = {part.strip() for part in
+                env.get("REPRO_SANITIZE", "").split(",") if part.strip()}
+    if "locks" not in features:
+        return None
+    sanitizer = install()
+    report_path = env.get("REPRO_SANITIZE_REPORT")
+    if report_path:
+        atexit.register(sanitizer.dump, report_path)
+    return sanitizer

@@ -1,0 +1,37 @@
+"""Fixture: the blocking work happens outside the lock — nothing to flag.
+
+The pattern the serving plane uses everywhere: block first, publish the
+result under the lock; keyed ``dict.get`` and ``block=False`` try-forms
+are not blocking.
+"""
+
+import threading
+import time
+
+
+class WarmCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def refresh(self, conn) -> None:
+        payload = conn.recv(1024)  # blocking, but no lock held
+        with self._lock:
+            self.items["x"] = payload
+
+    def load(self, queue) -> None:
+        item = queue.get()  # blocking, but no lock held
+        with self._lock:
+            self.items["y"] = item
+
+    def peek(self, queue) -> object:
+        with self._lock:
+            cached = self.items.get("y")  # keyed get: a dict read
+            if cached is None:
+                cached = queue.get(block=False)  # try-form never blocks
+            return cached
+
+    def backoff(self) -> None:
+        time.sleep(0.5)
+        with self._lock:
+            self.items.clear()

@@ -1,0 +1,33 @@
+"""Fixture: blocking operations reachable while a lock is held.
+
+Direct forms (sleep, socket recv, zero-arg queue get) and the transitive
+form (a callee three frames down does the sleeping).
+"""
+
+import threading
+import time
+
+
+class SlowCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def refresh(self, conn) -> None:
+        with self._lock:
+            time.sleep(0.1)  # VIOLATION: blocking-under-lock
+            self.items["x"] = conn.recv(1024)  # VIOLATION: blocking-under-lock
+
+    def load(self, queue) -> None:
+        with self._lock:
+            self.items["y"] = queue.get()  # VIOLATION: blocking-under-lock
+
+    def warm(self) -> None:
+        with self._lock:
+            self._refill()  # VIOLATION: blocking-under-lock
+
+    def _refill(self) -> None:
+        # Not a finding by itself: no lock is held *here*; warm() is the
+        # one holding SlowCache._lock across the sleep.
+        time.sleep(0.5)
+        self.items.clear()

@@ -1,0 +1,50 @@
+"""Fixture: multi-lock code with a consistent order — no cycle to report.
+
+Both cross-class paths take ``Accounts._lock`` before ``Audit._lock``, and
+the reentrant re-acquisition uses an RLock (the serving store's documented
+``_ensure_sky`` idiom).
+"""
+
+import threading
+
+
+class Accounts:
+    def __init__(self, audit: "Audit"):
+        self._lock = threading.Lock()
+        self.audit = audit
+        self.balance = 0
+
+    def transfer(self, amount: int) -> None:
+        with self._lock:
+            self.balance -= amount
+            self.audit.record(self)
+
+    def reconcile(self) -> None:
+        # Same order as transfer(): Accounts._lock, then Audit._lock.
+        with self._lock:
+            self.audit.record(self)
+
+
+class Audit:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def record(self, accounts: "Accounts") -> None:
+        with self._lock:
+            self.entries.append(1)
+
+
+class Reentrant:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.total = 0
+
+    def outer(self) -> None:
+        with self._lock:
+            self.inner()
+
+    def inner(self) -> None:
+        # RLock re-acquisition on the outer() path is reentrant — fine.
+        with self._lock:
+            self.total += 1

@@ -1,0 +1,54 @@
+"""Fixture: lock acquisition cycles the flow layer must report.
+
+Two shapes: the classic AB/BA ordering inversion across two classes, and
+a non-reentrant ``threading.Lock`` re-acquired through a method call.
+"""
+
+import threading
+
+
+class Accounts:
+    def __init__(self, audit: "Audit"):
+        self._lock = threading.Lock()
+        self.audit = audit
+        self.balance = 0
+
+    def transfer(self, amount: int) -> None:
+        with self._lock:
+            self.balance -= amount
+            self.audit.record(self)  # VIOLATION: lock-order-cycle
+
+    def snapshot(self) -> int:
+        with self._lock:
+            return self.balance
+
+
+class Audit:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def record(self, accounts: "Accounts") -> None:
+        with self._lock:
+            self.entries.append(1)
+
+    def reconcile(self, accounts: "Accounts") -> None:
+        # Opposite order: Audit._lock first, then Accounts._lock — with
+        # transfer() running concurrently this deadlocks.
+        with self._lock:
+            self.entries.append(accounts.snapshot())
+
+
+class Recount:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def outer(self) -> None:
+        with self._lock:
+            self.inner()  # VIOLATION: lock-order-cycle
+
+    def inner(self) -> None:
+        # Non-reentrant Lock taken again on the outer() path: self-deadlock.
+        with self._lock:
+            self.total += 1

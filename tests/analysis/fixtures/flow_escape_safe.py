@@ -1,0 +1,33 @@
+"""Fixture: state crossing a thread boundary under a guarding lock.
+
+Same shapes as the unsafe twin, but every shared mutation happens inside
+a ``with <lock>:`` region — bound method guarded by the instance lock,
+closure guarded by a local lock.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counts = {}
+
+    def work(self) -> None:
+        with self._lock:
+            self.counts["n"] = self.counts.get("n", 0) + 1
+
+    def start(self) -> None:
+        threading.Thread(target=self.work).start()
+
+
+def fan_out(executor):
+    results = []
+    results_lock = threading.Lock()
+
+    def task() -> None:
+        with results_lock:
+            results.append(1)
+
+    executor.submit(task)
+    return results

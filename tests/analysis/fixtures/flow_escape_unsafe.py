@@ -1,0 +1,30 @@
+"""Fixture: mutable state escaping into threads with no guard at all.
+
+The bound-method shape (``self.counts`` has zero locked writes anywhere in
+the class) and the closure shape (a local list mutated by a submitted
+task).  Distinct from lock-discipline: there is no lock to be disciplined
+about.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self.counts = {}
+
+    def work(self) -> None:
+        self.counts["n"] = self.counts.get("n", 0) + 1
+
+    def start(self) -> None:
+        threading.Thread(target=self.work).start()  # VIOLATION: escape-analysis
+
+
+def fan_out(executor):
+    results = []
+
+    def task() -> None:
+        results.append(1)
+
+    executor.submit(task)  # VIOLATION: escape-analysis
+    return results

@@ -84,3 +84,116 @@ class TestLintCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "baselined" in out
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, capsys):
+        import json
+
+        code = main(
+            ["lint", fixture_path("except_swallow.py"), "--format", "sarif"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        declared = [rule["id"] for rule in driver["rules"]]
+        assert "exception-hygiene" in declared
+        assert declared == sorted(declared)
+        assert run["results"], "the fixture must produce findings"
+        for item in run["results"]:
+            assert declared[item["ruleIndex"]] == item["ruleId"]
+            assert item["level"] in ("error", "warning")
+            assert item["partialFingerprints"]["reproFingerprint/v2"]
+            region = item["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_sarif_clean_run_has_empty_results(self, capsys):
+        import json
+
+        code = main(
+            ["lint", fixture_path("except_ok.py"), "--format", "sarif"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["runs"][0]["results"] == []
+
+
+class TestChangedOnly:
+    @staticmethod
+    def _git(repo, *args):
+        import os
+        import subprocess
+
+        subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(repo),
+                "PATH": os.environ["PATH"],
+            },
+        )
+
+    def test_changed_only_lints_just_the_diff(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        # A committed violation that --changed-only must NOT report...
+        (repo / "old.py").write_text(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+        # ...and an untracked clean file that it must still check.
+        (repo / "new.py").write_text("x = 1\n", encoding="utf-8")
+        monkeypatch.chdir(repo)
+        code = main(["lint", str(repo), "--changed-only"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 file(s)" in out
+
+    def test_changed_only_with_clean_tree_short_circuits(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        (repo / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+        monkeypatch.chdir(repo)
+        code = main(["lint", str(repo), "--changed-only", "--base", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no python files changed" in out
+
+    def test_bad_base_is_usage_error(self, tmp_path, capsys, monkeypatch):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        (repo / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+        monkeypatch.chdir(repo)
+        code = main(
+            ["lint", str(repo), "--changed-only", "--base", "no-such-ref"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot compute changed files" in err

@@ -106,3 +106,136 @@ class TestExitCodes:
         )
         assert result.exit_code == 1
         assert result.summary()["findings"] == len(result.findings)
+
+
+class TestStatementAnchoring:
+    """Findings on continuation lines re-anchor to the statement start."""
+
+    _SOURCE = (
+        "import threading\n"
+        "import time\n"
+        "\n"
+        "\n"
+        "class Cache:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.value = None\n"
+        "\n"
+        "    def refresh(self):\n"
+        "        with self._lock:\n"
+        "            self.value = (\n"
+        "                time.sleep(1))\n"
+    )
+    _STMT_LINE = 12  # "self.value = (" — where a pragma can live
+
+    def test_finding_moves_to_statement_first_line(self, tmp_path):
+        mod = tmp_path / "anchored.py"
+        mod.write_text(self._SOURCE, encoding="utf-8")
+        result = run_lint([str(mod)], rule_ids=["blocking-under-lock"])
+        assert [f.line for f in result.findings] == [self._STMT_LINE]
+
+    def test_pragma_on_statement_first_line_suppresses(self, tmp_path):
+        lines = self._SOURCE.splitlines()
+        lines[self._STMT_LINE - 1] += "  # repro: allow[blocking-under-lock]"
+        mod = tmp_path / "anchored.py"
+        mod.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        result = run_lint([str(mod)], rule_ids=["blocking-under-lock"])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestBaselineRenameStability:
+    def test_fingerprints_survive_file_rename(self, tmp_path):
+        source = (tmp_path / "original.py")
+        source.write_text(
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        baseline = str(tmp_path / "baseline.json")
+        first = run_lint([str(source)], rule_ids=["exception-hygiene"])
+        assert first.findings
+        write_baseline(baseline, first.findings)
+
+        moved_dir = tmp_path / "pkg"
+        moved_dir.mkdir()
+        moved = moved_dir / "renamed.py"
+        moved.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+        second = run_lint(
+            [str(moved)],
+            rule_ids=["exception-hygiene"],
+            baseline_path=baseline,
+        )
+        assert second.findings == []
+        assert second.baselined == len(first.findings)
+
+    def test_version_1_baseline_is_rejected(self, tmp_path):
+        import json
+
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps({"version": 1, "fingerprints": []}), encoding="utf-8"
+        )
+        with pytest.raises(BaselineError, match="version-1"):
+            load_baseline(str(legacy))
+
+
+class TestChangedFiles:
+    @staticmethod
+    def _git(repo, *args):
+        import subprocess
+
+        subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(repo),
+                "PATH": __import__("os").environ["PATH"],
+            },
+        )
+
+    def _repo(self, tmp_path):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git(repo, "init", "-q")
+        (repo / "tracked.py").write_text("x = 1\n", encoding="utf-8")
+        (repo / "notes.txt").write_text("n\n", encoding="utf-8")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+        return repo
+
+    def test_diff_plus_untracked_python_only(self, tmp_path):
+        from repro.analysis import changed_python_files
+
+        repo = self._repo(tmp_path)
+        (repo / "tracked.py").write_text("x = 2\n", encoding="utf-8")
+        (repo / "fresh.py").write_text("y = 1\n", encoding="utf-8")
+        (repo / "notes.txt").write_text("changed\n", encoding="utf-8")
+        changed = changed_python_files("HEAD", cwd=str(repo))
+        names = sorted(p.rsplit("/", 1)[-1] for p in changed)
+        assert names == ["fresh.py", "tracked.py"]
+        import os
+
+        assert all(os.path.isabs(p) for p in changed)
+
+    def test_clean_tree_is_empty(self, tmp_path):
+        from repro.analysis import changed_python_files
+
+        repo = self._repo(tmp_path)
+        assert changed_python_files("HEAD", cwd=str(repo)) == []
+
+    def test_bad_ref_raises_value_error(self, tmp_path):
+        from repro.analysis import changed_python_files
+
+        repo = self._repo(tmp_path)
+        with pytest.raises(ValueError, match="cannot compute changed files"):
+            changed_python_files("no-such-ref", cwd=str(repo))

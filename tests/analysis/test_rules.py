@@ -29,6 +29,9 @@ def found_pairs(name: str, rule_id: str) -> set:
         ("lock-discipline", "lock_serving_unsafe.py", "lock_serving_safe.py"),
         ("exception-hygiene", "except_swallow.py", "except_ok.py"),
         ("kernel-seam", "kernel_seam_direct.py", "kernel_seam_clean.py"),
+        ("lock-order-cycle", "flow_cycle_deadlock.py", "flow_cycle_clean.py"),
+        ("blocking-under-lock", "flow_blocking_locked.py", "flow_blocking_clean.py"),
+        ("escape-analysis", "flow_escape_unsafe.py", "flow_escape_safe.py"),
     ],
 )
 class TestRulePacks:

@@ -1,0 +1,40 @@
+"""Repo-wide pytest hooks.
+
+When ``REPRO_SANITIZE=locks`` is exported (the CI chaos/serving sanitizer
+legs do this), the runtime lock-order sanitizer is installed before any
+test module imports repro code, a JSON report is dumped to
+``$REPRO_SANITIZE_REPORT`` if set, and the session is forced to a nonzero
+exit when any lock-order inversion was observed — even if every test
+nominally passed.
+"""
+
+import os
+
+
+def pytest_configure(config):
+    if os.environ.get("REPRO_SANITIZE"):
+        from repro.observability.sanitizer import install_from_env
+
+        install_from_env()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from repro.observability import sanitizer
+
+    active = sanitizer.active()
+    if active is None:
+        return
+    report_path = os.environ.get("REPRO_SANITIZE_REPORT")
+    if report_path:
+        active.dump(report_path)
+    if active.inversions and session.exitstatus == 0:
+        lines = [
+            f"  {inv.first} -> {inv.second} ({inv.witness}; "
+            f"prior {inv.prior})"
+            for inv in active.inversions
+        ]
+        print(
+            "\nlock-order sanitizer observed "
+            f"{len(active.inversions)} inversion(s):\n" + "\n".join(lines)
+        )
+        session.exitstatus = 3

@@ -1,0 +1,191 @@
+"""Unit tests for the runtime lock-order sanitizer."""
+
+import threading
+
+import pytest
+
+from repro.observability.events import EventLog, get_events, set_events
+from repro.observability.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.observability.sanitizer import (
+    _ORIG_LOCK,
+    LockOrderSanitizer,
+    active,
+    install,
+    install_from_env,
+    uninstall,
+)
+
+
+@pytest.fixture
+def sanitizer():
+    """Sanitizer watching THIS test module; sinks stay unsanitized."""
+    san = LockOrderSanitizer(prefixes=(__name__,)).install()
+    log = set_events(EventLog())
+    registry = set_metrics(MetricsRegistry())
+    try:
+        yield san
+    finally:
+        san.uninstall()
+        set_events(log)
+        set_metrics(registry)
+
+
+class _Alpha:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+class _Beta:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+
+def _pair():
+    """Two locks with distinct class-level identities."""
+    return _Alpha(), _Beta()
+
+
+class TestAttribution:
+    def test_instance_lock_label_matches_static_identity(self, sanitizer):
+        holder = _Alpha()
+        with holder._lock:
+            pass
+        cls = type(holder)
+        expected = f"{cls.__module__}.{cls.__qualname__}._lock"
+        assert holder._lock.label() == expected
+
+    def test_unwatched_module_gets_a_real_lock(self):
+        san = LockOrderSanitizer(prefixes=("no.such.package",)).install()
+        try:
+            lock = threading.Lock()
+        finally:
+            san.uninstall()
+        assert type(lock) is type(_ORIG_LOCK())
+
+    def test_local_lock_label_uses_function_scope(self, sanitizer):
+        lock = threading.Lock()
+        assert lock.label().endswith("test_local_lock_label_uses_function_scope.<local>")
+
+
+class TestOrdering:
+    def test_consistent_order_records_edges_no_inversion(self, sanitizer):
+        a, b = _pair()
+        for _ in range(3):
+            with a._lock:
+                with b._lock:
+                    pass
+        assert sanitizer.observed_edges() == {(a._lock.label(), b._lock.label())}
+        assert sanitizer.inversions == []
+
+    def test_inversion_detected_and_emitted(self, sanitizer):
+        a, b = _pair()
+        with a._lock:
+            with b._lock:
+                pass
+        with b._lock:
+            with a._lock:
+                pass
+        assert len(sanitizer.inversions) == 1
+        inv = sanitizer.inversions[0]
+        assert inv.first == b._lock.label()
+        assert inv.second == a._lock.label()
+        assert "->" in inv.witness and "->" in inv.prior
+        events = [e for e in get_events().tail() if e.kind == "sanitizer.inversion"]
+        assert len(events) == 1
+        assert events[0].attrs["second"] == a._lock.label()
+        assert get_metrics().counter("sanitizer.inversions").value == 1
+
+    def test_inversion_reported_once_per_direction(self, sanitizer):
+        a, b = _pair()
+        with a._lock:
+            with b._lock:
+                pass
+        for _ in range(4):
+            with b._lock:
+                with a._lock:
+                    pass
+        assert len(sanitizer.inversions) == 1
+
+    def test_rlock_reentry_is_not_an_edge(self, sanitizer):
+        class Recount:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+        r = Recount()
+        with r._lock:
+            with r._lock:
+                pass
+        assert sanitizer.observed_edges() == set()
+        assert sanitizer.inversions == []
+
+
+class TestLongHolds:
+    def test_long_hold_detected_on_injectable_clock(self):
+        clock = [0.0]
+        san = LockOrderSanitizer(
+            prefixes=(__name__,), time_fn=lambda: clock[0], hold_threshold=1.0
+        ).install()
+        log = set_events(EventLog())
+        registry = set_metrics(MetricsRegistry())
+        try:
+            holder = _Alpha()
+            holder._lock.acquire()
+            clock[0] = 5.0
+            holder._lock.release()
+        finally:
+            san.uninstall()
+            set_events(log)
+            set_metrics(registry)
+        assert len(san.long_holds) == 1
+        assert san.long_holds[0].duration == 5.0
+        assert san.long_holds[0].label == holder._lock.label()
+
+    def test_quick_hold_is_silent(self, sanitizer):
+        holder = _Alpha()
+        with holder._lock:
+            pass
+        assert sanitizer.long_holds == []
+
+
+class TestRecordsSurviveSinkSwaps:
+    def test_history_persists_across_set_events(self, sanitizer):
+        a, b = _pair()
+        with a._lock:
+            with b._lock:
+                pass
+        set_events(EventLog())  # rotate the sink
+        with b._lock:
+            with a._lock:
+                pass
+        assert len(sanitizer.inversions) == 1
+        assert len(sanitizer.observed_edges()) == 2
+
+
+class TestReport:
+    def test_report_and_dump_round_trip(self, sanitizer, tmp_path):
+        import json
+
+        a, b = _pair()
+        with a._lock:
+            with b._lock:
+                pass
+        path = tmp_path / "sanitize.json"
+        sanitizer.dump(str(path))
+        data = json.loads(path.read_text())
+        assert data["locks_created"] >= 2
+        assert data["inversions"] == []
+        assert len(data["edges"]) == 1
+        assert data["edges"][0]["first"] == a._lock.label()
+
+
+class TestEnvInstall:
+    def test_env_gate(self):
+        assert install_from_env({"REPRO_SANITIZE": ""}) is None
+        assert install_from_env({"REPRO_SANITIZE": "other"}) is None
+        san = install_from_env({"REPRO_SANITIZE": "locks"})
+        try:
+            assert san is active()
+            assert install() is san  # idempotent
+        finally:
+            uninstall()
+        assert active() is None
