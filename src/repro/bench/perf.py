@@ -34,7 +34,7 @@ from repro.core.mr_skyline import run_mr_skyline
 __all__ = ["perf_trajectory", "render_trajectory"]
 
 #: Record schema version; bump on breaking shape changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _METHODS = ("dim", "grid", "angle")
 
@@ -137,6 +137,72 @@ def _serving_latencies(
     }
 
 
+def _cluster_traffic(
+    n: int, d: int, kernel: str | None = None
+) -> Dict[str, Any]:
+    """Candidate traffic across the cluster wire on a correlated dataset.
+
+    The communication-efficiency claim of the cluster layer (acceptance
+    criterion of the differential suite): with broadcast filter points, the
+    shards transmit strictly fewer candidates than they hold.  Correlated
+    data is the friendly case — tiny skylines, so the filters dominate
+    nearly everything before it crosses the wire.  Runs over a real
+    3-shard loopback topology (:class:`LocalCluster`); the skyline query
+    seeds the filters, the constrained re-query at the same generation
+    vector then pays only the pruned wire cost.
+    """
+    from repro.data.generators import correlated
+    from repro.serving.cluster import (
+        ClusterConfig,
+        ClusterCoordinator,
+        LocalCluster,
+    )
+    from repro.serving.queries import QuerySpec
+
+    matrix = correlated(n, d, seed=7)
+    with LocalCluster(3) as cluster:
+        coordinator = ClusterCoordinator(
+            cluster.addresses(), config=ClusterConfig(kernel=kernel)
+        )
+        try:
+            coordinator.register("bench", matrix, shard_fn="angle")
+            spec = QuerySpec(dataset="bench", kind="skyline")
+            cold_s = _median_latency_s(
+                lambda: coordinator.query(spec), 1
+            )
+            constrained = QuerySpec(
+                dataset="bench",
+                kind="constrained",
+                lower=(0.0,) * d,
+                upper=(0.6,) * d,
+            )
+            constrained_s = _median_latency_s(
+                lambda: coordinator.query(constrained), 1
+            )
+            stats = coordinator.stats()
+            counters = stats.get("counters", {})
+            held = int(counters.get("serve.cluster.points_held", 0))
+            sent = int(counters.get("serve.cluster.candidates_received", 0))
+            skyline_size = len(coordinator.query(spec).ids)
+        finally:
+            coordinator.close()
+    return {
+        "n": n,
+        "d": d,
+        "shards": 3,
+        "shard_fn": "angle",
+        "workload": "correlated",
+        "skyline_size": skyline_size,
+        "points_held": held,
+        "candidates_sent": sent,
+        "wire_reduction": round(1.0 - sent / held, 4) if held else 0.0,
+        "filter_pruned": int(counters.get("serve.cluster.filter_pruned", 0)),
+        "cold_skyline_s": round(cold_s, 6),
+        "cold_constrained_s": round(constrained_s, 6),
+        "communication_efficient": bool(held and sent < held),
+    }
+
+
 def perf_trajectory(
     *, quick: bool = False, executor: str | None = None, kernel: str | None = None
 ) -> Dict[str, Any]:
@@ -161,6 +227,9 @@ def perf_trajectory(
         "engine": _engine_points(n, d, executor, kernel),
         "serving": _serving_latencies(serving_n, d, repeats, kernel),
         "kernels": _kernel_showdown(showdown_n, showdown_d),
+        "cluster": _cluster_traffic(
+            8_000 if quick else 100_000, 4, kernel
+        ),
     }
     record["suite_wall_s"] = round(time.perf_counter() - started, 3)
     # Embed the process-wide metrics the suite itself generated — the
@@ -232,4 +301,25 @@ def render_trajectory(record: Dict[str, Any]) -> str:
             f"{showdown['identical_skyline']}"
         )
         sections.append(kernels.render())
+    cluster = record.get("cluster")
+    if cluster:
+        table = Table(
+            title=(
+                f"perf trajectory — cluster wire "
+                f"(n={cluster['n']}, d={cluster['d']}, "
+                f"{cluster['shards']} shards, {cluster['workload']})"
+            ),
+            columns=["metric", "value"],
+            precision=6,
+        )
+        for metric in (
+            "points_held", "candidates_sent", "wire_reduction",
+            "filter_pruned", "cold_skyline_s", "cold_constrained_s",
+        ):
+            table.add_row(metric, cluster[metric])
+        table.add_note(
+            f"skyline size {cluster['skyline_size']}, communication "
+            f"efficient: {cluster['communication_efficient']}"
+        )
+        sections.append(table.render())
     return "\n\n".join(sections)

@@ -15,6 +15,11 @@ Usage::
                                          # docs/static_analysis.md)
     python -m repro.cli serve            # online query service (JSON lines
                                          # on stdio or --tcp; docs/serving.md)
+    python -m repro.cli serve --cluster 3   # sharded: coordinator + 3
+                                         # in-process shard servers
+    python -m repro.cli coordinator --shard H:P --shard H:P
+                                         # coordinator over external shards
+                                         # (docs/cluster.md)
     python -m repro.cli top --tcp H:P    # live terminal dashboard polling a
                                          # running server (--once for one frame)
     python -m repro.cli bench            # perf-trajectory suite; --json F
@@ -402,6 +407,21 @@ def _run_serve(argv: List[str]) -> int:
         help="listen on a TCP socket instead of stdio (PORT 0 = pick free)",
     )
     parser.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="sharded mode: boot N in-process shard servers on loopback "
+        "ports behind a coordinator and speak the cluster protocol "
+        "(docs/cluster.md)",
+    )
+    parser.add_argument(
+        "--shard-timeout-s", type=float, default=5.0, metavar="S",
+        help="per-shard RPC budget in --cluster mode (default 5.0)",
+    )
+    parser.add_argument(
+        "--filter-k", type=int, default=None, metavar="K",
+        help="filter points broadcast per cluster query (0 disables wire "
+        "pruning; default: the library default)",
+    )
+    parser.add_argument(
         "--max-inflight", type=int, default=8, metavar="N",
         help="concurrent computations admitted at once (default 8)",
     )
@@ -503,21 +523,29 @@ def _run_serve(argv: List[str]) -> int:
         except OSError as exc:
             print(f"--trace: cannot write {args.trace}: {exc}", file=sys.stderr)
             return 1
-    service = SkylineService(config)
     try:
-        if args.tcp:
-            host, _, port = args.tcp.rpartition(":")
-            try:
-                server = make_tcp_server(service, host or "127.0.0.1", int(port))
-            except (OSError, ValueError) as exc:
-                print(f"serve: cannot bind {args.tcp}: {exc}", file=sys.stderr)
-                return 2
-            bound = server.server_address
-            print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
-            with server:
-                server.serve_forever()
+        if args.cluster is not None:
+            code = _serve_cluster(args, config)
+            if code:
+                return code
         else:
-            serve_stdio(service)
+            service = SkylineService(config)
+            if args.tcp:
+                host, _, port = args.tcp.rpartition(":")
+                try:
+                    server = make_tcp_server(
+                        service, host or "127.0.0.1", int(port)
+                    )
+                except (OSError, ValueError) as exc:
+                    print(f"serve: cannot bind {args.tcp}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                bound = server.server_address
+                print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
+                with server:
+                    server.serve_forever()
+            else:
+                serve_stdio(service)
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     finally:
@@ -535,6 +563,175 @@ def _run_serve(argv: List[str]) -> int:
                 print(f"--events: cannot write {args.events}: {exc}",
                       file=sys.stderr)
                 return 1
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace, shard_config) -> int:
+    """The ``repro serve --cluster N`` body: LocalCluster + coordinator."""
+    from repro.serving.cluster import (
+        ClusterConfig,
+        ClusterCoordinator,
+        LocalCluster,
+        handle_cluster_request,
+    )
+    from repro.serving.server import make_tcp_server, serve_stdio
+
+    if args.cluster < 1:
+        print(f"serve: --cluster must be >= 1, got {args.cluster}",
+              file=sys.stderr)
+        return 2
+    cluster_config = ClusterConfig(
+        kernel=args.kernel,
+        shard_timeout_s=args.shard_timeout_s,
+        cache_entries=args.cache_size,
+        default_deadline_s=args.deadline_s,
+        slo_latency_threshold_s=args.slo_latency_s,
+        slo_latency_target=args.slo_latency_target,
+        slo_availability_target=args.slo_availability_target,
+    )
+    if args.filter_k is not None:
+        cluster_config.filter_k = args.filter_k
+    try:
+        cluster_config.validate()
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    cluster = LocalCluster(args.cluster, config=shard_config)
+    coordinator = ClusterCoordinator(
+        cluster.addresses(), config=cluster_config
+    )
+    try:
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            try:
+                server = make_tcp_server(
+                    coordinator,
+                    host or "127.0.0.1",
+                    int(port),
+                    handler=handle_cluster_request,
+                )
+            except (OSError, ValueError) as exc:
+                print(f"serve: cannot bind {args.tcp}: {exc}", file=sys.stderr)
+                return 2
+            bound = server.server_address
+            print(
+                f"serving {args.cluster}-shard cluster on "
+                f"{bound[0]}:{bound[1]}",
+                file=sys.stderr,
+            )
+            with server:
+                server.serve_forever()
+        else:
+            serve_stdio(coordinator, handler=handle_cluster_request)
+    finally:
+        coordinator.close()
+        cluster.close()
+    return 0
+
+
+def _run_coordinator(argv: List[str]) -> int:
+    """``repro coordinator`` — fan-out front end over external shards."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline coordinator",
+        description=(
+            "Cluster coordinator over already-running `repro serve --tcp` "
+            "shard servers: JSON-lines cluster protocol on stdio (default) "
+            "or a TCP socket (docs/cluster.md)"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        dest="shards",
+        help="address of one shard server (repeat once per shard)",
+    )
+    parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="listen on a TCP socket instead of stdio (PORT 0 = pick free)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["scalar", "block"],
+        default=None,
+        help="dominance backend for merges and filter selection "
+        "(default: $REPRO_KERNEL or scalar)",
+    )
+    parser.add_argument(
+        "--filter-k", type=int, default=None, metavar="K",
+        help="filter points broadcast per query (0 disables wire pruning; "
+        "default: the library default)",
+    )
+    parser.add_argument(
+        "--shard-timeout-s", type=float, default=5.0, metavar="S",
+        help="per-shard RPC budget in seconds (default 5.0)",
+    )
+    parser.add_argument(
+        "--connect-timeout-s", type=float, default=5.0, metavar="S",
+        help="TCP connect budget per shard in seconds (default 5.0)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="cluster result-cache capacity in entries (default 256)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="default per-query deadline in seconds (default: none)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serving.cluster import (
+        ClusterConfig,
+        ClusterCoordinator,
+        handle_cluster_request,
+    )
+    from repro.serving.server import make_tcp_server, serve_stdio
+
+    config = ClusterConfig(
+        kernel=args.kernel,
+        shard_timeout_s=args.shard_timeout_s,
+        connect_timeout_s=args.connect_timeout_s,
+        cache_entries=args.cache_size,
+        default_deadline_s=args.deadline_s,
+    )
+    if args.filter_k is not None:
+        config.filter_k = args.filter_k
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"coordinator: {exc}", file=sys.stderr)
+        return 2
+    coordinator = ClusterCoordinator(args.shards, config=config)
+    try:
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            try:
+                server = make_tcp_server(
+                    coordinator,
+                    host or "127.0.0.1",
+                    int(port),
+                    handler=handle_cluster_request,
+                )
+            except (OSError, ValueError) as exc:
+                print(f"coordinator: cannot bind {args.tcp}: {exc}",
+                      file=sys.stderr)
+                return 2
+            bound = server.server_address
+            print(
+                f"coordinating {len(args.shards)} shard(s) on "
+                f"{bound[0]}:{bound[1]}",
+                file=sys.stderr,
+            )
+            with server:
+                server.serve_forever()
+        else:
+            serve_stdio(coordinator, handler=handle_cluster_request)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        coordinator.close()
     return 0
 
 
@@ -665,6 +862,8 @@ def main(argv: List[str] | None = None) -> int:
         return _run_lint(argv[1:])
     if argv[:1] == ["serve"]:
         return _run_serve(argv[1:])
+    if argv[:1] == ["coordinator"]:
+        return _run_coordinator(argv[1:])
     if argv[:1] == ["top"]:
         return _run_top(argv[1:])
     if argv[:1] == ["bench"]:

@@ -26,13 +26,26 @@ concurrent queries against it:
   verbs are the live telemetry plane.
 * :mod:`~repro.serving.top` — the ``repro top`` terminal dashboard that
   polls those verbs against a running server.
+* :mod:`~repro.serving.cluster` — sharded multi-node serving: a
+  coordinator fans queries out to shard servers with broadcast filter
+  points, merges candidate sets exactly, and degrades (never fails) on
+  shard loss.  ``repro serve --cluster N`` / ``repro coordinator``.
 
-See ``docs/serving.md`` and ``docs/observability.md``.
+See ``docs/serving.md``, ``docs/cluster.md`` and ``docs/observability.md``.
 """
 
 from repro.serving.cache import ResultCache
 from repro.serving.client import ServingClient, ServingConnectionError
-from repro.serving.queries import QUERY_KINDS, QuerySpec, evaluate
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterResponse,
+    ClusterUnavailableError,
+    LocalCluster,
+    ShardLostError,
+    ShardMap,
+)
+from repro.serving.queries import QUERY_KINDS, QuerySpec, candidate_prune_mask, evaluate
 from repro.serving.service import (
     QueryResponse,
     ServeConfig,
@@ -45,6 +58,11 @@ from repro.serving.top import render_frame, run_top
 
 __all__ = [
     "QUERY_KINDS",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterResponse",
+    "ClusterUnavailableError",
+    "LocalCluster",
     "QueryResponse",
     "QuerySpec",
     "ResultCache",
@@ -52,10 +70,13 @@ __all__ = [
     "ServiceOverloadedError",
     "ServingClient",
     "ServingConnectionError",
+    "ShardLostError",
+    "ShardMap",
     "SkylineService",
     "SkylineStore",
     "StoreSnapshot",
     "UnknownDatasetError",
+    "candidate_prune_mask",
     "evaluate",
     "render_frame",
     "run_top",

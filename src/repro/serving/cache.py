@@ -44,7 +44,13 @@ class ResultCache:
             return len(self._entries)
 
     def get(self, key: Key) -> List[int] | None:
-        """The cached result ids for ``key``, or ``None`` on a miss."""
+        """The cached result ids for ``key``, or ``None`` on a miss.
+
+        Returns a *copy*: the stored list must never escape the lock by
+        reference, or a caller mutating its response races an eviction's
+        re-read of the same object (and every coalesced follower would
+        alias the leader's list).
+        """
         with self._lock:
             value = self._entries.get(key)
             if value is None:
@@ -52,12 +58,12 @@ class ResultCache:
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return value
+            return list(value)
 
     def put(self, key: Key, value: List[int]) -> None:
         evicted: List[Key] = []
         with self._lock:
-            self._entries[key] = value
+            self._entries[key] = list(value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 old_key, _ = self._entries.popitem(last=False)
@@ -71,23 +77,47 @@ class ResultCache:
                 generation=old_key[3] if len(old_key) > 3 else None,
             )
 
+    def invalidate(self, dataset: str) -> int:
+        """Drop every entry of ``dataset``; returns how many were dropped.
+
+        Normal mutations never need this — they bump the generation and
+        old keys age out.  Re-*registering* a dataset is the exception:
+        the replacement store restarts its generation counter, so entries
+        of the previous incarnation would become addressable again at the
+        same ``(dataset, kind, params, generation)`` key while naming ids
+        that no longer exist."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == dataset]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
     def latest(
         self, dataset: str, kind: str, params_key: Tuple[Any, ...]
-    ) -> Tuple[int, List[int]] | None:
+    ) -> Tuple[Any, List[int]] | None:
         """Newest cached ``(generation, ids)`` for this query shape.
 
         The stale-answer path: scans for every cached generation of the
         ``(dataset, kind, params)`` prefix and returns the most recent one
         (or ``None`` when the query was never cached).  Linear in the cache
-        size, which is LRU-bounded and small.
+        size, which is LRU-bounded and small.  Generations are compared
+        with ``>`` and returned untouched, so integer store generations
+        and the cluster's per-shard generation vectors both work.
         """
         prefix = (dataset, kind, params_key)
         with self._lock:
-            best: Tuple[int, List[int]] | None = None
+            # One pass entirely under the lock: the generation comparison
+            # and the value read are atomic with respect to evictions, so
+            # a concurrent ``put`` can never leave us holding a key whose
+            # entry was just popped.  The value is copied for the same
+            # aliasing reason as :meth:`get`.
+            best: Tuple[Any, List[int]] | None = None
             for key, value in self._entries.items():
                 if key[:3] == prefix and (best is None or key[3] > best[0]):
-                    best = (int(key[3]), value)
-            return best
+                    best = (key[3], value)
+            if best is None:
+                return None
+            return (best[0], list(best[1]))
 
     def stats(self) -> Dict[str, int]:
         with self._lock:

@@ -22,11 +22,23 @@ import subprocess
 import sys
 from typing import IO, Any, Dict, List, Sequence
 
-__all__ = ["ServingClient", "ServingConnectionError"]
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "ServingClient",
+    "ServingConnectionError",
+]
 
 
 class ServingConnectionError(RuntimeError):
-    """The transport died (EOF, closed socket, dead subprocess)."""
+    """The transport died (EOF, closed socket, dead subprocess) or the
+    peer wrote something that is not a protocol response (garbage JSON,
+    an over-long line) — anything that means *this connection is not
+    speaking the protocol anymore*."""
+
+
+#: Response lines longer than this are treated as a broken peer, not
+#: buffered without bound.  Generous: a 100k-row shard answer fits.
+DEFAULT_MAX_LINE_BYTES = 64 * 1024 * 1024
 
 
 class ServingClient:
@@ -39,11 +51,15 @@ class ServingClient:
         *,
         proc: subprocess.Popen | None = None,
         sock: socket.socket | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ):
+        if max_line_bytes < 2:
+            raise ValueError(f"max_line_bytes must be >= 2, got {max_line_bytes}")
         self._reader = reader
         self._writer = writer
         self._proc = proc
         self._sock = sock
+        self.max_line_bytes = max_line_bytes
 
     # -- constructors -----------------------------------------------------------
 
@@ -75,21 +91,47 @@ class ServingClient:
     # -- transport --------------------------------------------------------------
 
     def call(self, **request: Any) -> Dict[str, Any]:
-        """Send one request object; return the decoded response."""
+        """Send one request object; return the decoded response.
+
+        Any way the peer can fail to answer — EOF, a closed socket, a
+        read timeout, a line that is not JSON, a line longer than
+        ``max_line_bytes`` — raises :class:`ServingConnectionError`;
+        application-level failures come back as ``{"ok": false, ...}``
+        response objects instead.
+        """
         try:
             self._writer.write(json.dumps(request) + "\n")
             self._writer.flush()
-            line = self._reader.readline()
+            line = self._reader.readline(self.max_line_bytes)
         except (OSError, ValueError) as exc:
             raise ServingConnectionError(f"transport failed: {exc}") from exc
         if not line:
             raise ServingConnectionError(
                 "server closed the connection (no response)"
             )
-        response = json.loads(line)
+        if len(line) >= self.max_line_bytes and not line.endswith("\n"):
+            raise ServingConnectionError(
+                f"response line exceeded {self.max_line_bytes} bytes"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServingConnectionError(
+                f"malformed response (bad JSON): {exc}"
+            ) from exc
         if not isinstance(response, dict):
             raise ServingConnectionError(f"malformed response: {response!r}")
         return response
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound every subsequent socket read/write (TCP clients only).
+
+        A timed-out call surfaces as :class:`ServingConnectionError` —
+        the cluster coordinator's per-shard deadline hook.  No-op over
+        stdio pipes.
+        """
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
 
     def close(self) -> None:
         if self._proc is not None:
@@ -122,6 +164,7 @@ class ServingClient:
         generate: Dict[str, int] | None = None,
         scheme: str = "angle",
         partitions: int = 8,
+        shard_fn: str | None = None,
     ) -> Dict[str, Any]:
         request: Dict[str, Any] = {
             "op": "register",
@@ -133,10 +176,31 @@ class ServingClient:
             request["points"] = [list(map(float, row)) for row in points]
         if generate is not None:
             request["generate"] = generate
+        if shard_fn is not None:
+            request["shard_fn"] = shard_fn
         return self.call(**request)
 
     def query(self, dataset: str, kind: str = "skyline", **params: Any) -> Dict[str, Any]:
         return self.call(op="query", dataset=dataset, kind=kind, **params)
+
+    def shard_query(
+        self,
+        dataset: str,
+        kind: str = "skyline",
+        *,
+        filters: Sequence[Sequence[float]] | None = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """One cluster fan-out leg: candidate ids *and* rows, filter-pruned."""
+        request: Dict[str, Any] = {
+            "op": "shard_query",
+            "dataset": dataset,
+            "kind": kind,
+            **params,
+        }
+        if filters is not None:
+            request["filters"] = [list(map(float, row)) for row in filters]
+        return self.call(**request)
 
     def insert(self, dataset: str, point: Sequence[float]) -> Dict[str, Any]:
         return self.call(op="insert", dataset=dataset, point=list(map(float, point)))

@@ -1,0 +1,867 @@
+"""The cluster coordinator: fan-out, candidate merge, degraded answers.
+
+One :class:`ClusterCoordinator` fronts N shard servers (each an ordinary
+``repro serve`` speaking the JSON-lines protocol) and serves the same
+query/mutation surface as a single-node
+:class:`~repro.serving.service.SkylineService`:
+
+* **Reads** fan out as ``shard_query`` legs — one thread per owning shard
+  — carrying the coordinator's current **filter points** (live rows of the
+  dataset, recomputed from every full skyline merge) so shards prune
+  dominated candidates before they cross the wire (Ciaccia–Martinenghi).
+  The candidate union is merged exactly
+  (:func:`~repro.serving.cluster.merge.merge_candidates`) through the
+  kernel seam.
+* **Writes** route to the owning shard
+  (:class:`~repro.serving.cluster.shards.ShardMap`) and bump that shard's
+  component of the dataset's **generation vector** — the versioned leg of
+  the cluster result-cache key, so mutation invalidates cached answers
+  exactly like the single-node generation counter does.
+* **Shard loss degrades, it does not fail**: a refused connection, EOF,
+  per-leg timeout, or an injected fault (the PR-4
+  :class:`~repro.mapreduce.faults.FaultInjector` plugs in via
+  ``ClusterConfig.fault_plan``) marks the leg lost, and the surviving
+  legs merge into a partial answer flagged ``degraded`` with the missing
+  shards listed — never cached, so a recovered shard immediately restores
+  full answers.  ``serve.shard.lost`` counts and events make every loss
+  observable; generation vectors fold in with ``max`` and never regress.
+
+Thread-safety: routing/identity state mutates only under ``self._lock``;
+no RPC, join, or wait ever runs while it is held.  Each
+:class:`ShardEndpoint` hands out pooled connections the same way — the
+pool free-list is locked, the socket I/O is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.filtering import DEFAULT_FILTER_K, compute_filter_points
+from repro.core.kernels import get_kernel
+from repro.mapreduce.errors import TaskError
+from repro.mapreduce.faults import FaultInjector, FaultPlan, MonotonicClock, apply_fault
+from repro.observability.events import get_events
+from repro.observability.metrics import Histogram, get_metrics
+from repro.observability.slo import SLOTracker, default_objectives
+from repro.observability.tracing import get_tracer
+from repro.serving.cache import ResultCache
+from repro.serving.client import ServingClient, ServingConnectionError
+from repro.serving.cluster.merge import merge_candidates
+from repro.serving.cluster.shards import DatasetPlacement, ShardMap
+from repro.serving.queries import QuerySpec
+from repro.serving.service import UnknownDatasetError
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterResponse",
+    "ClusterUnavailableError",
+    "ShardEndpoint",
+    "ShardLostError",
+]
+
+
+class ShardLostError(RuntimeError):
+    """One shard could not answer (refused, EOF, timeout, injected fault)."""
+
+    def __init__(self, shard: int, reason: str):
+        super().__init__(f"shard {shard} lost ({reason})")
+        self.shard = shard
+        self.reason = reason
+
+
+class ClusterUnavailableError(RuntimeError):
+    """Every owning shard was lost and no stale answer is cached."""
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Coordinator knobs (the cluster analogue of ``ServeConfig``)."""
+
+    #: Dominance backend for merges and filter selection.
+    kernel: str | None = None
+    #: Broadcast filter-set size (0 disables wire pruning).
+    filter_k: int = DEFAULT_FILTER_K
+    #: Per-leg socket budget for queries and small writes.
+    shard_timeout_s: float = 5.0
+    #: TCP connect budget per shard.
+    connect_timeout_s: float = 5.0
+    #: Cluster result-cache capacity (keyed by generation vector).
+    cache_entries: int = 256
+    #: Deadline applied when a query names none (``None`` = unbounded).
+    default_deadline_s: float | None = None
+    #: Inject shard faults (chaos tests): consulted once per fan-out leg
+    #: with ``job_name="cluster.<dataset>"``, ``kind="map"``,
+    #: ``index=<shard id>``.
+    fault_plan: FaultPlan | None = None
+    #: SLO objectives (same shape as the single-node service).
+    slo_latency_target: float = 0.95
+    slo_latency_threshold_s: float = 0.5
+    slo_availability_target: float = 0.999
+
+    def validate(self) -> None:
+        if self.filter_k < 0:
+            raise ValueError(f"filter_k must be >= 0, got {self.filter_k}")
+        if self.shard_timeout_s <= 0:
+            raise ValueError(
+                f"shard_timeout_s must be > 0, got {self.shard_timeout_s}"
+            )
+        if self.connect_timeout_s <= 0:
+            raise ValueError(
+                f"connect_timeout_s must be > 0, got {self.connect_timeout_s}"
+            )
+        if self.cache_entries < 1:
+            raise ValueError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+
+
+@dataclass(slots=True)
+class ClusterResponse:
+    """One coordinator answer, labelled with its generation vector."""
+
+    dataset: str
+    kind: str
+    ids: List[int]
+    generations: Tuple[int, ...]
+    cache_hit: bool = False
+    degraded: bool = False
+    missing_shards: List[int] = field(default_factory=list)
+    status: str = "ok"
+    latency_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "ids": list(self.ids),
+            "generations": list(self.generations),
+            "cache_hit": self.cache_hit,
+            "degraded": self.degraded,
+            "missing_shards": list(self.missing_shards),
+            "status": self.status,
+            "latency_s": round(self.latency_s, 9),
+        }
+
+
+class ShardEndpoint:
+    """One shard's address plus a small pool of protocol connections.
+
+    ``call`` takes an idle connection (or dials a new one), runs exactly
+    one request/response on it with the socket timeout set to the leg
+    budget, and returns it to the pool.  Transport failure closes the
+    connection, flips ``state`` to ``"lost"`` and raises
+    :class:`ShardLostError`; the next call simply dials again — recovery
+    is automatic once the shard is back.
+
+    The pool free-list is the only locked state; socket I/O never runs
+    under the lock.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 5.0,
+    ):
+        self.index = index
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout_s = connect_timeout_s
+        self.state = "up"
+        self._lock = threading.Lock()
+        self._idle: List[ServingClient] = []
+
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def call(self, timeout_s: float | None, **request: Any) -> Dict[str, Any]:
+        """One request/response against this shard, bounded by ``timeout_s``."""
+        client: ServingClient | None = None
+        with self._lock:
+            if self._idle:
+                client = self._idle.pop()
+        try:
+            if client is None:
+                client = ServingClient.connect(
+                    self.host, self.port, timeout=self.connect_timeout_s
+                )
+            client.settimeout(timeout_s)
+            response = client.call(**request)
+        except (ServingConnectionError, OSError) as exc:
+            if client is not None:
+                _close_quietly(client)
+            with self._lock:
+                self.state = "lost"
+            raise ShardLostError(self.index, str(exc)) from exc
+        with self._lock:
+            self.state = "up"
+            self._idle.append(client)
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._idle)
+            self._idle.clear()
+        for client in clients:
+            _close_quietly(client)
+
+
+def _close_quietly(client: ServingClient) -> None:
+    try:
+        client.close()
+    except (OSError, ValueError):
+        pass  # tearing down a dead transport; nothing left to report
+
+
+def _parse_endpoint(spec: "str | Tuple[str, int]") -> Tuple[str, int]:
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"shard endpoint must be host:port, got {spec!r}")
+    return host, int(port)
+
+
+class ClusterCoordinator:
+    """Sharded serving front end over N ``repro serve`` shard servers."""
+
+    def __init__(
+        self,
+        endpoints: Sequence["str | Tuple[str, int]"],
+        *,
+        config: ClusterConfig | None = None,
+        clock: Any = None,
+    ):
+        if not endpoints:
+            raise ValueError("a cluster needs at least one shard endpoint")
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self._endpoints = [
+            ShardEndpoint(
+                i, *_parse_endpoint(spec),
+                connect_timeout_s=self.config.connect_timeout_s,
+            )
+            for i, spec in enumerate(endpoints)
+        ]
+        self._lock = threading.RLock()
+        self._map = ShardMap(len(self._endpoints))
+        self._cache = ResultCache(self.config.cache_entries)
+        #: dataset -> (generation vector the filters are valid at, rows)
+        self._filters: Dict[str, Tuple[Tuple[int, ...], np.ndarray]] = {}
+        self._lost_counts: Dict[int, int] = {}
+        self._attempts: Dict[Tuple[str, int], int] = {}
+        self._injector = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None
+            else None
+        )
+        self._started_at = self.clock.monotonic()
+        self.slo = SLOTracker(
+            default_objectives(
+                availability_target=self.config.slo_availability_target,
+                latency_threshold_s=self.config.slo_latency_threshold_s,
+                latency_target=self.config.slo_latency_target,
+            ),
+            clock=self.clock,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._endpoints)
+
+    def close(self) -> None:
+        for endpoint in self._endpoints:
+            endpoint.close()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- dataset management -----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        points: np.ndarray | Sequence[Sequence[float]] | None = None,
+        *,
+        shard_fn: str | None = None,
+        scheme: str = "angle",
+        num_partitions: int = 8,
+    ) -> Tuple[int, ...]:
+        """Place a dataset and register each shard's slice; returns the
+        generation vector.
+
+        ``shard_fn=None`` keeps the whole dataset on one shard
+        (round-robin); ``"hash"`` / ``"angle"`` / ``"grid"`` / ``"dim"``
+        split it across every shard with the matching partitioner.
+        ``scheme`` / ``num_partitions`` pass through to each shard's
+        *within-shard* store partitioning, unchanged from single-node.
+        """
+        rows = (
+            np.asarray(points, dtype=np.float64) if points is not None else None
+        )
+        with self._lock:
+            replaced = name in self._map
+            placement, slices = self._map.place(name, rows, shard_fn=shard_fn)
+            self._filters.pop(name, None)
+        if replaced:
+            # The replacement placement restarts its generation vector; the
+            # previous incarnation's cached answers must not be addressable
+            # at the recycled (dataset, ..., gvec) keys.
+            self._cache.invalidate(name)
+        for shard in placement.shard_ids:
+            part = slices[shard]
+            request: Dict[str, Any] = {
+                "op": "register",
+                "dataset": name,
+                "scheme": scheme,
+                "partitions": num_partitions,
+            }
+            if part is not None and part.shape[0]:
+                request["points"] = [[float(v) for v in row] for row in part]
+            response = self._call_shard(name, shard, None, request)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"shard {shard} rejected register of {name!r}: "
+                    f"{response.get('error', response)}"
+                )
+            with self._lock:
+                placement.observe_generation(shard, response["generation"])
+        with self._lock:
+            gvec = placement.generation_vector()
+        if self.config.filter_k and rows is not None and rows.shape[0]:
+            flt = compute_filter_points(
+                rows, k=self.config.filter_k, kernel=self.config.kernel
+            )
+            with self._lock:
+                self._filters[name] = (gvec, flt)
+        get_metrics().gauge("serve.cluster.datasets").set(
+            len(self._map.datasets())
+        )
+        return gvec
+
+    def datasets(self) -> List[str]:
+        with self._lock:
+            return self._map.datasets()
+
+    def shard_of(self, dataset: str, point_id: int) -> int:
+        """The shard currently holding global id ``point_id``.
+
+        Ops/debug surface (and the chaos suite's ground truth for which
+        points a killed shard takes down with it)."""
+        with self._lock:
+            placement = self._placement(dataset)
+            try:
+                return placement.local_of[int(point_id)][0]
+            except KeyError:
+                raise KeyError(
+                    f"unknown point id {point_id} in dataset {dataset!r}"
+                ) from None
+
+    # -- mutations --------------------------------------------------------------
+
+    def insert(
+        self, dataset: str, point: Sequence[float] | np.ndarray
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """Insert one row; returns ``(global id, generation vector)``."""
+        row = np.asarray(point, dtype=np.float64).ravel()
+        with self._lock:
+            placement = self._placement(dataset)
+            shard = placement.owner_of(row)
+            self._filters.pop(dataset, None)
+        response = self._call_shard(
+            dataset,
+            shard,
+            self.config.shard_timeout_s,
+            {"op": "insert", "dataset": dataset, "point": [float(v) for v in row]},
+        )
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"shard {shard} rejected insert into {dataset!r}: "
+                f"{response.get('error', response)}"
+            )
+        with self._lock:
+            placement.observe_generation(shard, response["generation"])
+            global_id = placement.bind(shard, int(response["id"]))
+            gvec = placement.generation_vector()
+        get_metrics().counter("serve.cluster.mutations").inc()
+        return global_id, gvec
+
+    def remove(self, dataset: str, point_id: int) -> Tuple[int, ...]:
+        """Remove one row by global id; returns the generation vector."""
+        with self._lock:
+            placement = self._placement(dataset)
+            try:
+                shard, local_id = placement.local_of[int(point_id)]
+            except KeyError:
+                raise KeyError(
+                    f"unknown point id {point_id} in dataset {dataset!r}"
+                ) from None
+            self._filters.pop(dataset, None)
+        response = self._call_shard(
+            dataset,
+            shard,
+            self.config.shard_timeout_s,
+            {"op": "remove", "dataset": dataset, "id": local_id},
+        )
+        if not response.get("ok"):
+            raise KeyError(
+                f"shard {shard} rejected remove of {point_id} from "
+                f"{dataset!r}: {response.get('error', response)}"
+            )
+        with self._lock:
+            placement.observe_generation(shard, response["generation"])
+            placement.release(int(point_id))
+            gvec = placement.generation_vector()
+        get_metrics().counter("serve.cluster.mutations").inc()
+        return gvec
+
+    # -- the serve path ---------------------------------------------------------
+
+    def query(
+        self, spec: QuerySpec, *, deadline_s: float | None = None
+    ) -> ClusterResponse:
+        """Serve one query across the cluster.
+
+        Raises :class:`UnknownDatasetError` for a bad name and
+        :class:`ClusterUnavailableError` only when *every* owning shard is
+        lost and nothing stale is cached; any partial loss degrades.
+        """
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.counter("serve.cluster.requests").inc()
+        start = self.clock.monotonic()
+        deadline = (
+            deadline_s if deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        span = tracer.start_span(
+            "serve.cluster.request", kind="serve",
+            dataset=spec.dataset, query=spec.kind,
+        )
+        status = "error"
+        try:
+            response = self._serve(spec, start, deadline, span)
+            status = response.status
+            response.latency_s = self.clock.monotonic() - start
+            return response
+        finally:
+            latency_s = self.clock.monotonic() - start
+            metrics.histogram("serve.cluster.latency_s").observe(latency_s)
+            self.slo.record(latency_s, ok=status in ("ok", "degraded"))
+            span.set_attrs(status=status)
+            tracer.end_span(
+                span, status="ok" if status in ("ok", "degraded") else "error"
+            )
+
+    def _serve(
+        self,
+        spec: QuerySpec,
+        start: float,
+        deadline: float | None,
+        span: Any,
+    ) -> ClusterResponse:
+        metrics = get_metrics()
+        with self._lock:
+            placement = self._placement(spec.dataset)
+            gvec = placement.generation_vector()
+            entry = self._filters.get(spec.dataset)
+            filters = entry[1] if entry is not None and entry[0] == gvec else None
+        key = (spec.dataset, spec.kind, spec.params_key(), gvec)
+        cached = self._cache.get(key)
+        if cached is not None:
+            metrics.counter("serve.cluster.cache.hits").inc()
+            span.set_attrs(cache="hit")
+            return ClusterResponse(
+                dataset=spec.dataset,
+                kind=spec.kind,
+                ids=cached,
+                generations=gvec,
+                cache_hit=True,
+            )
+        metrics.counter("serve.cluster.cache.misses").inc()
+        span.set_attrs(cache="miss", filters=0 if filters is None else len(filters))
+        answers, lost = self._fan_out(placement, spec, filters, start, deadline, span)
+        gen_of = dict(zip(placement.shard_ids, gvec))
+        if filters is not None and any(
+            ans["generation"] != gen_of[shard] for shard, ans in answers.items()
+        ):
+            # A mutation raced past the filter tag: one of the filter rows
+            # may no longer be live at the generation a shard answered at,
+            # so its pruning cannot be trusted.  Re-fan-out unfiltered.
+            metrics.counter("serve.cluster.unfiltered_retries").inc()
+            answers, lost = self._fan_out(
+                placement, spec, None, start, deadline, span
+            )
+        with self._lock:
+            for shard, ans in answers.items():
+                placement.observe_generation(shard, ans["generation"])
+            new_gvec = placement.generation_vector()
+            mapped = [
+                self._map_answer(placement, shard, ans)
+                for shard, ans in answers.items()
+            ]
+        self._note_lost(spec.dataset, lost)
+        if not answers:
+            return self._all_lost(spec, lost, span)
+        ids, rows = merge_candidates(spec, mapped, kernel=self.config.kernel)
+        metrics.counter("serve.cluster.points_held").inc(
+            sum(ans["held"] for ans in answers.values())
+        )
+        metrics.counter("serve.cluster.candidates_received").inc(
+            sum(ans["sent"] for ans in answers.values())
+        )
+        metrics.counter("serve.cluster.filter_pruned").inc(
+            sum(ans["candidates"] - ans["sent"] for ans in answers.values())
+        )
+        gen_of_new = dict(zip(placement.shard_ids, new_gvec))
+        consistent = not lost and all(
+            ans["generation"] == gen_of_new[shard]
+            for shard, ans in answers.items()
+        )
+        if lost:
+            metrics.counter("serve.cluster.degraded").inc()
+            get_events().emit(
+                "cluster.degraded",
+                dataset=spec.dataset,
+                query=spec.kind,
+                missing=sorted(lost),
+            )
+            span.set_attrs(degraded=True, missing=sorted(lost))
+        elif consistent:
+            # Degraded or racy answers are never cached: the cache must
+            # only ever serve answers that are exact at their key's
+            # generation vector.
+            self._cache.put(
+                (spec.dataset, spec.kind, spec.params_key(), new_gvec), ids
+            )
+            if self.config.filter_k and spec.kind == "skyline" and len(ids):
+                flt = compute_filter_points(
+                    rows, k=self.config.filter_k, kernel=self.config.kernel
+                )
+                with self._lock:
+                    self._filters[spec.dataset] = (new_gvec, flt)
+        span.set_attrs(results=len(ids))
+        return ClusterResponse(
+            dataset=spec.dataset,
+            kind=spec.kind,
+            ids=ids,
+            generations=new_gvec,
+            degraded=bool(lost),
+            missing_shards=sorted(lost),
+            status="degraded" if lost else "ok",
+        )
+
+    # -- fan-out ----------------------------------------------------------------
+
+    def _fan_out(
+        self,
+        placement: DatasetPlacement,
+        spec: QuerySpec,
+        filters: np.ndarray | None,
+        start: float,
+        deadline: float | None,
+        parent_span: Any,
+    ) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, str]]:
+        """Run one ``shard_query`` leg per owning shard, concurrently.
+
+        Returns ``(answers by shard, lost shards by reason)``.  A leg is
+        lost on transport failure, an injected fault, a non-ok response,
+        or the query deadline expiring before it finishes.
+        """
+        tracer = get_tracer()
+        request: Dict[str, Any] = {"op": "shard_query", **spec.to_dict()}
+        if filters is not None and len(filters):
+            request["filters"] = [[float(v) for v in row] for row in filters]
+        results: Dict[int, Tuple[str, Any]] = {}
+        results_lock = threading.Lock()
+        threads: List[Tuple[int, threading.Thread]] = []
+
+        def leg(shard: int, timeout_s: float | None) -> None:
+            leg_span = tracer.start_span(
+                "serve.shard.call", kind="serve", parent=parent_span,
+                shard=shard, dataset=spec.dataset, query=spec.kind,
+            )
+            leg_status = "ok"
+            try:
+                response = self._call_shard(
+                    spec.dataset, shard, timeout_s, request
+                )
+                if response.get("ok"):
+                    with results_lock:
+                        results[shard] = ("ok", response)
+                    leg_span.set_attrs(sent=response.get("sent"))
+                else:
+                    leg_status = "error"
+                    reason = str(
+                        response.get("error")
+                        or response.get("reason")
+                        or "rejected"
+                    )
+                    with results_lock:
+                        results[shard] = ("lost", reason)
+            except ShardLostError as exc:
+                leg_status = "error"
+                with results_lock:
+                    results[shard] = ("lost", exc.reason)
+            finally:
+                tracer.end_span(leg_span, status=leg_status)
+
+        for shard in placement.shard_ids:
+            timeout_s = self._leg_timeout(start, deadline)
+            thread = threading.Thread(
+                target=leg,
+                args=(shard, timeout_s),
+                name=f"cluster-leg-{spec.dataset}-{shard}",
+                daemon=True,
+            )
+            threads.append((shard, thread))
+            thread.start()
+        answers: Dict[int, Dict[str, Any]] = {}
+        lost: Dict[int, str] = {}
+        for shard, thread in threads:
+            remaining = self._remaining(start, deadline)
+            thread.join(remaining)
+            if thread.is_alive():
+                lost[shard] = "timeout"
+                continue
+            state, payload = results[shard]
+            if state == "ok":
+                answers[shard] = payload
+            else:
+                lost[shard] = payload
+        return answers, lost
+
+    def _leg_timeout(self, start: float, deadline: float | None) -> float:
+        remaining = self._remaining(start, deadline)
+        if remaining is None:
+            return self.config.shard_timeout_s
+        return max(min(self.config.shard_timeout_s, remaining), 0.001)
+
+    def _remaining(self, start: float, deadline: float | None) -> float | None:
+        if deadline is None:
+            return None
+        return max(deadline - (self.clock.monotonic() - start), 0.0)
+
+    def _call_shard(
+        self,
+        dataset: str,
+        shard: int,
+        timeout_s: float | None,
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """One shard RPC, with the chaos injector in the loop.
+
+        Faults only ever target query fan-out legs: a lost write must
+        surface as an error to the writer (there is no replica to degrade
+        to), so injecting into register/insert/remove would just test the
+        error path twice.
+        """
+        decision = None
+        if self._injector is not None and request.get("op") == "shard_query":
+            with self._lock:
+                attempt = self._attempts.get((dataset, shard), 0) + 1
+                self._attempts[(dataset, shard)] = attempt
+                decision = self._injector.decide(
+                    f"cluster.{dataset}", "map", shard, attempt
+                )
+        endpoint = self._endpoints[shard]
+        if decision is None:
+            return endpoint.call(timeout_s, **request)
+        try:
+            return apply_fault(
+                decision,
+                timeout_s,
+                lambda: endpoint.call(timeout_s, **request),
+            )
+        except TaskError as exc:
+            # Injected crash or cooperative hang-past-deadline: the leg is
+            # lost exactly as if the shard's transport had died.
+            raise ShardLostError(shard, f"injected:{decision.action}") from exc
+
+    # -- degraded paths ---------------------------------------------------------
+
+    def _note_lost(self, dataset: str, lost: Dict[int, str]) -> None:
+        if not lost:
+            return
+        metrics = get_metrics()
+        with self._lock:
+            for shard in lost:
+                self._lost_counts[shard] = self._lost_counts.get(shard, 0) + 1
+        for shard, reason in sorted(lost.items()):
+            metrics.counter("serve.shard.lost").inc()
+            get_events().emit(
+                "serve.shard.lost", shard=shard, dataset=dataset, reason=reason
+            )
+
+    def _all_lost(
+        self, spec: QuerySpec, lost: Dict[int, str], span: Any
+    ) -> ClusterResponse:
+        """Every owning shard lost: serve the newest stale answer, if any."""
+        stale = self._cache.latest(spec.dataset, spec.kind, spec.params_key())
+        get_metrics().counter("serve.cluster.degraded").inc()
+        get_events().emit(
+            "cluster.degraded",
+            dataset=spec.dataset,
+            query=spec.kind,
+            missing=sorted(lost),
+            stale=stale is not None,
+        )
+        span.set_attrs(degraded=True, missing=sorted(lost))
+        if stale is None:
+            raise ClusterUnavailableError(
+                f"query {spec.describe()}: all {len(lost)} owning shards "
+                f"lost ({', '.join(f'{s}:{r}' for s, r in sorted(lost.items()))}) "
+                "and no stale answer cached"
+            )
+        generations, ids = stale
+        return ClusterResponse(
+            dataset=spec.dataset,
+            kind=spec.kind,
+            ids=ids,
+            generations=tuple(generations),
+            cache_hit=True,
+            degraded=True,
+            missing_shards=sorted(lost),
+            status="degraded",
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _placement(self, dataset: str) -> DatasetPlacement:
+        try:
+            return self._map.placement(dataset)
+        except KeyError:
+            raise UnknownDatasetError(dataset) from None
+
+    def _map_answer(
+        self,
+        placement: DatasetPlacement,
+        shard: int,
+        ans: Dict[str, Any],
+    ) -> Tuple[List[int], np.ndarray]:
+        """Translate one shard answer to global ids, dropping rows whose
+        identity the coordinator already released (a remove racing the
+        fan-out: such rows cannot be live at the labelled generations)."""
+        rows = np.asarray(ans["rows"], dtype=np.float64)
+        global_ids: List[int] = []
+        keep: List[int] = []
+        for i, local_id in enumerate(ans["ids"]):
+            gid = placement.global_of.get((shard, int(local_id)))
+            if gid is not None:
+                global_ids.append(gid)
+                keep.append(i)
+        if len(keep) != rows.shape[0]:
+            rows = rows[keep] if keep else np.empty((0, rows.shape[1] if rows.ndim == 2 else 0))
+        return global_ids, rows
+
+    # -- introspection ----------------------------------------------------------
+
+    def uptime_s(self) -> float:
+        return self.clock.monotonic() - self._started_at
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self._cache.stats()
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready operational snapshot (the cluster ``stats`` op)."""
+        snapshot = get_metrics().snapshot()
+        with self._lock:
+            datasets = {
+                name: {
+                    "size": p.size,
+                    "generation": sum(p.generation_vector()),
+                    "generations": list(p.generation_vector()),
+                    "shard_fn": p.shard_fn,
+                    "shards": len(p.shard_ids),
+                }
+                for name, p in (
+                    (n, self._map.placement(n)) for n in self._map.datasets()
+                )
+            }
+            participation: Dict[int, int] = {}
+            for name in self._map.datasets():
+                for shard in self._map.placement(name).shard_ids:
+                    participation[shard] = participation.get(shard, 0) + 1
+            shards = {
+                f"shard{ep.index}": {
+                    "address": ep.address(),
+                    "state": ep.state,
+                    "datasets": participation.get(ep.index, 0),
+                    "lost": self._lost_counts.get(ep.index, 0),
+                }
+                for ep in self._endpoints
+            }
+        return {
+            "uptime_s": round(self.uptime_s(), 6),
+            "kernel": get_kernel(self.config.kernel).name,
+            "cluster": {"shards": self.num_shards},
+            "datasets": datasets,
+            "shards": shards,
+            "cache": self._cache.stats(),
+            "counters": {
+                name: value
+                for name, value in snapshot["counters"].items()
+                if name.startswith(("serve.", "prune."))
+            },
+            "gauges": {
+                name: value
+                for name, value in snapshot["gauges"].items()
+                if name.startswith(("serve.", "partition."))
+            },
+            "latency": snapshot["histograms"].get(
+                "serve.cluster.latency_s",
+                Histogram("serve.cluster.latency_s").snapshot(),
+            ),
+            "events": get_events().counts(),
+        }
+
+    def slo_report(self) -> Dict[str, Any]:
+        return self.slo.evaluate()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + burn state + shard reachability (the ``health`` op)."""
+        slo_state = self.slo.evaluate()["state"]
+        status = {"ok": "healthy", "ticket": "degraded", "page": "unhealthy"}[
+            slo_state
+        ]
+        with self._lock:
+            down = [ep.index for ep in self._endpoints if ep.state != "up"]
+            datasets = len(self._map.datasets())
+        if down and status == "healthy":
+            status = "degraded"
+        return {
+            "status": status,
+            "slo_state": slo_state,
+            "uptime_s": round(self.uptime_s(), 6),
+            "datasets": datasets,
+            "shards": self.num_shards,
+            "shards_down": down,
+        }
+
+    def events_tail(
+        self,
+        n: int | None = 50,
+        *,
+        kinds: Sequence[str] | None = None,
+        since_seq: int | None = None,
+    ) -> List[Dict[str, Any]]:
+        return [
+            event.to_dict()
+            for event in get_events().tail(n, kinds=kinds, since_seq=since_seq)
+        ]

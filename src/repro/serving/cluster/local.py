@@ -1,0 +1,115 @@
+"""In-process shard fleet: N real TCP shard servers in one process.
+
+``repro serve --cluster N`` and the cluster test suites need a topology
+without provisioning machines: a :class:`LocalCluster` boots N fully
+independent :class:`~repro.serving.service.SkylineService` instances,
+each behind its own :func:`~repro.serving.server.make_tcp_server` on a
+loopback port, and the coordinator talks to them over real sockets — the
+exact wire path a distributed deployment uses.
+
+Chaos hook: :meth:`LocalCluster.kill` stops a shard's accept loop *and*
+severs its established connections (a plain ``server_close`` would leave
+the coordinator's pooled connections alive and the "crash" unobservable),
+which is what the chaos leg of the differential suite relies on.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List
+
+from repro.serving.server import ServingTCPServer
+from repro.serving.service import ServeConfig, SkylineService
+
+__all__ = ["LocalCluster"]
+
+
+class _TrackingTCPServer(ServingTCPServer):
+    """A :class:`ServingTCPServer` that can sever live connections."""
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self._conn_lock = threading.Lock()
+        self._conns: "set[socket.socket]" = set()
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        with self._conn_lock:
+            self._conns.add(request)
+        super().process_request(request, client_address)
+
+    def close_connections(self) -> None:
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already torn down by the session thread
+            try:
+                conn.close()
+            except OSError:
+                pass  # double close is the expected teardown race
+
+
+class LocalCluster:
+    """N in-process shard servers on loopback ports."""
+
+    def __init__(self, num_shards: int, *, config: ServeConfig | None = None):
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.services: List[SkylineService] = []
+        self.servers: List[_TrackingTCPServer | None] = []
+        self._threads: List[threading.Thread] = []
+        self._dead: Dict[int, str] = {}
+        for i in range(num_shards):
+            service = SkylineService(config)
+            server = _TrackingTCPServer(("127.0.0.1", 0), service)
+            thread = threading.Thread(
+                target=server.serve_forever,
+                name=f"local-shard-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self.services.append(service)
+            self.servers.append(server)
+            self._threads.append(thread)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.services)
+
+    def addresses(self) -> List[str]:
+        """``host:port`` per live shard (killed shards keep their slot —
+        the coordinator must see the address and fail to reach it)."""
+        out: List[str] = []
+        for i, server in enumerate(self.servers):
+            if server is None:
+                out.append(self._dead[i])
+            else:
+                host, port = server.server_address[:2]
+                out.append(f"{host}:{port}")
+        return out
+
+    def kill(self, index: int) -> None:
+        """Crash one shard: stop accepting and sever live connections."""
+        server = self.servers[index]
+        if server is None:
+            return
+        host, port = server.server_address[:2]
+        self._dead[index] = f"{host}:{port}"
+        self.servers[index] = None
+        server.shutdown()
+        server.close_connections()
+        server.server_close()
+
+    def close(self) -> None:
+        for i in range(len(self.servers)):
+            self.kill(i)
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

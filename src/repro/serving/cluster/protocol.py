@@ -1,0 +1,150 @@
+"""JSON-lines protocol of the cluster coordinator.
+
+Same wire format and verbs as the single-node protocol
+(:mod:`repro.serving.protocol`) — a client cannot tell a coordinator from
+a plain ``repro serve`` except by what the responses carry:
+
+* ``register`` takes an optional ``"shard_fn"`` (``"hash"`` / ``"angle"``
+  / ``"grid"`` / ``"dim"``; omitted = single-shard placement) and answers
+  with ``"generations"`` (the vector) instead of a scalar generation;
+* ``query`` responses carry ``generations``, ``degraded`` and
+  ``missing_shards``;
+* ``insert`` / ``remove`` answer with the new generation vector;
+* ``stats`` adds the per-shard ``"shards"`` table ``repro top`` renders.
+
+A fully-unreachable cluster is an ``{"ok": false, "status":
+"unavailable"}`` response — still data, never a broken connection —
+while partial loss is a successful ``degraded`` answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.serving.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterUnavailableError,
+    ShardLostError,
+)
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    _handle_events,
+    _handle_metrics,
+    parse_query_spec,
+)
+from repro.serving.service import UnknownDatasetError
+
+__all__ = ["handle_cluster_request"]
+
+
+def _register(
+    coordinator: ClusterCoordinator, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    dataset = str(request.get("dataset", ""))
+    points = request.get("points")
+    shard_fn = request.get("shard_fn")
+    gvec = coordinator.register(
+        dataset,
+        np.asarray(points, dtype=np.float64) if points is not None else None,
+        shard_fn=str(shard_fn) if shard_fn is not None else None,
+        scheme=str(request.get("scheme", "angle")),
+        num_partitions=int(request.get("partitions", 8)),
+    )
+    return {
+        "ok": True,
+        "dataset": dataset,
+        "generations": list(gvec),
+        "shards": coordinator.num_shards,
+    }
+
+
+def _query(
+    coordinator: ClusterCoordinator, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    spec = parse_query_spec(request)
+    deadline = request.get("deadline_s")
+    response = coordinator.query(
+        spec, deadline_s=float(deadline) if deadline is not None else None
+    )
+    return {"ok": True, **response.to_dict()}
+
+
+def _insert(
+    coordinator: ClusterCoordinator, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    point_id, gvec = coordinator.insert(
+        str(request.get("dataset", "")), request["point"]
+    )
+    return {"ok": True, "id": point_id, "generations": list(gvec)}
+
+
+def _remove(
+    coordinator: ClusterCoordinator, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    gvec = coordinator.remove(
+        str(request.get("dataset", "")), int(request["id"])
+    )
+    return {"ok": True, "generations": list(gvec)}
+
+
+def handle_cluster_request(
+    coordinator: ClusterCoordinator, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one decoded request; always returns a response object."""
+    if not isinstance(request, dict):
+        return {"ok": False, "status": "error", "error": "request must be an object"}
+    op = request.get("op")
+    try:
+        if op == "register":
+            return _register(coordinator, request)
+        if op == "query":
+            return _query(coordinator, request)
+        if op == "insert":
+            return _insert(coordinator, request)
+        if op == "remove":
+            return _remove(coordinator, request)
+        if op == "stats":
+            return {
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                **coordinator.stats(),
+            }
+        if op == "health":
+            return {"ok": True, **coordinator.health()}
+        if op == "slo":
+            return {"ok": True, **coordinator.slo_report()}
+        if op == "events":
+            return _handle_events(coordinator, request)  # type: ignore[arg-type]
+        if op == "metrics":
+            return _handle_metrics(coordinator, request)  # type: ignore[arg-type]
+        if op == "ping":
+            return {
+                "ok": True,
+                "pong": True,
+                "version": PROTOCOL_VERSION,
+                "shards": coordinator.num_shards,
+            }
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "status": "error", "error": f"unknown op {op!r}"}
+    except (ShardLostError, ClusterUnavailableError) as exc:
+        return {
+            "ok": False,
+            "status": "unavailable",
+            "error": str(exc),
+            **(
+                {"shard": exc.shard}
+                if isinstance(exc, ShardLostError)
+                else {}
+            ),
+        }
+    except UnknownDatasetError as exc:
+        return {
+            "ok": False,
+            "status": "error",
+            "error": f"unknown dataset {exc.args[0]!r}",
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "status": "error", "error": str(exc)}

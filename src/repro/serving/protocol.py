@@ -14,6 +14,12 @@ with an ``"op"`` field; every response has ``"ok": true/false``.  The ops:
     kind-specific parameters (``k`` / ``lower`` + ``upper`` / ``dims``)
     and an optional ``deadline_s``.  Response carries ``ids``,
     ``generation``, ``cache_hit``, ``coalesced``, ``degraded``, ``status``.
+``shard_query``
+    The cluster fan-out leg (``docs/cluster.md``): like ``query`` but the
+    response carries candidate ``rows`` alongside ``ids`` plus traffic
+    accounting (``held`` / ``candidates`` / ``sent``), and an optional
+    ``filters`` row list prunes dominated candidates before they cross
+    the wire.
 ``insert`` / ``remove``
     Point mutations; responses carry the new ``generation`` (and the
     assigned ``id`` for inserts).
@@ -108,6 +114,27 @@ def _handle_query(service: SkylineService, request: Dict[str, Any]) -> Dict[str,
     return {"ok": True, **response.to_dict()}
 
 
+def _handle_shard_query(
+    service: SkylineService, request: Dict[str, Any]
+) -> Dict[str, Any]:
+    """One fan-out leg of a cluster query: ids *and* rows, filter-pruned.
+
+    ``{"op": "shard_query", "dataset": ..., "kind": ..., <params>,
+    "filters": [[...], ...]}`` — ``filters`` are live rows of the global
+    dataset broadcast by the coordinator (Ciaccia–Martinenghi); candidates
+    they dominate never cross the wire.
+    """
+    spec = parse_query_spec(request)
+    deadline = request.get("deadline_s")
+    filters = request.get("filters")
+    payload = service.shard_candidates(
+        spec,
+        filters=np.asarray(filters, dtype=np.float64) if filters else None,
+        deadline_s=float(deadline) if deadline is not None else None,
+    )
+    return {"ok": True, "dataset": spec.dataset, "kind": spec.kind, **payload}
+
+
 def _handle_insert(service: SkylineService, request: Dict[str, Any]) -> Dict[str, Any]:
     point_id, generation = service.insert(
         str(request.get("dataset", "")), request["point"]
@@ -167,6 +194,8 @@ def handle_request(
             return _handle_register(service, request)
         if op == "query":
             return _handle_query(service, request)
+        if op == "shard_query":
+            return _handle_shard_query(service, request)
         if op == "insert":
             return _handle_insert(service, request)
         if op == "remove":

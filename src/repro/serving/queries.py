@@ -27,10 +27,11 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.kernels import DominanceKernel, get_kernel
 from repro.core.skyband import k_skyband
 from repro.core.skyline import skyline
 
-__all__ = ["QUERY_KINDS", "QuerySpec", "evaluate"]
+__all__ = ["QUERY_KINDS", "QuerySpec", "candidate_prune_mask", "evaluate"]
 
 #: The query kinds the service understands.
 QUERY_KINDS = ("skyline", "skyband", "constrained", "subspace")
@@ -160,3 +161,72 @@ def evaluate(spec: QuerySpec, ids: np.ndarray, rows: np.ndarray) -> List[int]:
             )
         idx = skyline(rows[:, spec.dims])
     return sorted(int(ids[i]) for i in idx)
+
+
+def candidate_prune_mask(
+    spec: QuerySpec,
+    rows: np.ndarray,
+    filters: np.ndarray,
+    *,
+    kernel: str | DominanceKernel | None = None,
+) -> np.ndarray:
+    """Mask over candidate ``rows``: True where the row must cross the wire.
+
+    The cluster's Ciaccia–Martinenghi leg: the coordinator broadcasts a
+    small set of **live data rows** (``filters``) with each fan-out, and a
+    shard drops every local candidate the filters already refute before
+    transmitting.  Because each filter point is an actual member of the
+    global dataset, pruning is *exact* per query kind:
+
+    * ``skyline`` — a candidate strictly dominated by a filter point is
+      dominated by a live point, hence not in the global skyline;
+    * ``skyband`` — a candidate dominated by ``k`` or more filter points
+      has at least ``k`` global dominators, hence is outside the k-skyband
+      (with ``k = 1`` this degenerates to the skyline rule);
+    * ``constrained`` — only filter points *inside* the query box count
+      (an out-of-box dominator does not exclude an in-box point from the
+      constrained skyline);
+    * ``subspace`` — dominance is tested on the projected coordinates.
+
+    Returns a boolean ``(len(rows),)`` array; with no applicable filters
+    every candidate survives.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    flt = np.asarray(filters, dtype=np.float64)
+    keep_all = np.ones(rows.shape[0], dtype=bool)
+    if rows.shape[0] == 0 or flt.shape[0] == 0:
+        return keep_all
+    if flt.shape[1] != rows.shape[1]:
+        raise ValueError(
+            f"filter width {flt.shape[1]} != candidate width {rows.shape[1]}"
+        )
+    knl = get_kernel(kernel)
+    if spec.kind == "skyline":
+        return knl.filter_survivors(flt, rows, stage="cluster-prune")
+    if spec.kind == "skyband":
+        assert spec.k is not None
+        if spec.k == 1:
+            return knl.filter_survivors(flt, rows, stage="cluster-prune")
+        # Count filter dominators per candidate: filters are tiny (k <= 32
+        # by default), so the dense broadcast is cheaper than a kernel call.
+        le = (flt[None, :, :] <= rows[:, None, :]).all(axis=2)
+        lt = (flt[None, :, :] < rows[:, None, :]).any(axis=2)
+        return (le & lt).sum(axis=1) < spec.k
+    if spec.kind == "constrained":
+        lower = np.asarray(spec.lower, dtype=np.float64)
+        upper = np.asarray(spec.upper, dtype=np.float64)
+        if lower.shape[0] != flt.shape[1]:
+            return keep_all
+        inside = ((flt >= lower) & (flt <= upper)).all(axis=1)
+        if not inside.any():
+            return keep_all
+        return knl.filter_survivors(flt[inside], rows, stage="cluster-prune")
+    assert spec.dims is not None
+    if max(spec.dims) >= flt.shape[1]:
+        return keep_all
+    dims = list(spec.dims)
+    return knl.filter_survivors(
+        np.ascontiguousarray(flt[:, dims]),
+        np.ascontiguousarray(rows[:, dims]),
+        stage="cluster-prune",
+    )

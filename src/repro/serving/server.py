@@ -22,12 +22,16 @@ import json
 import socketserver
 import sys
 import threading
-from typing import IO, Any, Dict, Iterable
+from typing import IO, Any, Callable, Dict, Iterable
 
 from repro.serving.protocol import handle_request
-from repro.serving.service import SkylineService
 
 __all__ = ["serve_lines", "serve_stdio", "make_tcp_server"]
+
+#: A request dispatcher: ``(service, decoded request) -> response object``.
+#: :func:`repro.serving.protocol.handle_request` is the single-node one;
+#: the cluster coordinator plugs in its own and reuses both loops.
+RequestHandler = Callable[[Any, Dict[str, Any]], Dict[str, Any]]
 
 
 def _respond(out: IO[str], response: Dict[str, Any]) -> None:
@@ -36,7 +40,11 @@ def _respond(out: IO[str], response: Dict[str, Any]) -> None:
 
 
 def serve_lines(
-    service: SkylineService, lines: Iterable[str], out: IO[str]
+    service: Any,
+    lines: Iterable[str],
+    out: IO[str],
+    *,
+    handler: RequestHandler = handle_request,
 ) -> bool:
     """Run one request/response session; True if it ended via ``shutdown``."""
     for line in lines:
@@ -51,7 +59,7 @@ def serve_lines(
                 {"ok": False, "status": "error", "error": f"bad JSON: {exc}"},
             )
             continue
-        response = handle_request(service, request)
+        response = handler(service, request)
         _respond(out, response)
         if (
             isinstance(request, dict)
@@ -63,15 +71,18 @@ def serve_lines(
 
 
 def serve_stdio(
-    service: SkylineService,
+    service: Any,
     stdin: IO[str] | None = None,
     stdout: IO[str] | None = None,
+    *,
+    handler: RequestHandler = handle_request,
 ) -> None:
     """Serve one session over stdin/stdout (the ``repro serve`` default)."""
     serve_lines(
         service,
         stdin if stdin is not None else sys.stdin,
         stdout if stdout is not None else sys.stdout,
+        handler=handler,
     )
 
 
@@ -82,7 +93,7 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         server: "ServingTCPServer" = self.server  # type: ignore[assignment]
         reader = (raw.decode("utf-8", "replace") for raw in self.rfile)
         out = _TextOut(self.wfile)
-        if serve_lines(server.service, reader, out):
+        if serve_lines(server.service, reader, out, handler=server.handler):
             # A successful shutdown op stops the whole server, not just
             # this session; shutdown() must come from another thread.
             threading.Thread(target=server.shutdown, daemon=True).start()
@@ -102,19 +113,29 @@ class _TextOut:
 
 
 class ServingTCPServer(socketserver.ThreadingTCPServer):
-    """Threading TCP server bound to one :class:`SkylineService`."""
+    """Threading TCP server bound to one service and one dispatcher."""
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: tuple, service: SkylineService):
+    def __init__(
+        self,
+        address: tuple,
+        service: Any,
+        handler: RequestHandler = handle_request,
+    ):
         super().__init__(address, _SessionHandler)
         self.service = service
+        self.handler = handler
 
 
 def make_tcp_server(
-    service: SkylineService, host: str = "127.0.0.1", port: int = 0
+    service: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    handler: RequestHandler = handle_request,
 ) -> ServingTCPServer:
     """Bind a TCP server (``port=0`` picks a free port; see
     ``server.server_address``); the caller runs ``serve_forever()``."""
-    return ServingTCPServer((host, port), service)
+    return ServingTCPServer((host, port), service, handler)

@@ -52,7 +52,7 @@ from repro.observability.metrics import Histogram, get_metrics
 from repro.observability.slo import SLOTracker, default_objectives
 from repro.observability.tracing import get_tracer
 from repro.serving.cache import ResultCache
-from repro.serving.queries import QuerySpec, evaluate
+from repro.serving.queries import QuerySpec, candidate_prune_mask, evaluate
 from repro.serving.store import DEFAULT_MR_BULK_THRESHOLD, SkylineStore
 
 __all__ = [
@@ -259,8 +259,13 @@ class SkylineService:
             kernel=self.config.kernel,
         )
         with self._lock:
+            replaced = name in self._stores
             self._stores[name] = store
             get_metrics().gauge("serve.datasets").set(len(self._stores))
+        if replaced:
+            # The fresh store restarts its generation counter, so cached
+            # answers of the previous incarnation must not be addressable.
+            self._cache.invalidate(name)
         return store.generation
 
     def datasets(self) -> List[str]:
@@ -548,6 +553,67 @@ class SkylineService:
             raise
         finally:
             tracer.end_span(span, status=status)
+
+    # -- cluster shard duty -----------------------------------------------------
+
+    def shard_candidates(
+        self,
+        spec: QuerySpec,
+        *,
+        filters: np.ndarray | Sequence[Sequence[float]] | None = None,
+        deadline_s: float | None = None,
+    ) -> Dict[str, Any]:
+        """Answer one fan-out leg of a cluster query (the ``shard_query`` op).
+
+        Runs the normal serve path for ``spec``, joins the resulting ids to
+        their coordinate rows over a consistent snapshot, and — when the
+        coordinator broadcast ``filters`` (live rows of the *global*
+        dataset) — drops every candidate the filter set already refutes
+        before it crosses the wire (:func:`~repro.serving.queries.candidate_prune_mask`).
+
+        The serve path and the snapshot are two lock acquisitions, so a
+        racing mutation can slip between them; the answer re-runs (bounded)
+        until the generations agree, falling back to a direct
+        :func:`~repro.serving.queries.evaluate` over the snapshot.  The
+        returned ``generation`` is therefore always the generation the ids
+        and rows are mutually consistent at.
+        """
+        metrics = get_metrics()
+        response = self.query(spec, deadline_s=deadline_s)
+        store = self.store(spec.dataset)
+        snap = store.snapshot()
+        for _ in range(3):
+            if snap.generation == response.generation and not response.degraded:
+                break
+            response = self.query(spec, deadline_s=deadline_s)
+            snap = store.snapshot()
+        if snap.generation == response.generation and not response.degraded:
+            ids = [int(i) for i in response.ids]
+        else:
+            ids = evaluate(spec, snap.ids, snap.rows)
+        rows = snap.rows_of(ids)
+        held = int(snap.ids.shape[0])
+        candidates = len(ids)
+        if filters is not None:
+            flt = np.asarray(filters, dtype=np.float64)
+            if flt.size and candidates:
+                mask = candidate_prune_mask(
+                    spec, rows, flt, kernel=self.config.kernel
+                )
+                ids = [pid for pid, keep in zip(ids, mask) if keep]
+                rows = rows[mask]
+        metrics.counter("serve.shard.served").inc()
+        metrics.counter("serve.shard.held").inc(held)
+        metrics.counter("serve.shard.sent").inc(len(ids))
+        metrics.counter("serve.shard.pruned").inc(candidates - len(ids))
+        return {
+            "ids": ids,
+            "rows": [[float(v) for v in row] for row in rows],
+            "generation": int(snap.generation),
+            "held": held,
+            "candidates": candidates,
+            "sent": len(ids),
+        }
 
     # -- introspection ----------------------------------------------------------
 

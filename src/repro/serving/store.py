@@ -45,6 +45,25 @@ class StoreSnapshot(NamedTuple):
     ids: np.ndarray
     rows: np.ndarray
 
+    def rows_of(self, point_ids: Sequence[int]) -> np.ndarray:
+        """The rows of ``point_ids``, in order; raises on unknown ids.
+
+        The shard-side answer assembler: a query result is a list of ids,
+        the wire format ships coordinates, and this is the join between
+        them over one consistent snapshot.
+        """
+        if len(point_ids) == 0:
+            return np.empty((0, self.rows.shape[1] if self.rows.ndim == 2 else 0))
+        position = {int(pid): i for i, pid in enumerate(self.ids.tolist())}
+        try:
+            take = [position[int(pid)] for pid in point_ids]
+        except KeyError as exc:
+            raise KeyError(
+                f"point id {exc.args[0]} not in snapshot generation "
+                f"{self.generation}"
+            ) from None
+        return self.rows[take]
+
 
 class SkylineStore:
     """Dynamic skyline state for one dataset, behind a generation counter."""

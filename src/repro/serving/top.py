@@ -113,17 +113,30 @@ def render_frame(
         head += f"   every {interval_s:g}s"
     lines.append(head)
 
-    requests = counters.get("serve.requests", 0)
-    line = f"requests {requests}"
-    if previous is not None:
-        line += f" ({_rate(deltas.get('serve.requests', 0), dt)})"
-    line += (
-        f"   computes {counters.get('serve.computes', 0)}"
-        f"   coalesced {counters.get('serve.coalesced', 0)}"
-        f"   shed {counters.get('serve.shed', 0)}"
-        f"   degraded {counters.get('serve.degraded', 0)}"
-        f"   mutations {counters.get('serve.mutations', 0)}"
-    )
+    cluster_frame = bool(stats.get("shards"))
+    if cluster_frame:
+        # Coordinator stats spell their counters serve.cluster.*.
+        requests = counters.get("serve.cluster.requests", 0)
+        line = f"requests {requests}"
+        if previous is not None:
+            line += f" ({_rate(deltas.get('serve.cluster.requests', 0), dt)})"
+        line += (
+            f"   degraded {counters.get('serve.cluster.degraded', 0)}"
+            f"   shard-lost {counters.get('serve.shard.lost', 0)}"
+            f"   mutations {counters.get('serve.cluster.mutations', 0)}"
+        )
+    else:
+        requests = counters.get("serve.requests", 0)
+        line = f"requests {requests}"
+        if previous is not None:
+            line += f" ({_rate(deltas.get('serve.requests', 0), dt)})"
+        line += (
+            f"   computes {counters.get('serve.computes', 0)}"
+            f"   coalesced {counters.get('serve.coalesced', 0)}"
+            f"   shed {counters.get('serve.shed', 0)}"
+            f"   degraded {counters.get('serve.degraded', 0)}"
+            f"   mutations {counters.get('serve.mutations', 0)}"
+        )
     lines.append(line)
 
     cache = stats.get("cache", {})
@@ -172,6 +185,33 @@ def render_frame(
         )
     if not slo.get("objectives"):
         lines.append("  (no objectives configured)")
+
+    shards = stats.get("shards", {})
+    if shards:
+        # Coordinator frame (`repro serve --cluster` / `repro coordinator`):
+        # one row per shard endpoint, plus the cluster-level fan-out counters.
+        lines.append("shards:")
+        lines.append(
+            f"  {'shard':<8} {'address':<22} {'state':<6} {'datasets':>8} "
+            f"{'lost':>6}"
+        )
+        for name in sorted(shards):
+            info = shards[name]
+            lines.append(
+                f"  {name:<8} {str(info.get('address', '?')):<22} "
+                f"{str(info.get('state', '?')):<6} "
+                f"{info.get('datasets', 0):>8} {info.get('lost', 0):>6}"
+            )
+        held = counters.get("serve.cluster.points_held", 0)
+        sent = counters.get("serve.cluster.candidates_received", 0)
+        pruned_wire = counters.get("serve.cluster.filter_pruned", 0)
+        if held:
+            lines.append(
+                f"  wire: {sent}/{held} candidates crossed"
+                f" ({_pct(pruned_wire, held)} filter-pruned,"
+                f" {counters.get('serve.cluster.unfiltered_retries', 0)}"
+                " unfiltered retries)"
+            )
 
     datasets = stats.get("datasets", {})
     gauges = stats.get("gauges", {})

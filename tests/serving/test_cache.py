@@ -67,6 +67,97 @@ class TestLatest:
         assert ResultCache(4).latest("qws", "skyline", ()) is None
 
 
+class TestInvalidate:
+    def test_drops_only_the_named_dataset(self):
+        cache = ResultCache(8)
+        cache.put(key(1), [1])
+        cache.put(key(2, kind="skyband", params=(2,)), [2])
+        cache.put(key(1, dataset="other"), [3])
+        assert cache.invalidate("qws") == 2
+        assert cache.get(key(1)) is None
+        assert cache.get(key(1, dataset="other")) == [3]
+
+    def test_reregister_generation_restart_cannot_hit_stale(self):
+        # The re-register scenario: generation counters restart, so the
+        # old incarnation's entry at the same key must be gone.
+        cache = ResultCache(8)
+        cache.put(key(1), [10, 20])
+        cache.invalidate("qws")
+        assert cache.get(key(1)) is None
+        assert cache.latest("qws", "skyline", ()) is None
+
+
+class TestAliasing:
+    def test_get_returns_a_copy(self):
+        cache = ResultCache(4)
+        cache.put(key(1), [1, 2, 3])
+        first = cache.get(key(1))
+        first.append(999)  # a caller mutating its response...
+        assert cache.get(key(1)) == [1, 2, 3], "...must not corrupt the cache"
+
+    def test_put_detaches_from_the_caller_list(self):
+        cache = ResultCache(4)
+        ids = [1, 2, 3]
+        cache.put(key(1), ids)
+        ids.append(999)
+        assert cache.get(key(1)) == [1, 2, 3]
+
+    def test_latest_returns_a_copy(self):
+        cache = ResultCache(4)
+        cache.put(key(5), [5, 6])
+        _, ids = cache.latest("qws", "skyline", ())
+        ids.clear()
+        assert cache.latest("qws", "skyline", ()) == (5, [5, 6])
+
+
+class TestLatestEvictionRace:
+    """Regression: ``latest`` must read generation and value atomically.
+
+    A scan that collects candidate keys and then re-reads the winning
+    entry outside the lock races ``put``-driven evictions — the key it
+    chose can be popped in between, turning a stale-answer fallback into
+    a ``KeyError`` (or a ``None`` despite a cached generation existing).
+    The stress drives heavy eviction churn against a continuous
+    ``latest`` scan; any raced read raises out of the worker thread.
+    """
+
+    def test_latest_under_eviction_churn(self):
+        import threading
+
+        cache = ResultCache(8)  # tiny: every put evicts
+        stop = threading.Event()
+        failures = []
+
+        def scan():
+            try:
+                while not stop.is_set():
+                    found = cache.latest("qws", "skyline", ())
+                    if found is not None:
+                        generation, ids = found
+                        assert ids == [generation], (generation, ids)
+            except Exception as exc:  # pragma: no cover - the regression
+                failures.append(exc)
+
+        threads = [threading.Thread(target=scan) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for generation in range(1, 3000):
+            cache.put(key(generation), [generation])
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+
+    def test_latest_with_generation_vectors(self):
+        # Cluster keys carry tuple generation vectors; lexicographic ">"
+        # must pick the newest without coercing to int.
+        cache = ResultCache(8)
+        cache.put(key((1, 0, 2)), [1])
+        cache.put(key((1, 3, 0)), [2])
+        cache.put(key((1, 2, 9)), [3])
+        assert cache.latest("qws", "skyline", ()) == ((1, 3, 0), [2])
+
+
 class TestStats:
     def test_counts_hits_misses_evictions(self):
         cache = ResultCache(1)

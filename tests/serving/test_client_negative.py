@@ -1,0 +1,142 @@
+"""Negative transport paths of :class:`ServingClient`.
+
+Every way the peer can stop speaking the protocol must surface as
+:class:`ServingConnectionError` (or a plain ``OSError`` at connect time),
+never a hang, an unbounded buffer, or a half-decoded dict: connection
+refused, mid-stream EOF, a truncated line, an oversized response line,
+garbage JSON, and a non-object response.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serving.client import (
+    DEFAULT_MAX_LINE_BYTES,
+    ServingClient,
+    ServingConnectionError,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class _ScriptedPeer:
+    """Accepts one connection and answers every request line from a script.
+
+    Each script entry is either bytes to write verbatim or the sentinel
+    ``"close"`` — sever the connection without answering.
+    """
+
+    def __init__(self, *script):
+        self._script = list(script)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        conn, _ = self._listener.accept()
+        with conn:
+            reader = conn.makefile("rb")
+            for action in self._script:
+                if not reader.readline():
+                    return  # client hung up first
+                if action == "close":
+                    return
+                conn.sendall(action)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._listener.close()
+        self._thread.join(timeout=10)
+
+
+def _connect(peer: _ScriptedPeer, **kwargs) -> ServingClient:
+    host, port = peer.address
+    return ServingClient.connect(host, port, timeout=10, **kwargs)
+
+
+class TestConnectionRefused:
+    def test_connect_to_closed_port_raises_oserror(self):
+        port = _free_port()  # nothing listens here anymore
+        with pytest.raises(OSError):
+            ServingClient.connect("127.0.0.1", port, timeout=2)
+
+
+class TestMidStreamEof:
+    def test_close_instead_of_response(self):
+        with _ScriptedPeer("close") as peer, _connect(peer) as client:
+            with pytest.raises(ServingConnectionError, match="closed"):
+                client.call(op="ping")
+
+    def test_truncated_line_then_eof(self):
+        # Half a JSON object and no newline: EOF mid-response.
+        with _ScriptedPeer(b'{"ok": tr') as peer, _connect(peer) as client:
+            with pytest.raises(ServingConnectionError):
+                client.call(op="ping")
+
+    def test_success_then_eof_on_second_call(self):
+        first = json.dumps({"ok": True, "pong": True}).encode() + b"\n"
+        with _ScriptedPeer(first, "close") as peer, _connect(peer) as client:
+            assert client.call(op="ping")["pong"] is True
+            with pytest.raises(ServingConnectionError):
+                client.call(op="ping")
+
+
+class TestOversizedLine:
+    def test_line_beyond_limit_raises_not_buffers(self):
+        huge = b'{"ok": true, "pad": "' + b"x" * 4096 + b'"}\n'
+        with _ScriptedPeer(huge) as peer:
+            with _connect(peer) as client:
+                client.max_line_bytes = 64
+                with pytest.raises(ServingConnectionError, match="exceeded"):
+                    client.call(op="ping")
+
+    def test_line_within_limit_passes(self):
+        line = json.dumps({"ok": True, "pong": True}).encode() + b"\n"
+        with _ScriptedPeer(line) as peer, _connect(peer) as client:
+            client.max_line_bytes = 4096
+            assert client.call(op="ping")["ok"] is True
+
+    def test_ctor_rejects_degenerate_limit(self):
+        import io
+
+        with pytest.raises(ValueError):
+            ServingClient(io.StringIO(), io.StringIO(), max_line_bytes=1)
+
+    def test_default_limit_is_generous(self):
+        assert DEFAULT_MAX_LINE_BYTES >= 2**20
+
+
+class TestGarbageResponse:
+    def test_non_json_line(self):
+        with _ScriptedPeer(b"!! not json at all\n") as peer, \
+                _connect(peer) as client:
+            with pytest.raises(ServingConnectionError, match="bad JSON"):
+                client.call(op="ping")
+
+    def test_json_but_not_an_object(self):
+        with _ScriptedPeer(b"[1, 2, 3]\n") as peer, _connect(peer) as client:
+            with pytest.raises(ServingConnectionError, match="malformed"):
+                client.call(op="ping")
+
+    def test_timeout_surfaces_as_connection_error(self):
+        # A peer that reads the request but never answers: settimeout must
+        # bound the read and surface the timeout as the transport dying.
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()
+        try:
+            with ServingClient.connect(host, port, timeout=10) as client:
+                client.settimeout(0.2)
+                with pytest.raises(ServingConnectionError):
+                    client.call(op="ping")
+        finally:
+            listener.close()

@@ -1,58 +1,34 @@
 """End-to-end sessions: the spawned stdio server and the TCP server.
 
-The stdio test is the same scripted session the CI smoke job runs: load a
-QWS sample, query, insert, re-query, and assert the generation bump and
-the cache miss -> hit transition, gating on a clean exit code.
+The stdio test is the same scripted session the CI smoke job runs (one
+copy, in :mod:`tests.serving.harness`): load a QWS sample, query, insert,
+re-query, and assert the generation bump and the cache miss -> hit
+transition, gating on a clean exit code.
 """
 
-import os
 import sys
 import threading
-from pathlib import Path
 
 import numpy as np
 import pytest
 
-import repro
 from repro.serving.client import ServingClient, ServingConnectionError
 from repro.serving.server import make_tcp_server
 from repro.serving.service import SkylineService
 
-SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
-
-
-def _spawn(*args):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
-    return ServingClient.spawn(*args, env=env)
+from tests.serving.harness import (
+    scripted_session,
+    spawn_server,
+    subprocess_env,
+    tcp_server,
+)
 
 
 class TestStdioSession:
     def test_scripted_smoke_session(self):
-        with _spawn("--max-inflight", "4") as client:
-            assert client.ping()["pong"] is True
-
-            registered = client.register(
-                "qws", generate={"n": 300, "d": 4, "seed": 7}
-            )
-            assert registered["ok"] and registered["size"] == 300
-            assert registered["generation"] == 1
-
-            first = client.query("qws")
-            assert first["ok"] and not first["cache_hit"]
-            assert first["generation"] == 1
-
-            again = client.query("qws")
-            assert again["cache_hit"], "second identical query must hit"
-            assert again["ids"] == first["ids"]
-
-            inserted = client.insert("qws", [0.001, 0.001, 0.001, 0.001])
-            assert inserted["generation"] == 2, "mutation must bump generation"
-
-            after = client.query("qws")
-            assert not after["cache_hit"], "mutation must invalidate the cache"
-            assert after["generation"] == 2
-            assert inserted["id"] in after["ids"]
+        with spawn_server("--max-inflight", "4") as client:
+            responses = scripted_session(client, n=300, seed=7)
+            after = responses["after"]
 
             band = client.query("qws", kind="skyband", k=3)
             assert band["ok"] and set(after["ids"]) <= set(band["ids"])
@@ -68,18 +44,18 @@ class TestStdioSession:
         assert client.returncode == 0
 
     def test_invalid_flags_exit_nonzero(self):
-        proc_client = _spawn("--max-inflight", "0")
+        proc_client = spawn_server("--max-inflight", "0")
         proc_client._proc.stdin.close()
         proc_client._proc.stdout.close()
         assert proc_client._proc.wait(timeout=30) == 2
 
     def test_eof_without_shutdown_exits_cleanly(self):
-        client = _spawn()
+        client = spawn_server()
         client.close()  # closing stdin ends the session loop
         assert client.returncode == 0
 
     def test_dead_server_raises_connection_error(self):
-        client = _spawn()
+        client = spawn_server()
         assert client.ping()["pong"] is True
         client._proc.stdin.close()
         client._proc.stdout.read()  # drain until the process exits
@@ -90,12 +66,7 @@ class TestStdioSession:
 
 class TestTcpSession:
     def test_concurrent_tcp_clients_share_the_service(self):
-        service = SkylineService()
-        server = make_tcp_server(service)
-        host, port = server.server_address
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
+        with tcp_server(SkylineService()) as (host, port):
             with ServingClient.connect(host, port, timeout=10) as a, \
                     ServingClient.connect(host, port, timeout=10) as b:
                 points = (np.random.default_rng(0).random((60, 3)) + 0.01)
@@ -104,10 +75,6 @@ class TestTcpSession:
                 assert first["ok"] and first["generation"] == 1
                 second = a.query("shared")
                 assert second["cache_hit"], "cache is shared across sessions"
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10)
 
     def test_tcp_shutdown_op_stops_the_server(self):
         server = make_tcp_server(SkylineService())
@@ -126,11 +93,9 @@ class TestModuleEntry:
     def test_serve_help_exits_zero(self):
         import subprocess
 
-        env = dict(os.environ)
-        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
         proc = subprocess.run(
             [sys.executable, "-m", "repro.cli", "serve", "--help"],
-            capture_output=True, text=True, env=env, timeout=120,
+            capture_output=True, text=True, env=subprocess_env(), timeout=120,
         )
         assert proc.returncode == 0
         assert "JSON-lines" in proc.stdout

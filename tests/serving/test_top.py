@@ -1,15 +1,16 @@
 """``repro top``: pure frame rendering plus the live ``--once`` path."""
 
 import io
-import threading
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.cli import main
 from repro.serving.queries import QuerySpec
-from repro.serving.server import make_tcp_server
 from repro.serving.service import SkylineService
 from repro.serving.top import Sample, render_frame, run_top
+
+from tests.serving.harness import tcp_server
 
 
 def _sample(polled_at=100.0, requests=40, shed=2):
@@ -109,29 +110,20 @@ class TestRenderFrame:
         assert "events: (none)" in frame
 
 
-class _LiveServer:
-    def __enter__(self):
-        service = SkylineService()
-        service.register(
-            "qws", np.random.default_rng(1).random((80, 3)) + 0.01
-        )
-        service.query(QuerySpec(dataset="qws"))  # seed latency + counters
-        self.server = make_tcp_server(service)
-        self.thread = threading.Thread(
-            target=self.server.serve_forever, daemon=True
-        )
-        self.thread.start()
-        return self.server.server_address
-
-    def __exit__(self, *exc):
-        self.server.shutdown()
-        self.server.server_close()
-        self.thread.join(timeout=10)
+@contextmanager
+def _live_server():
+    service = SkylineService()
+    service.register(
+        "qws", np.random.default_rng(1).random((80, 3)) + 0.01
+    )
+    service.query(QuerySpec(dataset="qws"))  # seed latency + counters
+    with tcp_server(service) as address:
+        yield address
 
 
 class TestLiveTop:
     def test_run_top_once_against_tcp_server(self):
-        with _LiveServer() as (host, port):
+        with _live_server() as (host, port):
             out = io.StringIO()
             rc = run_top(host, port, once=True, out=out)
         assert rc == 0
@@ -140,7 +132,7 @@ class TestLiveTop:
         assert "qws" in frame
 
     def test_cli_top_once(self, capsys):
-        with _LiveServer() as (host, port):
+        with _live_server() as (host, port):
             rc = main(["top", "--tcp", f"{host}:{port}", "--once"])
         assert rc == 0
         frame = capsys.readouterr().out
@@ -148,7 +140,7 @@ class TestLiveTop:
         assert "slo:" in frame
 
     def test_cli_top_count_two_frames(self, capsys):
-        with _LiveServer() as (host, port):
+        with _live_server() as (host, port):
             rc = main([
                 "top", "--tcp", f"{host}:{port}",
                 "--count", "2", "--interval", "0.05",
