@@ -10,7 +10,10 @@ from repro.analysis.rules.blocking_under_lock import BlockingUnderLockRule
 from repro.analysis.rules.escape_analysis import EscapeAnalysisRule
 from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.kernel_seam import KernelSeamRule
-from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.lock_discipline import (
+    LockDisciplineRule,
+    WalDisciplineRule,
+)
 from repro.analysis.rules.lock_order import LockOrderCycleRule
 from repro.analysis.rules.no_sleep import UdfNoSleepRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
@@ -26,4 +29,5 @@ __all__ = [
     "PickleSafetyRule",
     "UdfNoSleepRule",
     "UdfPurityRule",
+    "WalDisciplineRule",
 ]

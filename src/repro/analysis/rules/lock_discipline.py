@@ -100,6 +100,111 @@ class LockDisciplineRule(Rule):
                 )
 
 
+#: DatasetLog methods whose call sites the wal-discipline rule audits —
+#: each appends to or truncates the write-ahead log, whose sequence
+#: numbers must advance in lock-step with the store's generation counter.
+_WAL_METHODS = {
+    "append_record",
+    "log_register",
+    "log_insert",
+    "log_remove",
+    "log_bulk",
+    "checkpoint",
+    "maybe_checkpoint",
+    "truncate",
+}
+
+#: Attribute names that identify a durability sink on ``self``.
+_WAL_ATTR_MARKERS = ("wal", "durability", "dataset_log", "dlog")
+
+
+@register
+class WalDisciplineRule(Rule):
+    """WAL appends/truncates must run under the owning store's lock.
+
+    The write-ahead log's sequence numbers and the store's generation
+    counter are one logical clock: recovery replays "snapshot generation
+    + one bump per tail record" and expects to land exactly on the
+    pre-crash generation.  A WAL append outside the store lock can
+    interleave with a racing mutation — record order no longer matches
+    generation order — and a truncate outside the lock can drop a record
+    a concurrent mutation just acknowledged.
+
+    Mechanics: in any class that owns a lock
+    (:func:`_lock_attributes`), every call
+    ``self.<durability-ish attr>.<wal method>(...)`` — attr containing
+    ``wal``/``durability``/``dlog``, method in :data:`_WAL_METHODS` —
+    must sit inside ``with self.<lock>:``.  Constructors are exempt for
+    the same publication reason as lock-discipline.
+    """
+
+    id = "wal-discipline"
+
+    def check_module(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: Module, classdef: ast.ClassDef
+    ) -> Iterator[Finding]:
+        lock_attrs = _lock_attributes(classdef)
+        if not lock_attrs:
+            return
+        calls: List[_Write] = []
+        for method in classdef.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            _collect_wal_calls(method, lock_attrs, calls)
+        for call in calls:
+            if call.locked or call.method in _CONSTRUCTORS:
+                continue
+            yield self.finding(
+                module,
+                call.node,
+                f"{classdef.name}.{call.method}() calls "
+                f"self.{call.attr} WAL I/O outside "
+                f"self.{sorted(lock_attrs)[0]}: log order can race the "
+                "generation counter and break recovery replay",
+            )
+
+
+def _collect_wal_calls(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+    lock_attrs: Set[str],
+    out: List[_Write],
+) -> None:
+    """Like :func:`_collect_writes`, but for durability-sink calls."""
+
+    def visit(node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            holds = locked or _acquires_lock(node, lock_attrs)
+            for item in node.items:
+                visit(item.context_expr, locked)
+            for stmt in node.body:
+                visit(stmt, holds)
+            return
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _WAL_METHODS
+            ):
+                attr = _self_attr_root(callee.value)
+                if attr is not None and _is_wal_attr(attr):
+                    out.append(_Write(attr, node, method.name, locked))
+        for child in ast.iter_child_nodes(node):
+            visit(child, locked)
+
+    for stmt in method.body:
+        visit(stmt, False)
+
+
+def _is_wal_attr(attr: str) -> bool:
+    name = attr.lower()
+    return any(marker in name for marker in _WAL_ATTR_MARKERS)
+
+
 def _lock_attributes(classdef: ast.ClassDef) -> Set[str]:
     """Names of ``self.X`` attributes holding a lock."""
     locks: Set[str] = set()

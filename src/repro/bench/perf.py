@@ -20,6 +20,7 @@ The JSON record is schema-versioned and self-describing; ``repro bench
 from __future__ import annotations
 
 import statistics
+import subprocess
 import time
 from dataclasses import asdict
 from typing import Any, Callable, Dict, List
@@ -34,7 +35,9 @@ from repro.core.mr_skyline import run_mr_skyline
 __all__ = ["perf_trajectory", "render_trajectory"]
 
 #: Record schema version; bump on breaking shape changes.
-SCHEMA_VERSION = 3
+#: v4 adds the ``loadtest`` section (open-loop latency percentiles +
+#: crash-recovery measurements from :mod:`repro.bench.loadtest`).
+SCHEMA_VERSION = 4
 
 _METHODS = ("dim", "grid", "angle")
 
@@ -203,6 +206,47 @@ def _cluster_traffic(
     }
 
 
+def _loadtest_section(quick: bool, kernel: str | None = None) -> Dict[str, Any]:
+    """Open-loop traffic + SIGKILL/recovery over the real CLI and wire.
+
+    Runs :func:`repro.bench.loadtest.run_scenario` against a spawned
+    ``repro serve --tcp --data-dir`` subprocess: the latency percentiles
+    are measured client-side under the configured offered load, the
+    server is killed with ``SIGKILL`` mid-state, and recovery time +
+    id-for-id parity are measured on the restart.  Failures (e.g. a
+    sandbox that forbids subprocesses) degrade to an ``error`` field
+    rather than sinking the whole bench run.
+    """
+    import tempfile
+
+    from repro.bench.loadtest import LoadTestConfig, run_scenario
+
+    config = LoadTestConfig(
+        qps=100.0 if quick else 300.0,
+        duration_s=1.0 if quick else 3.0,
+        workers=4 if quick else 8,
+        n_points=200 if quick else 800,
+        dims=3,
+        mutation_fraction=0.1,
+        seed=0,
+    )
+    serve_args = ["--kernel", kernel] if kernel else []
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_scenario(
+                config,
+                tmp,
+                serve_args=serve_args,
+                fsync="interval",
+                snapshot_every=64,
+            )
+    except (OSError, RuntimeError, subprocess.SubprocessError) as exc:
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "target_qps": config.qps,
+        }
+
+
 def perf_trajectory(
     *, quick: bool = False, executor: str | None = None, kernel: str | None = None
 ) -> Dict[str, Any]:
@@ -230,6 +274,7 @@ def perf_trajectory(
         "cluster": _cluster_traffic(
             8_000 if quick else 100_000, 4, kernel
         ),
+        "loadtest": _loadtest_section(quick, kernel),
     }
     record["suite_wall_s"] = round(time.perf_counter() - started, 3)
     # Embed the process-wide metrics the suite itself generated — the
@@ -322,4 +367,39 @@ def render_trajectory(record: Dict[str, Any]) -> str:
             f"efficient: {cluster['communication_efficient']}"
         )
         sections.append(table.render())
+    loadtest = record.get("loadtest")
+    if loadtest and "error" not in loadtest:
+        table = Table(
+            title=(
+                f"perf trajectory — loadtest "
+                f"(target {loadtest['target_qps']:g} qps, open loop)"
+            ),
+            columns=["metric", "value"],
+            precision=6,
+        )
+        table.add_row("achieved_qps", loadtest["achieved_qps"])
+        for pct in ("p50", "p95", "p99"):
+            table.add_row(f"latency_{pct}_ms", loadtest["latency_ms"][pct])
+        req = loadtest["requests"]
+        for metric in ("sent", "answered", "shed", "degraded", "errors"):
+            table.add_row(metric, req[metric])
+        recovery = loadtest.get("recovery", {})
+        if recovery:
+            table.add_row("recovery_time_s", recovery["recovery_time_s"])
+        durability = loadtest.get("durability", {})
+        notes = []
+        if recovery:
+            notes.append(
+                f"id-for-id recovery parity: {recovery['parity']}"
+            )
+        if durability:
+            notes.append(
+                f"{durability['records_replayed']} WAL record(s) replayed, "
+                f"snapshot/raw ratio {durability['snapshot_to_raw_ratio']}"
+            )
+        if notes:
+            table.add_note("; ".join(notes))
+        sections.append(table.render())
+    elif loadtest:
+        sections.append(f"loadtest section skipped: {loadtest['error']}")
     return "\n\n".join(sections)

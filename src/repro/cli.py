@@ -44,8 +44,10 @@ The installed console script ``repro-skyline`` is equivalent.
 from __future__ import annotations
 
 import argparse
+import atexit
+import signal
 import sys
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.bench import (
     Table,
@@ -490,6 +492,26 @@ def _run_serve(argv: List[str]) -> int:
         help="fraction of requests that must be answered at all "
         "(default 0.999)",
     )
+    parser.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        help="durable serving state: write-ahead log + snapshots under DIR, "
+        "with recovery on startup (docs/serving.md); in --cluster mode "
+        "each shard persists under DIR/shard-NN",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=["always", "interval", "never"],
+        default="interval",
+        help="WAL fsync policy with --data-dir (default interval: fsync "
+        "every few appends; always = fsync per mutation; never = OS flush "
+        "only)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=256, metavar="N",
+        help="checkpoint (snapshot + WAL truncate) every N mutations per "
+        "dataset with --data-dir (default 256)",
+    )
     args = parser.parse_args(argv)
 
     from repro.serving.server import make_tcp_server, serve_stdio
@@ -523,13 +545,48 @@ def _run_serve(argv: List[str]) -> int:
         except OSError as exc:
             print(f"--trace: cannot write {args.trace}: {exc}", file=sys.stderr)
             return 1
+
+    durability = None
+    if args.data_dir and args.cluster is None:
+        from repro.serving.durability import DurabilityConfig, DurabilityManager
+
+        try:
+            durability = DurabilityManager(
+                DurabilityConfig(
+                    args.data_dir,
+                    fsync=args.fsync,
+                    snapshot_every=args.snapshot_every,
+                )
+            )
+        except (OSError, ValueError) as exc:
+            print(f"--data-dir: {exc}", file=sys.stderr)
+            return 2
+
+    # Signal-driven exits (SIGINT/SIGTERM) must run the same teardown a
+    # clean shutdown op does — dump --events, flush WALs, stop the server
+    # — so the handlers convert the signal into a SystemExit that unwinds
+    # through the ``finally`` below; ``atexit`` is the belt-and-braces
+    # fallback for exits that bypass it.
+    _install_exit_signal_handlers()
+    cleanup = _ServeCleanup(args, durability)
+    atexit.register(cleanup.run)
     try:
         if args.cluster is not None:
             code = _serve_cluster(args, config)
             if code:
                 return code
         else:
-            service = SkylineService(config)
+            service = SkylineService(config, durability=durability)
+            if durability is not None:
+                for report in service.recover_datasets():
+                    print(
+                        f"recovered dataset {report.dataset!r}: "
+                        f"{report.members} member(s) at generation "
+                        f"{report.generation} "
+                        f"({report.records_replayed} WAL record(s) replayed"
+                        f"{', torn tail dropped' if report.torn_tail else ''})",
+                        file=sys.stderr,
+                    )
             if args.tcp:
                 host, _, port = args.tcp.rpartition(":")
                 try:
@@ -542,6 +599,7 @@ def _run_serve(argv: List[str]) -> int:
                     return 2
                 bound = server.server_address
                 print(f"serving on {bound[0]}:{bound[1]}", file=sys.stderr)
+                cleanup.server = server
                 with server:
                     server.serve_forever()
             else:
@@ -549,21 +607,84 @@ def _run_serve(argv: List[str]) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     finally:
-        if args.trace:
+        code = cleanup.run()
+        atexit.unregister(cleanup.run)
+        if code:
+            return code
+    return 0
+
+
+def _install_exit_signal_handlers() -> None:
+    """SIGINT/SIGTERM -> ``SystemExit(128 + sig)`` so ``finally`` blocks
+    (events dump, WAL flush, server stop) run on signal-driven exits too.
+
+    A no-op off the main thread (``signal.signal`` raises there), which
+    keeps the helpers safe to call from embedded/test contexts.
+    """
+
+    def _exit(signum: int, frame: object) -> None:
+        raise SystemExit(128 + signum)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _exit)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+
+class _ServeCleanup:
+    """Idempotent ``repro serve`` teardown: runs from the ``finally``
+    path on every exit (clean shutdown op, signal-driven SystemExit,
+    KeyboardInterrupt) and is registered with ``atexit`` as a fallback.
+
+    Order matters: stop the server first (bounded join of live sessions,
+    so no WAL append is cut mid-frame), then flush + close the WALs,
+    then write the observability artifacts.
+    """
+
+    def __init__(self, args: argparse.Namespace, durability: Any) -> None:
+        self.args = args
+        self.durability = durability
+        self.server: Any = None
+        self._done = False
+
+    def run(self) -> int:
+        if self._done:
+            return 0
+        self._done = True
+        code = 0
+        if self.server is not None:
+            try:
+                self.server.stop()
+            # Teardown must reach the WAL flush below even if stop()
+            # fails; the error is reported, not swallowed.
+            except Exception as exc:  # repro: allow[exception-hygiene]
+                print(f"serve: stop failed: {exc}", file=sys.stderr)
+        if self.durability is not None:
+            try:
+                self.durability.sync()
+                self.durability.close()
+            except OSError as exc:
+                print(f"--data-dir: WAL flush failed: {exc}", file=sys.stderr)
+                code = 1
+        if self.args.trace:
             from repro.observability import disable_tracing
 
             disable_tracing(write_metrics=True)
-        if args.events:
+        if self.args.events:
             from repro.observability import get_events
 
             try:
-                count = get_events().dump(args.events)
-                print(f"wrote {count} event(s) to {args.events}", file=sys.stderr)
+                count = get_events().dump(self.args.events)
+                print(
+                    f"wrote {count} event(s) to {self.args.events}",
+                    file=sys.stderr,
+                )
             except OSError as exc:
-                print(f"--events: cannot write {args.events}: {exc}",
+                print(f"--events: cannot write {self.args.events}: {exc}",
                       file=sys.stderr)
-                return 1
-    return 0
+                code = 1
+        return code
 
 
 def _serve_cluster(args: argparse.Namespace, shard_config) -> int:
@@ -596,7 +717,13 @@ def _serve_cluster(args: argparse.Namespace, shard_config) -> int:
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
-    cluster = LocalCluster(args.cluster, config=shard_config)
+    cluster = LocalCluster(
+        args.cluster,
+        config=shard_config,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every=args.snapshot_every,
+    )
     coordinator = ClusterCoordinator(
         cluster.addresses(), config=cluster_config
     )
@@ -846,6 +973,126 @@ def _run_bench(argv: List[str]) -> int:
     return 0
 
 
+def _run_loadtest(argv: List[str]) -> int:
+    """``repro loadtest`` — open-loop traffic + crash/recovery scenario."""
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline loadtest",
+        description=(
+            "Open-loop load generator: replay a mix of the four query "
+            "kinds plus mutations at a target QPS against a live server "
+            "(--host/--port), or run the full durability scenario — "
+            "spawn, load, SIGKILL, recover — and report latency "
+            "percentiles, shed/degraded rates and recovery time"
+        ),
+    )
+    parser.add_argument("--host", default=None, help="drive a running server")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--dataset", default="loadtest", metavar="NAME")
+    parser.add_argument("--qps", type=float, default=200.0, metavar="N",
+                        help="target offered load (default 200)")
+    parser.add_argument("--duration", type=float, default=2.0, metavar="S",
+                        help="seconds of traffic (default 2.0)")
+    parser.add_argument("--workers", type=int, default=8, metavar="N",
+                        help="generator connections (default 8)")
+    parser.add_argument("--points", type=int, default=400, metavar="N",
+                        help="dataset cardinality (default 400)")
+    parser.add_argument("--dims", type=int, default=3, metavar="D",
+                        help="dataset dimensionality (default 3)")
+    parser.add_argument("--mutations", type=float, default=0.1, metavar="F",
+                        help="fraction of ops that mutate (default 0.1)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="request-stream seed (default 0)")
+    parser.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="scenario mode: durability directory (default: a temp dir)",
+    )
+    parser.add_argument("--fsync", choices=["always", "interval", "never"],
+                        default="always",
+                        help="scenario mode WAL fsync policy (default always)")
+    parser.add_argument("--snapshot-every", type=int, default=64, metavar="N",
+                        help="scenario mode checkpoint interval (default 64)")
+    parser.add_argument(
+        "--kernel", choices=["scalar", "block"], default=None,
+        help="dominance backend of the spawned server (scenario mode)",
+    )
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the stats record to FILE")
+    args = parser.parse_args(argv)
+
+    from repro.bench.loadtest import (
+        LoadTestConfig,
+        dump_json,
+        render,
+        run_loadtest,
+        run_scenario,
+    )
+    from repro.serving.client import ServingClient
+
+    config = LoadTestConfig(
+        dataset=args.dataset,
+        qps=args.qps,
+        duration_s=args.duration,
+        workers=args.workers,
+        mutation_fraction=args.mutations,
+        n_points=args.points,
+        dims=args.dims,
+        seed=args.seed,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"loadtest: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.host is not None or args.port is not None:
+            if args.host is None or args.port is None:
+                print("loadtest: --host and --port go together",
+                      file=sys.stderr)
+                return 2
+            with ServingClient.connect(args.host, args.port, timeout=10.0) as c:
+                response = c.register(args.dataset, config.points())
+                if not response.get("ok"):
+                    print(f"loadtest: register failed: {response}",
+                          file=sys.stderr)
+                    return 1
+            stats = run_loadtest(args.host, args.port, config)
+        else:
+            serve_args = []
+            if args.kernel:
+                serve_args += ["--kernel", args.kernel]
+            if args.data_dir:
+                stats = run_scenario(
+                    config,
+                    args.data_dir,
+                    serve_args=serve_args,
+                    fsync=args.fsync,
+                    snapshot_every=args.snapshot_every,
+                )
+            else:
+                import tempfile
+
+                with tempfile.TemporaryDirectory() as tmp:
+                    stats = run_scenario(
+                        config,
+                        tmp,
+                        serve_args=serve_args,
+                        fsync=args.fsync,
+                        snapshot_every=args.snapshot_every,
+                    )
+    except (OSError, RuntimeError) as exc:
+        print(f"loadtest: {exc}", file=sys.stderr)
+        return 1
+    print(render(stats))
+    if args.json:
+        try:
+            dump_json(stats, args.json)
+        except OSError as exc:
+            print(f"--json: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -868,6 +1115,8 @@ def main(argv: List[str] | None = None) -> int:
         return _run_top(argv[1:])
     if argv[:1] == ["bench"]:
         return _run_bench(argv[1:])
+    if argv[:1] == ["loadtest"]:
+        return _run_loadtest(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "verify":
         return _run_verify(args)

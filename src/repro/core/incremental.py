@@ -16,7 +16,7 @@ Reduce step of the MapReduce pipeline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -55,14 +55,19 @@ class IncrementalSkyline:
         initial_points: np.ndarray | None = None,
         *,
         kernel: str | DominanceKernel | None = None,
+        next_id: int = 0,
     ) -> None:
+        if next_id < 0:
+            raise ValueError(f"next_id must be >= 0, got {next_id}")
         self._partitioner = partitioner
         self._kernel = get_kernel(kernel)
         self._rows: Dict[int, np.ndarray] = {}
         self._partition_of: Dict[int, int] = {}
         self._members: Dict[int, List[int]] = {}
         self._local_sky: Dict[int, List[int]] = {}
-        self._next_id = 0
+        # Starts above 0 when a recovery restores the id-allocation
+        # cursor of a structure whose membership had emptied out.
+        self._next_id = next_id
         self._global_cache: np.ndarray | None = None
 
         if initial_points is not None:
@@ -128,6 +133,70 @@ class IncrementalSkyline:
         self._global_cache = None
         return self
 
+    @classmethod
+    def from_members(
+        cls,
+        partitioner: SpacePartitioner,
+        ids: Sequence[int],
+        rows: np.ndarray,
+        *,
+        next_id: int,
+        kernel: str | DominanceKernel | None = None,
+    ) -> "IncrementalSkyline":
+        """Rebuild from an explicit ``(ids, rows)`` membership — recovery.
+
+        The durability snapshot persists exactly what :meth:`members`
+        returns plus the id-allocation cursor; this inverts it.  Ids are
+        honoured verbatim (they are *not* renumbered) and ``next_id``
+        restores the allocation cursor, so inserts after recovery assign
+        the same ids the pre-crash structure would have — the id-for-id
+        recovery contract.  The partitioner is fitted here on the
+        surviving members when not already fitted; partition boundaries
+        may therefore differ from the pre-crash structure's (which fitted
+        on its *first* batch), which is sound because every external
+        answer — the global skyline and the query evaluators — is
+        partition-independent.
+        """
+        pts = validate_points(rows)
+        id_list = [int(i) for i in ids]
+        if len(id_list) != pts.shape[0]:
+            raise ValueError(
+                f"got {len(id_list)} ids for {pts.shape[0]} rows"
+            )
+        if len(set(id_list)) != len(id_list):
+            raise ValueError("member ids must be unique")
+        if id_list and next_id <= max(id_list):
+            raise ValueError(
+                f"next_id {next_id} would re-issue live id {max(id_list)}"
+            )
+        if next_id < 0:
+            raise ValueError(f"next_id must be >= 0, got {next_id}")
+        if not getattr(partitioner, "_fitted", False):
+            if pts.shape[0] == 0:
+                raise ValueError(
+                    "partitioner must be fitted to restore an empty membership"
+                )
+            partitioner.fit(pts)
+        self = cls.__new__(cls)
+        self._partitioner = partitioner
+        self._kernel = get_kernel(kernel)
+        self._rows = {pid: pts[i] for i, pid in enumerate(id_list)}
+        assigned = partitioner.assign(pts) if pts.shape[0] else np.empty(0, dtype=np.intp)
+        self._partition_of = {
+            pid: int(part) for pid, part in zip(id_list, assigned)
+        }
+        self._members = {}
+        for pid in id_list:
+            self._members.setdefault(self._partition_of[pid], []).append(pid)
+        self._local_sky = {}
+        for part, members in self._members.items():
+            member_rows = np.vstack([self._rows[i] for i in members])
+            result = bnl_skyline(member_rows, kernel=self._kernel)
+            self._local_sky[part] = [members[j] for j in result.indices]
+        self._next_id = next_id
+        self._global_cache = None
+        return self
+
     # -- queries ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -144,6 +213,12 @@ class IncrementalSkyline:
     def kernel_name(self) -> str:
         """Name of the dominance backend this structure was built with."""
         return self._kernel.name
+
+    @property
+    def next_id(self) -> int:
+        """The id the next insert will assign — persisted by snapshots so
+        a recovered structure keeps allocating the same ids."""
+        return self._next_id
 
     def point(self, point_id: int) -> np.ndarray:
         return self._rows[point_id].copy()

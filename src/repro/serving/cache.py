@@ -30,8 +30,12 @@ class ResultCache:
     """Bounded LRU cache of query results, versioned by generation."""
 
     def __init__(self, max_entries: int = 256):
-        if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        # ``max_entries == 0`` is a legal degenerate cache: every get
+        # misses, every put is dropped (never stored-then-evicted, which
+        # would spray ``cache.evict`` events), and the stale-answer path
+        # finds nothing — the configuration knob for cache-off serving.
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Key, List[int]]" = OrderedDict()
@@ -61,6 +65,8 @@ class ResultCache:
             return list(value)
 
     def put(self, key: Key, value: List[int]) -> None:
+        if self.max_entries == 0:
+            return
         evicted: List[Key] = []
         with self._lock:
             self._entries[key] = list(value)

@@ -114,9 +114,9 @@ class ClusterConfig:
             raise ValueError(
                 f"connect_timeout_s must be > 0, got {self.connect_timeout_s}"
             )
-        if self.cache_entries < 1:
+        if self.cache_entries < 0:
             raise ValueError(
-                f"cache_entries must be >= 1, got {self.cache_entries}"
+                f"cache_entries must be >= 0, got {self.cache_entries}"
             )
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ValueError(
@@ -507,6 +507,28 @@ class ClusterCoordinator:
             metrics.counter("serve.cluster.unfiltered_retries").inc()
             answers, lost = self._fan_out(
                 placement, spec, None, start, deadline, span
+            )
+        # A shard answering *below* the generation the coordinator has
+        # already observed for it has restarted without (full) recovery:
+        # its answer may silently miss acknowledged mutations, so the leg
+        # is treated as lost rather than merged — and the placement's
+        # max-merge generation vector never regresses.
+        regressed = {
+            shard
+            for shard, ans in answers.items()
+            if ans["generation"] < gen_of[shard]
+        }
+        if regressed:
+            for shard in regressed:
+                del answers[shard]
+                lost[shard] = "generation-regressed"
+            metrics.counter("serve.cluster.generation_regressed").inc(
+                len(regressed)
+            )
+            get_events().emit(
+                "cluster.generation_regressed",
+                dataset=spec.dataset,
+                shards=sorted(regressed),
             )
         with self._lock:
             for shard, ans in answers.items():

@@ -15,6 +15,7 @@ which is what the chaos leg of the differential suite relies on.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 from typing import Any, Dict, List
@@ -54,17 +55,38 @@ class _TrackingTCPServer(ServingTCPServer):
 
 
 class LocalCluster:
-    """N in-process shard servers on loopback ports."""
+    """N in-process shard servers on loopback ports.
 
-    def __init__(self, num_shards: int, *, config: ServeConfig | None = None):
+    With ``data_dir`` set, every shard writes its datasets through a
+    per-shard durability plane (``data_dir/shard-NN``):
+    :meth:`restart` then brings a killed shard back *on its old port*
+    with its state recovered from disk, which is the fixture the
+    shard-restart continuity suite drives — the coordinator's pooled
+    endpoints redial the same address and the recovered shard answers at
+    its pre-crash generations, so the generation vector never regresses.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        config: ServeConfig | None = None,
+        data_dir: str | None = None,
+        fsync: str = "interval",
+        snapshot_every: int = 256,
+    ):
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
         self.services: List[SkylineService] = []
         self.servers: List[_TrackingTCPServer | None] = []
         self._threads: List[threading.Thread] = []
         self._dead: Dict[int, str] = {}
+        self._config = config
+        self._data_dir = data_dir
+        self._fsync = fsync
+        self._snapshot_every = snapshot_every
         for i in range(num_shards):
-            service = SkylineService(config)
+            service = self._make_service(i)
             server = _TrackingTCPServer(("127.0.0.1", 0), service)
             thread = threading.Thread(
                 target=server.serve_forever,
@@ -75,6 +97,25 @@ class LocalCluster:
             self.services.append(service)
             self.servers.append(server)
             self._threads.append(thread)
+
+    def _make_service(self, index: int) -> SkylineService:
+        """One shard's service, with its durability plane when configured;
+        recovery runs before the shard takes its first request."""
+        durability = None
+        if self._data_dir is not None:
+            from repro.serving.durability import DurabilityConfig, DurabilityManager
+
+            durability = DurabilityManager(
+                DurabilityConfig(
+                    os.path.join(self._data_dir, f"shard-{index:02d}"),
+                    fsync=self._fsync,
+                    snapshot_every=self._snapshot_every,
+                )
+            )
+        service = SkylineService(self._config, durability=durability)
+        if durability is not None:
+            service.recover_datasets()
+        return service
 
     @property
     def num_shards(self) -> int:
@@ -93,7 +134,14 @@ class LocalCluster:
         return out
 
     def kill(self, index: int) -> None:
-        """Crash one shard: stop accepting and sever live connections."""
+        """Crash one shard: stop accepting and sever live connections.
+
+        The shard's durability files are left exactly as the "crash"
+        found them (every WAL append is already flushed per its fsync
+        policy); the open handles are released so :meth:`restart` can
+        reopen the same files.  Torn-tail chaos is injected by tests at
+        the file level, not here.
+        """
         server = self.servers[index]
         if server is None:
             return
@@ -103,6 +151,30 @@ class LocalCluster:
         server.shutdown()
         server.close_connections()
         server.server_close()
+        durability = self.services[index].durability
+        if durability is not None:
+            durability.close()
+
+    def restart(self, index: int) -> str:
+        """Bring a killed shard back on its old address, state recovered
+        from its ``data_dir`` (an empty shard without one); returns the
+        ``host:port`` it rebound."""
+        if self.servers[index] is not None:
+            raise ValueError(f"shard {index} is still running")
+        address = self._dead.pop(index)
+        host, _, port = address.rpartition(":")
+        service = self._make_service(index)
+        server = _TrackingTCPServer((host, int(port)), service)
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name=f"local-shard-{index}",
+            daemon=True,
+        )
+        thread.start()
+        self.services[index] = service
+        self.servers[index] = server
+        self._threads[index] = thread
+        return address
 
     def close(self) -> None:
         for i in range(len(self.servers)):

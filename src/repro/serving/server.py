@@ -22,11 +22,19 @@ import json
 import socketserver
 import sys
 import threading
+import time
 from typing import IO, Any, Callable, Dict, Iterable
 
+from repro.observability.events import get_events
 from repro.serving.protocol import handle_request
 
 __all__ = ["serve_lines", "serve_stdio", "make_tcp_server"]
+
+#: Bound on waiting for live session threads at shutdown (seconds).  A
+#: session stuck in a long compute past this is abandoned (it is a
+#: daemon thread), but its count is reported in the ``server.stop``
+#: event instead of silently relying on process exit to reap it.
+DEFAULT_STOP_JOIN_S = 5.0
 
 #: A request dispatcher: ``(service, decoded request) -> response object``.
 #: :func:`repro.serving.protocol.handle_request` is the single-node one;
@@ -95,8 +103,9 @@ class _SessionHandler(socketserver.StreamRequestHandler):
         out = _TextOut(self.wfile)
         if serve_lines(server.service, reader, out, handler=server.handler):
             # A successful shutdown op stops the whole server, not just
-            # this session; shutdown() must come from another thread.
-            threading.Thread(target=server.shutdown, daemon=True).start()
+            # this session; shutdown() must come from another thread
+            # (stop() joins the other sessions and skips this one).
+            threading.Thread(target=server.stop, daemon=True).start()
 
 
 class _TextOut:
@@ -113,7 +122,14 @@ class _TextOut:
 
 
 class ServingTCPServer(socketserver.ThreadingTCPServer):
-    """Threading TCP server bound to one service and one dispatcher."""
+    """Threading TCP server bound to one service and one dispatcher.
+
+    Session threads are tracked (not merely daemonised): a clean stop
+    joins them with a bound, so in-flight responses get to finish and
+    WAL appends are not cut off mid-frame by process teardown — the
+    durable-serving requirement that plain ``daemon_threads`` alone
+    cannot meet.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
@@ -127,6 +143,58 @@ class ServingTCPServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _SessionHandler)
         self.service = service
         self.handler = handler
+        self._sessions_lock = threading.Lock()
+        self._sessions: Dict[int, threading.Thread] = {}
+        self._stopped = threading.Event()
+
+    # ``ThreadingMixIn.process_request`` spawns the session thread; wrap
+    # the handler bookkeeping instead so tracking needs no copy of the
+    # stdlib's spawn logic.
+    def process_request_thread(self, request: Any, client_address: Any) -> None:
+        thread = threading.current_thread()
+        with self._sessions_lock:
+            self._sessions[thread.ident or id(thread)] = thread
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._sessions_lock:
+                self._sessions.pop(thread.ident or id(thread), None)
+
+    def live_sessions(self) -> int:
+        with self._sessions_lock:
+            return len(self._sessions)
+
+    def stop(self, *, join_timeout_s: float = DEFAULT_STOP_JOIN_S) -> int:
+        """Stop accepting, join live sessions (bounded), emit ``server.stop``.
+
+        Idempotent — the shutdown op's handler thread and a signal-driven
+        ``finally`` may both call it.  Returns the number of sessions
+        still alive after the bounded join (0 on a fully clean stop).
+        """
+        if self._stopped.is_set():
+            return 0
+        self._stopped.set()
+        self.shutdown()
+        deadline = time.monotonic() + max(join_timeout_s, 0.0)
+        with self._sessions_lock:
+            threads = [t for t in self._sessions.values() if t.is_alive()]
+        me = threading.current_thread()
+        for thread in threads:
+            if thread is me:
+                continue  # the shutdown op's own session cannot join itself
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(remaining)
+        abandoned = sum(
+            1 for t in threads if t is not me and t.is_alive()
+        )
+        get_events().emit(
+            "server.stop",
+            address=f"{self.server_address[0]}:{self.server_address[1]}",
+            joined=len(threads) - abandoned - (1 if me in threads else 0),
+            abandoned=abandoned,
+        )
+        return abandoned
 
 
 def make_tcp_server(

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,9 @@ from repro.observability.tracing import get_tracer
 from repro.serving.cache import ResultCache
 from repro.serving.queries import QuerySpec, candidate_prune_mask, evaluate
 from repro.serving.store import DEFAULT_MR_BULK_THRESHOLD, SkylineStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.durability.manager import DurabilityManager
 
 __all__ = [
     "ServeConfig",
@@ -116,8 +119,8 @@ class ServeConfig:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
         if self.max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
-        if self.cache_entries < 1:
-            raise ValueError(f"cache_entries must be >= 1, got {self.cache_entries}")
+        if self.cache_entries < 0:
+            raise ValueError(f"cache_entries must be >= 0, got {self.cache_entries}")
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ValueError(
                 f"default_deadline_s must be > 0, got {self.default_deadline_s}"
@@ -198,10 +201,15 @@ class SkylineService:
     """Long-running skyline query service over registered datasets."""
 
     def __init__(
-        self, config: ServeConfig | None = None, *, clock: Any = None
+        self,
+        config: ServeConfig | None = None,
+        *,
+        clock: Any = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.config.validate()
+        self.durability = durability
         self.clock = clock if clock is not None else MonotonicClock()
         self._lock = threading.RLock()
         self._stores: Dict[str, SkylineStore] = {}
@@ -250,7 +258,6 @@ class SkylineService:
             raise ValueError("dataset name must be non-empty")
         store = SkylineStore(
             name,
-            points,
             scheme=scheme,
             num_partitions=num_partitions,
             num_workers=self.config.num_workers,
@@ -258,6 +265,16 @@ class SkylineService:
             executor=self.config.executor,
             kernel=self.config.kernel,
         )
+        if self.durability is not None:
+            # WAL-before-apply, from the very first byte: the register
+            # record (carrying the construction config) lands before the
+            # initial load's bulk record, so replay rebuilds the store
+            # with the same parameters, then the same data.
+            log = self.durability.dataset_log(name)
+            store.attach_durability(log)
+            log.log_register(store.store_config())
+        if points is not None:
+            store.bulk_load(points)
         with self._lock:
             replaced = name in self._stores
             self._stores[name] = store
@@ -267,6 +284,49 @@ class SkylineService:
             # answers of the previous incarnation must not be addressable.
             self._cache.invalidate(name)
         return store.generation
+
+    def adopt_store(self, name: str, store: SkylineStore) -> int:
+        """Install an externally-built store (the recovery path) as a
+        dataset; returns its generation."""
+        with self._lock:
+            replaced = name in self._stores
+            self._stores[name] = store
+            get_metrics().gauge("serve.datasets").set(len(self._stores))
+        if replaced:
+            self._cache.invalidate(name)
+        return store.generation
+
+    def recover_datasets(self) -> List[Any]:
+        """Recover every dataset found in the durability directory.
+
+        Runs before the server starts answering: each recovered store is
+        adopted under its recorded name, with this service's executor and
+        kernel flags overriding the persisted config (a restarted fleet
+        member stays homogeneous with its peers).  Returns the
+        per-dataset :class:`~repro.serving.durability.recovery.RecoveryReport`
+        list (empty when durability is off or the directory is fresh).
+        """
+        if self.durability is None:
+            return []
+        from repro.serving.durability.recovery import recover_dataset
+
+        reports = []
+        for name in self.durability.dataset_names():
+            store, report = recover_dataset(
+                self.durability,
+                name,
+                executor=self.config.executor,
+                kernel=self.config.kernel,
+            )
+            if store is not None:
+                self.adopt_store(name, store)
+                reports.append(report)
+        return reports
+
+    def sync_durability(self) -> None:
+        """Flush every WAL to stable storage (shutdown / signal path)."""
+        if self.durability is not None:
+            self.durability.sync()
 
     def datasets(self) -> List[str]:
         with self._lock:
@@ -655,12 +715,12 @@ class SkylineService:
             "counters": {
                 name: value
                 for name, value in snapshot["counters"].items()
-                if name.startswith(("serve.", "prune."))
+                if name.startswith(("serve.", "prune.", "wal.", "durability."))
             },
             "gauges": {
                 name: value
                 for name, value in snapshot["gauges"].items()
-                if name.startswith(("serve.", "partition."))
+                if name.startswith(("serve.", "partition.", "durability."))
             },
             "latency": snapshot["histograms"].get(
                 "serve.latency_s", Histogram("serve.latency_s").snapshot()

@@ -19,7 +19,7 @@ in-core vectorised :meth:`IncrementalSkyline.bulk_load`.
 from __future__ import annotations
 
 import threading
-from typing import List, NamedTuple, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, NamedTuple, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.core.partitioning import make_partitioner
 from repro.mapreduce.executors import Executor
 from repro.observability.events import get_events
 from repro.observability.metrics import get_metrics, observe_partition_skew
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (durability -> store)
+    from repro.serving.durability.manager import DatasetLog
 
 __all__ = ["SkylineStore", "StoreSnapshot"]
 
@@ -92,6 +95,12 @@ class SkylineStore:
         self._lock = threading.RLock()
         self._sky: IncrementalSkyline | None = None
         self._generation = 0
+        # Durability sink (a DatasetLog) — attached after construction so
+        # recovery can replay into a silent store, then start logging.
+        self._durability: "DatasetLog | None" = None
+        # Id-allocation cursor restored from a snapshot whose membership
+        # was empty: applied when the first post-recovery data arrives.
+        self._pending_next_id = 0
         if points is not None:
             self.bulk_load(points)
 
@@ -146,11 +155,14 @@ class SkylineStore:
         """Add one service; returns ``(point_id, new generation)``."""
         row = np.asarray(point, dtype=np.float64).reshape(1, -1)
         with self._lock:
+            if self._durability is not None:
+                self._durability.log_insert(row[0])
             self._ensure_sky(row)
             assert self._sky is not None
             point_id = self._sky.insert(row[0])
             self._generation += 1
             result = point_id, self._generation
+            self._maybe_checkpoint()
         self._observe_mutation("insert")
         return result
 
@@ -159,9 +171,14 @@ class SkylineStore:
         with self._lock:
             if self._sky is None:
                 raise KeyError(f"unknown point id {point_id}")
+            if point_id not in self._sky:
+                raise KeyError(f"unknown point id {point_id}")
+            if self._durability is not None:
+                self._durability.log_remove(point_id)
             self._sky.remove(point_id)
             self._generation += 1
             generation = self._generation
+            self._maybe_checkpoint()
         self._observe_mutation("remove")
         return generation
 
@@ -202,7 +219,9 @@ class SkylineStore:
                 ).inc(filter_tests)
             seed = (partitioner, result)
         with self._lock:
-            if self._sky is None and seed is not None:
+            if self._durability is not None:
+                self._durability.log_bulk(pts.tolist())
+            if self._sky is None and seed is not None and self._pending_next_id == 0:
                 partitioner, result = seed
                 self._sky = IncrementalSkyline.from_batch(
                     partitioner,
@@ -218,8 +237,118 @@ class SkylineStore:
                 new_ids = self._sky.bulk_load(pts)
             self._generation += 1
             result = new_ids, self._generation
+            self._maybe_checkpoint()
         self._observe_mutation("bulk_load", batch=pts.shape[0])
         return result
+
+    # -- durability -------------------------------------------------------------
+
+    def attach_durability(self, log: "DatasetLog") -> None:
+        """Start writing mutations through ``log`` (WAL-before-apply).
+
+        Called after construction — and, on the recovery path, only
+        *after* replay, so replayed mutations are not re-logged.
+        """
+        with self._lock:
+            self._durability = log
+
+    def restore_members(
+        self,
+        ids: Sequence[int],
+        rows: np.ndarray,
+        *,
+        generation: int,
+        next_id: int,
+    ) -> None:
+        """Install a snapshot's membership into a still-empty store.
+
+        Rebuilds the incremental structure from the persisted
+        ``(ids, rows)`` verbatim (ids are never renumbered) and restores
+        the generation counter and id-allocation cursor, so both query
+        labelling and future insert ids match the pre-crash store.
+        """
+        with self._lock:
+            if self._sky is not None or self._generation != 0:
+                raise ValueError(
+                    f"store {self.name!r} is not empty (generation "
+                    f"{self._generation}); recovery must target a fresh store"
+                )
+            if len(ids) > 0:
+                partitioner = make_partitioner(self.scheme, self.num_partitions)
+                self._sky = IncrementalSkyline.from_members(
+                    partitioner,
+                    [int(i) for i in ids],
+                    np.asarray(rows, dtype=np.float64),
+                    next_id=next_id,
+                    kernel=self._kernel,
+                )
+            else:
+                # Nothing lives, but the id cursor must survive: the next
+                # arrival re-creates the structure with it (see _ensure_sky).
+                self._pending_next_id = next_id
+            self._generation = generation
+
+    def checkpoint(self) -> bool:
+        """Force a snapshot + WAL truncation now (no-op when not durable)."""
+        with self._lock:
+            if self._durability is None:
+                return False
+            self._durability.checkpoint(self._durable_state_locked())
+            return True
+
+    def sync_durability(self) -> None:
+        """Flush the WAL to stable storage (signal-exit / shutdown path)."""
+        with self._lock:
+            if self._durability is not None:
+                self._durability.sync()
+
+    def store_config(self) -> Dict[str, Any]:
+        """Construction parameters, as persisted in register records and
+        snapshots so a recovered store is built like the original."""
+        return {
+            "scheme": self.scheme,
+            "num_partitions": self.num_partitions,
+            "num_workers": self.num_workers,
+            "mr_bulk_threshold": self.mr_bulk_threshold,
+            "executor": self.executor if isinstance(self.executor, str) else None,
+            "kernel": self._kernel.name,
+        }
+
+    def _maybe_checkpoint(self) -> None:
+        """Roll the WAL into a snapshot when enough mutations accumulated.
+
+        Callers hold ``self._lock``; the snapshot I/O therefore blocks
+        concurrent queries for its duration, which is the price of a
+        crash-consistent membership image and is amortised by
+        ``snapshot_every``.
+        """
+        with self._lock:
+            if self._durability is not None:
+                self._durability.maybe_checkpoint(self._durable_state_locked)
+
+    def _durable_state_locked(self) -> Dict[str, Any]:
+        """The snapshot payload for the current state (lock held)."""
+        with self._lock:
+            if self._sky is None:
+                ids: List[int] = []
+                rows: List[List[float]] = []
+                skyline: List[int] = []
+                next_id = self._pending_next_id
+            else:
+                member_ids, member_rows = self._sky.members()
+                ids = [int(i) for i in member_ids]
+                rows = [[float(v) for v in row] for row in member_rows]
+                skyline = self._sky.global_skyline()
+                next_id = self._sky.next_id
+            return {
+                "dataset": self.name,
+                "generation": self._generation,
+                "next_id": next_id,
+                "ids": ids,
+                "rows": rows,
+                "skyline_ids": skyline,
+                "config": self.store_config(),
+            }
 
     # -- telemetry --------------------------------------------------------------
 
@@ -270,4 +399,8 @@ class SkylineStore:
             if self._sky is None:
                 partitioner = make_partitioner(self.scheme, self.num_partitions)
                 partitioner.fit(first_batch)
-                self._sky = IncrementalSkyline(partitioner, kernel=self._kernel)
+                self._sky = IncrementalSkyline(
+                    partitioner,
+                    kernel=self._kernel,
+                    next_id=self._pending_next_id,
+                )

@@ -1,0 +1,47 @@
+"""Clean counterpart of ``lock_wal_unsafe.py``: every WAL append,
+checkpoint and truncate call site runs under the owning lock (or in the
+constructor, before the object is shared)."""
+
+import threading
+
+
+class DurableStore:
+    """Logs every mutation under the lock that guards the generation."""
+
+    def __init__(self, log):
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._durability = log
+        self._durability.log_register({})  # construction: not yet shared
+
+    def insert(self, row):
+        with self._lock:
+            self._durability.log_insert(row)
+            self._generation += 1
+
+    def remove(self, point_id):
+        with self._lock:
+            self._durability.log_remove(point_id)
+            self._generation += 1
+
+    def flush_now(self):
+        with self._lock:
+            self._durability.checkpoint({})
+
+
+class ShardLog:
+    """Appends and truncates only while holding the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wal = None
+        self._applied = 0
+
+    def apply(self, record):
+        with self._lock:
+            self._wal.append_record(record)
+            self._applied += 1
+
+    def compact(self):
+        with self._lock:
+            self._wal.truncate()

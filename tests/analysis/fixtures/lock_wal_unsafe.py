@@ -1,0 +1,52 @@
+"""Violating fixture for wal-discipline: WAL I/O outside the store lock.
+
+Mirrors the durable store's shape — a generation counter plus a
+``DatasetLog``-like durability sink — with append/checkpoint/truncate
+call sites that slip out from under the lock, letting the WAL's sequence
+order race the generation counter.
+"""
+
+import threading
+
+
+class RacyDurableStore:
+    """Logs its mutations, but not always under the lock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._durability = None
+
+    def attach(self, log):
+        with self._lock:
+            self._durability = log
+
+    def insert(self, row):
+        self._durability.log_insert(row)  # VIOLATION: wal-discipline
+        with self._lock:
+            self._generation += 1
+
+    def remove(self, point_id):
+        with self._lock:
+            self._durability.log_remove(point_id)
+            self._generation += 1
+
+    def flush_now(self):
+        self._durability.checkpoint({})  # VIOLATION: wal-discipline
+
+
+class RacyShardLog:
+    """Truncates its WAL while mutators may still be appending."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wal = None
+        self._applied = 0
+
+    def apply(self, record):
+        with self._lock:
+            self._wal.append_record(record)
+            self._applied += 1
+
+    def compact(self):
+        self._wal.truncate()  # VIOLATION: wal-discipline

@@ -27,6 +27,7 @@ def found_pairs(name: str, rule_id: str) -> set:
         ("pickle-safety", "pickle_unsafe.py", "pickle_safe.py"),
         ("lock-discipline", "lock_unsafe.py", "lock_safe.py"),
         ("lock-discipline", "lock_serving_unsafe.py", "lock_serving_safe.py"),
+        ("wal-discipline", "lock_wal_unsafe.py", "lock_wal_safe.py"),
         ("exception-hygiene", "except_swallow.py", "except_ok.py"),
         ("kernel-seam", "kernel_seam_direct.py", "kernel_seam_clean.py"),
         ("lock-order-cycle", "flow_cycle_deadlock.py", "flow_cycle_clean.py"),

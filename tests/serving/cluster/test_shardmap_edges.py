@@ -1,0 +1,90 @@
+"""ShardMap identity at the degenerate placements.
+
+The global ↔ (shard, local) maps must stay exact bijections at the
+edges: a one-shard cluster (every partitioner-keyed placement collapses
+to single-shard), and a cluster with more shards than points (some
+shards participate but start empty).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving.cluster.shards import ShardMap
+
+
+def _rows(n, d=3, seed=21):
+    return np.random.default_rng(seed).random((n, d)) + 0.01
+
+
+def _assert_bijection(placement, n_rows):
+    assert placement.next_global_id == n_rows
+    assert sorted(placement.local_of) == list(range(n_rows))
+    assert len(placement.global_of) == n_rows
+    for gid, address in placement.local_of.items():
+        assert placement.global_of[address] == gid
+        (shard, local) = address
+        assert placement.to_global(shard, [local]) == [gid]
+
+
+class TestSingleShardCluster:
+    def test_round_trip_all_ids(self):
+        smap = ShardMap(1)
+        rows = _rows(12)
+        placement, slices = smap.place("solo", rows, shard_fn="angle")
+        # One shard: the partitioner-keyed request still lands everywhere
+        # it can — shard 0 — with ids 0..n-1 in row order.
+        assert slices[0] is not None and slices[0].shape[0] == 12
+        _assert_bijection(placement, 12)
+        assert all(addr[0] == 0 for addr in placement.local_of.values())
+
+    def test_bind_release_rebind_never_reuses_ids(self):
+        smap = ShardMap(1)
+        placement, _ = smap.place("solo", _rows(3), shard_fn="hash")
+        assert placement.release(1) == (0, 1)
+        fresh = placement.bind(0, 99)
+        assert fresh == 3, "released ids must never be reassigned"
+        assert placement.local_of[fresh] == (0, 99)
+        assert 1 not in placement.local_of
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardMap(0)
+
+
+class TestMoreShardsThanPoints:
+    def test_sparse_placement_round_trips(self):
+        smap = ShardMap(6)
+        rows = _rows(2)
+        placement, slices = smap.place("sparse", rows, shard_fn="angle")
+        assert placement.shard_ids == tuple(range(6))
+        held = sum(s.shape[0] for s in slices if s is not None)
+        assert held == 2
+        _assert_bijection(placement, 2)
+        # Participating-but-empty shards get an empty slice, not None.
+        empties = [s for s in slices if s is not None and s.shape[0] == 0]
+        assert len(empties) >= 4
+
+    def test_generation_vector_spans_every_shard(self):
+        smap = ShardMap(5)
+        placement, _ = smap.place("sparse", _rows(1), shard_fn="hash")
+        assert len(placement.generation_vector()) == 5
+        placement.observe_generation(3, 7)
+        placement.observe_generation(3, 2)  # stale observation
+        assert placement.generation_vector()[3] == 7, "gvec must max-merge"
+
+    def test_inserts_extend_the_bijection_across_empty_shards(self):
+        smap = ShardMap(4)
+        rows = _rows(2)
+        placement, _ = smap.place("sparse", rows, shard_fn="angle")
+        # Route fresh rows to whichever shard owns them; local ids are
+        # per-shard counters, global ids a single arrival-ordered clock.
+        locals_next = {s: 0 for s in placement.shard_ids}
+        for gid, (shard, local) in placement.local_of.items():
+            locals_next[shard] = max(locals_next[shard], local + 1)
+        for i in range(8):
+            row = _rows(1, seed=100 + i)[0]
+            shard = placement.owner_of(row)
+            gid = placement.bind(shard, locals_next[shard])
+            locals_next[shard] += 1
+            assert gid == 2 + i
+        _assert_bijection(placement, 10)

@@ -1,0 +1,108 @@
+"""Signal exits run the full serve teardown: WAL flush + events dump.
+
+SIGTERM/SIGINT against a live ``repro serve --data-dir ...`` process
+must behave like a clean shutdown — the event log lands on disk, the
+WALs are flushed and closed, and a fresh process recovers every
+acknowledged mutation — with the conventional 128+signum exit code.
+"""
+
+import json
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.serving.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    recover_dataset,
+)
+
+from tests.serving.harness import spawn_server
+
+DIMS = 3
+
+
+@pytest.mark.parametrize(
+    ("sig", "expected_code"),
+    [(signal.SIGTERM, 143), (signal.SIGINT, 130)],
+)
+def test_signal_exit_flushes_wal_and_dumps_events(tmp_path, sig, expected_code):
+    events_path = str(tmp_path / "events.jsonl")
+    data_dir = str(tmp_path / "data")
+    client = spawn_server(
+        "--data-dir", data_dir, "--fsync", "never", "--events", events_path
+    )
+    try:
+        loaded = client.register("sig", generate={"n": 40, "d": DIMS, "seed": 3})
+        assert loaded["ok"], loaded
+        inserted = client.insert("sig", [0.001] * DIMS)
+        assert inserted["generation"] == 2, inserted
+
+        os.kill(client._proc.pid, sig)
+        code = client._proc.wait(timeout=30)
+        assert code == expected_code, f"expected 128+{sig}, got {code}"
+    finally:
+        if client._proc.poll() is None:  # pragma: no cover - cleanup
+            client._proc.kill()
+
+    # The --events artifact was written on the way down.
+    kinds = {
+        json.loads(line)["kind"]
+        for line in open(events_path, encoding="utf-8")
+        if line.strip()
+    }
+    assert "store.generation" in kinds, kinds
+
+    # Every acknowledged mutation is recoverable: register + bulk + insert.
+    manager = DurabilityManager(DurabilityConfig(data_dir, fsync="never"))
+    store, report = recover_dataset(manager, "sig")
+    assert store is not None
+    assert store.generation == 2, report
+    assert len(store) == 41
+    assert inserted["id"] in store
+    manager.close()
+
+
+def test_signal_handlers_are_noop_off_main_thread():
+    """Embedded contexts (tests, cluster shards) call the installer from
+    worker threads; it must not blow up there."""
+    import threading
+
+    from repro.cli import _install_exit_signal_handlers
+
+    errors = []
+
+    def target():
+        try:
+            _install_exit_signal_handlers()
+        except Exception as exc:  # pragma: no cover - the failure case
+            errors.append(exc)
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=10)
+    assert not errors, errors
+
+
+def test_sigkill_is_still_recoverable_with_fsync_always(tmp_path):
+    """The durability floor: even an un-catchable SIGKILL mid-session
+    loses nothing that ``--fsync always`` acknowledged."""
+    data_dir = str(tmp_path / "data")
+    client = spawn_server("--data-dir", data_dir, "--fsync", "always")
+    try:
+        assert client.register("kill9", generate={"n": 30, "d": DIMS, "seed": 5})["ok"]
+        pid_insert = client.insert("kill9", [0.002] * DIMS)
+        os.kill(client._proc.pid, signal.SIGKILL)
+        code = client._proc.wait(timeout=30)
+        assert code == -signal.SIGKILL
+    finally:
+        if client._proc.poll() is None:  # pragma: no cover - cleanup
+            client._proc.kill()
+
+    manager = DurabilityManager(DurabilityConfig(data_dir, fsync="always"))
+    store, report = recover_dataset(manager, "kill9")
+    assert store is not None and store.generation == 2, report
+    assert pid_insert["id"] in store
+    manager.close()

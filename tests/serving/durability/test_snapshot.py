@@ -1,0 +1,83 @@
+"""Snapshot atomicity and the strict-on-corruption contract.
+
+A torn WAL tail is routine; a corrupt snapshot is not — the WAL was
+truncated on the snapshot's promise, so ``read_snapshot`` must raise
+rather than quietly recover less data than was acknowledged.
+"""
+
+import os
+import zlib
+
+import pytest
+
+from repro.serving.durability import (
+    SNAPSHOT_FORMAT,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.serving.durability.wal import HEADER
+
+
+def snap_path(tmp_path):
+    return str(tmp_path / "snapshot.bin")
+
+
+class TestRoundtrip:
+    def test_payload_survives_with_format_stamp(self, tmp_path):
+        path = snap_path(tmp_path)
+        size = write_snapshot(path, {"generation": 7, "ids": [0, 1]})
+        assert size == os.path.getsize(path)
+        payload = read_snapshot(path)
+        assert payload["generation"] == 7
+        assert payload["ids"] == [0, 1]
+        assert payload["format"] == SNAPSHOT_FORMAT
+
+    def test_missing_file_reads_none(self, tmp_path):
+        assert read_snapshot(snap_path(tmp_path)) is None
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = snap_path(tmp_path)
+        write_snapshot(path, {"generation": 1})
+        write_snapshot(path, {"generation": 2})
+        assert read_snapshot(path)["generation"] == 2
+        assert not os.path.exists(path + ".tmp"), "tmp file must not survive"
+
+
+class TestCorruptionIsFatal:
+    def test_short_header(self, tmp_path):
+        path = snap_path(tmp_path)
+        open(path, "wb").write(b"\x00\x01")
+        with pytest.raises(SnapshotError, match="shorter than its header"):
+            read_snapshot(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = snap_path(tmp_path)
+        write_snapshot(path, {"generation": 3, "rows": [[0.1] * 8] * 16})
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError, match="declares"):
+            read_snapshot(path)
+
+    def test_crc_mismatch(self, tmp_path):
+        path = snap_path(tmp_path)
+        write_snapshot(path, {"generation": 3})
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(SnapshotError, match="CRC"):
+            read_snapshot(path)
+
+    def test_format_mismatch(self, tmp_path):
+        path = snap_path(tmp_path)
+        body = b'{"format":999,"generation":1}'
+        open(path, "wb").write(HEADER.pack(len(body), zlib.crc32(body)) + body)
+        with pytest.raises(SnapshotError, match="format"):
+            read_snapshot(path)
+
+    def test_non_object_payload(self, tmp_path):
+        path = snap_path(tmp_path)
+        body = b"[1,2,3]"
+        open(path, "wb").write(HEADER.pack(len(body), zlib.crc32(body)) + body)
+        with pytest.raises(SnapshotError, match="not an object"):
+            read_snapshot(path)

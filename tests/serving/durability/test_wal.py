@@ -1,0 +1,143 @@
+"""WAL framing: roundtrips, the torn-tail rule, fsync policies, seqs.
+
+The file format invariant under test: everything up to the last
+verifiable frame is trusted, everything after is discarded — whether the
+tail was cut mid-header, mid-payload, or flipped by bit rot.
+"""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.observability.metrics import get_metrics
+from repro.serving.durability import WalScan, WriteAheadLog, read_wal
+from repro.serving.durability.wal import HEADER, MAX_RECORD_BYTES, encode_record
+
+
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestReadWal:
+    def test_missing_file_is_empty_untorn(self, tmp_path):
+        scan = read_wal(wal_path(tmp_path))
+        assert scan == WalScan([], 0, False)
+
+    def test_roundtrip_assigns_monotone_seqs(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            for i in range(5):
+                assert wal.append_record({"op": "insert", "row": [i]}) == i
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [r.seq for r in scan.records] == list(range(5))
+        assert [r.payload["row"] for r in scan.records] == [[i] for i in range(5)]
+        assert scan.valid_bytes == os.path.getsize(path)
+
+    @pytest.mark.parametrize("cut", [1, HEADER.size - 1, HEADER.size + 3])
+    def test_torn_tail_stops_before_partial_frame(self, tmp_path, cut):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            wal.append_record({"op": "insert", "row": [0.5]})
+        # A second frame torn `cut` bytes in — crash mid-append.
+        with open(path, "ab") as fh:
+            fh.write(encode_record({"op": "remove", "id": 0, "seq": 1})[:cut])
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.seq for r in scan.records] == [0]
+        assert scan.valid_bytes < os.path.getsize(path)
+
+    def test_crc_corruption_stops_scan(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            wal.append_record({"op": "insert", "row": [1.0]})
+            wal.append_record({"op": "insert", "row": [2.0]})
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF  # flip one payload byte of the final frame
+        open(path, "wb").write(bytes(blob))
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.seq for r in scan.records] == [0]
+
+    def test_overlong_length_field_rejected(self, tmp_path):
+        path = wal_path(tmp_path)
+        body = json.dumps({"seq": 0}).encode()
+        with open(path, "wb") as fh:
+            fh.write(HEADER.pack(MAX_RECORD_BYTES + 1, zlib.crc32(body)) + body)
+        scan = read_wal(path)
+        assert scan.torn and scan.records == []
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = wal_path(tmp_path)
+        body = json.dumps([1, 2, 3]).encode()
+        with open(path, "wb") as fh:
+            fh.write(HEADER.pack(len(body), zlib.crc32(body)) + body)
+        scan = read_wal(path)
+        assert scan.torn and scan.records == []
+
+
+class TestWriteAheadLog:
+    def test_reopen_trims_torn_tail_and_continues_seq(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            wal.append_record({"op": "insert", "row": [1.0]})
+            wal.append_record({"op": "insert", "row": [2.0]})
+        with open(path, "ab") as fh:
+            fh.write(b"\x00\x01\x02")  # torn header fragment
+        with WriteAheadLog(path, fsync="never") as wal:
+            # The torn bytes are physically gone before the next append.
+            assert wal.next_seq == 2
+            wal.append_record({"op": "insert", "row": [3.0]})
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [r.seq for r in scan.records] == [0, 1, 2]
+
+    def test_truncate_resets_file_not_seq(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            for _ in range(3):
+                wal.append_record({"op": "insert", "row": [0.0]})
+            wal.truncate()
+            assert wal.size_bytes == 0
+            assert wal.append_record({"op": "insert", "row": [9.0]}) == 3
+        scan = read_wal(path)
+        assert [r.seq for r in scan.records] == [3]
+
+    def test_fsync_always_syncs_per_append(self, tmp_path):
+        with WriteAheadLog(wal_path(tmp_path), fsync="always") as wal:
+            before = get_metrics().counter("wal.syncs").value
+            wal.append_record({"op": "insert", "row": [0.0]})
+            wal.append_record({"op": "insert", "row": [1.0]})
+            assert get_metrics().counter("wal.syncs").value == before + 2
+
+    def test_fsync_interval_batches_syncs(self, tmp_path):
+        with WriteAheadLog(
+            wal_path(tmp_path), fsync="interval", fsync_interval=4
+        ) as wal:
+            before = get_metrics().counter("wal.syncs").value
+            for _ in range(8):
+                wal.append_record({"op": "insert", "row": [0.0]})
+            assert get_metrics().counter("wal.syncs").value == before + 2
+
+    def test_fsync_never_still_readable_after_close(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync="never") as wal:
+            wal.append_record({"op": "insert", "row": [0.0]})
+        assert len(read_wal(path).records) == 1
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            WriteAheadLog(wal_path(tmp_path), fsync="sometimes")
+        with pytest.raises(ValueError, match="fsync_interval"):
+            WriteAheadLog(wal_path(tmp_path), fsync="interval", fsync_interval=0)
+
+    def test_closed_log_refuses_writes(self, tmp_path):
+        wal = WriteAheadLog(wal_path(tmp_path), fsync="never")
+        wal.close()
+        with pytest.raises(ValueError, match="closed"):
+            wal.append_record({"op": "insert", "row": [0.0]})
+        with pytest.raises(ValueError, match="closed"):
+            wal.truncate()

@@ -35,6 +35,7 @@ from repro.serving.client import ServingClient
 __all__ = [
     "SRC_DIR",
     "run_ci_smoke",
+    "run_durability_smoke",
     "scripted_session",
     "spawn_server",
     "subprocess_env",
@@ -175,3 +176,134 @@ def run_ci_smoke(events_path: str = "serve-events.jsonl") -> None:
     kinds = {json.loads(line)["kind"] for line in lines}
     assert "store.generation" in kinds, kinds
     print("serving smoke OK: telemetry plane + event artifact verified")
+
+
+def run_durability_smoke(
+    data_dir: str = "durability-data",
+    report_path: str = "durability-loadtest.json",
+) -> None:
+    """The CI durability-smoke job: SIGKILL mid-mutation + parity gate.
+
+    Two legs, both persisting under ``data_dir`` so CI can upload the
+    WAL/snapshot files as artifacts:
+
+    1. **mid-mutation kill** — a background thread streams acknowledged
+       inserts (``--fsync always``) and the server is SIGKILLed while
+       that stream is in flight.  A restarted server must hold every
+       acknowledged mutation: dataset size and generation must match
+       the ack ledger exactly (± the single possibly-in-flight op), and
+       all four query kinds must answer at the recovered generation.
+    2. **loadtest scenario** — :func:`repro.bench.loadtest.run_scenario`
+       (load → open-loop traffic → SIGKILL → recover) with its id-for-id
+       parity verdict gated, and the stats written to ``report_path``.
+    """
+    from repro.bench.loadtest import (
+        LoadTestConfig,
+        _await_first_answer,
+        dump_json,
+        run_scenario,
+        spawn_tcp_server,
+    )
+    from repro.serving.client import ServingConnectionError
+
+    dataset, n_bulk, dims = "smoke", 200, 3
+    kill_dir = os.path.join(data_dir, "kill")
+    durability_args = ("--data-dir", kill_dir, "--fsync", "always")
+
+    # Leg 1: SIGKILL while a mutation stream is mid-flight.
+    proc, host, port = spawn_tcp_server(*durability_args)
+    acked: list = []
+    stop = threading.Event()
+
+    def mutate() -> None:
+        try:
+            with ServingClient.connect(host, port, timeout=10.0) as client:
+                i = 0
+                while not stop.is_set():
+                    response = client.insert(
+                        dataset, [0.001 + i * 1e-6] * dims
+                    )
+                    if not response.get("ok"):
+                        return
+                    acked.append((response["id"], response["generation"]))
+                    i += 1
+        except (OSError, ServingConnectionError):
+            return  # the kill severed the connection mid-op — expected
+
+    thread = threading.Thread(target=mutate, daemon=True)
+    try:
+        with ServingClient.connect(host, port, timeout=10.0) as client:
+            loaded = client.register(
+                dataset, generate={"n": n_bulk, "d": dims, "seed": 0}
+            )
+            assert loaded.get("ok"), loaded
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while len(acked) < 20 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert thread.is_alive(), "mutation stream died before the kill"
+        assert len(acked) >= 20, f"only {len(acked)} acknowledged mutations"
+    finally:
+        proc.kill()  # SIGKILL: no handshake, no flush beyond fsync=always
+        proc.wait(timeout=30)
+    stop.set()
+    thread.join(timeout=10)
+
+    proc2, host2, port2 = spawn_tcp_server(*durability_args)
+    try:
+        recovery_time_s, _ = _await_first_answer(host2, port2, dataset)
+        with ServingClient.connect(host2, port2, timeout=10.0) as client:
+            info = client.stats()["datasets"][dataset]
+            # Every ack is durable; at most ONE op (sent, never acked)
+            # may additionally have reached the log before the kill.
+            assert info["size"] - n_bulk in (len(acked), len(acked) + 1), (
+                f"{len(acked)} acks but {info['size'] - n_bulk} survivors"
+            )
+            assert info["generation"] == 1 + (info["size"] - n_bulk), info
+            assert info["generation"] >= acked[-1][1], (info, acked[-1])
+            for spec in (
+                {"kind": "skyline"},
+                {"kind": "skyband", "k": 2},
+                {
+                    "kind": "constrained",
+                    "lower": [0.0] * dims,
+                    "upper": [0.8] * dims,
+                },
+                {"kind": "subspace", "dims": [0, 1]},
+            ):
+                answer = client.query(dataset, **spec)
+                assert answer.get("ok"), answer
+                assert answer["generation"] == info["generation"], answer
+            assert client.shutdown()["bye"] is True
+        assert proc2.wait(timeout=30) == 0
+    finally:
+        if proc2.poll() is None:  # pragma: no cover - cleanup
+            proc2.kill()
+            proc2.wait(timeout=30)
+    print(
+        f"mid-mutation kill OK: {len(acked)} acknowledged mutations "
+        f"survived SIGKILL; first answer {recovery_time_s:.3f}s after restart"
+    )
+
+    # Leg 2: the full loadtest scenario, parity verdict gated.
+    stats = run_scenario(
+        LoadTestConfig(
+            qps=150,
+            duration_s=1.0,
+            workers=4,
+            n_points=300,
+            mutation_fraction=0.15,
+            seed=0,
+        ),
+        os.path.join(data_dir, "scenario"),
+        fsync="always",
+        snapshot_every=64,
+    )
+    dump_json(stats, report_path)
+    assert stats["recovery"]["parity"] is True, stats["recovery"]
+    assert stats["requests"]["errors"] == 0, stats["requests"]
+    assert stats["durability"]["records_replayed"] > 0, stats["durability"]
+    print(
+        "durability smoke OK: id-for-id parity after SIGKILL "
+        f"(report at {report_path})"
+    )

@@ -18,7 +18,23 @@ class TestBasics:
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
-            ResultCache(0)
+            ResultCache(-1)
+
+    def test_capacity_zero_disables_cache(self):
+        cache = ResultCache(0)
+        cache.put(("d", "skyline", (), 1), [1, 2])
+        assert len(cache) == 0
+        assert cache.get(("d", "skyline", (), 1)) is None
+        assert cache.latest("d", "skyline", ()) is None
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["evictions"] == 0
+        assert stats["misses"] == 1
+
+    def test_capacity_zero_invalidate_is_noop(self):
+        cache = ResultCache(0)
+        cache.put(("d", "skyline", (), 1), [1])
+        assert cache.invalidate("d") == 0
 
     def test_len_counts_entries(self):
         cache = ResultCache(4)

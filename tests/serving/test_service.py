@@ -52,7 +52,7 @@ class TestConfig:
         [
             {"max_inflight": 0},
             {"max_queue": -1},
-            {"cache_entries": 0},
+            {"cache_entries": -1},
             {"default_deadline_s": 0.0},
         ],
     )
